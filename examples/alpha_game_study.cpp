@@ -1,0 +1,66 @@
+// α-game study: how the classic parameterized game behaves across α, and why
+// the basic game's α-free analysis covers it.
+//
+// For a sweep of α the example runs greedy best-response in the Fabrikant
+// α-game from the same starting network, reporting the equilibrium topology
+// (diameter, edges) and the PoA estimate; then it demonstrates the transfer
+// principle by checking a basic-game equilibrium for α-game swap deviations
+// at every α.
+//
+//   $ ./alpha_game_study [n] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/classic_game.hpp"
+#include "core/dynamics.hpp"
+#include "core/equilibrium.hpp"
+#include "gen/random.hpp"
+#include "graph/metrics.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bncg;
+  const Vertex n = argc > 1 ? static_cast<Vertex>(std::atoi(argv[1])) : 14;
+  const std::uint64_t seed = argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 9;
+
+  Xoshiro256ss rng(seed);
+  const Graph start = random_connected_gnm(n, 2 * n, rng);
+
+  std::cout << "=== alpha sweep: greedy best-response from the same start (n=" << n << ") ===\n";
+  Table t({"alpha", "converged", "final m", "diam", "social cost", "OPT", "PoA est"});
+  for (const double alpha : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 32.0, 128.0}) {
+    ClassicGame game(start, alpha);
+    const auto run = game.run_best_response(200'000);
+    t.add_row({fmt(alpha, 2), run.converged ? "yes" : "no", fmt(game.graph().num_edges()),
+               fmt(diameter(game.graph())), fmt(game.social_cost(), 1),
+               fmt(optimal_social_cost(n, alpha), 1),
+               fmt(game.social_cost() / optimal_social_cost(n, alpha), 3)});
+  }
+  t.print(std::cout);
+  std::cout << "Small alpha densifies toward the clique; large alpha prunes toward\n"
+               "star-like trees — the two known optima.\n";
+
+  std::cout << "\n=== transfer principle: one basic-game equilibrium, every alpha ===\n";
+  DynamicsConfig config;
+  config.max_moves = 300'000;
+  const DynamicsResult r = run_dynamics(start, config);
+  if (!r.converged) {
+    std::cout << "basic-game dynamics did not converge within budget\n";
+    return 1;
+  }
+  Table t2({"alpha", "improving swaps in alpha-game"});
+  for (const double alpha : {0.01, 1.0, 100.0, 1e6}) {
+    ClassicGame game(r.graph, alpha);
+    BfsWorkspace ws;
+    int swaps = 0;
+    for (Vertex v = 0; v < r.graph.num_vertices(); ++v) {
+      const auto move = game.best_deviation(v, ws);
+      if (move && move->type == ClassicMove::Type::Swap) ++swaps;
+    }
+    t2.add_row({fmt(alpha, 2), fmt(swaps)});
+  }
+  t2.print(std::cout);
+  std::cout << "Zero improving swaps at every alpha: swap stability is alpha-free,\n"
+               "so the basic game's bounds apply to all parameterizations at once.\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// bncg — Basic Network Creation Games (SPAA 2010 reproduction).
+//
+// Umbrella header: includes the entire public API. Fine for applications;
+// library-internal code includes the specific headers it needs.
+//
+//   #include "bncg.hpp"
+//   using namespace bncg;
+//
+// Layers (see DESIGN.md for the full inventory):
+//   util/  — RNG, tables, timers, preconditions
+//   graph/ — Graph, BFS, APSP, metrics, connectivity, powers, uniformity,
+//            subgraphs, io, isomorphism
+//   gen/   — classic families, the paper's constructions, Cayley graphs,
+//            projective planes, random families, tree enumeration
+//   core/  — swaps, usage costs, certifiers, dynamics, tree fast path,
+//            k-stability, search, lemmas, the α-game baseline, PoA
+#pragma once
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+#include "graph/graph.hpp"
+#include "graph/bfs.hpp"
+#include "graph/apsp.hpp"
+#include "graph/metrics.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/subgraph.hpp"
+#include "graph/power.hpp"
+#include "graph/distance_uniformity.hpp"
+#include "graph/io.hpp"
+#include "graph/isomorphism.hpp"
+
+#include "gen/classic.hpp"
+#include "gen/paper.hpp"
+#include "gen/cayley.hpp"
+#include "gen/projective.hpp"
+#include "gen/random.hpp"
+#include "gen/trees_enum.hpp"
+
+#include "core/swap.hpp"
+#include "core/usage_cost.hpp"
+#include "core/equilibrium.hpp"
+#include "core/dynamics.hpp"
+#include "core/tree_game.hpp"
+#include "core/kstability.hpp"
+#include "core/search.hpp"
+#include "core/lemmas.hpp"
+#include "core/classic_game.hpp"
+#include "core/poa.hpp"

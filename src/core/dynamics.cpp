@@ -1,0 +1,147 @@
+#include "core/dynamics.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "graph/io.hpp"
+#include "graph/metrics.hpp"
+
+namespace bncg {
+
+namespace {
+
+/// Picks the deviation for agent `v` according to the configured model and
+/// policy. Neutral deletions are only surfaced in the max model when asked.
+std::optional<Deviation> agent_deviation(const Graph& g, Vertex v, const DynamicsConfig& config,
+                                         BfsWorkspace& ws) {
+  if (config.cost == UsageCost::Sum) {
+    return config.policy == MovePolicy::FirstImprovement ? first_sum_deviation(g, v, ws)
+                                                         : best_sum_deviation(g, v, ws);
+  }
+  if (config.policy == MovePolicy::FirstImprovement) {
+    return first_max_deviation(g, v, ws, config.allow_neutral_deletions);
+  }
+  // Best-improvement in the max model: prefer the best improving swap, fall
+  // back to a neutral deletion (which never competes on cost_after).
+  auto best = best_max_deviation(g, v, ws);
+  if (!best && config.allow_neutral_deletions) {
+    best = first_max_deviation(g, v, ws, /*include_deletions=*/true);
+  }
+  return best;
+}
+
+/// Executes a deviation on the live graph. NonCriticalDelete witnesses
+/// encode a pure deletion (add_w == remove_w), which ScopedSwap treats as a
+/// no-op — handle it explicitly.
+void execute(Graph& g, const Deviation& dev) {
+  if (dev.kind == Deviation::Kind::NonCriticalDelete) {
+    g.remove_edge(dev.swap.v, dev.swap.remove_w);
+    return;
+  }
+  apply_swap(g, dev.swap);
+}
+
+void record(const Graph& g, UsageCost model, std::uint64_t move, std::vector<TraceEntry>& trace) {
+  trace.push_back({move, social_cost(g, model), diameter(g)});
+}
+
+/// True iff the graph is in equilibrium for the configured game (including
+/// the deletion clause when neutral deletions participate in the max game).
+bool certified(const Graph& g, const DynamicsConfig& config) {
+  if (config.cost == UsageCost::Sum) return certify_sum_equilibrium(g).is_equilibrium;
+  if (config.allow_neutral_deletions) return certify_max_equilibrium(g).is_equilibrium;
+  // Swap-only max dynamics: check swap stability for every agent.
+  const Vertex n = g.num_vertices();
+  BfsWorkspace ws;
+  for (Vertex v = 0; v < n; ++v) {
+    if (first_max_deviation(g, v, ws, /*include_deletions=*/false)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t social_cost(const Graph& g, UsageCost model) {
+  const Vertex n = g.num_vertices();
+  BfsWorkspace ws;
+  std::uint64_t total = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    const std::uint64_t c = vertex_cost(g, v, model, ws);
+    if (c == kInfCost) return kInfCost;
+    total += c;
+  }
+  return total;
+}
+
+DynamicsResult run_dynamics(Graph start, const DynamicsConfig& config) {
+  BNCG_REQUIRE(is_connected(start), "dynamics require a connected start graph");
+  DynamicsResult result;
+  result.graph = std::move(start);
+  Graph& g = result.graph;
+  const Vertex n = g.num_vertices();
+
+  Xoshiro256ss rng(config.seed);
+  BfsWorkspace ws;
+  if (config.record_trace) record(g, config.cost, 0, result.trace);
+
+  std::vector<Vertex> order(n);
+  std::iota(order.begin(), order.end(), Vertex{0});
+
+  std::unordered_set<std::string> visited;
+  if (config.detect_revisits) visited.insert(to_graph6(g));
+
+  bool out_of_budget = false;
+  const auto post_move = [&]() {
+    ++result.moves;
+    if (config.record_trace) record(g, config.cost, result.moves, result.trace);
+    if (config.detect_revisits && !result.revisited &&
+        !visited.insert(to_graph6(g)).second) {
+      result.revisited = true;
+      result.first_revisit_move = result.moves;
+    }
+    if (result.moves >= config.max_moves) out_of_budget = true;
+  };
+
+  for (;;) {
+    bool any_move = false;
+    if (config.scheduler == Scheduler::GreedyGlobal) {
+      // One pass = one globally best move.
+      std::optional<Deviation> best;
+      for (Vertex v = 0; v < n && !out_of_budget; ++v) {
+        const auto dev = agent_deviation(g, v, config, ws);
+        if (!dev) continue;
+        // Rank by absolute improvement; neutral deletions rank last.
+        const auto gain = [](const Deviation& d) {
+          return d.cost_before == kInfCost ? kInfCost : d.cost_before - d.cost_after;
+        };
+        if (!best || gain(*dev) > gain(*best)) best = dev;
+      }
+      if (best) {
+        execute(g, *best);
+        any_move = true;
+        post_move();
+      }
+    } else {
+      if (config.scheduler == Scheduler::RandomOrder) rng.shuffle(order);
+      for (const Vertex v : order) {
+        if (out_of_budget) break;
+        const auto dev = agent_deviation(g, v, config, ws);
+        if (!dev) continue;
+        execute(g, *dev);
+        any_move = true;
+        post_move();
+      }
+    }
+    ++result.passes;
+    if (!any_move || out_of_budget) break;
+  }
+
+  // A quiet pass under FirstImprovement scanning is already an exhaustive
+  // certificate for the *scanned* move set; re-certify explicitly so the
+  // flag is trustworthy regardless of policy or early exit.
+  result.converged = !out_of_budget && certified(g, config);
+  return result;
+}
+
+}  // namespace bncg

@@ -1,0 +1,43 @@
+#include "core/poa.hpp"
+
+#include <algorithm>
+
+#include "core/dynamics.hpp"
+#include "graph/metrics.hpp"
+
+namespace bncg {
+
+std::uint64_t sum_social_cost_lower_bound(Vertex n, std::size_t m) {
+  if (n <= 1) return 0;
+  const std::uint64_t ordered_pairs = static_cast<std::uint64_t>(n) * (n - 1);
+  const std::uint64_t adjacent_ordered = 2 * static_cast<std::uint64_t>(m);
+  BNCG_REQUIRE(adjacent_ordered <= ordered_pairs, "more edges than vertex pairs");
+  return adjacent_ordered + 2 * (ordered_pairs - adjacent_ordered);
+}
+
+std::uint64_t max_social_cost_lower_bound(Vertex n, std::size_t m) {
+  if (n <= 1) return 0;
+  // A vertex has ecc 1 iff its degree is n−1; the edge budget allows at most
+  // ⌊2m/(n−1)⌋ such vertices. Everyone else has ecc ≥ 2 (for n ≥ 3).
+  if (n == 2) return 2;
+  const std::uint64_t full_degree_capacity =
+      std::min<std::uint64_t>(n, 2 * static_cast<std::uint64_t>(m) / (n - 1));
+  return full_degree_capacity * 1 + (n - full_degree_capacity) * 2;
+}
+
+double social_cost_ratio(const Graph& g, UsageCost model) {
+  const std::uint64_t cost = social_cost(g, model);
+  if (cost == kInfCost) return 1e18;
+  const std::uint64_t bound = model == UsageCost::Sum
+                                  ? sum_social_cost_lower_bound(g.num_vertices(), g.num_edges())
+                                  : max_social_cost_lower_bound(g.num_vertices(), g.num_edges());
+  if (bound == 0) return 1.0;
+  return static_cast<double>(cost) / static_cast<double>(bound);
+}
+
+double diameter_poa_proxy(const Graph& g) {
+  const Vertex d = diameter(g);
+  return d == kInfDist ? 1e18 : static_cast<double>(d);
+}
+
+}  // namespace bncg

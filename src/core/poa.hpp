@@ -1,0 +1,40 @@
+// Price-of-anarchy observables.
+//
+// The paper's central question — how large can equilibrium diameter get —
+// is, by the constant-factor relation proved in [7] and recalled in §1,
+// equivalent to the price of anarchy of the surrounding network creation
+// games. This module computes the quantities the benches report:
+// equilibrium social cost, lower bounds on the best achievable social cost
+// at the same edge budget (the basic game relocates but never creates
+// edges), and the diameter-based PoA proxy.
+#pragma once
+
+#include <cstdint>
+
+#include "core/usage_cost.hpp"
+#include "graph/graph.hpp"
+
+namespace bncg {
+
+/// Lower bound on Σ_v Σ_u d(v,u) over all connected graphs with n vertices
+/// and m edges: ordered adjacent pairs cost 1, all other ordered pairs cost
+/// ≥ 2, so total ≥ 2m + 2·(n(n−1) − 2m) = 2n(n−1) − 2m. Tight exactly for
+/// diameter ≤ 2 graphs.
+[[nodiscard]] std::uint64_t sum_social_cost_lower_bound(Vertex n, std::size_t m);
+
+/// Lower bound on Σ_v ecc(v) at the same budget: every vertex not adjacent
+/// to all others has ecc ≥ 2, and at most min(n, 2m/(n−1)) vertices can have
+/// degree n−1.
+[[nodiscard]] std::uint64_t max_social_cost_lower_bound(Vertex n, std::size_t m);
+
+/// Price-of-anarchy style ratio: social cost of `g` over the corresponding
+/// lower bound at g's own (n, m). ≥ 1; equals 1 for diameter-2 graphs in
+/// the sum model. Returns +inf (as a large double) when g is disconnected.
+[[nodiscard]] double social_cost_ratio(const Graph& g, UsageCost model);
+
+/// The diameter-based PoA proxy from [7]: the price of anarchy is within a
+/// constant factor of the maximum equilibrium diameter, so benches report
+/// diameter alongside the cost ratio.
+[[nodiscard]] double diameter_poa_proxy(const Graph& g);
+
+}  // namespace bncg

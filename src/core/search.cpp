@@ -1,0 +1,101 @@
+#include "core/search.hpp"
+
+#include <cmath>
+
+#include "core/equilibrium.hpp"
+#include "graph/bfs.hpp"
+#include "graph/metrics.hpp"
+
+namespace bncg {
+
+std::uint64_t sum_unrest(const Graph& g) {
+  std::uint64_t total = 0;
+  BfsWorkspace ws;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const auto dev = best_sum_deviation(g, v, ws);
+    if (dev) total += dev->cost_before - dev->cost_after;
+  }
+  return total;
+}
+
+std::optional<Graph> anneal_sum_equilibrium(Graph start, const AnnealConfig& config) {
+  const Vertex n = start.num_vertices();
+  BNCG_REQUIRE(n >= 2, "search needs at least two vertices");
+  Xoshiro256ss rng(config.seed);
+
+  // Nudge the start onto the diameter constraint if it is off it: add edges
+  // while too spread out, remove removable edges while too tight.
+  int guard = 0;
+  while (diameter(start) != config.target_diameter && guard++ < 4000) {
+    const Vertex u = static_cast<Vertex>(rng.below(n));
+    const Vertex v = static_cast<Vertex>(rng.below(n));
+    if (u == v) continue;
+    const Vertex d = diameter(start);
+    if (d == kInfDist || d > config.target_diameter) {
+      start.add_edge_if_absent(u, v);
+    } else if (start.has_edge(u, v)) {
+      start.remove_edge(u, v);
+      if (!is_connected(start)) start.add_edge(u, v);
+    }
+  }
+  if (diameter(start) != config.target_diameter) return std::nullopt;
+
+  Graph current = std::move(start);
+  std::uint64_t current_unrest = sum_unrest(current);
+  double temperature = config.initial_temperature;
+
+  for (std::uint64_t step = 0; step < config.steps && current_unrest > 0; ++step) {
+    temperature *= config.cooling;
+    const Vertex u = static_cast<Vertex>(rng.below(n));
+    const Vertex v = static_cast<Vertex>(rng.below(n));
+    if (u == v) continue;
+    Graph proposal = current;
+    if (proposal.has_edge(u, v)) {
+      proposal.remove_edge(u, v);
+    } else {
+      proposal.add_edge(u, v);
+    }
+    if (!is_connected(proposal) || diameter(proposal) != config.target_diameter) continue;
+    const std::uint64_t proposal_unrest = sum_unrest(proposal);
+    const double delta =
+        static_cast<double>(proposal_unrest) - static_cast<double>(current_unrest);
+    if (delta <= 0 || rng.uniform01() < std::exp(-delta / temperature)) {
+      current = std::move(proposal);
+      current_unrest = proposal_unrest;
+    }
+  }
+  if (current_unrest == 0) return current;
+  return std::nullopt;
+}
+
+std::optional<Graph> exhaustive_diameter3_sum_equilibrium(Vertex n) {
+  BNCG_REQUIRE(n >= 2 && n <= 7, "exhaustive search supported for n <= 7");
+  // Enumerate all edge subsets over the C(n,2) vertex pairs. Cheap filters
+  // first (edge count, connectivity, diameter), full certification last.
+  std::vector<std::pair<Vertex, Vertex>> pairs;
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) pairs.emplace_back(u, v);
+  }
+  const std::uint32_t num_pairs = static_cast<std::uint32_t>(pairs.size());
+  BfsWorkspace ws;
+  for (std::uint32_t mask = 0; mask < (1u << num_pairs); ++mask) {
+    // Diameter 3 needs at least n−1 edges (connectivity) and at least one
+    // non-adjacent pair, so skip masks outside [n−1, C(n,2) − 1] edges.
+    const int bits = __builtin_popcount(mask);
+    if (bits < static_cast<int>(n) - 1 || bits >= static_cast<int>(num_pairs)) continue;
+    Graph g(n);
+    for (std::uint32_t i = 0; i < num_pairs; ++i) {
+      if (mask & (1u << i)) g.add_edge(pairs[i].first, pairs[i].second);
+    }
+    if (!bfs(g, 0, ws).spans(n)) continue;
+    if (diameter(g) != 3) continue;
+    bool stable = true;
+    for (Vertex v = 0; v < n && stable; ++v) {
+      stable = !first_sum_deviation(g, v, ws).has_value();
+    }
+    if (stable) return g;
+  }
+  return std::nullopt;
+}
+
+}  // namespace bncg

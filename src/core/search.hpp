@@ -1,0 +1,50 @@
+// Equilibrium search: tools for *finding* equilibria with prescribed
+// structure, not just certifying given ones.
+//
+// Motivation: the reproduction found that the paper's literal Figure 3
+// instance admits improving swaps (see gen/paper.hpp). Theorem 5 is
+// existential, so the library provides the machinery that re-establishes it:
+//  * sum_unrest — a quantitative "distance from equilibrium" potential
+//    (total improvement available across agents; 0 ⇔ sum equilibrium);
+//  * anneal_sum_equilibrium — simulated annealing over edge toggles that
+//    minimizes unrest subject to a diameter constraint (this is how
+//    diameter3_sum_equilibrium_n8() was discovered);
+//  * exhaustive_diameter3_sum_equilibrium — complete enumeration of all
+//    2^C(n,2) labelled graphs for small n, establishing minimality results
+//    (no diameter-3 sum equilibrium exists on ≤ 7 vertices).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace bncg {
+
+/// Σ_v (best available improvement of agent v's distance sum); 0 iff the
+/// graph is a sum equilibrium. A natural progress measure for search.
+[[nodiscard]] std::uint64_t sum_unrest(const Graph& g);
+
+/// Configuration for the annealing search.
+struct AnnealConfig {
+  Vertex target_diameter = 3;      ///< hard constraint on every accepted state
+  std::uint64_t steps = 6000;      ///< edge-toggle proposals
+  double initial_temperature = 3.0;
+  double cooling = 0.9995;         ///< geometric cooling per step
+  std::uint64_t seed = 0x5ea2c4;
+};
+
+/// Anneals from `start` toward a sum equilibrium of the target diameter.
+/// Returns the reached graph when unrest hit 0, nullopt otherwise. Proposals
+/// toggle a single edge; states that are disconnected or off-diameter are
+/// rejected. Deterministic given the seed.
+[[nodiscard]] std::optional<Graph> anneal_sum_equilibrium(Graph start, const AnnealConfig& config);
+
+/// Exhaustively decides whether any labelled graph on n vertices is a
+/// connected diameter-3 sum equilibrium, returning the first found.
+/// Enumerates all 2^C(n,2) edge subsets — feasible for n ≤ 7 (≈ 2M graphs).
+/// Precondition: n ≤ 7 (guard against accidental exponential blowups).
+[[nodiscard]] std::optional<Graph> exhaustive_diameter3_sum_equilibrium(Vertex n);
+
+}  // namespace bncg

@@ -1,0 +1,77 @@
+// Edge swaps — the only move of the basic network creation game.
+//
+// An agent v replaces one incident edge vw by another incident edge vw'.
+// Swapping onto an already-existing edge encodes *deletion* of vw (the
+// paper's "special case"). ScopedSwap applies a swap transactionally and
+// reverts on scope exit unless committed, which is how the certifiers and
+// dynamics evaluate millions of tentative moves without copying the graph.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace bncg {
+
+/// One swap move by agent `v`: remove edge {v, remove_w}, add edge
+/// {v, add_w}. When add_w == remove_w the move is a no-op; when {v, add_w}
+/// already exists the move degenerates to deleting {v, remove_w}.
+struct EdgeSwap {
+  Vertex v = 0;         ///< the swapping agent
+  Vertex remove_w = 0;  ///< current neighbor losing its edge to v
+  Vertex add_w = 0;     ///< new neighbor gaining an edge to v
+
+  /// True when the move deletes without adding (add_w already adjacent or
+  /// equal to remove_w is checked dynamically; this flags the encoded form).
+  friend constexpr bool operator==(const EdgeSwap&, const EdgeSwap&) = default;
+};
+
+/// Validates that `s` is a legal move on `g`: v ≠ add_w, edge {v, remove_w}
+/// exists. (add_w may coincide with an existing neighbor — deletion.)
+[[nodiscard]] inline bool is_legal_swap(const Graph& g, const EdgeSwap& s) {
+  if (s.v >= g.num_vertices() || s.add_w >= g.num_vertices()) return false;
+  if (s.add_w == s.v) return false;
+  return g.has_edge(s.v, s.remove_w);
+}
+
+/// RAII transactional swap: applies on construction, reverts on destruction
+/// unless commit() was called. Non-copyable/non-movable — scope-local only.
+class ScopedSwap {
+ public:
+  ScopedSwap(Graph& g, const EdgeSwap& s) : g_(g), swap_(s) {
+    BNCG_REQUIRE(is_legal_swap(g, s), "illegal edge swap");
+    if (swap_.add_w == swap_.remove_w) return;  // no-op move
+    g_.remove_edge(swap_.v, swap_.remove_w);
+    added_ = g_.add_edge_if_absent(swap_.v, swap_.add_w);
+    applied_ = true;
+  }
+
+  ScopedSwap(const ScopedSwap&) = delete;
+  ScopedSwap& operator=(const ScopedSwap&) = delete;
+
+  ~ScopedSwap() {
+    if (!applied_ || committed_) return;
+    if (added_) g_.remove_edge(swap_.v, swap_.add_w);
+    g_.add_edge(swap_.v, swap_.remove_w);
+  }
+
+  /// Keeps the swap applied past the end of scope.
+  void commit() noexcept { committed_ = true; }
+
+  /// True iff the swap actually inserted a new edge (false = pure deletion
+  /// because {v, add_w} already existed, or no-op).
+  [[nodiscard]] bool added_edge() const noexcept { return added_; }
+
+ private:
+  Graph& g_;
+  EdgeSwap swap_;
+  bool applied_ = false;
+  bool added_ = false;
+  bool committed_ = false;
+};
+
+/// Applies a swap permanently (helper for dynamics and tests).
+inline void apply_swap(Graph& g, const EdgeSwap& s) {
+  ScopedSwap scoped(g, s);
+  scoped.commit();
+}
+
+}  // namespace bncg

@@ -1,0 +1,195 @@
+#include "core/tree_game.hpp"
+
+#include <algorithm>
+
+#include "graph/bfs.hpp"
+#include "graph/metrics.hpp"
+#include "graph/subgraph.hpp"
+
+namespace bncg {
+
+namespace {
+
+/// BFS order + parent pointers from `root`; the backbone of the two-pass
+/// subtree computations (iterative — no recursion on path-shaped trees).
+struct RootedTree {
+  std::vector<Vertex> order;   ///< BFS order, order[0] == root
+  std::vector<Vertex> parent;  ///< parent[root] == kInfDist
+};
+
+RootedTree root_tree(const Graph& tree, Vertex root) {
+  const Vertex n = tree.num_vertices();
+  RootedTree rt;
+  rt.order.reserve(n);
+  rt.parent.assign(n, kInfDist);
+  std::vector<bool> seen(n, false);
+  seen[root] = true;
+  rt.order.push_back(root);
+  for (std::size_t head = 0; head < rt.order.size(); ++head) {
+    const Vertex u = rt.order[head];
+    for (const Vertex w : tree.neighbors(u)) {
+      if (seen[w]) continue;
+      seen[w] = true;
+      rt.parent[w] = u;
+      rt.order.push_back(w);
+    }
+  }
+  return rt;
+}
+
+void require_tree(const Graph& g) { BNCG_REQUIRE(is_tree(g), "tree-game functions require a tree"); }
+
+}  // namespace
+
+std::vector<std::uint64_t> tree_distance_sums(const Graph& tree) {
+  require_tree(tree);
+  const Vertex n = tree.num_vertices();
+  std::vector<std::uint64_t> sum(n, 0);
+  if (n == 0) return sum;
+
+  const RootedTree rt = root_tree(tree, 0);
+  std::vector<std::uint64_t> size(n, 1);
+  std::vector<std::uint64_t> down(n, 0);  // Σ_{x in subtree(v)} d(v, x)
+
+  // Post-order accumulation (reverse BFS order visits children first).
+  for (std::size_t i = rt.order.size(); i-- > 1;) {
+    const Vertex v = rt.order[i];
+    const Vertex p = rt.parent[v];
+    size[p] += size[v];
+    down[p] += down[v] + size[v];
+  }
+  // Pre-order rerooting: moving the root across edge p→v trades the v-side
+  // (closer by 1) against the rest (farther by 1).
+  sum[0] = down[0];
+  for (std::size_t i = 1; i < rt.order.size(); ++i) {
+    const Vertex v = rt.order[i];
+    const Vertex p = rt.parent[v];
+    sum[v] = sum[p] - size[v] + (n - size[v]);
+  }
+  return sum;
+}
+
+Vertex tree_one_median(const Graph& tree) {
+  const auto sums = tree_distance_sums(tree);
+  BNCG_REQUIRE(!sums.empty(), "median of an empty tree");
+  return static_cast<Vertex>(std::min_element(sums.begin(), sums.end()) - sums.begin());
+}
+
+std::optional<TreeMove> best_tree_deviation(const Graph& tree, Vertex v) {
+  require_tree(tree);
+  tree.check_vertex(v);
+  std::optional<TreeMove> best;
+  const std::vector<Vertex> nbrs(tree.neighbors(v).begin(), tree.neighbors(v).end());
+  std::vector<bool> blocked(tree.num_vertices(), false);
+  for (const Vertex a : nbrs) {
+    // Component of a in T − va: exactly the subtree v would re-attach.
+    blocked.assign(tree.num_vertices(), false);
+    blocked[v] = true;
+    std::vector<Vertex> component{a};
+    blocked[a] = true;
+    for (std::size_t head = 0; head < component.size(); ++head) {
+      for (const Vertex w : tree.neighbors(component[head])) {
+        if (!blocked[w]) {
+          blocked[w] = true;
+          component.push_back(w);
+        }
+      }
+    }
+    std::sort(component.begin(), component.end());
+    // Distance sums *within* the detached subtree; v's post-swap distance
+    // sum to it is |T_a| + S_{T_a}(attach point), so the optimum is the
+    // subtree's 1-median.
+    const Graph sub = induced_subgraph(tree, component);
+    const auto sums = tree_distance_sums(sub);
+    const std::size_t a_local =
+        static_cast<std::size_t>(std::lower_bound(component.begin(), component.end(), a) -
+                                 component.begin());
+    const std::size_t best_local =
+        static_cast<std::size_t>(std::min_element(sums.begin(), sums.end()) - sums.begin());
+    if (sums[best_local] < sums[a_local]) {
+      const std::uint64_t gain = sums[a_local] - sums[best_local];
+      if (!best || gain > best->gain) {
+        best = TreeMove{v, a, component[best_local], gain};
+      }
+    }
+  }
+  return best;
+}
+
+TreeDynamicsResult run_tree_dynamics(Graph tree, std::uint64_t max_moves) {
+  require_tree(tree);
+  TreeDynamicsResult result;
+  result.tree = std::move(tree);
+  const Vertex n = result.tree.num_vertices();
+  for (;;) {
+    bool any_move = false;
+    for (Vertex v = 0; v < n && result.moves < max_moves; ++v) {
+      const auto move = best_tree_deviation(result.tree, v);
+      if (!move) continue;
+      result.tree.remove_edge(move->v, move->old_neighbor);
+      result.tree.add_edge(move->v, move->new_neighbor);
+      ++result.moves;
+      any_move = true;
+    }
+    ++result.passes;
+    if (!any_move) {
+      result.converged = true;
+      break;
+    }
+    if (result.moves >= max_moves) break;
+  }
+  return result;
+}
+
+std::optional<Theorem1Witness> theorem1_witness(const Graph& tree) {
+  require_tree(tree);
+  const Vertex n = tree.num_vertices();
+  BfsWorkspace ws;
+  for (Vertex v = 0; v < n; ++v) {
+    const RootedTree rt = root_tree(tree, v);
+    (void)bfs(tree, v, ws);
+    const std::vector<Vertex>& dist = ws.dist();
+    for (Vertex w = 0; w < n; ++w) {
+      if (dist[w] != 3) continue;
+      // Reconstruct the path v → a → b → w via parents from the root v.
+      const Vertex b = rt.parent[w];
+      const Vertex a = rt.parent[b];
+      Theorem1Witness witness;
+      witness.v = v;
+      witness.a = a;
+      witness.b = b;
+      witness.w = w;
+      // Component sizes when the three path edges are removed.
+      const auto size_without = [&](Vertex keep, Vertex cut1, Vertex cut2) {
+        std::vector<bool> seen(n, false);
+        seen[cut1] = true;
+        if (cut2 != kInfDist) seen[cut2] = true;
+        std::vector<Vertex> stack{keep};
+        seen[keep] = true;
+        std::uint64_t count = 0;
+        while (!stack.empty()) {
+          const Vertex u = stack.back();
+          stack.pop_back();
+          ++count;
+          for (const Vertex x : tree.neighbors(u)) {
+            if (!seen[x]) {
+              seen[x] = true;
+              stack.push_back(x);
+            }
+          }
+        }
+        return count;
+      };
+      witness.sv = size_without(v, a, kInfDist);
+      witness.sa = size_without(a, v, b);
+      witness.sb = size_without(b, a, w);
+      witness.sw = size_without(w, b, kInfDist);
+      witness.v_swap_wins = witness.sb + witness.sw > witness.sa;
+      witness.w_swap_wins = witness.sv + witness.sa > witness.sb;
+      return witness;
+    }
+  }
+  return std::nullopt;  // diameter ≤ 2
+}
+
+}  // namespace bncg

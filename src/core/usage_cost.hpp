@@ -1,0 +1,49 @@
+// Usage-cost models of the two basic network creation games.
+//
+// sum version — cost(v) = Σ_u d(v, u)    (distance sum)
+// max version — cost(v) = max_u d(v, u)  (local diameter / eccentricity)
+//
+// Disconnection means infinite usage cost in both models: a move that
+// disconnects the agent from anyone is never improving, and deleting a
+// bridge "strictly increases" cost. kInfCost is the sentinel.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "graph/bfs.hpp"
+#include "graph/graph.hpp"
+
+namespace bncg {
+
+/// Which usage cost the agents minimize.
+enum class UsageCost {
+  Sum,  ///< Σ distances (sum equilibrium, §3)
+  Max,  ///< local diameter (max equilibrium, §4)
+};
+
+/// Infinite usage cost (agent disconnected from some vertex).
+inline constexpr std::uint64_t kInfCost = std::numeric_limits<std::uint64_t>::max();
+
+/// Usage cost of vertex `v` under `model`; kInfCost when v cannot reach all
+/// vertices. One BFS, allocation-free given the workspace.
+[[nodiscard]] inline std::uint64_t vertex_cost(const Graph& g, Vertex v, UsageCost model,
+                                               BfsWorkspace& ws) {
+  const BfsResult r = bfs(g, v, ws);
+  if (!r.spans(g.num_vertices())) return kInfCost;
+  return model == UsageCost::Sum ? r.dist_sum : r.ecc;
+}
+
+/// Usage cost capped for early exit: in the Max model, a BFS truncated at
+/// `cap` suffices to decide whether cost(v) ≤ cap (cheaper than a full BFS
+/// when testing "does this swap drop my eccentricity below e?").
+[[nodiscard]] inline bool vertex_cost_at_most(const Graph& g, Vertex v, UsageCost model,
+                                              std::uint64_t cap, BfsWorkspace& ws) {
+  if (model == UsageCost::Max) {
+    const BfsResult r = bfs_bounded(g, v, static_cast<Vertex>(cap), ws);
+    return r.spans(g.num_vertices());  // all reached within distance cap
+  }
+  return vertex_cost(g, v, model, ws) <= cap;
+}
+
+}  // namespace bncg

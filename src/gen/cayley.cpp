@@ -1,0 +1,127 @@
+#include "gen/cayley.hpp"
+
+#include <algorithm>
+
+#include "gen/paper.hpp"
+
+namespace bncg {
+
+AbelianGroup::AbelianGroup(std::vector<Vertex> moduli) : moduli_(std::move(moduli)) {
+  BNCG_REQUIRE(!moduli_.empty(), "group needs at least one cyclic factor");
+  std::uint64_t order = 1;
+  for (const Vertex m : moduli_) {
+    BNCG_REQUIRE(m >= 1, "cyclic factor modulus must be >= 1");
+    order *= m;
+    BNCG_REQUIRE(order < (std::uint64_t{1} << 31), "group order too large");
+  }
+  order_ = static_cast<Vertex>(order);
+}
+
+Vertex AbelianGroup::id(const std::vector<Vertex>& x) const {
+  BNCG_REQUIRE(x.size() == moduli_.size(), "element arity mismatch");
+  std::uint64_t result = 0;
+  for (std::size_t t = 0; t < moduli_.size(); ++t) {
+    result = result * moduli_[t] + (x[t] % moduli_[t]);
+  }
+  return static_cast<Vertex>(result);
+}
+
+std::vector<Vertex> AbelianGroup::element(Vertex a) const {
+  BNCG_REQUIRE(a < order_, "element id out of range");
+  std::vector<Vertex> x(moduli_.size());
+  std::uint64_t rest = a;
+  for (std::size_t t = moduli_.size(); t-- > 0;) {
+    x[t] = static_cast<Vertex>(rest % moduli_[t]);
+    rest /= moduli_[t];
+  }
+  return x;
+}
+
+Vertex AbelianGroup::add(Vertex a, Vertex b) const {
+  const std::vector<Vertex> xa = element(a);
+  const std::vector<Vertex> xb = element(b);
+  std::vector<Vertex> sum(moduli_.size());
+  for (std::size_t t = 0; t < moduli_.size(); ++t) sum[t] = (xa[t] + xb[t]) % moduli_[t];
+  return id(sum);
+}
+
+Vertex AbelianGroup::neg(Vertex a) const {
+  const std::vector<Vertex> xa = element(a);
+  std::vector<Vertex> inv(moduli_.size());
+  for (std::size_t t = 0; t < moduli_.size(); ++t) inv[t] = (moduli_[t] - xa[t]) % moduli_[t];
+  return id(inv);
+}
+
+Graph cayley_graph(const AbelianGroup& group, const std::vector<Vertex>& gens) {
+  BNCG_REQUIRE(!gens.empty(), "generating set must be nonempty");
+  for (const Vertex s : gens) {
+    BNCG_REQUIRE(s != AbelianGroup::identity(), "identity cannot be a generator");
+    BNCG_REQUIRE(std::find(gens.begin(), gens.end(), group.neg(s)) != gens.end(),
+                 "generating set must be symmetric (S = -S)");
+  }
+  Graph g(group.order());
+  for (Vertex a = 0; a < group.order(); ++a) {
+    for (const Vertex s : gens) {
+      const Vertex b = group.add(a, s);
+      if (a < b) g.add_edge_if_absent(a, b);
+    }
+  }
+  return g;
+}
+
+Graph cayley_graph_from_tuples(const AbelianGroup& group,
+                               const std::vector<std::vector<Vertex>>& gens) {
+  std::vector<Vertex> ids;
+  ids.reserve(gens.size());
+  for (const auto& tuple : gens) ids.push_back(group.id(tuple));
+  return cayley_graph(group, ids);
+}
+
+Graph circulant(Vertex n, const std::vector<Vertex>& offsets) {
+  BNCG_REQUIRE(n >= 2, "circulant needs at least 2 vertices");
+  const AbelianGroup zn({n});
+  std::vector<Vertex> gens;
+  for (const Vertex o : offsets) {
+    const Vertex s = o % n;
+    BNCG_REQUIRE(s != 0, "offset 0 (identity) not allowed");
+    gens.push_back(s);
+    if ((n - s) % n != s) gens.push_back((n - s) % n);
+  }
+  std::sort(gens.begin(), gens.end());
+  gens.erase(std::unique(gens.begin(), gens.end()), gens.end());
+  return cayley_graph(zn, gens);
+}
+
+Graph even_sum_subgroup_cayley(Vertex k) {
+  BNCG_REQUIRE(k >= 2, "side parameter k must be >= 2");
+  // Work inside Z²_{2k} but keep only even-sum elements; reuse the
+  // DiagonalTorus id mapping so the result is edge-identical to Figure 4.
+  const DiagonalTorus torus(2, k);
+  const Vertex n = torus.num_vertices();
+  Graph g(n);
+  const Vertex two_k = 2 * k;
+  for (Vertex v = 0; v < n; ++v) {
+    const std::vector<Vertex> cv = torus.coords(v);
+    for (const Vertex di : {Vertex{1}, two_k - 1}) {
+      for (const Vertex dj : {Vertex{1}, two_k - 1}) {
+        const Vertex w = torus.id({(cv[0] + di) % two_k, (cv[1] + dj) % two_k});
+        if (v < w) g.add_edge_if_absent(v, w);
+      }
+    }
+  }
+  return g;
+}
+
+Graph hypercube_cayley(Vertex d) {
+  BNCG_REQUIRE(d >= 1 && d < 31, "hypercube dimension out of range");
+  const AbelianGroup z2d(std::vector<Vertex>(d, 2));
+  std::vector<Vertex> gens;
+  for (Vertex t = 0; t < d; ++t) {
+    std::vector<Vertex> e(d, 0);
+    e[t] = 1;
+    gens.push_back(z2d.id(e));
+  }
+  return cayley_graph(z2d, gens);
+}
+
+}  // namespace bncg

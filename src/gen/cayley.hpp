@@ -1,0 +1,79 @@
+// Cayley graphs of finite Abelian groups (Section 5, Theorem 15).
+//
+// Theorem 15 proves Conjecture 14 for Cayley graphs of Abelian groups:
+// ε-distance-uniform Abelian Cayley graphs have diameter O(lg n / lg(1/ε)).
+// This module provides the group arithmetic (product of cyclic factors),
+// Cayley graph construction with a validated symmetric generating set, and
+// the specific families the paper mentions — circulants, tori, hypercubes,
+// and the even-coordinate-sum subgroup of Z²_{2k} whose Cayley graph with
+// S = {(±1, ±1)} is exactly the Figure 4 construction.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace bncg {
+
+/// Finite Abelian group presented as Z_{m₁} × … × Z_{m_d}.
+/// Elements are tuples (x₁, …, x_d) with 0 ≤ x_t < m_t, addressed by a
+/// mixed-radix dense id in [0, order).
+class AbelianGroup {
+ public:
+  /// Preconditions: at least one factor; every modulus ≥ 1; order fits 32 bits.
+  explicit AbelianGroup(std::vector<Vertex> moduli);
+
+  /// |A| = Π m_t.
+  [[nodiscard]] Vertex order() const noexcept { return order_; }
+
+  /// Number of cyclic factors d.
+  [[nodiscard]] Vertex rank() const noexcept { return static_cast<Vertex>(moduli_.size()); }
+
+  /// Factor moduli.
+  [[nodiscard]] const std::vector<Vertex>& moduli() const noexcept { return moduli_; }
+
+  /// Dense id of element tuple `x` (each coordinate reduced mod m_t first,
+  /// so callers may pass un-normalized values such as m_t − 1 + 2).
+  [[nodiscard]] Vertex id(const std::vector<Vertex>& x) const;
+
+  /// Element tuple of dense id `a`.
+  [[nodiscard]] std::vector<Vertex> element(Vertex a) const;
+
+  /// Group operation on dense ids.
+  [[nodiscard]] Vertex add(Vertex a, Vertex b) const;
+
+  /// Inverse (negation) on dense ids.
+  [[nodiscard]] Vertex neg(Vertex a) const;
+
+  /// Identity element id (always 0).
+  [[nodiscard]] static constexpr Vertex identity() noexcept { return 0; }
+
+ private:
+  std::vector<Vertex> moduli_;
+  Vertex order_;
+};
+
+/// Cayley graph Cay(A, S) for a symmetric generating set S given as dense
+/// element ids. Preconditions: S = −S, identity ∉ S, S nonempty. The result
+/// is |S|-regular (as a simple graph, involutions contribute one edge).
+/// Note: connectivity requires S to generate A; the caller's tests check it.
+[[nodiscard]] Graph cayley_graph(const AbelianGroup& group, const std::vector<Vertex>& gens);
+
+/// Convenience: Cayley graph from generator tuples instead of dense ids.
+[[nodiscard]] Graph cayley_graph_from_tuples(const AbelianGroup& group,
+                                             const std::vector<std::vector<Vertex>>& gens);
+
+/// Circulant graph C_n(offsets): Cay(Z_n, {±o : o ∈ offsets}).
+[[nodiscard]] Graph circulant(Vertex n, const std::vector<Vertex>& offsets);
+
+/// The paper's §5 example: Cayley graph of the index-2 subgroup
+/// {(i, j) ∈ Z²_{2k} : i + j even} with generating set {(±1, ±1)}.
+/// Isomorphic to the Figure 4 rotated torus (tests verify edge-level
+/// equality under the DiagonalTorus coordinate mapping).
+[[nodiscard]] Graph even_sum_subgroup_cayley(Vertex k);
+
+/// Hypercube Q_d as Cay(Z₂^d, {e₁, …, e_d}) — cross-check against
+/// gen/classic's direct construction.
+[[nodiscard]] Graph hypercube_cayley(Vertex d);
+
+}  // namespace bncg

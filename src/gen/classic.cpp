@@ -1,0 +1,127 @@
+#include "gen/classic.hpp"
+
+namespace bncg {
+
+Graph path(Vertex n) {
+  Graph g(n);
+  for (Vertex v = 1; v < n; ++v) g.add_edge(v - 1, v);
+  return g;
+}
+
+Graph cycle(Vertex n) {
+  BNCG_REQUIRE(n >= 3, "cycle needs at least 3 vertices");
+  Graph g = path(n);
+  g.add_edge(n - 1, 0);
+  return g;
+}
+
+Graph star(Vertex n) {
+  BNCG_REQUIRE(n >= 1, "star needs at least 1 vertex");
+  Graph g(n);
+  for (Vertex v = 1; v < n; ++v) g.add_edge(0, v);
+  return g;
+}
+
+Graph double_star(Vertex left_leaves, Vertex right_leaves) {
+  Graph g(2 + left_leaves + right_leaves);
+  g.add_edge(0, 1);
+  for (Vertex i = 0; i < left_leaves; ++i) g.add_edge(0, 2 + i);
+  for (Vertex i = 0; i < right_leaves; ++i) g.add_edge(1, 2 + left_leaves + i);
+  return g;
+}
+
+Graph complete(Vertex n) {
+  Graph g(n);
+  for (Vertex v = 0; v < n; ++v) {
+    for (Vertex w = v + 1; w < n; ++w) g.add_edge(v, w);
+  }
+  return g;
+}
+
+Graph complete_bipartite(Vertex a, Vertex b) {
+  Graph g(a + b);
+  for (Vertex v = 0; v < a; ++v) {
+    for (Vertex w = 0; w < b; ++w) g.add_edge(v, a + w);
+  }
+  return g;
+}
+
+Graph hypercube(Vertex d) {
+  BNCG_REQUIRE(d < 31, "hypercube dimension too large");
+  const Vertex n = Vertex{1} << d;
+  Graph g(n);
+  for (Vertex v = 0; v < n; ++v) {
+    for (Vertex bit = 0; bit < d; ++bit) {
+      const Vertex w = v ^ (Vertex{1} << bit);
+      if (v < w) g.add_edge(v, w);
+    }
+  }
+  return g;
+}
+
+Graph grid(Vertex rows, Vertex cols) {
+  Graph g(rows * cols);
+  const auto id = [cols](Vertex r, Vertex c) { return r * cols + c; };
+  for (Vertex r = 0; r < rows; ++r) {
+    for (Vertex c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+Graph torus_standard(Vertex rows, Vertex cols) {
+  BNCG_REQUIRE(rows >= 3 && cols >= 3, "torus needs both dimensions >= 3");
+  Graph g = grid(rows, cols);
+  const auto id = [cols](Vertex r, Vertex c) { return r * cols + c; };
+  for (Vertex r = 0; r < rows; ++r) g.add_edge(id(r, cols - 1), id(r, 0));
+  for (Vertex c = 0; c < cols; ++c) g.add_edge(id(rows - 1, c), id(0, c));
+  return g;
+}
+
+Graph petersen() {
+  Graph g(10);
+  // Outer 5-cycle 0..4, inner pentagram 5..9, spokes i — i+5.
+  for (Vertex i = 0; i < 5; ++i) {
+    g.add_edge(i, (i + 1) % 5);
+    g.add_edge(5 + i, 5 + (i + 2) % 5);
+    g.add_edge(i, 5 + i);
+  }
+  return g;
+}
+
+Graph complete_kary_tree(Vertex arity, Vertex height) {
+  BNCG_REQUIRE(arity >= 1, "arity must be positive");
+  // Count vertices: 1 + k + k² + … + k^height.
+  std::uint64_t n = 0;
+  std::uint64_t layer = 1;
+  for (Vertex h = 0; h <= height; ++h) {
+    n += layer;
+    layer *= arity;
+    BNCG_REQUIRE(n < (std::uint64_t{1} << 31), "tree too large");
+  }
+  Graph g(static_cast<Vertex>(n));
+  // BFS-order ids: children of v are v·k + 1 … v·k + k.
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    for (Vertex c = 1; c <= arity; ++c) {
+      const std::uint64_t child = static_cast<std::uint64_t>(v) * arity + c;
+      if (child < n) g.add_edge(v, static_cast<Vertex>(child));
+    }
+  }
+  return g;
+}
+
+Graph lollipop(Vertex k, Vertex tail) {
+  BNCG_REQUIRE(k >= 1, "lollipop clique must be nonempty");
+  Graph g = complete(k);
+  Vertex prev = k - 1;
+  for (Vertex i = 0; i < tail; ++i) {
+    const Vertex v = g.add_vertex();
+    g.add_edge(prev, v);
+    prev = v;
+  }
+  return g;
+}
+
+}  // namespace bncg

@@ -1,0 +1,54 @@
+// Classic deterministic graph families.
+//
+// These are the reference instances of the test suite and the seeds of the
+// dynamics experiments: stars and double-stars are the equilibrium trees of
+// Section 2; paths/cycles/grids are canonical non-equilibrium starting
+// points; hypercubes and standard tori contrast with the paper's rotated
+// torus (a standard torus is *not* in max equilibrium — Theorem 12's remark).
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace bncg {
+
+/// Path P_n: 0 − 1 − … − (n−1).
+[[nodiscard]] Graph path(Vertex n);
+
+/// Cycle C_n. Precondition: n ≥ 3.
+[[nodiscard]] Graph cycle(Vertex n);
+
+/// Star K_{1,n−1} with center 0. Precondition: n ≥ 1.
+[[nodiscard]] Graph star(Vertex n);
+
+/// Double star (Figure 2): two adjacent centers 0 and 1 with `left_leaves`
+/// leaves on 0 and `right_leaves` leaves on 1. In max equilibrium iff both
+/// sides have ≥ 2 leaves (see Section 2.2).
+[[nodiscard]] Graph double_star(Vertex left_leaves, Vertex right_leaves);
+
+/// Complete graph K_n.
+[[nodiscard]] Graph complete(Vertex n);
+
+/// Complete bipartite graph K_{a,b} (left part 0..a−1, right part a..a+b−1).
+[[nodiscard]] Graph complete_bipartite(Vertex a, Vertex b);
+
+/// d-dimensional hypercube Q_d on 2^d vertices (ids = bitmasks).
+[[nodiscard]] Graph hypercube(Vertex d);
+
+/// rows×cols grid (4-neighborhood). Vertex (r, c) has id r·cols + c.
+[[nodiscard]] Graph grid(Vertex rows, Vertex cols);
+
+/// rows×cols standard torus (grid with wraparound). Preconditions: ≥ 3 each
+/// so that wrap edges are distinct from grid edges.
+[[nodiscard]] Graph torus_standard(Vertex rows, Vertex cols);
+
+/// Petersen graph (3-regular, girth 5, diameter 2).
+[[nodiscard]] Graph petersen();
+
+/// Complete k-ary tree of the given height (root 0, BFS order ids).
+[[nodiscard]] Graph complete_kary_tree(Vertex arity, Vertex height);
+
+/// Lollipop: K_k with a path of `tail` extra vertices attached — a classic
+/// high-distance-sum instance for dynamics experiments.
+[[nodiscard]] Graph lollipop(Vertex k, Vertex tail);
+
+}  // namespace bncg

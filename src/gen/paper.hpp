@@ -1,0 +1,116 @@
+// The paper's own constructions.
+//
+//  * Figure 3 (§3.1): the 13-vertex diameter-3 sum-equilibrium graph that
+//    separates general graphs from trees (Theorem 5).
+//  * Figure 4 (§4): the "2D torus rotated 45°" max-equilibrium graph of
+//    diameter Θ(√n) on n = 2k² vertices (Theorem 12).
+//  * The d-dimensional generalization (§4): diameter Θ(n^{1/d}),
+//    deletion-critical, and stable under up to d−1 simultaneous insertions.
+//
+// The diagonal tori come with their closed-form distance function
+// d((i⃗),(j⃗)) = max_t circ(i_t, j_t), which the tests cross-check against
+// BFS — validating both the construction and the BFS engine at once.
+#pragma once
+
+#include <array>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace bncg {
+
+/// Named vertex ids of the Figure 3 graph (13 vertices, 21 edges).
+namespace fig3 {
+inline constexpr Vertex kA = 0;  ///< hub vertex a
+/// b_i for i in {1,2,3}.
+[[nodiscard]] constexpr Vertex b(Vertex i) { return i; }
+/// c_{i,k} for i in {1,2,3}, k in {1,2}.
+[[nodiscard]] constexpr Vertex c(Vertex i, Vertex k) { return 4 + 2 * (i - 1) + (k - 1); }
+/// d_i for i in {1,2,3}.
+[[nodiscard]] constexpr Vertex d(Vertex i) { return 10 + (i - 1); }
+inline constexpr Vertex kNumVertices = 13;
+}  // namespace fig3
+
+/// Builds the Figure 3 graph: hub a with neighbors b₁,b₂,b₃; each bᵢ has two
+/// private neighbors Cᵢ = {c_{i,1}, c_{i,2}}; dᵢ is adjacent to all of Cᵢ;
+/// perfect matchings join Cᵢ and Cⱼ — the "straight" matching between C₁C₂
+/// and C₂C₃, the "crossed" one between C₁C₃, exactly as the paper specifies.
+///
+/// REPRODUCTION FINDING: this literal construction is NOT a sum equilibrium.
+/// Each dᵢ improves by swapping dᵢc_{i,k} for the matched partner of c_{i,k}
+/// in another petal: the swap gains 1 each for the partner, b_j, and d_j
+/// (Lemma 7) but loses only 2 — the paper's case analysis applies Lemma 8's
+/// ≥2 penalty to d(dᵢ, c_{i,k}), overlooking the lemma's own exception when
+/// the swap target is a *neighbor* of the dropped vertex (every c_{i,k} is
+/// matched to its partner, so the penalty is only ≥1). Net improvement: 1.
+/// See fig3_refuting_swap() and diameter3_sum_equilibrium_n8(), which
+/// restores Theorem 5's existential statement with a certified witness.
+[[nodiscard]] Graph fig3_diameter3_graph();
+
+/// The concrete improving swap refuting the literal Figure 3 instance:
+/// agent d₁ swaps its edge to c_{1,1} for an edge to c_{2,1} (the C₂-partner
+/// of c_{1,1}), decreasing its distance sum 27 → 26. Tests validate it.
+[[nodiscard]] constexpr std::array<Vertex, 3> fig3_refuting_swap() {
+  return {fig3::d(1), fig3::c(1, 1), fig3::c(2, 1)};
+}
+
+/// A certified diameter-3 sum equilibrium on 8 vertices and 11 edges,
+/// found by the library's annealing search (core/search.hpp) and verified
+/// exhaustively — the witness that upholds Theorem 5's statement ("there is
+/// a diameter-3 sum equilibrium graph"). Exhaustive enumeration over all
+/// graphs with ≤ 7 vertices (exhaustive_diameter3_sum_equilibrium) shows
+/// no smaller witness exists, so this instance is vertex-minimal.
+[[nodiscard]] Graph diameter3_sum_equilibrium_n8();
+
+/// The paper's diagonal (45°-rotated) torus in `dim` dimensions with side
+/// parameter k: vertices are integer tuples (i₁,…,i_dim) with
+/// 0 ≤ i_t < 2k and i₁ ≡ i₂ ≡ … ≡ i_dim (mod 2); each vertex is adjacent to
+/// (i₁±1, …, i_dim±1) for every independent sign choice. n = 2·k^dim,
+/// every vertex has degree 2^dim, and d(u,v) = max_t circ(u_t, v_t) where
+/// circ is distance on the 2k-cycle. Figure 4 is dim = 2.
+class DiagonalTorus {
+ public:
+  /// Preconditions: dim ≥ 1, k ≥ 2, and 2·k^dim representable.
+  DiagonalTorus(Vertex dim, Vertex k);
+
+  [[nodiscard]] const Graph& graph() const noexcept { return graph_; }
+  [[nodiscard]] Vertex dim() const noexcept { return dim_; }
+  [[nodiscard]] Vertex k() const noexcept { return k_; }
+  [[nodiscard]] Vertex num_vertices() const noexcept { return graph_.num_vertices(); }
+
+  /// Vertex id of coordinate tuple `coords` (size dim, all same parity,
+  /// each in [0, 2k)).
+  [[nodiscard]] Vertex id(const std::vector<Vertex>& coords) const;
+
+  /// Coordinate tuple of vertex `v`.
+  [[nodiscard]] std::vector<Vertex> coords(Vertex v) const;
+
+  /// Closed-form graph distance: max over coordinates of cyclic distance
+  /// min(|a−b|, 2k−|a−b|). Equals BFS distance (verified by tests).
+  [[nodiscard]] Vertex expected_distance(Vertex u, Vertex v) const;
+
+  /// The paper's claimed local diameter of every vertex: exactly k.
+  [[nodiscard]] Vertex expected_local_diameter() const noexcept { return k_; }
+
+ private:
+  Vertex dim_;
+  Vertex k_;
+  Graph graph_;
+};
+
+/// Figure 4 graph: DiagonalTorus(2, k) on n = 2k² vertices.
+[[nodiscard]] DiagonalTorus rotated_torus(Vertex k);
+
+/// The §5 remark's example separating *pair* uniformity from *per-vertex*
+/// uniformity: a hub of degree `num_paths` (Θ(1/ε)), each ray a path of
+/// `path_len` internal vertices ending in a cluster of `cluster` leaves
+/// (Θ(εn)). Almost all ordered pairs lie at the single distance
+/// 2·(path_len + 1) (cluster-to-cluster across rays), yet the hub has *no*
+/// vertex at that distance — so the graph is pair-almost-uniform with
+/// arbitrarily large diameter while per-vertex distance uniformity (the
+/// hypothesis Conjecture 14 actually needs) fails. Vertex 0 is the hub;
+/// each ray lays out its path then its cluster.
+[[nodiscard]] Graph broom_graph(Vertex num_paths, Vertex path_len, Vertex cluster);
+
+}  // namespace bncg

@@ -1,0 +1,95 @@
+#include "gen/projective.hpp"
+
+#include <array>
+
+namespace bncg {
+
+bool is_prime(Vertex n) {
+  if (n < 2) return false;
+  for (Vertex d = 2; static_cast<std::uint64_t>(d) * d <= n; ++d) {
+    if (n % d == 0) return false;
+  }
+  return true;
+}
+
+ProjectivePlane::ProjectivePlane(Vertex q) : q_(q) {
+  BNCG_REQUIRE(is_prime(q), "PG(2, q) implemented for prime q only");
+  // Canonical representatives with leading coordinate 1:
+  //   (1, y, z) for all y, z;  (0, 1, z) for all z;  (0, 0, 1).
+  points_.reserve(static_cast<std::size_t>(q) * q + q + 1);
+  for (Vertex y = 0; y < q; ++y) {
+    for (Vertex z = 0; z < q; ++z) points_.push_back({1, y, z});
+  }
+  for (Vertex z = 0; z < q; ++z) points_.push_back({0, 1, z});
+  points_.push_back({0, 0, 1});
+}
+
+bool ProjectivePlane::incident(Vertex p, Vertex l) const {
+  const auto& a = points_.at(p);
+  const auto& b = points_.at(l);
+  std::uint64_t dot = 0;
+  for (int t = 0; t < 3; ++t) dot += static_cast<std::uint64_t>(a[t]) * b[t];
+  return dot % q_ == 0;
+}
+
+std::vector<Vertex> ProjectivePlane::points_on_line(Vertex l) const {
+  std::vector<Vertex> result;
+  result.reserve(q_ + 1);
+  for (Vertex p = 0; p < num_points(); ++p) {
+    if (incident(p, l)) result.push_back(p);
+  }
+  return result;
+}
+
+Vertex ProjectivePlane::line_through(Vertex p1, Vertex p2) const {
+  BNCG_REQUIRE(p1 != p2, "line_through needs two distinct points");
+  const auto& a = points_.at(p1);
+  const auto& b = points_.at(p2);
+  // Cross product over GF(q) gives the coefficients of the unique line.
+  const auto sub = [this](std::uint64_t x, std::uint64_t y) {
+    return static_cast<Vertex>((x + static_cast<std::uint64_t>(q_) * q_ - y) % q_);
+  };
+  const auto mul = [this](Vertex x, Vertex y) {
+    return static_cast<std::uint64_t>(x) * y % q_;
+  };
+  std::array<Vertex, 3> cross = {sub(mul(a[1], b[2]), mul(a[2], b[1])),
+                                 sub(mul(a[2], b[0]), mul(a[0], b[2])),
+                                 sub(mul(a[0], b[1]), mul(a[1], b[0]))};
+  // Normalize so the first nonzero coordinate is 1 (matching points_).
+  Vertex lead = 0;
+  while (lead < 3 && cross[lead] == 0) ++lead;
+  BNCG_REQUIRE(lead < 3, "points were not distinct projectively");
+  // Multiply by the inverse of the leading coefficient (Fermat).
+  Vertex inv = 1;
+  {
+    Vertex base = cross[lead];
+    Vertex exp = q_ - 2;
+    std::uint64_t acc = 1, b64 = base;
+    while (exp > 0) {
+      if (exp & 1) acc = acc * b64 % q_;
+      b64 = b64 * b64 % q_;
+      exp >>= 1;
+    }
+    inv = static_cast<Vertex>(acc);
+  }
+  std::array<Vertex, 3> norm;
+  for (int t = 0; t < 3; ++t) {
+    norm[t] = static_cast<Vertex>(static_cast<std::uint64_t>(cross[t]) * inv % q_);
+  }
+  for (Vertex l = 0; l < num_points(); ++l) {
+    if (points_[l] == norm) return l;
+  }
+  BNCG_REQUIRE(false, "normalized line not found — internal error");
+  return 0;  // unreachable
+}
+
+Graph incidence_graph(const ProjectivePlane& plane) {
+  const Vertex n = plane.num_points();
+  Graph g(2 * n);
+  for (Vertex l = 0; l < n; ++l) {
+    for (const Vertex p : plane.points_on_line(l)) g.add_edge(p, n + l);
+  }
+  return g;
+}
+
+}  // namespace bncg

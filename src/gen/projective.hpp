@@ -1,0 +1,60 @@
+// Finite projective planes PG(2, q) and their incidence graphs.
+//
+// Section 3.1 recalls that Albers et al. disproved the tree conjecture with
+// a cyclic sum-equilibrium graph "arising from finite projective planes".
+// This module supplies that substrate: the point/line incidence structure of
+// PG(2, q) over GF(q) for prime q, and its bipartite incidence graph
+// (girth 6, diameter 3, (q+1)-regular) used as a structured starting point
+// and property-test instance throughout the suite.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace bncg {
+
+/// The projective plane PG(2, q) for prime q: q² + q + 1 points and equally
+/// many lines; every line has q + 1 points, every point lies on q + 1 lines,
+/// any two distinct points share exactly one line and dually.
+class ProjectivePlane {
+ public:
+  /// Precondition: q is a prime ≥ 2 (arithmetic is over Z_q).
+  explicit ProjectivePlane(Vertex q);
+
+  [[nodiscard]] Vertex q() const noexcept { return q_; }
+
+  /// Number of points (= number of lines) = q² + q + 1.
+  [[nodiscard]] Vertex num_points() const noexcept {
+    return static_cast<Vertex>(points_.size());
+  }
+
+  /// Homogeneous coordinates of point `p`, normalized so the first nonzero
+  /// coordinate is 1.
+  [[nodiscard]] const std::array<Vertex, 3>& point(Vertex p) const { return points_.at(p); }
+
+  /// True iff point `p` lies on line `l` (lines use the same normalized
+  /// coordinate set by duality; incidence is ⟨p, l⟩ = 0 in GF(q)).
+  [[nodiscard]] bool incident(Vertex p, Vertex l) const;
+
+  /// Points on line `l`, ascending. Always q + 1 of them.
+  [[nodiscard]] std::vector<Vertex> points_on_line(Vertex l) const;
+
+  /// The unique line through two distinct points.
+  [[nodiscard]] Vertex line_through(Vertex p1, Vertex p2) const;
+
+ private:
+  Vertex q_;
+  std::vector<std::array<Vertex, 3>> points_;
+};
+
+/// Bipartite point–line incidence graph of PG(2, q): vertices 0..N−1 are
+/// points, N..2N−1 are lines (N = q² + q + 1). (q+1)-regular, girth 6,
+/// diameter 3.
+[[nodiscard]] Graph incidence_graph(const ProjectivePlane& plane);
+
+/// True iff n is prime (trial division; inputs are small).
+[[nodiscard]] bool is_prime(Vertex n);
+
+}  // namespace bncg

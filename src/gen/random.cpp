@@ -1,0 +1,177 @@
+#include "gen/random.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace bncg {
+
+Graph random_tree(Vertex n, Xoshiro256ss& rng) {
+  BNCG_REQUIRE(n >= 1, "tree needs at least one vertex");
+  Graph g(n);
+  if (n == 1) return g;
+  if (n == 2) {
+    g.add_edge(0, 1);
+    return g;
+  }
+  // Decode a uniform Prüfer sequence of length n−2.
+  std::vector<Vertex> pruefer(n - 2);
+  for (auto& x : pruefer) x = static_cast<Vertex>(rng.below(n));
+
+  std::vector<Vertex> degree(n, 1);
+  for (const Vertex x : pruefer) ++degree[x];
+
+  // Standard linear-time decoding with a moving "leaf pointer".
+  Vertex ptr = 0;
+  while (degree[ptr] != 1) ++ptr;
+  Vertex leaf = ptr;
+  for (const Vertex x : pruefer) {
+    g.add_edge(leaf, x);
+    if (--degree[x] == 1 && x < ptr) {
+      leaf = x;  // new leaf below the pointer: use it immediately
+    } else {
+      ++ptr;
+      while (degree[ptr] != 1) ++ptr;
+      leaf = ptr;
+    }
+  }
+  g.add_edge(leaf, n - 1);
+  return g;
+}
+
+Graph random_gnm(Vertex n, std::size_t m, Xoshiro256ss& rng) {
+  const std::uint64_t max_edges = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  BNCG_REQUIRE(m <= max_edges, "too many edges requested");
+  Graph g(n);
+  // Dense case: Floyd-style sampling over edge indices would need an index
+  // decode; simple rejection is fine at our sizes (m ≤ C(n,2)).
+  if (m > max_edges / 2) {
+    // Sample the complement instead to keep rejection cheap.
+    Graph comp = random_gnm(n, static_cast<std::size_t>(max_edges - m), rng);
+    return complement(comp);
+  }
+  while (g.num_edges() < m) {
+    const Vertex u = static_cast<Vertex>(rng.below(n));
+    const Vertex v = static_cast<Vertex>(rng.below(n));
+    if (u == v) continue;
+    g.add_edge_if_absent(u, v);
+  }
+  return g;
+}
+
+Graph random_gnp(Vertex n, double p, Xoshiro256ss& rng) {
+  BNCG_REQUIRE(p >= 0.0 && p <= 1.0, "probability out of range");
+  Graph g(n);
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) {
+      if (rng.bernoulli(p)) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph random_connected_gnm(Vertex n, std::size_t m, Xoshiro256ss& rng) {
+  BNCG_REQUIRE(n >= 1, "graph needs at least one vertex");
+  BNCG_REQUIRE(m + 1 >= n, "connected graph needs at least n-1 edges");
+  const std::uint64_t max_edges = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  BNCG_REQUIRE(m <= max_edges, "too many edges requested");
+  Graph g = random_tree(n, rng);
+  while (g.num_edges() < m) {
+    const Vertex u = static_cast<Vertex>(rng.below(n));
+    const Vertex v = static_cast<Vertex>(rng.below(n));
+    if (u == v) continue;
+    g.add_edge_if_absent(u, v);
+  }
+  return g;
+}
+
+Graph watts_strogatz(Vertex n, Vertex half_k, double beta, Xoshiro256ss& rng) {
+  BNCG_REQUIRE(half_k >= 1, "lattice degree parameter must be >= 1");
+  BNCG_REQUIRE(n > 2 * half_k, "ring too small for the requested lattice degree");
+  BNCG_REQUIRE(beta >= 0.0 && beta <= 1.0, "rewiring probability out of range");
+  Graph g(n);
+  for (Vertex v = 0; v < n; ++v) {
+    for (Vertex off = 1; off <= half_k; ++off) g.add_edge_if_absent(v, (v + off) % n);
+  }
+  // Rewire each original lattice edge (v, v+off) with probability beta.
+  for (Vertex v = 0; v < n; ++v) {
+    for (Vertex off = 1; off <= half_k; ++off) {
+      if (!rng.bernoulli(beta)) continue;
+      const Vertex w = (v + off) % n;
+      if (!g.has_edge(v, w)) continue;  // already rewired away
+      // Choose a fresh endpoint; skip (keep the edge) if we fail repeatedly,
+      // which only happens on nearly complete graphs.
+      for (int attempt = 0; attempt < 32; ++attempt) {
+        const Vertex t = static_cast<Vertex>(rng.below(n));
+        if (t == v || g.has_edge(v, t)) continue;
+        g.remove_edge(v, w);
+        g.add_edge(v, t);
+        break;
+      }
+    }
+  }
+  return g;
+}
+
+Graph barabasi_albert(Vertex n, Vertex edges_per_step, Xoshiro256ss& rng) {
+  BNCG_REQUIRE(edges_per_step >= 1, "attachment count must be >= 1");
+  BNCG_REQUIRE(n > edges_per_step, "need more vertices than edges per step");
+  const Vertex seed_size = edges_per_step + 1;
+  Graph g(n);
+  // Seed clique guarantees every early vertex has positive degree.
+  for (Vertex u = 0; u < seed_size; ++u) {
+    for (Vertex v = u + 1; v < seed_size; ++v) g.add_edge(u, v);
+  }
+  // Repeated-endpoint list: choosing uniformly from it is degree-
+  // proportional sampling.
+  std::vector<Vertex> endpoint_pool;
+  endpoint_pool.reserve(4 * static_cast<std::size_t>(n) * edges_per_step);
+  for (const auto& [u, v] : g.edges()) {
+    endpoint_pool.push_back(u);
+    endpoint_pool.push_back(v);
+  }
+  for (Vertex v = seed_size; v < n; ++v) {
+    std::vector<Vertex> targets;
+    while (targets.size() < edges_per_step) {
+      const Vertex t = endpoint_pool[rng.below(endpoint_pool.size())];
+      if (t == v || std::find(targets.begin(), targets.end(), t) != targets.end()) continue;
+      targets.push_back(t);
+    }
+    for (const Vertex t : targets) {
+      g.add_edge(v, t);
+      endpoint_pool.push_back(v);
+      endpoint_pool.push_back(t);
+    }
+  }
+  return g;
+}
+
+Graph random_regular(Vertex n, Vertex d, Xoshiro256ss& rng) {
+  BNCG_REQUIRE(d < n, "degree must be below n");
+  BNCG_REQUIRE((static_cast<std::uint64_t>(n) * d) % 2 == 0, "n*d must be even");
+  // Pairing model: d stubs per vertex, random perfect matching on stubs,
+  // resample on self-loops/parallel edges. Success probability is bounded
+  // away from 0 for fixed d, so expected retries are O(1).
+  std::vector<Vertex> stubs;
+  stubs.reserve(static_cast<std::size_t>(n) * d);
+  for (;;) {
+    stubs.clear();
+    for (Vertex v = 0; v < n; ++v) {
+      for (Vertex i = 0; i < d; ++i) stubs.push_back(v);
+    }
+    rng.shuffle(stubs);
+    Graph g(n);
+    bool simple = true;
+    for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+      const Vertex u = stubs[i];
+      const Vertex v = stubs[i + 1];
+      if (u == v || g.has_edge(u, v)) {
+        simple = false;
+        break;
+      }
+      g.add_edge(u, v);
+    }
+    if (simple) return g;
+  }
+}
+
+}  // namespace bncg

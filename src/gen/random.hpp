@@ -1,0 +1,46 @@
+// Random graph generators (deterministic under a seeded engine).
+//
+// The dynamics experiments (Theorems 1, 9, 13) run best-response swap
+// dynamics from many random starting graphs; these generators provide the
+// instance families: uniform labelled trees (Prüfer), Erdős–Rényi with an
+// exact edge budget (swap dynamics preserve edge count, so G(n, m) is the
+// natural family), small-world and preferential-attachment graphs for
+// heterogeneous starts, and random regular graphs as symmetric starts.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace bncg {
+
+/// Uniform random labelled tree on n vertices via a random Prüfer sequence.
+/// Precondition: n ≥ 1.
+[[nodiscard]] Graph random_tree(Vertex n, Xoshiro256ss& rng);
+
+/// Erdős–Rényi G(n, m): m distinct edges uniformly at random.
+/// Precondition: m ≤ C(n, 2). The result may be disconnected.
+[[nodiscard]] Graph random_gnm(Vertex n, std::size_t m, Xoshiro256ss& rng);
+
+/// Erdős–Rényi G(n, p): each edge independently with probability p.
+[[nodiscard]] Graph random_gnp(Vertex n, double p, Xoshiro256ss& rng);
+
+/// Connected random graph with exactly m ≥ n−1 edges: a uniform random
+/// spanning tree plus m−(n−1) additional uniformly chosen non-tree edges.
+[[nodiscard]] Graph random_connected_gnm(Vertex n, std::size_t m, Xoshiro256ss& rng);
+
+/// Watts–Strogatz small world: ring lattice with `half_k` neighbors per side
+/// and rewiring probability `beta`, skipping rewires that would create
+/// duplicates or self-loops. Preconditions: n > 2·half_k, half_k ≥ 1.
+[[nodiscard]] Graph watts_strogatz(Vertex n, Vertex half_k, double beta, Xoshiro256ss& rng);
+
+/// Barabási–Albert preferential attachment: start from a clique on
+/// `edges_per_step + 1` vertices, then attach each new vertex to
+/// `edges_per_step` distinct existing vertices chosen proportionally to
+/// degree. Precondition: n > edges_per_step ≥ 1.
+[[nodiscard]] Graph barabasi_albert(Vertex n, Vertex edges_per_step, Xoshiro256ss& rng);
+
+/// Random d-regular graph via the pairing model, resampled until simple.
+/// Preconditions: n·d even, d < n.
+[[nodiscard]] Graph random_regular(Vertex n, Vertex d, Xoshiro256ss& rng);
+
+}  // namespace bncg

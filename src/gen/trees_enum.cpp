@@ -1,0 +1,65 @@
+#include "gen/trees_enum.hpp"
+
+namespace bncg {
+
+Graph tree_from_pruefer(Vertex n, const std::vector<Vertex>& pruefer) {
+  BNCG_REQUIRE(n >= 1, "tree needs at least one vertex");
+  BNCG_REQUIRE(n <= 2 ? pruefer.empty() : pruefer.size() == n - 2,
+               "Prüfer sequence must have length n-2");
+  Graph g(n);
+  if (n == 2) {
+    g.add_edge(0, 1);
+    return g;
+  }
+  if (n < 2) return g;
+
+  std::vector<Vertex> degree(n, 1);
+  for (const Vertex x : pruefer) {
+    g.check_vertex(x);
+    ++degree[x];
+  }
+  Vertex ptr = 0;
+  while (degree[ptr] != 1) ++ptr;
+  Vertex leaf = ptr;
+  for (const Vertex x : pruefer) {
+    g.add_edge(leaf, x);
+    if (--degree[x] == 1 && x < ptr) {
+      leaf = x;
+    } else {
+      ++ptr;
+      while (degree[ptr] != 1) ++ptr;
+      leaf = ptr;
+    }
+  }
+  g.add_edge(leaf, n - 1);
+  return g;
+}
+
+std::uint64_t num_labelled_trees(Vertex n) {
+  if (n <= 2) return 1;
+  BNCG_REQUIRE(n <= 20, "tree count would overflow");
+  std::uint64_t count = 1;
+  for (Vertex i = 0; i + 2 < n; ++i) count *= n;
+  return count;
+}
+
+void for_each_labelled_tree(Vertex n, const std::function<bool(const Graph&)>& fn) {
+  BNCG_REQUIRE(n >= 1 && n <= 10, "exhaustive tree enumeration supported for n <= 10");
+  if (n <= 2) {
+    (void)fn(tree_from_pruefer(n, {}));
+    return;
+  }
+  std::vector<Vertex> pruefer(n - 2, 0);
+  for (;;) {
+    if (!fn(tree_from_pruefer(n, pruefer))) return;
+    // Odometer increment in base n.
+    std::size_t pos = 0;
+    while (pos < pruefer.size() && ++pruefer[pos] == n) {
+      pruefer[pos] = 0;
+      ++pos;
+    }
+    if (pos == pruefer.size()) return;
+  }
+}
+
+}  // namespace bncg

@@ -1,0 +1,31 @@
+// Exhaustive enumeration of labelled trees via Prüfer sequences.
+//
+// Cayley's formula: there are n^(n−2) labelled trees on n vertices, in
+// bijection with Prüfer sequences. Enumerating all of them lets the bench
+// suite verify Theorems 1 and 4 *completely* for small n: the set of
+// sum-equilibrium trees is exactly the stars, and the set of
+// max-equilibrium trees is exactly stars plus double-stars with ≥ 2 leaves
+// per root — not just "no counterexample found in sampling".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "graph/graph.hpp"
+
+namespace bncg {
+
+/// Decodes a Prüfer sequence (length n−2, entries in [0, n)) into its tree.
+/// Preconditions checked. Linear time.
+[[nodiscard]] Graph tree_from_pruefer(Vertex n, const std::vector<Vertex>& pruefer);
+
+/// Number of labelled trees on n vertices, n^(n−2) (1 for n ≤ 2).
+/// Precondition: result fits in 64 bits (n ≤ 20).
+[[nodiscard]] std::uint64_t num_labelled_trees(Vertex n);
+
+/// Calls `fn` once per labelled tree on n vertices (all n^(n−2) of them, by
+/// odometer over Prüfer sequences). `fn` returning false stops early.
+/// Precondition: n ≤ 10 (guard against accidental 10^9+ blowups).
+void for_each_labelled_tree(Vertex n, const std::function<bool(const Graph&)>& fn);
+
+}  // namespace bncg

@@ -1,0 +1,104 @@
+#include "graph/bfs.hpp"
+
+#include <algorithm>
+
+namespace bncg {
+
+void BfsWorkspace::prepare(Vertex n) {
+  dist_.assign(n, kInfDist);
+  queue_.clear();
+  queue_.reserve(n);
+}
+
+/// Grants the free functions access to workspace internals without exposing
+/// mutable buffers in the public interface.
+struct BfsAccess {
+  static std::vector<Vertex>& dist(BfsWorkspace& ws) { return ws.dist_; }
+  static std::vector<Vertex>& queue(BfsWorkspace& ws) { return ws.queue_; }
+};
+
+namespace {
+
+BfsResult bfs_impl(const Graph& g, Vertex src, Vertex limit, BfsWorkspace& ws) {
+  g.check_vertex(src);
+  const Vertex n = g.num_vertices();
+  ws.prepare(n);
+  auto& dist = BfsAccess::dist(ws);
+  auto& queue = BfsAccess::queue(ws);
+
+  dist[src] = 0;
+  queue.push_back(src);
+  BfsResult result;
+  result.reached = 1;
+
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const Vertex u = queue[head];
+    const Vertex du = dist[u];
+    result.dist_sum += du;
+    result.ecc = std::max(result.ecc, du);
+    if (du == limit) continue;  // frontier truncation
+    for (const Vertex w : g.neighbors(u)) {
+      if (dist[w] != kInfDist) continue;
+      dist[w] = du + 1;
+      queue.push_back(w);
+      ++result.reached;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+BfsResult bfs(const Graph& g, Vertex src, BfsWorkspace& ws) {
+  return bfs_impl(g, src, kInfDist, ws);
+}
+
+BfsResult bfs_bounded(const Graph& g, Vertex src, Vertex limit, BfsWorkspace& ws) {
+  return bfs_impl(g, src, limit, ws);
+}
+
+Vertex distance(const Graph& g, Vertex u, Vertex v, BfsWorkspace& ws) {
+  g.check_vertex(u);
+  g.check_vertex(v);
+  if (u == v) return 0;
+  const Vertex n = g.num_vertices();
+  ws.prepare(n);
+  auto& dist = BfsAccess::dist(ws);
+  auto& queue = BfsAccess::queue(ws);
+  dist[u] = 0;
+  queue.push_back(u);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const Vertex x = queue[head];
+    for (const Vertex w : g.neighbors(x)) {
+      if (dist[w] != kInfDist) continue;
+      dist[w] = dist[x] + 1;
+      if (w == v) return dist[w];  // early exit on target
+      queue.push_back(w);
+    }
+  }
+  return kInfDist;
+}
+
+std::vector<Vertex> distances_from(const Graph& g, Vertex src) {
+  BfsWorkspace ws;
+  bfs(g, src, ws);
+  return ws.dist();
+}
+
+std::uint64_t distance_sum_from(const Graph& g, Vertex src) {
+  BfsWorkspace ws;
+  return bfs(g, src, ws).dist_sum;
+}
+
+Vertex eccentricity(const Graph& g, Vertex src) {
+  BfsWorkspace ws;
+  return bfs(g, src, ws).ecc;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_vertices() == 0) return true;
+  BfsWorkspace ws;
+  return bfs(g, 0, ws).spans(g.num_vertices());
+}
+
+}  // namespace bncg

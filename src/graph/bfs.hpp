@@ -1,0 +1,72 @@
+// Breadth-first search primitives.
+//
+// BFS is the innermost loop of the whole library: evaluating one candidate
+// edge swap costs one BFS, and the certifiers/dynamics evaluate millions of
+// them. The entry points therefore take an explicit BfsWorkspace so that the
+// distance array and queue are allocated once per thread and reused
+// (allocation-free steady state), per the performance guidance of the C++
+// Core Guidelines (Per.* rules).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace bncg {
+
+/// Distance value for unreachable vertices.
+inline constexpr Vertex kInfDist = std::numeric_limits<Vertex>::max();
+
+/// Scratch buffers for BFS; reuse across calls to avoid allocation.
+/// Not thread-safe: use one workspace per thread.
+class BfsWorkspace {
+ public:
+  /// Per-vertex distances from the most recent traversal (kInfDist when
+  /// unreached). Valid until the next call that takes this workspace.
+  [[nodiscard]] const std::vector<Vertex>& dist() const noexcept { return dist_; }
+
+  /// Grows internal buffers for graphs of `n` vertices and resets distances.
+  void prepare(Vertex n);
+
+  friend struct BfsAccess;
+
+ private:
+  std::vector<Vertex> dist_;
+  std::vector<Vertex> queue_;
+};
+
+/// Aggregate facts from one single-source traversal.
+struct BfsResult {
+  /// Σ_u d(src, u) over *reached* u. Meaningless for the game when the graph
+  /// is disconnected — check `reached` (usage cost is +∞ then).
+  std::uint64_t dist_sum = 0;
+  /// max_u d(src, u) over reached u (the local diameter of src if connected).
+  Vertex ecc = 0;
+  /// Number of vertices reached, including the source.
+  Vertex reached = 0;
+
+  /// True iff the traversal reached all `n` vertices.
+  [[nodiscard]] bool spans(Vertex n) const noexcept { return reached == n; }
+};
+
+/// Full BFS from `src`; fills `ws.dist()` and returns aggregates. O(n + m).
+BfsResult bfs(const Graph& g, Vertex src, BfsWorkspace& ws);
+
+/// BFS truncated at distance `limit` (inclusive): vertices farther than
+/// `limit` keep kInfDist. Aggregates cover the truncated ball only.
+BfsResult bfs_bounded(const Graph& g, Vertex src, Vertex limit, BfsWorkspace& ws);
+
+/// Distance between two vertices with bidirectional early exit semantics
+/// (plain early-exit BFS; returns kInfDist when disconnected).
+[[nodiscard]] Vertex distance(const Graph& g, Vertex u, Vertex v, BfsWorkspace& ws);
+
+/// Convenience wrappers (own a temporary workspace; prefer the workspace
+/// overloads in hot loops).
+[[nodiscard]] std::vector<Vertex> distances_from(const Graph& g, Vertex src);
+[[nodiscard]] std::uint64_t distance_sum_from(const Graph& g, Vertex src);
+[[nodiscard]] Vertex eccentricity(const Graph& g, Vertex src);
+[[nodiscard]] bool is_connected(const Graph& g);
+
+}  // namespace bncg

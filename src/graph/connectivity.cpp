@@ -1,0 +1,122 @@
+#include "graph/connectivity.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "graph/bfs.hpp"
+
+namespace bncg {
+
+Components connected_components(const Graph& g) {
+  const Vertex n = g.num_vertices();
+  Components comps;
+  comps.label.assign(n, kInfDist);
+  std::vector<Vertex> stack;
+  for (Vertex start = 0; start < n; ++start) {
+    if (comps.label[start] != kInfDist) continue;
+    const Vertex id = comps.count++;
+    comps.label[start] = id;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const Vertex u = stack.back();
+      stack.pop_back();
+      for (const Vertex w : g.neighbors(u)) {
+        if (comps.label[w] == kInfDist) {
+          comps.label[w] = id;
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+  return comps;
+}
+
+namespace {
+
+/// Shared iterative lowlink DFS computing discovery and low times.
+/// Calls `on_articulation(v)` / `on_bridge(u, v)` as they are found.
+template <typename ArtFn, typename BridgeFn>
+void lowlink_dfs(const Graph& g, ArtFn on_articulation, BridgeFn on_bridge) {
+  const Vertex n = g.num_vertices();
+  constexpr Vertex kUnvisited = kInfDist;
+  std::vector<Vertex> disc(n, kUnvisited);
+  std::vector<Vertex> low(n, 0);
+  std::vector<Vertex> parent(n, kUnvisited);
+  std::vector<Vertex> root_children(n, 0);
+  std::vector<bool> articulation(n, false);
+
+  // Explicit stack: (vertex, index into neighbor list).
+  struct Frame {
+    Vertex v;
+    std::size_t next;
+  };
+  std::vector<Frame> stack;
+  Vertex time = 0;
+
+  for (Vertex root = 0; root < n; ++root) {
+    if (disc[root] != kUnvisited) continue;
+    disc[root] = low[root] = time++;
+    stack.push_back({root, 0});
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const Vertex v = frame.v;
+      const auto nbrs = g.neighbors(v);
+      if (frame.next < nbrs.size()) {
+        const Vertex w = nbrs[frame.next++];
+        if (disc[w] == kUnvisited) {
+          parent[w] = v;
+          if (v == root) ++root_children[root];
+          disc[w] = low[w] = time++;
+          stack.push_back({w, 0});
+        } else if (w != parent[v]) {
+          low[v] = std::min(low[v], disc[w]);
+        }
+      } else {
+        stack.pop_back();
+        const Vertex p = parent[v];
+        if (p != kUnvisited) {
+          low[p] = std::min(low[p], low[v]);
+          if (low[v] > disc[p]) on_bridge(std::min(p, v), std::max(p, v));
+          if (p != root && low[v] >= disc[p]) articulation[p] = true;
+        }
+      }
+    }
+    if (root_children[root] >= 2) articulation[root] = true;
+  }
+  for (Vertex v = 0; v < n; ++v) {
+    if (articulation[v]) on_articulation(v);
+  }
+}
+
+}  // namespace
+
+std::vector<Vertex> articulation_points(const Graph& g) {
+  std::vector<Vertex> result;
+  lowlink_dfs(
+      g, [&](Vertex v) { result.push_back(v); }, [](Vertex, Vertex) {});
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<Edge> bridges(const Graph& g) {
+  std::vector<Edge> result;
+  lowlink_dfs(
+      g, [](Vertex) {}, [&](Vertex u, Vertex v) { result.push_back({u, v}); });
+  std::sort(result.begin(), result.end(),
+            [](const Edge& a, const Edge& b) { return std::tie(a.u, a.v) < std::tie(b.u, b.v); });
+  return result;
+}
+
+bool is_bridge(const Graph& g, Vertex u, Vertex v) {
+  BNCG_REQUIRE(g.has_edge(u, v), "is_bridge requires an existing edge");
+  // Remove, test reachability, restore. The graph is passed by const&, so
+  // work on a copy only of what is needed: a local mutable copy is simplest
+  // and this predicate is not on the hot path (the game engine detects
+  // disconnection through the BFS reach count instead).
+  Graph h = g;
+  h.remove_edge(u, v);
+  BfsWorkspace ws;
+  return distance(h, u, v, ws) == kInfDist;
+}
+
+}  // namespace bncg

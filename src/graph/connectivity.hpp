@@ -1,0 +1,34 @@
+// Connectivity structure: components, articulation points (cut vertices),
+// and bridges via Tarjan's lowlink DFS.
+//
+// Lemma 3 of the paper constrains cut vertices of max-equilibrium graphs;
+// the tests exercise that property through this module. Bridges also matter
+// to the game engine: deleting a bridge disconnects the graph, which the
+// usage costs treat as +∞.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace bncg {
+
+/// Connected components: result[v] = component id in [0, count).
+struct Components {
+  std::vector<Vertex> label;
+  Vertex count = 0;
+};
+
+/// Labels connected components with consecutive ids (BFS flood fill).
+[[nodiscard]] Components connected_components(const Graph& g);
+
+/// Cut vertices (articulation points), sorted ascending. Iterative Tarjan.
+[[nodiscard]] std::vector<Vertex> articulation_points(const Graph& g);
+
+/// Bridge edges (u < v), sorted lexicographically. Iterative Tarjan.
+[[nodiscard]] std::vector<Edge> bridges(const Graph& g);
+
+/// True iff removing edge {u, v} disconnects its endpoints.
+[[nodiscard]] bool is_bridge(const Graph& g, Vertex u, Vertex v);
+
+}  // namespace bncg

@@ -1,0 +1,60 @@
+// ε-distance-uniformity analysis (Section 5 of the paper).
+//
+// A graph is ε-distance-uniform if some radius r has, from *every* vertex,
+// at least (1−ε)n vertices at distance exactly r; ε-distance-almost-uniform
+// relaxes "exactly r" to "r or r+1". Theorem 13 shows sum-equilibrium graphs
+// induce distance-(almost-)uniform power graphs; Conjecture 14 asks whether
+// distance-almost-uniform graphs must have diameter O(lg n); Theorem 15
+// proves the uniform case for Abelian Cayley graphs.
+//
+// This module computes, for a given graph, the best achievable ε for every
+// candidate radius and the overall optimum, from one APSP pass.
+#pragma once
+
+#include <vector>
+
+#include "graph/apsp.hpp"
+#include "graph/graph.hpp"
+
+namespace bncg {
+
+/// Outcome of a distance-uniformity scan.
+struct UniformityResult {
+  /// Best radius r (minimizing ε over all candidate radii).
+  Vertex radius = 0;
+  /// The minimal ε such that the graph is ε-distance-uniform at `radius`:
+  /// ε = max_v (1 − |{w : d(v,w) = r}| / n). In [0, 1].
+  double epsilon = 1.0;
+};
+
+/// ε for a *specific* radius r under the exact-distance definition.
+[[nodiscard]] double epsilon_at_radius(const DistanceMatrix& dm, Vertex r);
+
+/// ε for a specific radius under the almost-uniform (r or r+1) definition.
+[[nodiscard]] double epsilon_at_radius_almost(const DistanceMatrix& dm, Vertex r);
+
+/// Best (r, ε) pair under the exact-distance definition.
+[[nodiscard]] UniformityResult best_uniformity(const DistanceMatrix& dm);
+
+/// Best (r, ε) pair under the almost-uniform definition.
+[[nodiscard]] UniformityResult best_almost_uniformity(const DistanceMatrix& dm);
+
+/// Per-vertex sphere sizes: sphere_sizes(dm, v)[k] = |{w : d(v,w) = k}|.
+[[nodiscard]] std::vector<Vertex> sphere_sizes(const DistanceMatrix& dm, Vertex v);
+
+/// Convenience wrappers computing APSP internally.
+[[nodiscard]] UniformityResult best_uniformity(const Graph& g);
+[[nodiscard]] UniformityResult best_almost_uniformity(const Graph& g);
+
+/// Pair-level (not per-vertex) uniformity: the fraction of ordered pairs
+/// (u, v), u ≠ v, whose distance is exactly r (plus r+1 when `almost`),
+/// maximized over r. The §5 remark's distinction: the broom_graph is
+/// pair-almost-uniform with huge diameter, while per-vertex uniformity —
+/// what Conjecture 14 requires — fails at its hub.
+struct PairUniformity {
+  Vertex radius = 0;
+  double fraction = 0.0;  ///< best fraction of ordered pairs in the band
+};
+[[nodiscard]] PairUniformity best_pair_uniformity(const DistanceMatrix& dm, bool almost);
+
+}  // namespace bncg

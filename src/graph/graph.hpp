@@ -1,0 +1,112 @@
+// Mutable undirected simple graph — the substrate every other module builds on.
+//
+// Representation: one sorted adjacency vector per vertex. This gives
+// O(log deg) membership tests, O(deg) insert/erase (cache-friendly memmove),
+// and allocation-free neighbor iteration — the right trade-off for
+// best-response dynamics, which perform millions of tentative edge swaps on
+// graphs of modest degree.
+//
+// The class maintains the *simple undirected* invariant: no self-loops, no
+// parallel edges, and v ∈ adj(w) ⇔ w ∈ adj(v). Mutators validate their
+// arguments via BNCG_REQUIRE.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace bncg {
+
+/// Vertex id. Dense, 0-based.
+using Vertex = std::uint32_t;
+
+/// Undirected edge as an (ordered) vertex pair with u < v.
+struct Edge {
+  Vertex u;
+  Vertex v;
+
+  friend constexpr bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Mutable undirected simple graph over vertices {0, …, n−1}.
+class Graph {
+ public:
+  /// Creates an edgeless graph on `n` vertices.
+  explicit Graph(Vertex n = 0) : adj_(n) {}
+
+  /// Number of vertices.
+  [[nodiscard]] Vertex num_vertices() const noexcept {
+    return static_cast<Vertex>(adj_.size());
+  }
+
+  /// Number of edges.
+  [[nodiscard]] std::size_t num_edges() const noexcept { return num_edges_; }
+
+  /// Appends an isolated vertex and returns its id.
+  Vertex add_vertex() {
+    adj_.emplace_back();
+    return static_cast<Vertex>(adj_.size() - 1);
+  }
+
+  /// True iff edge {v, w} is present. O(log deg).
+  [[nodiscard]] bool has_edge(Vertex v, Vertex w) const;
+
+  /// Inserts edge {v, w}. Precondition: v ≠ w, both in range, edge absent.
+  void add_edge(Vertex v, Vertex w);
+
+  /// Inserts edge {v, w} unless it already exists. Returns true if inserted.
+  bool add_edge_if_absent(Vertex v, Vertex w);
+
+  /// Removes edge {v, w}. Precondition: edge present.
+  void remove_edge(Vertex v, Vertex w);
+
+  /// Degree of `v`.
+  [[nodiscard]] Vertex degree(Vertex v) const {
+    check_vertex(v);
+    return static_cast<Vertex>(adj_[v].size());
+  }
+
+  /// Sorted neighbor list of `v` (view; invalidated by mutation).
+  [[nodiscard]] std::span<const Vertex> neighbors(Vertex v) const {
+    check_vertex(v);
+    return adj_[v];
+  }
+
+  /// All edges as (u < v) pairs, sorted lexicographically.
+  [[nodiscard]] std::vector<Edge> edges() const;
+
+  /// Structural equality (same vertex count and edge set).
+  friend bool operator==(const Graph& a, const Graph& b) {
+    return a.adj_ == b.adj_;
+  }
+
+  /// Verifies the simple-undirected invariants; throws std::logic_error on
+  /// corruption. Intended for tests and debug assertions, O(m log deg).
+  void check_invariants() const;
+
+  /// Throws unless `v` is a valid vertex id.
+  void check_vertex(Vertex v) const {
+    BNCG_REQUIRE(v < adj_.size(), "vertex id out of range");
+  }
+
+ private:
+  std::vector<std::vector<Vertex>> adj_;
+  std::size_t num_edges_ = 0;
+};
+
+/// Builds a graph from an explicit edge list over `n` vertices.
+/// Duplicate edges are rejected (precondition violation).
+[[nodiscard]] Graph graph_from_edges(Vertex n,
+                                     const std::vector<std::pair<Vertex, Vertex>>& edge_list);
+
+/// Returns the complement graph (edges flipped, no self-loops).
+[[nodiscard]] Graph complement(const Graph& g);
+
+/// Renders the graph as an edge-list string "n=5 m=4: 0-1 0-2 ..." for
+/// diagnostics and golden tests.
+[[nodiscard]] std::string to_string(const Graph& g);
+
+}  // namespace bncg

@@ -1,0 +1,31 @@
+// Graph serialization: a line-based edge-list format, Graphviz DOT export,
+// and the standard graph6 codec (McKay) for interchange with nauty-family
+// tooling. Round-trip safety is covered by the test suite.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace bncg {
+
+/// Writes "n m" on the first line, then one "u v" pair per edge.
+void write_edge_list(std::ostream& os, const Graph& g);
+
+/// Parses the write_edge_list format. Throws std::invalid_argument on
+/// malformed input (bad counts, out-of-range ids, duplicate edges).
+[[nodiscard]] Graph read_edge_list(std::istream& is);
+
+/// Graphviz DOT (undirected). `name` is the graph identifier in the output.
+void write_dot(std::ostream& os, const Graph& g, const std::string& name = "G");
+
+/// graph6 encoding (McKay's format): supports n < 2^18 here, which covers
+/// every instance in this library. Returns the ASCII string without a
+/// trailing newline.
+[[nodiscard]] std::string to_graph6(const Graph& g);
+
+/// graph6 decoding; throws std::invalid_argument on malformed input.
+[[nodiscard]] Graph from_graph6(const std::string& g6);
+
+}  // namespace bncg

@@ -1,0 +1,112 @@
+#include "graph/isomorphism.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <tuple>
+
+#include "graph/apsp.hpp"
+
+namespace bncg {
+
+namespace {
+
+/// Per-vertex refinement key: (degree, sorted neighbor degrees, sorted
+/// distance profile). Vertices may only map to vertices with equal keys.
+using VertexKey = std::tuple<Vertex, std::vector<Vertex>, std::vector<Vertex>>;
+
+std::vector<VertexKey> vertex_keys(const Graph& g, const DistanceMatrix& dm) {
+  const Vertex n = g.num_vertices();
+  std::vector<VertexKey> keys(n);
+  for (Vertex v = 0; v < n; ++v) {
+    std::vector<Vertex> nbr_degrees;
+    nbr_degrees.reserve(g.degree(v));
+    for (const Vertex w : g.neighbors(v)) nbr_degrees.push_back(g.degree(w));
+    std::sort(nbr_degrees.begin(), nbr_degrees.end());
+    std::vector<Vertex> profile(dm.row(v).begin(), dm.row(v).end());
+    std::sort(profile.begin(), profile.end());
+    keys[v] = {g.degree(v), std::move(nbr_degrees), std::move(profile)};
+  }
+  return keys;
+}
+
+/// Backtracking extension of a partial mapping. `order` fixes the assignment
+/// order of a's vertices (most-constrained first).
+bool extend(const Graph& a, const Graph& b, const std::vector<std::vector<Vertex>>& candidates,
+            const std::vector<Vertex>& order, std::size_t depth, std::vector<Vertex>& map_ab,
+            std::vector<bool>& used_b) {
+  if (depth == order.size()) return true;
+  const Vertex va = order[depth];
+  for (const Vertex vb : candidates[va]) {
+    if (used_b[vb]) continue;
+    // Adjacency consistency with every already-mapped vertex.
+    bool consistent = true;
+    for (std::size_t i = 0; i < depth && consistent; ++i) {
+      const Vertex ua = order[i];
+      consistent = a.has_edge(va, ua) == b.has_edge(vb, map_ab[ua]);
+    }
+    if (!consistent) continue;
+    map_ab[va] = vb;
+    used_b[vb] = true;
+    if (extend(a, b, candidates, order, depth + 1, map_ab, used_b)) return true;
+    used_b[vb] = false;
+  }
+  return false;
+}
+
+}  // namespace
+
+GraphInvariants graph_invariants(const Graph& g) {
+  GraphInvariants inv;
+  inv.n = g.num_vertices();
+  inv.m = g.num_edges();
+  inv.degree_sequence.reserve(inv.n);
+  for (Vertex v = 0; v < inv.n; ++v) inv.degree_sequence.push_back(g.degree(v));
+  std::sort(inv.degree_sequence.begin(), inv.degree_sequence.end());
+  const DistanceMatrix dm(g);
+  inv.distance_profiles.reserve(inv.n);
+  for (Vertex v = 0; v < inv.n; ++v) {
+    std::vector<Vertex> profile(dm.row(v).begin(), dm.row(v).end());
+    std::sort(profile.begin(), profile.end());
+    inv.distance_profiles.push_back(std::move(profile));
+  }
+  std::sort(inv.distance_profiles.begin(), inv.distance_profiles.end());
+  return inv;
+}
+
+std::optional<std::vector<Vertex>> find_isomorphism(const Graph& a, const Graph& b) {
+  const Vertex n = a.num_vertices();
+  if (n != b.num_vertices() || a.num_edges() != b.num_edges()) return std::nullopt;
+  if (n == 0) return std::vector<Vertex>{};
+
+  const DistanceMatrix dma(a), dmb(b);
+  const auto keys_a = vertex_keys(a, dma);
+  const auto keys_b = vertex_keys(b, dmb);
+
+  // Candidate lists per a-vertex: b-vertices with an identical key.
+  std::vector<std::vector<Vertex>> candidates(n);
+  for (Vertex va = 0; va < n; ++va) {
+    for (Vertex vb = 0; vb < n; ++vb) {
+      if (keys_a[va] == keys_b[vb]) candidates[va].push_back(vb);
+    }
+    if (candidates[va].empty()) return std::nullopt;
+  }
+
+  // Assign most-constrained vertices first.
+  std::vector<Vertex> order(n);
+  for (Vertex v = 0; v < n; ++v) order[v] = v;
+  std::sort(order.begin(), order.end(), [&](Vertex x, Vertex y) {
+    return candidates[x].size() < candidates[y].size();
+  });
+
+  std::vector<Vertex> map_ab(n, 0);
+  std::vector<bool> used_b(n, false);
+  if (extend(a, b, candidates, order, 0, map_ab, used_b)) return map_ab;
+  return std::nullopt;
+}
+
+bool are_isomorphic(const Graph& a, const Graph& b) {
+  return find_isomorphism(a, b).has_value();
+}
+
+}  // namespace bncg

@@ -1,0 +1,37 @@
+// Graph isomorphism testing for small instances.
+//
+// Used to deduplicate equilibria found by the search module and to verify
+// construction identities (e.g. that two builds of the same family coincide
+// up to relabeling). The algorithm is invariant-pruned backtracking:
+// vertices are partitioned by (degree, sorted neighbor-degree multiset,
+// distance profile) and a bijection is grown only within matching classes.
+// Exact; practical to n ≈ 30 on the instances in this library.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace bncg {
+
+/// Cheap isomorphism invariants; equality is necessary (not sufficient).
+struct GraphInvariants {
+  Vertex n = 0;
+  std::size_t m = 0;
+  std::vector<Vertex> degree_sequence;          ///< sorted
+  std::vector<std::vector<Vertex>> distance_profiles;  ///< sorted per vertex, then sorted
+
+  friend bool operator==(const GraphInvariants&, const GraphInvariants&) = default;
+};
+
+/// Computes the invariants of `g` (one APSP pass).
+[[nodiscard]] GraphInvariants graph_invariants(const Graph& g);
+
+/// Exact isomorphism decision. Exponential worst case; intended for n ≤ ~30.
+[[nodiscard]] bool are_isomorphic(const Graph& a, const Graph& b);
+
+/// If isomorphic, returns a mapping p with p[v_a] = v_b realizing it.
+[[nodiscard]] std::optional<std::vector<Vertex>> find_isomorphism(const Graph& a, const Graph& b);
+
+}  // namespace bncg

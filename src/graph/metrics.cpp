@@ -1,0 +1,192 @@
+#include "graph/metrics.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "graph/bfs.hpp"
+
+namespace bncg {
+
+DistanceStats distance_stats(const Graph& g) { return distance_stats(DistanceMatrix(g)); }
+
+DistanceStats distance_stats(const DistanceMatrix& dm) {
+  DistanceStats stats;
+  const Vertex n = dm.size();
+  stats.connected = dm.connected();
+  if (n == 0) {
+    stats.connected = true;
+    return stats;
+  }
+  if (!stats.connected) {
+    stats.diameter = kInfDist;
+    stats.radius = kInfDist;
+    return stats;
+  }
+  stats.radius = kInfDist;
+  std::uint64_t total = 0;
+  for (Vertex u = 0; u < n; ++u) {
+    Vertex ecc = 0;
+    for (const Vertex d : dm.row(u)) {
+      ecc = std::max(ecc, d);
+      total += d;
+    }
+    stats.diameter = std::max(stats.diameter, ecc);
+    stats.radius = std::min(stats.radius, ecc);
+  }
+  stats.wiener = total / 2;
+  const std::uint64_t ordered_pairs = static_cast<std::uint64_t>(n) * (n - 1);
+  stats.avg_distance = ordered_pairs == 0 ? 0.0
+                                          : static_cast<double>(total) /
+                                                static_cast<double>(ordered_pairs);
+  return stats;
+}
+
+Vertex diameter(const Graph& g) {
+  const Vertex n = g.num_vertices();
+  if (n == 0) return 0;
+  Vertex diam = 0;
+  bool disconnected = false;
+#ifdef BNCG_HAS_OPENMP
+#pragma omp parallel reduction(max : diam) reduction(|| : disconnected)
+  {
+    BfsWorkspace ws;
+#pragma omp for schedule(dynamic, 8)
+    for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
+      const BfsResult r = bfs(g, static_cast<Vertex>(v), ws);
+      disconnected = disconnected || !r.spans(n);
+      diam = std::max(diam, r.ecc);
+    }
+  }
+#else
+  BfsWorkspace ws;
+  for (Vertex v = 0; v < n; ++v) {
+    const BfsResult r = bfs(g, v, ws);
+    disconnected = disconnected || !r.spans(n);
+    diam = std::max(diam, r.ecc);
+  }
+#endif
+  return disconnected ? kInfDist : diam;
+}
+
+Vertex girth(const Graph& g) {
+  // BFS from every vertex; a non-tree edge at BFS levels (d, d') closes a
+  // cycle of length d + d' + 1 through the root. The minimum over all roots
+  // and non-tree edges is exactly the girth for unweighted graphs.
+  const Vertex n = g.num_vertices();
+  Vertex best = kInfDist;
+  std::vector<Vertex> parent(n, kInfDist);
+  std::vector<Vertex> dist(n, kInfDist);
+  std::vector<Vertex> queue;
+  queue.reserve(n);
+  for (Vertex root = 0; root < n; ++root) {
+    // Inline BFS that tracks parents to skip the tree edge.
+    queue.clear();
+    dist.assign(n, kInfDist);
+    parent.assign(n, kInfDist);
+    dist[root] = 0;
+    queue.push_back(root);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const Vertex u = queue[head];
+      if (2 * dist[u] + 1 >= best) break;  // cannot improve the girth anymore
+      for (const Vertex w : g.neighbors(u)) {
+        if (dist[w] == kInfDist) {
+          dist[w] = dist[u] + 1;
+          parent[w] = u;
+          queue.push_back(w);
+        } else if (w != parent[u] && dist[w] + dist[u] + 1 < best) {
+          // Cross or back edge: cycle through the root (or lower LCA, which
+          // only shortens it — still an upper bound found from that root).
+          best = dist[w] + dist[u] + 1;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+std::vector<Vertex> eccentricities(const Graph& g) {
+  const Vertex n = g.num_vertices();
+  std::vector<Vertex> ecc(n, 0);
+#ifdef BNCG_HAS_OPENMP
+#pragma omp parallel
+  {
+    BfsWorkspace ws;
+#pragma omp for schedule(dynamic, 8)
+    for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
+      const BfsResult r = bfs(g, static_cast<Vertex>(v), ws);
+      ecc[static_cast<std::size_t>(v)] = r.spans(n) ? r.ecc : kInfDist;
+    }
+  }
+#else
+  BfsWorkspace ws;
+  for (Vertex v = 0; v < n; ++v) {
+    const BfsResult r = bfs(g, v, ws);
+    ecc[v] = r.spans(n) ? r.ecc : kInfDist;
+  }
+#endif
+  return ecc;
+}
+
+std::uint64_t total_distance_sum(const Graph& g) {
+  const Vertex n = g.num_vertices();
+  std::uint64_t total = 0;
+  BfsWorkspace ws;
+  for (Vertex v = 0; v < n; ++v) total += bfs(g, v, ws).dist_sum;
+  return total;
+}
+
+std::vector<std::uint64_t> distance_histogram(const DistanceMatrix& dm) {
+  const Vertex n = dm.size();
+  Vertex max_d = 0;
+  for (Vertex u = 0; u < n; ++u) {
+    for (const Vertex d : dm.row(u)) {
+      if (d != kInfDist) max_d = std::max(max_d, d);
+    }
+  }
+  std::vector<std::uint64_t> hist(static_cast<std::size_t>(max_d) + 1, 0);
+  for (Vertex u = 0; u < n; ++u) {
+    for (const Vertex d : dm.row(u)) {
+      if (d != kInfDist) ++hist[d];
+    }
+  }
+  return hist;
+}
+
+DegreeStats degree_stats(const Graph& g) {
+  DegreeStats stats;
+  const Vertex n = g.num_vertices();
+  if (n == 0) return stats;
+  stats.min_degree = kInfDist;
+  std::uint64_t total = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    const Vertex d = g.degree(v);
+    stats.min_degree = std::min(stats.min_degree, d);
+    stats.max_degree = std::max(stats.max_degree, d);
+    total += d;
+  }
+  stats.avg_degree = static_cast<double>(total) / static_cast<double>(n);
+  return stats;
+}
+
+bool is_tree(const Graph& g) {
+  const Vertex n = g.num_vertices();
+  if (n == 0) return true;
+  return g.num_edges() == static_cast<std::size_t>(n) - 1 && is_connected(g);
+}
+
+bool has_uniform_distance_profile(const DistanceMatrix& dm) {
+  const Vertex n = dm.size();
+  if (n == 0) return true;
+  const auto profile_of = [&](Vertex u) {
+    std::vector<Vertex> p(dm.row(u).begin(), dm.row(u).end());
+    std::sort(p.begin(), p.end());
+    return p;
+  };
+  const std::vector<Vertex> reference = profile_of(0);
+  for (Vertex u = 1; u < n; ++u) {
+    if (profile_of(u) != reference) return false;
+  }
+  return true;
+}
+
+}  // namespace bncg

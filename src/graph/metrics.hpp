@@ -1,0 +1,64 @@
+// Global graph metrics: diameter, radius, girth, distance statistics.
+//
+// These are the observables every experiment reports — the paper's central
+// question is how large the diameter of an equilibrium graph can be.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/apsp.hpp"
+#include "graph/graph.hpp"
+
+namespace bncg {
+
+/// Summary of the distance structure of a connected graph.
+struct DistanceStats {
+  Vertex diameter = 0;          ///< max_{u,v} d(u,v); kInfDist if disconnected.
+  Vertex radius = 0;            ///< min_u ecc(u); kInfDist if disconnected.
+  double avg_distance = 0.0;    ///< mean over ordered pairs u ≠ v.
+  std::uint64_t wiener = 0;     ///< Σ_{u<v} d(u,v) (Wiener index).
+  bool connected = false;
+};
+
+/// Computes diameter/radius/average distance in one APSP pass.
+[[nodiscard]] DistanceStats distance_stats(const Graph& g);
+
+/// Same, reusing an existing distance matrix.
+[[nodiscard]] DistanceStats distance_stats(const DistanceMatrix& dm);
+
+/// Diameter only (kInfDist when disconnected). O(n·m).
+[[nodiscard]] Vertex diameter(const Graph& g);
+
+/// Girth: length of a shortest cycle; kInfDist for forests. O(n·m).
+[[nodiscard]] Vertex girth(const Graph& g);
+
+/// Per-vertex eccentricities (local diameters). kInfDist entries when
+/// disconnected.
+[[nodiscard]] std::vector<Vertex> eccentricities(const Graph& g);
+
+/// Social cost of the sum game: Σ_v Σ_u d(v,u) (= 2·Wiener). The quantity
+/// whose equilibrium-vs-optimum ratio defines the sum price of anarchy.
+[[nodiscard]] std::uint64_t total_distance_sum(const Graph& g);
+
+/// Histogram of pairwise distances: result[k] = #{ordered pairs at distance k}.
+[[nodiscard]] std::vector<std::uint64_t> distance_histogram(const DistanceMatrix& dm);
+
+/// Degree sequence statistics.
+struct DegreeStats {
+  Vertex min_degree = 0;
+  Vertex max_degree = 0;
+  double avg_degree = 0.0;
+};
+[[nodiscard]] DegreeStats degree_stats(const Graph& g);
+
+/// True iff g is connected and has exactly n−1 edges.
+[[nodiscard]] bool is_tree(const Graph& g);
+
+/// True iff g is vertex-transitive *with respect to distance profiles*:
+/// every vertex has the same multiset of distances to all others. This is a
+/// cheap necessary condition for vertex-transitivity used to sanity-check
+/// the paper's symmetric constructions (Fig. 4, Cayley graphs).
+[[nodiscard]] bool has_uniform_distance_profile(const DistanceMatrix& dm);
+
+}  // namespace bncg

@@ -1,0 +1,42 @@
+#include "graph/power.hpp"
+
+#include <vector>
+
+namespace bncg {
+
+Graph power(const Graph& g, Vertex x) { return power(DistanceMatrix(g), x); }
+
+Graph power(const DistanceMatrix& dm, Vertex x) {
+  BNCG_REQUIRE(x >= 1, "graph power exponent must be >= 1");
+  const Vertex n = dm.size();
+  Graph result(n);
+  for (Vertex u = 0; u < n; ++u) {
+    const auto row = dm.row(u);
+    for (Vertex v = u + 1; v < n; ++v) {
+      if (row[v] != kInfDist && row[v] <= x) result.add_edge(u, v);
+    }
+  }
+  return result;
+}
+
+Vertex prime_avoiding_interval(Vertex lo, Vertex hi, Vertex bound) {
+  BNCG_REQUIRE(lo <= hi, "interval bounds out of order");
+  // Sieve of Eratosthenes up to `bound`, then test each prime directly:
+  // p avoids [lo, hi] iff ⌊hi/p⌋ < ⌈lo/p⌉, i.e. no multiple lands inside.
+  if (bound < 2) return 0;
+  std::vector<bool> composite(static_cast<std::size_t>(bound) + 1, false);
+  for (Vertex p = 2; static_cast<std::uint64_t>(p) * p <= bound; ++p) {
+    if (composite[p]) continue;
+    for (std::uint64_t q = static_cast<std::uint64_t>(p) * p; q <= bound; q += p) {
+      composite[static_cast<std::size_t>(q)] = true;
+    }
+  }
+  for (Vertex p = 2; p <= bound; ++p) {
+    if (composite[p]) continue;
+    const Vertex first_multiple_at_or_above_lo = ((lo + p - 1) / p) * p;
+    if (first_multiple_at_or_above_lo > hi) return p;
+  }
+  return 0;
+}
+
+}  // namespace bncg

@@ -1,0 +1,27 @@
+// Graph powers: G^x connects u, v whenever d_G(u, v) ≤ x.
+//
+// The power construction is the final step of Theorem 13: taking the x-th
+// power of a sum-equilibrium graph for x = Θ(lg n) (or Θ(lg² n)) coalesces
+// the dominant distance band onto one or two values, yielding a distance-
+// (almost-)uniform graph whose diameter is ⌈d/x⌉.
+#pragma once
+
+#include "graph/apsp.hpp"
+#include "graph/graph.hpp"
+
+namespace bncg {
+
+/// Returns G^x. Precondition: x ≥ 1. O(n²) after APSP.
+[[nodiscard]] Graph power(const Graph& g, Vertex x);
+
+/// Same, reusing a precomputed distance matrix of g.
+[[nodiscard]] Graph power(const DistanceMatrix& dm, Vertex x);
+
+/// The smallest prime p ≤ bound such that no multiple of p lies in the
+/// closed interval [lo, hi]; returns 0 when none exists. This realizes the
+/// number-theoretic step in Theorem 13's distance-uniform (single value r)
+/// refinement: a power x with no multiple inside the distance band maps the
+/// whole band to one value.
+[[nodiscard]] Vertex prime_avoiding_interval(Vertex lo, Vertex hi, Vertex bound);
+
+}  // namespace bncg

@@ -1,0 +1,76 @@
+#include "graph/subgraph.hpp"
+
+#include <algorithm>
+
+#include "graph/bfs.hpp"
+
+namespace bncg {
+
+Graph induced_subgraph(const Graph& g, const std::vector<Vertex>& keep) {
+  std::vector<Vertex> remap(g.num_vertices(), kInfDist);
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    g.check_vertex(keep[i]);
+    BNCG_REQUIRE(remap[keep[i]] == kInfDist, "duplicate vertex in keep list");
+    remap[keep[i]] = static_cast<Vertex>(i);
+  }
+  Graph result(static_cast<Vertex>(keep.size()));
+  for (const Vertex v : keep) {
+    for (const Vertex w : g.neighbors(v)) {
+      if (remap[w] != kInfDist && remap[v] < remap[w]) result.add_edge(remap[v], remap[w]);
+    }
+  }
+  return result;
+}
+
+Graph remove_vertex(const Graph& g, Vertex v) {
+  g.check_vertex(v);
+  std::vector<Vertex> keep;
+  keep.reserve(g.num_vertices() - 1);
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    if (u != v) keep.push_back(u);
+  }
+  return induced_subgraph(g, keep);
+}
+
+std::vector<std::vector<Vertex>> components_without(const Graph& g, Vertex v) {
+  g.check_vertex(v);
+  const Vertex n = g.num_vertices();
+  std::vector<Vertex> label(n, kInfDist);
+  label[v] = n;  // sentinel: excluded
+  std::vector<std::vector<Vertex>> components;
+  std::vector<Vertex> stack;
+  for (Vertex start = 0; start < n; ++start) {
+    if (label[start] != kInfDist) continue;
+    std::vector<Vertex> component;
+    label[start] = static_cast<Vertex>(components.size());
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const Vertex u = stack.back();
+      stack.pop_back();
+      component.push_back(u);
+      for (const Vertex w : g.neighbors(u)) {
+        if (w == v || label[w] != kInfDist) continue;
+        label[w] = label[start];
+        stack.push_back(w);
+      }
+    }
+    std::sort(component.begin(), component.end());
+    components.push_back(std::move(component));
+  }
+  return components;
+}
+
+bool lemma3_cut_vertex_property(const Graph& g, Vertex v) {
+  BfsWorkspace ws;
+  (void)bfs(g, v, ws);
+  const std::vector<Vertex>& dist = ws.dist();
+  int deep_components = 0;
+  for (const auto& component : components_without(g, v)) {
+    const bool deep = std::any_of(component.begin(), component.end(),
+                                  [&](Vertex x) { return dist[x] > 1; });
+    deep_components += deep;
+  }
+  return deep_components <= 1;
+}
+
+}  // namespace bncg

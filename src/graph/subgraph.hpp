@@ -1,0 +1,29 @@
+// Subgraph operations: induced subgraphs, vertex deletion, and the
+// components-of-G−v decomposition that Lemma 3 of the paper reasons about.
+#pragma once
+
+#include <vector>
+
+#include "graph/connectivity.hpp"
+#include "graph/graph.hpp"
+
+namespace bncg {
+
+/// Induced subgraph on `keep` (ids are remapped to 0..keep.size()−1 in the
+/// order given). Vertices must be distinct and in range.
+[[nodiscard]] Graph induced_subgraph(const Graph& g, const std::vector<Vertex>& keep);
+
+/// G − v: the graph with vertex v deleted (ids above v shift down by one).
+[[nodiscard]] Graph remove_vertex(const Graph& g, Vertex v);
+
+/// The connected components of G − v, each as a sorted list of *original*
+/// vertex ids (v excluded). The decomposition behind Lemma 3: in a max
+/// equilibrium, at most one component may contain a vertex at distance > 1
+/// from v.
+[[nodiscard]] std::vector<std::vector<Vertex>> components_without(const Graph& g, Vertex v);
+
+/// Lemma 3 predicate: true iff at most one connected component of G − v
+/// contains a vertex at distance more than 1 from v (distances in G).
+[[nodiscard]] bool lemma3_cut_vertex_property(const Graph& g, Vertex v);
+
+}  // namespace bncg

@@ -1,0 +1,27 @@
+// Precondition checking for the bncg library.
+//
+// Public API entry points validate their preconditions with BNCG_REQUIRE and
+// throw std::invalid_argument on violation, so misuse is diagnosed at the
+// boundary instead of corrupting internal state (Core Guidelines I.5/I.6).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace bncg {
+
+/// Throws std::invalid_argument with a message identifying the failed
+/// precondition. Used by the BNCG_REQUIRE macro; rarely called directly.
+[[noreturn]] inline void precondition_failure(const char* expr, const char* file, int line,
+                                              const std::string& msg) {
+  throw std::invalid_argument(std::string("bncg precondition failed: ") + expr + " at " + file +
+                              ":" + std::to_string(line) + (msg.empty() ? "" : (" — " + msg)));
+}
+
+}  // namespace bncg
+
+/// Validate a precondition; throws std::invalid_argument when `expr` is false.
+#define BNCG_REQUIRE(expr, msg)                                      \
+  do {                                                               \
+    if (!(expr)) ::bncg::precondition_failure(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,109 @@
+// Deterministic, seedable random number generation.
+//
+// Every randomized component of the library (generators, dynamics schedulers,
+// benchmark workloads) draws from Xoshiro256ss so that runs are exactly
+// reproducible from a single 64-bit seed. The engine satisfies
+// std::uniform_random_bit_generator and can be plugged into <random>
+// distributions, but the convenience members below avoid libstdc++'s
+// unspecified distribution algorithms where cross-platform determinism
+// matters.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace bncg {
+
+/// SplitMix64 step; used for seeding and as a cheap stateless mixer.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** — fast, high-quality 64-bit PRNG (Blackman & Vigna).
+/// Deterministic across platforms for a given seed.
+class Xoshiro256ss {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four-word state via SplitMix64 expansion of `seed`.
+  explicit constexpr Xoshiro256ss(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+  [[nodiscard]] static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Uses Lemire's multiply-shift rejection
+  /// method for an unbiased, platform-independent result.
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound) {
+    BNCG_REQUIRE(bound > 0, "below() requires a positive bound");
+    // Rejection sampling on the top bits: unbiased and branch-light.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    BNCG_REQUIRE(lo <= hi, "uniform_int requires lo <= hi");
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  [[nodiscard]] double uniform01() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  [[nodiscard]] bool bernoulli(double p) noexcept { return uniform01() < p; }
+
+  /// In-place Fisher–Yates shuffle (deterministic given the engine state).
+  template <typename RandomAccessContainer>
+  void shuffle(RandomAccessContainer& items) {
+    const std::size_t n = items.size();
+    for (std::size_t i = n; i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Derives an independent child engine; use to give parallel workers
+  /// decorrelated deterministic streams.
+  [[nodiscard]] Xoshiro256ss fork() noexcept {
+    return Xoshiro256ss((*this)() ^ 0x9e3779b97f4a7c15ULL);
+  }
+
+ private:
+  [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace bncg

@@ -1,0 +1,56 @@
+// ASCII table / CSV emitter used by the benchmark harness.
+//
+// Every bench binary prints the paper-shaped rows through this class so the
+// outputs are uniformly formatted and machine-extractable (a `--csv`-style
+// dump can be produced from the same data).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace bncg {
+
+/// Collects rows of string cells and renders them as an aligned ASCII table
+/// or as CSV. Cells are stored as text; use the add_row overload with
+/// heterogeneous values via format helpers below.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a data row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Number of data rows (excluding the header).
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders an aligned ASCII table with a header separator.
+  void print(std::ostream& os) const;
+
+  /// Renders RFC-4180-ish CSV (no quoting needed for our numeric content).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant decimal places, trimming noise.
+[[nodiscard]] std::string fmt(double value, int digits = 3);
+
+/// Formats any integral value.
+template <typename T>
+  requires std::is_integral_v<T>
+[[nodiscard]] std::string fmt(T value) {
+  return std::to_string(value);
+}
+
+/// PASS/FAIL verdict cell.
+[[nodiscard]] std::string verdict(bool ok);
+
+/// Prints a section banner (used between logical blocks of a bench's output).
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace bncg

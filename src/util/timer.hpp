@@ -1,0 +1,29 @@
+// Minimal monotonic wall-clock timer used by benches and examples.
+#pragma once
+
+#include <chrono>
+
+namespace bncg {
+
+/// Stopwatch over std::chrono::steady_clock. Starts on construction.
+class Timer {
+ public:
+  Timer() noexcept : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or the last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds since construction or the last reset().
+  [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace bncg

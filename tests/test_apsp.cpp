@@ -1,0 +1,92 @@
+// Unit tests for the all-pairs distance matrix.
+#include "graph/apsp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/classic.hpp"
+#include "gen/random.hpp"
+#include "util/rng.hpp"
+
+namespace bncg {
+namespace {
+
+TEST(Apsp, MatchesSingleSourceBfsOnRandomGraphs) {
+  Xoshiro256ss rng(21);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph g = random_connected_gnm(25, 40, rng);
+    const DistanceMatrix dm(g);
+    BfsWorkspace ws;
+    for (Vertex u = 0; u < g.num_vertices(); ++u) {
+      (void)bfs(g, u, ws);
+      for (Vertex v = 0; v < g.num_vertices(); ++v) {
+        EXPECT_EQ(dm.at(u, v), ws.dist()[v]);
+      }
+    }
+  }
+}
+
+TEST(Apsp, SymmetricMatrix) {
+  Xoshiro256ss rng(5);
+  const Graph g = random_connected_gnm(30, 50, rng);
+  const DistanceMatrix dm(g);
+  for (Vertex u = 0; u < 30; ++u) {
+    for (Vertex v = 0; v < 30; ++v) EXPECT_EQ(dm.at(u, v), dm.at(v, u));
+  }
+}
+
+TEST(Apsp, TriangleInequalityHolds) {
+  Xoshiro256ss rng(6);
+  const Graph g = random_connected_gnm(20, 30, rng);
+  const DistanceMatrix dm(g);
+  for (Vertex a = 0; a < 20; ++a) {
+    for (Vertex b = 0; b < 20; ++b) {
+      for (Vertex c = 0; c < 20; ++c) {
+        EXPECT_LE(dm.at(a, c), dm.at(a, b) + dm.at(b, c));
+      }
+    }
+  }
+}
+
+TEST(Apsp, DetectsDisconnection) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  const DistanceMatrix dm(g);
+  EXPECT_FALSE(dm.connected());
+  EXPECT_EQ(dm.at(0, 2), kInfDist);
+  EXPECT_EQ(dm.at(0, 1), 1u);
+}
+
+TEST(Apsp, ConnectedFlagOnConnectedGraph) {
+  const DistanceMatrix dm(cycle(7));
+  EXPECT_TRUE(dm.connected());
+}
+
+TEST(Apsp, RowViewAndAggregates) {
+  const Graph g = star(6);
+  const DistanceMatrix dm(g);
+  EXPECT_EQ(dm.row(0).size(), 6u);
+  EXPECT_EQ(dm.row_sum(0), 5u);
+  EXPECT_EQ(dm.row_sum(1), 1u + 2 * 4);
+  EXPECT_EQ(dm.eccentricity(0), 1u);
+  EXPECT_EQ(dm.eccentricity(2), 2u);
+}
+
+TEST(Apsp, EmptyAndSingletonGraphs) {
+  const DistanceMatrix empty((Graph(0)));
+  EXPECT_TRUE(empty.connected());
+  EXPECT_EQ(empty.size(), 0u);
+  const DistanceMatrix single((Graph(1)));
+  EXPECT_TRUE(single.connected());
+  EXPECT_EQ(single.at(0, 0), 0u);
+}
+
+TEST(Apsp, EccentricityInfWhenDisconnected) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  const DistanceMatrix dm(g);
+  EXPECT_EQ(dm.eccentricity(0), kInfDist);
+}
+
+}  // namespace
+}  // namespace bncg

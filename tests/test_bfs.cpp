@@ -1,0 +1,128 @@
+// Unit tests for BFS primitives: distances, aggregates, early exits.
+#include "graph/bfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/classic.hpp"
+#include "gen/random.hpp"
+#include "util/rng.hpp"
+
+namespace bncg {
+namespace {
+
+TEST(Bfs, PathDistancesAreLinear) {
+  const Graph g = path(5);
+  BfsWorkspace ws;
+  const BfsResult r = bfs(g, 0, ws);
+  EXPECT_EQ(ws.dist()[0], 0u);
+  EXPECT_EQ(ws.dist()[4], 4u);
+  EXPECT_EQ(r.ecc, 4u);
+  EXPECT_EQ(r.dist_sum, 0u + 1 + 2 + 3 + 4);
+  EXPECT_TRUE(r.spans(5));
+}
+
+TEST(Bfs, CycleDistancesWrapAround) {
+  const Graph g = cycle(6);
+  BfsWorkspace ws;
+  const BfsResult r = bfs(g, 0, ws);
+  EXPECT_EQ(ws.dist()[3], 3u);
+  EXPECT_EQ(ws.dist()[5], 1u);
+  EXPECT_EQ(r.ecc, 3u);
+}
+
+TEST(Bfs, DisconnectedVerticesKeepInfDist) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  BfsWorkspace ws;
+  const BfsResult r = bfs(g, 0, ws);
+  EXPECT_EQ(r.reached, 2u);
+  EXPECT_FALSE(r.spans(4));
+  EXPECT_EQ(ws.dist()[2], kInfDist);
+  EXPECT_EQ(ws.dist()[3], kInfDist);
+}
+
+TEST(Bfs, SingletonGraph) {
+  const Graph g(1);
+  BfsWorkspace ws;
+  const BfsResult r = bfs(g, 0, ws);
+  EXPECT_EQ(r.reached, 1u);
+  EXPECT_EQ(r.ecc, 0u);
+  EXPECT_EQ(r.dist_sum, 0u);
+}
+
+TEST(Bfs, BoundedBfsTruncatesAtLimit) {
+  const Graph g = path(10);
+  BfsWorkspace ws;
+  const BfsResult r = bfs_bounded(g, 0, 3, ws);
+  EXPECT_EQ(r.reached, 4u);  // vertices 0..3
+  EXPECT_EQ(r.ecc, 3u);
+  EXPECT_EQ(ws.dist()[4], kInfDist);
+}
+
+TEST(Bfs, BoundedBfsWithLargeLimitEqualsFullBfs) {
+  Xoshiro256ss rng(3);
+  const Graph g = random_connected_gnm(30, 45, rng);
+  BfsWorkspace ws1, ws2;
+  const BfsResult full = bfs(g, 7, ws1);
+  const BfsResult bounded = bfs_bounded(g, 7, 1000, ws2);
+  EXPECT_EQ(full.dist_sum, bounded.dist_sum);
+  EXPECT_EQ(full.ecc, bounded.ecc);
+  EXPECT_EQ(ws1.dist(), ws2.dist());
+}
+
+TEST(Bfs, PairDistanceMatchesFullBfs) {
+  Xoshiro256ss rng(11);
+  const Graph g = random_connected_gnm(40, 60, rng);
+  BfsWorkspace ws;
+  for (Vertex u = 0; u < 10; ++u) {
+    const BfsResult r = bfs(g, u, ws);
+    (void)r;
+    const std::vector<Vertex> reference = ws.dist();
+    for (Vertex v = 0; v < g.num_vertices(); v += 7) {
+      BfsWorkspace ws2;
+      EXPECT_EQ(distance(g, u, v, ws2), reference[v]) << "pair " << u << "," << v;
+    }
+  }
+}
+
+TEST(Bfs, PairDistanceDisconnectedIsInf) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  BfsWorkspace ws;
+  EXPECT_EQ(distance(g, 0, 2, ws), kInfDist);
+  EXPECT_EQ(distance(g, 0, 0, ws), 0u);
+}
+
+TEST(Bfs, ConvenienceWrappersAgree) {
+  const Graph g = star(8);
+  EXPECT_EQ(distance_sum_from(g, 0), 7u);
+  EXPECT_EQ(distance_sum_from(g, 1), 1u + 2 * 6);
+  EXPECT_EQ(eccentricity(g, 0), 1u);
+  EXPECT_EQ(eccentricity(g, 3), 2u);
+  EXPECT_TRUE(is_connected(g));
+  Graph h(2);
+  EXPECT_FALSE(is_connected(h));
+  EXPECT_TRUE(is_connected(Graph(0)));
+  EXPECT_TRUE(is_connected(Graph(1)));
+}
+
+TEST(Bfs, WorkspaceReuseAcrossGraphSizes) {
+  BfsWorkspace ws;
+  const Graph big = path(50);
+  (void)bfs(big, 0, ws);
+  const Graph small = path(3);
+  const BfsResult r = bfs(small, 0, ws);
+  EXPECT_EQ(r.reached, 3u);
+  EXPECT_EQ(ws.dist().size(), 3u);
+}
+
+TEST(Bfs, DistSumOfCompleteGraphIsNMinusOne) {
+  const Graph g = complete(9);
+  BfsWorkspace ws;
+  for (Vertex v = 0; v < 9; ++v) {
+    EXPECT_EQ(bfs(g, v, ws).dist_sum, 8u);
+  }
+}
+
+}  // namespace
+}  // namespace bncg

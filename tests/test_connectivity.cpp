@@ -1,0 +1,103 @@
+// Unit tests for components, articulation points, and bridges.
+#include "graph/connectivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/classic.hpp"
+#include "gen/random.hpp"
+#include "util/rng.hpp"
+
+namespace bncg {
+namespace {
+
+TEST(Connectivity, ComponentsOfDisjointPieces) {
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count, 3u);
+  EXPECT_EQ(c.label[0], c.label[2]);
+  EXPECT_EQ(c.label[3], c.label[4]);
+  EXPECT_NE(c.label[0], c.label[3]);
+  EXPECT_NE(c.label[5], c.label[0]);
+  EXPECT_NE(c.label[5], c.label[3]);
+}
+
+TEST(Connectivity, PathInternalVerticesAreArticulation) {
+  const auto cuts = articulation_points(path(5));
+  EXPECT_EQ(cuts, (std::vector<Vertex>{1, 2, 3}));
+}
+
+TEST(Connectivity, CycleHasNoArticulationPoints) {
+  EXPECT_TRUE(articulation_points(cycle(8)).empty());
+}
+
+TEST(Connectivity, StarCenterIsTheOnlyArticulationPoint) {
+  const auto cuts = articulation_points(star(6));
+  EXPECT_EQ(cuts, (std::vector<Vertex>{0}));
+}
+
+TEST(Connectivity, AllTreeEdgesAreBridges) {
+  const auto bs = bridges(path(5));
+  EXPECT_EQ(bs.size(), 4u);
+  const auto star_bridges = bridges(star(7));
+  EXPECT_EQ(star_bridges.size(), 6u);
+}
+
+TEST(Connectivity, CycleHasNoBridges) { EXPECT_TRUE(bridges(cycle(6)).empty()); }
+
+TEST(Connectivity, LollipopTailEdgesAreBridges) {
+  const Graph g = lollipop(4, 3);  // K4 + 3-vertex tail
+  const auto bs = bridges(g);
+  EXPECT_EQ(bs.size(), 3u);
+  const auto cuts = articulation_points(g);
+  // Clique attachment vertex 3 and the two internal tail vertices 4, 5.
+  EXPECT_EQ(cuts, (std::vector<Vertex>{3, 4, 5}));
+}
+
+TEST(Connectivity, IsBridgeAgreesWithBridgeList) {
+  Xoshiro256ss rng(17);
+  const Graph g = random_connected_gnm(25, 30, rng);
+  const auto bs = bridges(g);
+  for (const auto& [u, v] : g.edges()) {
+    const bool listed =
+        std::find(bs.begin(), bs.end(), Edge{u, v}) != bs.end();
+    EXPECT_EQ(is_bridge(g, u, v), listed) << u << "-" << v;
+  }
+}
+
+TEST(Connectivity, BridgelessAfterDoublingEveryEdgePath) {
+  // Adding a parallel route kills all bridges: compare C_n vs P_n.
+  EXPECT_FALSE(bridges(path(6)).empty());
+  EXPECT_TRUE(bridges(cycle(6)).empty());
+}
+
+TEST(Connectivity, EmptyAndSingletonGraphs) {
+  EXPECT_EQ(connected_components(Graph(0)).count, 0u);
+  EXPECT_EQ(connected_components(Graph(1)).count, 1u);
+  EXPECT_TRUE(articulation_points(Graph(1)).empty());
+  EXPECT_TRUE(bridges(Graph(1)).empty());
+}
+
+TEST(Connectivity, TwoTrianglesSharingAVertex) {
+  // Bowtie: vertex 2 shared by triangles {0,1,2} and {2,3,4}.
+  const Graph g =
+      graph_from_edges(5, {{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}, {2, 4}});
+  EXPECT_EQ(articulation_points(g), (std::vector<Vertex>{2}));
+  EXPECT_TRUE(bridges(g).empty());
+}
+
+TEST(Connectivity, RandomGraphBridgeEndpointsSeparate) {
+  Xoshiro256ss rng(23);
+  const Graph g = random_connected_gnm(30, 34, rng);
+  for (const auto& [u, v] : bridges(g)) {
+    Graph h = g;
+    h.remove_edge(u, v);
+    const Components c = connected_components(h);
+    EXPECT_NE(c.label[u], c.label[v]);
+  }
+}
+
+}  // namespace
+}  // namespace bncg

@@ -1,0 +1,139 @@
+// Unit tests for ε-distance-uniformity analysis (Section 5 definitions).
+#include "graph/distance_uniformity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/classic.hpp"
+#include "gen/paper.hpp"
+#include "graph/metrics.hpp"
+
+namespace bncg {
+namespace {
+
+TEST(Uniformity, CompleteGraphIsPerfectlyUniformAtRadiusOne) {
+  const DistanceMatrix dm(complete(10));
+  const UniformityResult r = best_uniformity(dm);
+  EXPECT_EQ(r.radius, 1u);
+  // From each vertex: 9 of 10 vertices at distance 1 (itself at 0).
+  EXPECT_NEAR(r.epsilon, 0.1, 1e-12);
+}
+
+TEST(Uniformity, EpsilonAtSpecificRadius) {
+  const DistanceMatrix dm(complete(5));
+  EXPECT_NEAR(epsilon_at_radius(dm, 1), 0.2, 1e-12);
+  EXPECT_NEAR(epsilon_at_radius(dm, 0), 0.8, 1e-12);
+  EXPECT_NEAR(epsilon_at_radius(dm, 2), 1.0, 1e-12);
+}
+
+TEST(Uniformity, AlmostUniformNeverWorseThanExact) {
+  for (Vertex n : {6u, 9u, 12u}) {
+    const DistanceMatrix dm(cycle(n));
+    for (Vertex r = 0; r <= n / 2; ++r) {
+      EXPECT_LE(epsilon_at_radius_almost(dm, r), epsilon_at_radius(dm, r));
+    }
+  }
+}
+
+TEST(Uniformity, CycleSphereSizesAreTwoExceptAntipode) {
+  const DistanceMatrix dm(cycle(8));
+  const auto sizes = sphere_sizes(dm, 0);
+  ASSERT_EQ(sizes.size(), 5u);
+  EXPECT_EQ(sizes[0], 1u);
+  EXPECT_EQ(sizes[1], 2u);
+  EXPECT_EQ(sizes[3], 2u);
+  EXPECT_EQ(sizes[4], 1u);  // unique antipode in even cycles
+}
+
+TEST(Uniformity, PathIsFarFromUniform) {
+  const UniformityResult r = best_uniformity(path(20));
+  // From an endpoint, each distance class has exactly one vertex.
+  EXPECT_GT(r.epsilon, 0.9);
+}
+
+TEST(Uniformity, StarAlmostUniformAtRadiusOne) {
+  // From the center: n−1 at distance 1. From a leaf: 1 at distance 1,
+  // n−2 at distance 2 — the almost-uniform band {1, 2} captures everyone.
+  const UniformityResult r = best_almost_uniformity(star(20));
+  EXPECT_EQ(r.radius, 1u);
+  EXPECT_NEAR(r.epsilon, 1.0 / 20.0, 1e-12);
+}
+
+TEST(Uniformity, HypercubeConcentratesAtMiddleLayer) {
+  // Q_10: middle binomial layer holds C(10,5)/2^10 ≈ 24.6% of vertices, so
+  // even the best exact radius leaves ε ≈ 0.75 — high-dimensional cubes are
+  // *not* distance-uniform for small ε. (Contrast with Theorem 15's regime.)
+  const UniformityResult r = best_uniformity(hypercube(10));
+  EXPECT_EQ(r.radius, 5u);
+  EXPECT_GT(r.epsilon, 0.7);
+  EXPECT_LT(r.epsilon, 0.8);
+}
+
+TEST(Uniformity, GraphWrapperMatchesMatrixOverload) {
+  const Graph g = cycle(11);
+  const DistanceMatrix dm(g);
+  const UniformityResult a = best_uniformity(g);
+  const UniformityResult b = best_uniformity(dm);
+  EXPECT_EQ(a.radius, b.radius);
+  EXPECT_DOUBLE_EQ(a.epsilon, b.epsilon);
+}
+
+TEST(Uniformity, OddCycleBestRadiusIsExtreme) {
+  // C_{2k+1}: every vertex sees exactly 2 vertices at each distance 1..k.
+  const DistanceMatrix dm(cycle(13));
+  const UniformityResult r = best_uniformity(dm);
+  EXPECT_NEAR(r.epsilon, 1.0 - 2.0 / 13.0, 1e-12);
+}
+
+TEST(Uniformity, PairUniformityOfCompleteGraphIsOne) {
+  const DistanceMatrix dm(complete(7));
+  const PairUniformity p = best_pair_uniformity(dm, /*almost=*/false);
+  EXPECT_EQ(p.radius, 1u);
+  EXPECT_DOUBLE_EQ(p.fraction, 1.0);
+}
+
+TEST(Uniformity, BroomSeparatesPairFromPerVertexUniformity) {
+  // The §5 remark: the broom is pair-almost-uniform (most ordered pairs sit
+  // at one distance band) while per-vertex uniformity fails badly — the hub
+  // has nobody at the dominant distance.
+  const Graph g = broom_graph(/*num_paths=*/6, /*path_len=*/4, /*cluster=*/50);
+  const DistanceMatrix dm(g);
+  const PairUniformity pair = best_pair_uniformity(dm, /*almost=*/true);
+  const PairUniformity pair_exact = best_pair_uniformity(dm, /*almost=*/false);
+  const UniformityResult vertexwise = best_uniformity(dm);
+  EXPECT_GT(pair.fraction, 0.65);              // dominant cross-cluster band
+  EXPECT_GT(vertexwise.epsilon, 0.5);          // per-vertex definition fails
+  EXPECT_EQ(pair_exact.radius, 2u * (4 + 1));  // cluster-to-cluster distance
+  // Large diameter despite pair uniformity — why Conjecture 14 must
+  // quantify per vertex.
+  EXPECT_EQ(distance_stats(dm).diameter, 2u * (4 + 1));
+}
+
+TEST(Uniformity, BroomShape) {
+  const Graph g = broom_graph(3, 2, 4);
+  EXPECT_EQ(g.num_vertices(), 1u + 3 * (2 + 4));
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_TRUE(is_tree(g));
+}
+
+TEST(Uniformity, PairUniformityNeverBelowPerVertex) {
+  // 1 − ε per-vertex uniformity forces at least that pair fraction.
+  for (const Graph& g : {cycle(10), star(12), hypercube(5)}) {
+    const DistanceMatrix dm(g);
+    const UniformityResult vertexwise = best_uniformity(dm);
+    const PairUniformity pair = best_pair_uniformity(dm, /*almost=*/false);
+    EXPECT_GE(pair.fraction + 1e-9, (1.0 - vertexwise.epsilon) * dm.size() / (dm.size() - 1.0) -
+                                        1.0 / (dm.size() - 1.0))
+        << to_string(g);
+  }
+}
+
+TEST(Uniformity, SphereSizesSumToN) {
+  const DistanceMatrix dm(hypercube(6));
+  const auto sizes = sphere_sizes(dm, 3);
+  Vertex total = 0;
+  for (const Vertex s : sizes) total += s;
+  EXPECT_EQ(total, 64u);
+}
+
+}  // namespace
+}  // namespace bncg

@@ -1,0 +1,114 @@
+// Unit tests for Abelian groups and their Cayley graphs (Theorem 15
+// substrate), including the paper's §5 example identifying Figure 4 as an
+// Abelian Cayley graph.
+#include "gen/cayley.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/classic.hpp"
+#include "gen/paper.hpp"
+#include "graph/bfs.hpp"
+#include "graph/metrics.hpp"
+
+namespace bncg {
+namespace {
+
+TEST(AbelianGroup, OrderAndRoundTrip) {
+  const AbelianGroup g({4, 3, 2});
+  EXPECT_EQ(g.order(), 24u);
+  EXPECT_EQ(g.rank(), 3u);
+  for (Vertex a = 0; a < g.order(); ++a) {
+    EXPECT_EQ(g.id(g.element(a)), a);
+  }
+}
+
+TEST(AbelianGroup, AdditionIsComponentwiseModular) {
+  const AbelianGroup g({4, 3});
+  const Vertex a = g.id({3, 2});
+  const Vertex b = g.id({2, 2});
+  EXPECT_EQ(g.element(g.add(a, b)), (std::vector<Vertex>{1, 1}));
+}
+
+TEST(AbelianGroup, NegationIsInverse) {
+  const AbelianGroup g({5, 7});
+  for (Vertex a = 0; a < g.order(); ++a) {
+    EXPECT_EQ(g.add(a, g.neg(a)), AbelianGroup::identity());
+  }
+}
+
+TEST(AbelianGroup, IdReducesOutOfRangeCoordinates) {
+  const AbelianGroup g({4, 3});
+  EXPECT_EQ(g.id({5, 4}), g.id({1, 1}));
+}
+
+TEST(Cayley, CirculantWithOffsetOneIsCycle) {
+  EXPECT_EQ(circulant(8, {1}), cycle(8));
+}
+
+TEST(Cayley, CirculantWithAllOffsetsIsComplete) {
+  EXPECT_EQ(circulant(6, {1, 2, 3}), complete(6));
+}
+
+TEST(Cayley, CirculantChordsReduceDiameter) {
+  // C_16(1, 4): chords of length 4 cut the diameter of C_16 roughly in half.
+  const Graph g = circulant(16, {1, 4});
+  EXPECT_LT(diameter(g), diameter(cycle(16)));
+}
+
+TEST(Cayley, GeneratorValidation) {
+  const AbelianGroup z5({5});
+  // {1} is not symmetric in Z_5 (−1 = 4 missing).
+  EXPECT_THROW((void)cayley_graph(z5, {1}), std::invalid_argument);
+  EXPECT_NO_THROW((void)cayley_graph(z5, {1, 4}));
+  EXPECT_THROW((void)cayley_graph(z5, {0}), std::invalid_argument);
+  EXPECT_THROW((void)cayley_graph(z5, {}), std::invalid_argument);
+}
+
+TEST(Cayley, CayleyGraphsAreVertexTransitiveByDistanceProfile) {
+  const AbelianGroup g({6, 4});
+  const Graph cay = cayley_graph_from_tuples(g, {{1, 0}, {5, 0}, {0, 1}, {0, 3}});
+  EXPECT_TRUE(has_uniform_distance_profile(DistanceMatrix(cay)));
+}
+
+TEST(Cayley, HypercubeCayleyMatchesDirectConstruction) {
+  for (Vertex d = 1; d <= 5; ++d) {
+    const Graph via_cayley = hypercube_cayley(d);
+    const Graph direct = hypercube(d);
+    EXPECT_EQ(via_cayley.num_edges(), direct.num_edges());
+    // Same edge set: both connect ids differing in exactly one bit position
+    // (the two constructions use reversed bit orders, so compare as sets of
+    // XOR distances rather than raw equality).
+    for (const auto& [u, v] : via_cayley.edges()) {
+      const Vertex x = u ^ v;
+      EXPECT_EQ(__builtin_popcount(x), 1) << u << "-" << v;
+    }
+  }
+}
+
+TEST(Cayley, EvenSumSubgroupCayleyEqualsRotatedTorus) {
+  // The paper's §5 remark: Figure 4 is the Cayley graph of the even-sum
+  // subgroup of Z²_{2k} with S = {(±1, ±1)}. Verify edge-level equality.
+  for (Vertex k : {2u, 3u, 4u, 5u}) {
+    EXPECT_EQ(even_sum_subgroup_cayley(k), rotated_torus(k).graph()) << "k=" << k;
+  }
+}
+
+TEST(Cayley, TorusAsCayleyOfZmTimesZn) {
+  const AbelianGroup g({4, 5});
+  const Graph cay =
+      cayley_graph_from_tuples(g, {{1, 0}, {3, 0}, {0, 1}, {0, 4}});
+  EXPECT_EQ(cay.num_vertices(), 20u);
+  for (Vertex v = 0; v < 20; ++v) EXPECT_EQ(cay.degree(v), 4u);
+  EXPECT_EQ(diameter(cay), 2u + 2u);
+}
+
+TEST(Cayley, InvolutionGeneratorGivesOneEdge) {
+  // In Z_4, generator 2 is its own inverse: a 1-regular matching plus the
+  // ±1 pair gives degree 3.
+  const Graph g = circulant(4, {1, 2});
+  for (Vertex v = 0; v < 4; ++v) EXPECT_EQ(g.degree(v), 3u);
+  EXPECT_EQ(g, complete(4));
+}
+
+}  // namespace
+}  // namespace bncg

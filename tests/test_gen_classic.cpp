@@ -1,0 +1,108 @@
+// Unit tests for the classic graph family generators.
+#include "gen/classic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.hpp"
+#include "graph/metrics.hpp"
+
+namespace bncg {
+namespace {
+
+TEST(GenClassic, PathShape) {
+  const Graph g = path(6);
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_TRUE(is_tree(g));
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(3), 2u);
+}
+
+TEST(GenClassic, CycleShape) {
+  const Graph g = cycle(7);
+  EXPECT_EQ(g.num_edges(), 7u);
+  for (Vertex v = 0; v < 7; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_THROW((void)cycle(2), std::invalid_argument);
+}
+
+TEST(GenClassic, StarShape) {
+  const Graph g = star(9);
+  EXPECT_EQ(g.degree(0), 8u);
+  for (Vertex v = 1; v < 9; ++v) EXPECT_EQ(g.degree(v), 1u);
+  EXPECT_EQ(diameter(g), 2u);
+}
+
+TEST(GenClassic, DoubleStarShape) {
+  const Graph g = double_star(3, 4);
+  EXPECT_EQ(g.num_vertices(), 9u);
+  EXPECT_TRUE(is_tree(g));
+  EXPECT_EQ(g.degree(0), 4u);  // 3 leaves + other center
+  EXPECT_EQ(g.degree(1), 5u);
+  EXPECT_EQ(diameter(g), 3u);
+}
+
+TEST(GenClassic, DoubleStarDegenerateCases) {
+  EXPECT_EQ(diameter(double_star(0, 0)), 1u);  // single edge
+  EXPECT_EQ(diameter(double_star(1, 0)), 2u);  // path of 3
+}
+
+TEST(GenClassic, CompleteGraphEdgeCount) {
+  const Graph g = complete(8);
+  EXPECT_EQ(g.num_edges(), 28u);
+  EXPECT_EQ(diameter(g), 1u);
+}
+
+TEST(GenClassic, CompleteBipartiteShape) {
+  const Graph g = complete_bipartite(3, 4);
+  EXPECT_EQ(g.num_edges(), 12u);
+  EXPECT_EQ(diameter(g), 2u);
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 3));
+}
+
+TEST(GenClassic, HypercubeShape) {
+  const Graph g = hypercube(4);
+  EXPECT_EQ(g.num_vertices(), 16u);
+  EXPECT_EQ(g.num_edges(), 32u);
+  for (Vertex v = 0; v < 16; ++v) EXPECT_EQ(g.degree(v), 4u);
+}
+
+TEST(GenClassic, GridShape) {
+  const Graph g = grid(3, 4);
+  EXPECT_EQ(g.num_vertices(), 12u);
+  EXPECT_EQ(g.num_edges(), 3u * 3 + 2u * 4);  // 17
+  EXPECT_EQ(diameter(g), 5u);                 // (3-1)+(4-1)
+}
+
+TEST(GenClassic, StandardTorusIsFourRegular) {
+  const Graph g = torus_standard(4, 5);
+  EXPECT_EQ(g.num_vertices(), 20u);
+  for (Vertex v = 0; v < 20; ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_EQ(diameter(g), 2u + 2u);  // floor(4/2) + floor(5/2)
+}
+
+TEST(GenClassic, PetersenBasics) {
+  const Graph g = petersen();
+  EXPECT_EQ(g.num_vertices(), 10u);
+  EXPECT_EQ(g.num_edges(), 15u);
+  for (Vertex v = 0; v < 10; ++v) EXPECT_EQ(g.degree(v), 3u);
+}
+
+TEST(GenClassic, CompleteKaryTreeShape) {
+  const Graph g = complete_kary_tree(2, 3);  // binary, height 3 → 15 vertices
+  EXPECT_EQ(g.num_vertices(), 15u);
+  EXPECT_TRUE(is_tree(g));
+  EXPECT_EQ(diameter(g), 6u);
+  const Graph t = complete_kary_tree(3, 2);  // ternary, height 2 → 13 vertices
+  EXPECT_EQ(t.num_vertices(), 13u);
+}
+
+TEST(GenClassic, LollipopShape) {
+  const Graph g = lollipop(5, 4);
+  EXPECT_EQ(g.num_vertices(), 9u);
+  EXPECT_EQ(g.num_edges(), 10u + 4u);
+  EXPECT_EQ(diameter(g), 1u + 4u);
+  EXPECT_EQ(bridges(g).size(), 4u);
+}
+
+}  // namespace
+}  // namespace bncg

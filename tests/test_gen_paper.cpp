@@ -1,0 +1,153 @@
+// Unit tests for the paper's constructions: the Figure 3 graph and the
+// Figure 4 / d-dimensional diagonal tori, including the closed-form distance
+// formula the Theorem 12 proof relies on.
+#include "gen/paper.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/apsp.hpp"
+#include "graph/metrics.hpp"
+
+namespace bncg {
+namespace {
+
+TEST(Fig3, VertexAndEdgeCounts) {
+  const Graph g = fig3_diameter3_graph();
+  EXPECT_EQ(g.num_vertices(), 13u);
+  // 3 hub edges + 6 b–c edges + 6 d–c edges + 3 matchings × 2 edges.
+  EXPECT_EQ(g.num_edges(), 21u);
+}
+
+TEST(Fig3, DiameterIsExactlyThree) {
+  EXPECT_EQ(diameter(fig3_diameter3_graph()), 3u);
+}
+
+TEST(Fig3, GirthIsFour) {
+  // The proof applies Lemma 8, which needs girth 4 (neighbor sets are
+  // independent sets).
+  EXPECT_EQ(girth(fig3_diameter3_graph()), 4u);
+}
+
+TEST(Fig3, LocalDiametersMatchThePaper) {
+  // "vertices a, b_i, and d_i have local diameter 3, while vertices c_{i,k}
+  //  have local diameter 2."
+  const Graph g = fig3_diameter3_graph();
+  const auto ecc = eccentricities(g);
+  EXPECT_EQ(ecc[fig3::kA], 3u);
+  for (Vertex i = 1; i <= 3; ++i) {
+    EXPECT_EQ(ecc[fig3::b(i)], 3u) << "b" << i;
+    EXPECT_EQ(ecc[fig3::d(i)], 3u) << "d" << i;
+    EXPECT_EQ(ecc[fig3::c(i, 1)], 2u) << "c" << i << ",1";
+    EXPECT_EQ(ecc[fig3::c(i, 2)], 2u) << "c" << i << ",2";
+  }
+}
+
+TEST(Fig3, MatchingStructureIsExactlyAsSpecified) {
+  const Graph g = fig3_diameter3_graph();
+  // Straight matchings.
+  EXPECT_TRUE(g.has_edge(fig3::c(1, 1), fig3::c(2, 1)));
+  EXPECT_TRUE(g.has_edge(fig3::c(1, 2), fig3::c(2, 2)));
+  EXPECT_TRUE(g.has_edge(fig3::c(2, 1), fig3::c(3, 1)));
+  EXPECT_TRUE(g.has_edge(fig3::c(2, 2), fig3::c(3, 2)));
+  // Crossed matching between C1 and C3.
+  EXPECT_TRUE(g.has_edge(fig3::c(1, 1), fig3::c(3, 2)));
+  EXPECT_TRUE(g.has_edge(fig3::c(1, 2), fig3::c(3, 1)));
+  EXPECT_FALSE(g.has_edge(fig3::c(1, 1), fig3::c(3, 1)));
+  // No matching within a Ci pair.
+  EXPECT_FALSE(g.has_edge(fig3::c(1, 1), fig3::c(1, 2)));
+}
+
+TEST(Fig3, DegreesAreAsExpected) {
+  const Graph g = fig3_diameter3_graph();
+  EXPECT_EQ(g.degree(fig3::kA), 3u);
+  for (Vertex i = 1; i <= 3; ++i) {
+    EXPECT_EQ(g.degree(fig3::b(i)), 3u);
+    EXPECT_EQ(g.degree(fig3::d(i)), 2u);
+    EXPECT_EQ(g.degree(fig3::c(i, 1)), 4u);  // b_i, d_i, two matching edges
+    EXPECT_EQ(g.degree(fig3::c(i, 2)), 4u);
+  }
+}
+
+class DiagonalTorusTest : public ::testing::TestWithParam<std::pair<Vertex, Vertex>> {};
+
+TEST_P(DiagonalTorusTest, SizeDegreeAndDistanceFormula) {
+  const auto [dim, k] = GetParam();
+  const DiagonalTorus torus(dim, k);
+  const Graph& g = torus.graph();
+
+  // n = 2·k^dim.
+  std::uint64_t expected_n = 2;
+  for (Vertex t = 0; t < dim; ++t) expected_n *= k;
+  EXPECT_EQ(g.num_vertices(), expected_n);
+
+  // 2^dim-regular.
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(g.degree(v), Vertex{1} << dim) << "vertex " << v;
+  }
+
+  // Closed-form distance equals BFS distance (validates construction and
+  // the Theorem 12 proof's distance formula simultaneously).
+  const DistanceMatrix dm(g);
+  ASSERT_TRUE(dm.connected());
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_EQ(dm.at(u, v), torus.expected_distance(u, v))
+          << "pair " << u << "," << v << " dim=" << dim << " k=" << k;
+    }
+  }
+
+  // Local diameter of every vertex is exactly k; diameter is k.
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(dm.eccentricity(v), k);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallSizes, DiagonalTorusTest,
+                         ::testing::Values(std::pair<Vertex, Vertex>{1, 3},
+                                           std::pair<Vertex, Vertex>{2, 2},
+                                           std::pair<Vertex, Vertex>{2, 3},
+                                           std::pair<Vertex, Vertex>{2, 4},
+                                           std::pair<Vertex, Vertex>{2, 5},
+                                           std::pair<Vertex, Vertex>{3, 2},
+                                           std::pair<Vertex, Vertex>{3, 3},
+                                           std::pair<Vertex, Vertex>{4, 2}));
+
+TEST(DiagonalTorus, CoordinateRoundTrip) {
+  const DiagonalTorus torus(3, 4);
+  for (Vertex v = 0; v < torus.num_vertices(); ++v) {
+    EXPECT_EQ(torus.id(torus.coords(v)), v);
+  }
+}
+
+TEST(DiagonalTorus, CoordsShareParity) {
+  const DiagonalTorus torus(2, 5);
+  for (Vertex v = 0; v < torus.num_vertices(); ++v) {
+    const auto c = torus.coords(v);
+    EXPECT_EQ(c[0] % 2, c[1] % 2);
+  }
+}
+
+TEST(DiagonalTorus, RejectsBadParameters) {
+  EXPECT_THROW(DiagonalTorus(0, 3), std::invalid_argument);
+  EXPECT_THROW(DiagonalTorus(2, 1), std::invalid_argument);
+}
+
+TEST(DiagonalTorus, MixedParityCoordinateRejected) {
+  const DiagonalTorus torus(2, 3);
+  EXPECT_THROW((void)torus.id({0, 1}), std::invalid_argument);
+}
+
+TEST(DiagonalTorus, RotatedTorusHelperIsTwoDimensional) {
+  const DiagonalTorus torus = rotated_torus(4);
+  EXPECT_EQ(torus.dim(), 2u);
+  EXPECT_EQ(torus.num_vertices(), 32u);
+  EXPECT_EQ(torus.expected_local_diameter(), 4u);
+}
+
+TEST(DiagonalTorus, IsVertexTransitiveByDistanceProfile) {
+  const DiagonalTorus torus = rotated_torus(4);
+  EXPECT_TRUE(has_uniform_distance_profile(DistanceMatrix(torus.graph())));
+}
+
+}  // namespace
+}  // namespace bncg

@@ -1,0 +1,102 @@
+// Unit tests for PG(2, q) and its incidence graph (§3.1 substrate).
+#include "gen/projective.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/metrics.hpp"
+
+namespace bncg {
+namespace {
+
+TEST(Projective, IsPrimeBasics) {
+  EXPECT_FALSE(is_prime(0));
+  EXPECT_FALSE(is_prime(1));
+  EXPECT_TRUE(is_prime(2));
+  EXPECT_TRUE(is_prime(3));
+  EXPECT_FALSE(is_prime(4));
+  EXPECT_TRUE(is_prime(13));
+  EXPECT_FALSE(is_prime(91));  // 7 × 13
+  EXPECT_TRUE(is_prime(97));
+}
+
+TEST(Projective, RejectsNonPrimeOrder) {
+  EXPECT_THROW(ProjectivePlane(4), std::invalid_argument);
+  EXPECT_THROW(ProjectivePlane(1), std::invalid_argument);
+}
+
+class ProjectivePlaneTest : public ::testing::TestWithParam<Vertex> {};
+
+TEST_P(ProjectivePlaneTest, PointCountIsQSquaredPlusQPlusOne) {
+  const Vertex q = GetParam();
+  const ProjectivePlane plane(q);
+  EXPECT_EQ(plane.num_points(), q * q + q + 1);
+}
+
+TEST_P(ProjectivePlaneTest, EveryLineHasQPlusOnePoints) {
+  const Vertex q = GetParam();
+  const ProjectivePlane plane(q);
+  for (Vertex l = 0; l < plane.num_points(); ++l) {
+    EXPECT_EQ(plane.points_on_line(l).size(), q + 1u) << "line " << l;
+  }
+}
+
+TEST_P(ProjectivePlaneTest, AnyTwoPointsShareExactlyOneLine) {
+  const Vertex q = GetParam();
+  const ProjectivePlane plane(q);
+  const Vertex n = plane.num_points();
+  for (Vertex p1 = 0; p1 < n; ++p1) {
+    for (Vertex p2 = p1 + 1; p2 < n; ++p2) {
+      Vertex shared = 0;
+      for (Vertex l = 0; l < n; ++l) {
+        if (plane.incident(p1, l) && plane.incident(p2, l)) ++shared;
+      }
+      ASSERT_EQ(shared, 1u) << "points " << p1 << "," << p2;
+    }
+  }
+}
+
+TEST_P(ProjectivePlaneTest, LineThroughIsIncidentToBoth) {
+  const Vertex q = GetParam();
+  const ProjectivePlane plane(q);
+  const Vertex n = plane.num_points();
+  for (Vertex p1 = 0; p1 < n; ++p1) {
+    for (Vertex p2 = p1 + 1; p2 < n; ++p2) {
+      const Vertex l = plane.line_through(p1, p2);
+      ASSERT_TRUE(plane.incident(p1, l));
+      ASSERT_TRUE(plane.incident(p2, l));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallOrders, ProjectivePlaneTest, ::testing::Values(2, 3, 5, 7));
+
+TEST(Projective, FanoIncidenceGraphIsHeawood) {
+  // PG(2,2) incidence graph = Heawood graph: 14 vertices, 21 edges,
+  // 3-regular, girth 6, diameter 3.
+  const Graph g = incidence_graph(ProjectivePlane(2));
+  EXPECT_EQ(g.num_vertices(), 14u);
+  EXPECT_EQ(g.num_edges(), 21u);
+  for (Vertex v = 0; v < 14; ++v) EXPECT_EQ(g.degree(v), 3u);
+  EXPECT_EQ(girth(g), 6u);
+  EXPECT_EQ(diameter(g), 3u);
+}
+
+TEST(Projective, IncidenceGraphInvariants) {
+  for (Vertex q : {3u, 5u}) {
+    const ProjectivePlane plane(q);
+    const Graph g = incidence_graph(plane);
+    EXPECT_EQ(g.num_vertices(), 2 * plane.num_points());
+    EXPECT_EQ(g.num_edges(),
+              static_cast<std::size_t>(plane.num_points()) * (q + 1));
+    EXPECT_EQ(girth(g), 6u);
+    EXPECT_EQ(diameter(g), 3u);
+    // Bipartite: no edge inside the point side or the line side.
+    const Vertex n = plane.num_points();
+    for (const auto& [u, v] : g.edges()) {
+      EXPECT_TRUE(u < n && v >= n);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bncg

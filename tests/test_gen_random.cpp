@@ -1,0 +1,133 @@
+// Unit tests for random graph generators: shape invariants and determinism.
+#include "gen/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.hpp"
+#include "graph/metrics.hpp"
+
+namespace bncg {
+namespace {
+
+TEST(GenRandom, RandomTreeIsATree) {
+  Xoshiro256ss rng(1);
+  for (Vertex n : {1u, 2u, 3u, 10u, 50u, 200u}) {
+    const Graph g = random_tree(n, rng);
+    EXPECT_EQ(g.num_vertices(), n);
+    EXPECT_TRUE(is_tree(g)) << "n=" << n;
+  }
+}
+
+TEST(GenRandom, RandomTreeIsDeterministicGivenSeed) {
+  Xoshiro256ss rng1(99), rng2(99);
+  EXPECT_EQ(random_tree(30, rng1), random_tree(30, rng2));
+}
+
+TEST(GenRandom, RandomTreesVaryAcrossSeeds) {
+  Xoshiro256ss rng1(1), rng2(2);
+  EXPECT_NE(random_tree(30, rng1), random_tree(30, rng2));
+}
+
+TEST(GenRandom, GnmHasExactEdgeCount) {
+  Xoshiro256ss rng(5);
+  for (const std::size_t m : {0ull, 10ull, 50ull, 100ull}) {
+    const Graph g = random_gnm(20, m, rng);
+    EXPECT_EQ(g.num_edges(), m);
+    EXPECT_NO_THROW(g.check_invariants());
+  }
+}
+
+TEST(GenRandom, GnmDenseCaseViaComplement) {
+  Xoshiro256ss rng(6);
+  const std::size_t max_edges = 20ull * 19 / 2;
+  const Graph g = random_gnm(20, max_edges - 3, rng);
+  EXPECT_EQ(g.num_edges(), max_edges - 3);
+  const Graph full = random_gnm(10, 45, rng);
+  EXPECT_EQ(full.num_edges(), 45u);
+}
+
+TEST(GenRandom, GnmRejectsOverfullRequest) {
+  Xoshiro256ss rng(7);
+  EXPECT_THROW((void)random_gnm(5, 11, rng), std::invalid_argument);
+}
+
+TEST(GenRandom, GnpExtremes) {
+  Xoshiro256ss rng(8);
+  EXPECT_EQ(random_gnp(12, 0.0, rng).num_edges(), 0u);
+  EXPECT_EQ(random_gnp(12, 1.0, rng).num_edges(), 66u);
+}
+
+TEST(GenRandom, GnpDensityRoughlyMatchesP) {
+  Xoshiro256ss rng(9);
+  const Graph g = random_gnp(100, 0.3, rng);
+  const double density = static_cast<double>(g.num_edges()) / (100.0 * 99 / 2);
+  EXPECT_NEAR(density, 0.3, 0.05);
+}
+
+TEST(GenRandom, ConnectedGnmIsConnectedWithExactBudget) {
+  Xoshiro256ss rng(10);
+  for (const std::size_t m : {19ull, 25ull, 60ull}) {
+    const Graph g = random_connected_gnm(20, m, rng);
+    EXPECT_EQ(g.num_edges(), m);
+    EXPECT_TRUE(is_connected(g));
+  }
+  EXPECT_THROW((void)random_connected_gnm(20, 10, rng), std::invalid_argument);
+}
+
+TEST(GenRandom, WattsStrogatzZeroBetaIsRingLattice) {
+  Xoshiro256ss rng(11);
+  const Graph g = watts_strogatz(20, 2, 0.0, rng);
+  EXPECT_EQ(g.num_edges(), 40u);
+  for (Vertex v = 0; v < 20; ++v) EXPECT_EQ(g.degree(v), 4u);
+}
+
+TEST(GenRandom, WattsStrogatzPreservesEdgeCount) {
+  Xoshiro256ss rng(12);
+  const Graph g = watts_strogatz(40, 3, 0.5, rng);
+  EXPECT_EQ(g.num_edges(), 120u);
+  EXPECT_NO_THROW(g.check_invariants());
+}
+
+TEST(GenRandom, WattsStrogatzRewiringShrinksDiameter) {
+  Xoshiro256ss rng(13);
+  const Graph lattice = watts_strogatz(100, 2, 0.0, rng);
+  const Graph small_world = watts_strogatz(100, 2, 0.3, rng);
+  EXPECT_LT(diameter(small_world), diameter(lattice));
+}
+
+TEST(GenRandom, BarabasiAlbertShape) {
+  Xoshiro256ss rng(14);
+  const Vertex n = 60;
+  const Vertex m = 3;
+  const Graph g = barabasi_albert(n, m, rng);
+  EXPECT_EQ(g.num_vertices(), n);
+  // Seed clique C(m+1, 2) plus m per additional vertex.
+  EXPECT_EQ(g.num_edges(), 6u + static_cast<std::size_t>(n - m - 1) * m);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(GenRandom, BarabasiAlbertHasSkewedDegrees) {
+  Xoshiro256ss rng(15);
+  const Graph g = barabasi_albert(200, 2, rng);
+  const DegreeStats s = degree_stats(g);
+  EXPECT_GE(s.max_degree, 4 * s.min_degree);  // hubs emerge
+}
+
+TEST(GenRandom, RandomRegularIsRegularAndSimple) {
+  Xoshiro256ss rng(16);
+  for (const auto& [n, d] : {std::pair<Vertex, Vertex>{10, 3},
+                            std::pair<Vertex, Vertex>{20, 4},
+                            std::pair<Vertex, Vertex>{15, 4}}) {
+    const Graph g = random_regular(n, d, rng);
+    for (Vertex v = 0; v < n; ++v) EXPECT_EQ(g.degree(v), d);
+    EXPECT_NO_THROW(g.check_invariants());
+  }
+}
+
+TEST(GenRandom, RandomRegularRejectsOddProduct) {
+  Xoshiro256ss rng(17);
+  EXPECT_THROW((void)random_regular(5, 3, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bncg

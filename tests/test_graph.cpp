@@ -1,0 +1,169 @@
+// Unit tests for the Graph substrate: construction, mutation, invariants.
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace bncg {
+namespace {
+
+TEST(Graph, EmptyGraphHasNoVerticesOrEdges) {
+  const Graph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_NO_THROW(g.check_invariants());
+}
+
+TEST(Graph, EdgelessGraphHasIsolatedVertices) {
+  const Graph g(5);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  for (Vertex v = 0; v < 5; ++v) EXPECT_EQ(g.degree(v), 0u);
+}
+
+TEST(Graph, AddEdgeIsSymmetric) {
+  Graph g(3);
+  g.add_edge(0, 2);
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 1u);
+  EXPECT_EQ(g.degree(1), 0u);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Graph, RemoveEdgeRestoresState) {
+  Graph g(4);
+  g.add_edge(1, 3);
+  g.add_edge(1, 2);
+  g.remove_edge(1, 3);
+  EXPECT_FALSE(g.has_edge(1, 3));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_EQ(g.num_edges(), 1u);
+  g.check_invariants();
+}
+
+TEST(Graph, NeighborsAreSorted) {
+  Graph g(6);
+  g.add_edge(3, 5);
+  g.add_edge(3, 0);
+  g.add_edge(3, 4);
+  g.add_edge(3, 1);
+  const auto nbrs = g.neighbors(3);
+  ASSERT_EQ(nbrs.size(), 4u);
+  EXPECT_EQ(nbrs[0], 0u);
+  EXPECT_EQ(nbrs[1], 1u);
+  EXPECT_EQ(nbrs[2], 4u);
+  EXPECT_EQ(nbrs[3], 5u);
+}
+
+TEST(Graph, SelfLoopRejected) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(1, 1), std::invalid_argument);
+}
+
+TEST(Graph, DuplicateEdgeRejected) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.add_edge(1, 0), std::invalid_argument);
+}
+
+TEST(Graph, AddEdgeIfAbsentReportsInsertion) {
+  Graph g(3);
+  EXPECT_TRUE(g.add_edge_if_absent(0, 1));
+  EXPECT_FALSE(g.add_edge_if_absent(1, 0));
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Graph, RemoveMissingEdgeRejected) {
+  Graph g(3);
+  EXPECT_THROW(g.remove_edge(0, 1), std::invalid_argument);
+}
+
+TEST(Graph, OutOfRangeVertexRejected) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(0, 3), std::invalid_argument);
+  EXPECT_THROW((void)g.degree(7), std::invalid_argument);
+  EXPECT_THROW((void)g.has_edge(3, 0), std::invalid_argument);
+}
+
+TEST(Graph, AddVertexExtendsRange) {
+  Graph g(2);
+  const Vertex v = g.add_vertex();
+  EXPECT_EQ(v, 2u);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  g.add_edge(v, 0);
+  EXPECT_TRUE(g.has_edge(2, 0));
+}
+
+TEST(Graph, EdgesAreLexicographicallySortedPairs) {
+  Graph g(4);
+  g.add_edge(2, 3);
+  g.add_edge(0, 3);
+  g.add_edge(0, 1);
+  const auto edge_list = g.edges();
+  ASSERT_EQ(edge_list.size(), 3u);
+  EXPECT_EQ(edge_list[0], (Edge{0, 1}));
+  EXPECT_EQ(edge_list[1], (Edge{0, 3}));
+  EXPECT_EQ(edge_list[2], (Edge{2, 3}));
+}
+
+TEST(Graph, GraphFromEdgesRoundTrips) {
+  const Graph g = graph_from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_FALSE(g.has_edge(0, 3));
+}
+
+TEST(Graph, EqualityComparesEdgeSets) {
+  Graph a(3), b(3);
+  a.add_edge(0, 1);
+  b.add_edge(0, 1);
+  EXPECT_EQ(a, b);
+  b.add_edge(1, 2);
+  EXPECT_NE(a, b);
+}
+
+TEST(Graph, ComplementOfTriangleIsEmpty) {
+  const Graph k3 = graph_from_edges(3, {{0, 1}, {1, 2}, {0, 2}});
+  const Graph comp = complement(k3);
+  EXPECT_EQ(comp.num_edges(), 0u);
+}
+
+TEST(Graph, ComplementIsInvolution) {
+  Xoshiro256ss rng(7);
+  Graph g(12);
+  for (int i = 0; i < 20; ++i) {
+    const Vertex u = static_cast<Vertex>(rng.below(12));
+    const Vertex v = static_cast<Vertex>(rng.below(12));
+    if (u != v) g.add_edge_if_absent(u, v);
+  }
+  EXPECT_EQ(complement(complement(g)), g);
+}
+
+TEST(Graph, ToStringListsEdges) {
+  const Graph g = graph_from_edges(3, {{0, 1}, {1, 2}});
+  EXPECT_EQ(to_string(g), "n=3 m=2: 0-1 1-2");
+}
+
+TEST(Graph, InvariantCheckerPassesAfterRandomChurn) {
+  Xoshiro256ss rng(42);
+  Graph g(20);
+  for (int step = 0; step < 500; ++step) {
+    const Vertex u = static_cast<Vertex>(rng.below(20));
+    const Vertex v = static_cast<Vertex>(rng.below(20));
+    if (u == v) continue;
+    if (g.has_edge(u, v)) {
+      g.remove_edge(u, v);
+    } else {
+      g.add_edge(u, v);
+    }
+  }
+  EXPECT_NO_THROW(g.check_invariants());
+}
+
+}  // namespace
+}  // namespace bncg

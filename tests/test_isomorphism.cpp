@@ -1,0 +1,97 @@
+// Unit tests for the isomorphism module.
+#include "graph/isomorphism.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/cayley.hpp"
+#include "gen/classic.hpp"
+#include "gen/paper.hpp"
+#include "gen/random.hpp"
+#include "util/rng.hpp"
+
+namespace bncg {
+namespace {
+
+/// Relabels g by the permutation p (p[old] = new).
+Graph relabel(const Graph& g, const std::vector<Vertex>& p) {
+  Graph h(g.num_vertices());
+  for (const auto& [u, v] : g.edges()) h.add_edge(p[u], p[v]);
+  return h;
+}
+
+TEST(Isomorphism, IdenticalGraphsAreIsomorphic) {
+  EXPECT_TRUE(are_isomorphic(petersen(), petersen()));
+  EXPECT_TRUE(are_isomorphic(Graph(0), Graph(0)));
+  EXPECT_TRUE(are_isomorphic(Graph(3), Graph(3)));
+}
+
+TEST(Isomorphism, RandomRelabelingsAreDetected) {
+  Xoshiro256ss rng(91);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Graph g = random_gnm(12, 20, rng);
+    std::vector<Vertex> perm(12);
+    for (Vertex v = 0; v < 12; ++v) perm[v] = v;
+    rng.shuffle(perm);
+    const Graph h = relabel(g, perm);
+    EXPECT_TRUE(are_isomorphic(g, h));
+    const auto mapping = find_isomorphism(g, h);
+    ASSERT_TRUE(mapping.has_value());
+    // Verify the returned mapping is a genuine isomorphism.
+    for (const auto& [u, v] : g.edges()) {
+      EXPECT_TRUE(h.has_edge((*mapping)[u], (*mapping)[v]));
+    }
+  }
+}
+
+TEST(Isomorphism, DifferentSizesRejectImmediately) {
+  EXPECT_FALSE(are_isomorphic(path(4), path(5)));
+  EXPECT_FALSE(are_isomorphic(cycle(6), path(6)));  // different m
+}
+
+TEST(Isomorphism, SameDegreeSequenceDifferentStructure) {
+  // C6 vs two triangles: both 2-regular on 6 vertices.
+  Graph two_triangles =
+      graph_from_edges(6, {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}});
+  EXPECT_FALSE(are_isomorphic(cycle(6), two_triangles));
+}
+
+TEST(Isomorphism, StarVersusDoubleStar) {
+  EXPECT_FALSE(are_isomorphic(star(6), double_star(2, 2)));
+}
+
+TEST(Isomorphism, HypercubeConstructionsAreIsomorphic) {
+  for (Vertex d = 2; d <= 4; ++d) {
+    EXPECT_TRUE(are_isomorphic(hypercube(d), hypercube_cayley(d))) << d;
+  }
+}
+
+TEST(Isomorphism, InvariantsAgreeOnIsomorphs) {
+  Xoshiro256ss rng(92);
+  const Graph g = random_gnm(14, 25, rng);
+  std::vector<Vertex> perm(14);
+  for (Vertex v = 0; v < 14; ++v) perm[v] = v;
+  rng.shuffle(perm);
+  EXPECT_EQ(graph_invariants(g), graph_invariants(relabel(g, perm)));
+}
+
+TEST(Isomorphism, InvariantsSeparateNonIsomorphs) {
+  EXPECT_NE(graph_invariants(path(5)), graph_invariants(star(5)));
+}
+
+TEST(Isomorphism, WitnessGraphIsNotLiteralFig3Subgraph) {
+  // Sanity: the 8-vertex Theorem 5 witness is its own graph, unrelated to
+  // any relabeling of classic families of the same size/edges.
+  const Graph w = diameter3_sum_equilibrium_n8();
+  EXPECT_FALSE(are_isomorphic(w, cycle(8)));
+  EXPECT_FALSE(are_isomorphic(w, double_star(3, 3)));
+}
+
+TEST(Isomorphism, VertexTransitiveFamiliesMatchThemselvesUnderRotation) {
+  const Graph g = cycle(9);
+  std::vector<Vertex> rotation(9);
+  for (Vertex v = 0; v < 9; ++v) rotation[v] = (v + 4) % 9;
+  EXPECT_TRUE(are_isomorphic(g, relabel(g, rotation)));
+}
+
+}  // namespace
+}  // namespace bncg

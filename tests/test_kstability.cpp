@@ -1,0 +1,199 @@
+// Unit tests for k-insertion stability and the exact set-cover solver.
+#include "core/kstability.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/equilibrium.hpp"
+#include "gen/classic.hpp"
+#include "gen/paper.hpp"
+#include "gen/random.hpp"
+#include "util/rng.hpp"
+
+namespace bncg {
+namespace {
+
+TEST(MinCover, TrivialCases) {
+  EXPECT_EQ(min_cover_size(0, {}, 3), 0u);
+  // One set covering everything.
+  EXPECT_EQ(min_cover_size(3, {{0b111}}, 3), 1u);
+  // Uncoverable element.
+  EXPECT_FALSE(min_cover_size(3, {{0b011}}, 3).has_value());
+}
+
+TEST(MinCover, NeedsTwoSets) {
+  const std::vector<std::vector<std::uint64_t>> sets = {{0b0011}, {0b1100}, {0b0110}};
+  EXPECT_EQ(min_cover_size(4, sets, 4), 2u);
+}
+
+TEST(MinCover, DepthCapBlocksDeepCovers) {
+  const std::vector<std::vector<std::uint64_t>> sets = {{0b001}, {0b010}, {0b100}};
+  EXPECT_FALSE(min_cover_size(3, sets, 2).has_value());
+  EXPECT_EQ(min_cover_size(3, sets, 3), 3u);
+}
+
+TEST(MinCover, PrefersSmallCoverWhenGreedyWouldNot) {
+  // Classic greedy trap: a big set that forces 3 picks vs an exact 2-cover.
+  // Universe {0..5}; greedy takes {0,1,2,3} then needs two more.
+  const std::vector<std::vector<std::uint64_t>> sets = {
+      {0b001111},  // 0-3 (greedy's first pick)
+      {0b000111},  // 0-2
+      {0b111000},  // 3-5
+  };
+  EXPECT_EQ(min_cover_size(6, sets, 6), 2u);
+}
+
+TEST(MinCover, MultiWordUniverse) {
+  // Universe of 100 elements split between two sets.
+  std::vector<std::uint64_t> low(2, 0), high(2, 0);
+  for (Vertex i = 0; i < 50; ++i) low[i / 64] |= std::uint64_t{1} << (i % 64);
+  for (Vertex i = 50; i < 100; ++i) high[i / 64] |= std::uint64_t{1} << (i % 64);
+  EXPECT_EQ(min_cover_size(100, {low, high}, 5), 2u);
+}
+
+TEST(KStability, PathEndpointImprovesWithOneInsertion) {
+  const DistanceMatrix dm(path(7));
+  const KStabilityReport r = insertion_stability_at(dm, 0, 1);
+  EXPECT_FALSE(r.stable);
+  ASSERT_EQ(r.witness_endpoints.size(), 1u);
+  // The witness must actually reduce ecc: adding 0–w with d(w, 6) ≤ ecc−2.
+  EXPECT_LE(dm.at(r.witness_endpoints[0], 6), dm.eccentricity(0) - 2);
+}
+
+TEST(KStability, CompleteGraphIsTriviallyStable) {
+  const DistanceMatrix dm(complete(6));
+  for (Vertex v = 0; v < 6; ++v) {
+    EXPECT_TRUE(insertion_stability_at(dm, v, 5).stable);
+  }
+}
+
+TEST(KStability, StableForZeroInsertions) {
+  const DistanceMatrix dm(path(5));
+  EXPECT_TRUE(insertion_stability_at(dm, 0, 0).stable);
+}
+
+TEST(KStability, OneStabilityMatchesInsertionStablePredicate) {
+  // insertion_stability(g, 1) must agree with is_insertion_stable on its
+  // "some endpoint improves" half: if a graph is 1-insertion-stable at every
+  // vertex, no insertion decreases any endpoint's eccentricity.
+  for (const Graph& g :
+       {rotated_torus(3).graph(), star(8), cycle(6), complete(5), path(6)}) {
+    const bool via_cover = insertion_stability(g, 1).stable;
+    EXPECT_EQ(via_cover, is_insertion_stable(g)) << to_string(g);
+  }
+}
+
+TEST(KStability, RotatedTorusStableUnderOneInsertionOnly) {
+  // Theorem 12 (d = 2): stable under d−1 = 1 insertion; two coordinated
+  // insertions can beat it (the paper's trade-off is tight in spirit).
+  const DiagonalTorus torus = rotated_torus(4);
+  const DistanceMatrix dm(torus.graph());
+  // Vertex-transitive: one representative suffices, but check a few.
+  for (Vertex v : {0u, 5u, 17u}) {
+    EXPECT_TRUE(insertion_stability_at(dm, v, 1).stable) << v;
+  }
+}
+
+TEST(KStability, ThreeDimTorusStableUnderTwoInsertions) {
+  // d = 3 → stable under 2 insertions.
+  const DiagonalTorus torus(3, 3);
+  const DistanceMatrix dm(torus.graph());
+  EXPECT_TRUE(insertion_stability_at(dm, 0, 1).stable);
+  EXPECT_TRUE(insertion_stability_at(dm, 0, 2).stable);
+}
+
+TEST(KStability, CycleFallsToOneInsertion) {
+  // Long cycles improve with a single chord to the antipode.
+  const DistanceMatrix dm(cycle(12));
+  const KStabilityReport r = insertion_stability_at(dm, 0, 1);
+  EXPECT_FALSE(r.stable);
+}
+
+TEST(KStability, MaxToleratedInsertionsOnTori) {
+  // The paper guarantees stability under d−1 insertions. For d = 2 with
+  // k ≥ 4 two coordinated insertions (corner + midpoint) do break it, so
+  // the tolerance is exactly 1; in higher dimensions with small k the far
+  // sphere is thin and the measured tolerance can exceed d−1 (the theorem
+  // is a lower bound, not an equality).
+  {
+    const DiagonalTorus torus(2, 4);
+    const DistanceMatrix dm(torus.graph());
+    EXPECT_EQ(max_tolerated_insertions(dm, 0, 4), 1u);
+  }
+  {
+    const DiagonalTorus torus(3, 3);
+    const DistanceMatrix dm(torus.graph());
+    EXPECT_GE(max_tolerated_insertions(dm, 0, 4), 2u);
+  }
+}
+
+TEST(KStability, WitnessActuallyReducesEccentricity) {
+  // Validate unstable witnesses end-to-end by applying the insertions.
+  const Graph g = cycle(14);
+  const DistanceMatrix dm(g);
+  const KStabilityReport r = insertion_stability_at(dm, 0, 2);
+  ASSERT_FALSE(r.stable);
+  Graph h = g;
+  for (const Vertex w : r.witness_endpoints) h.add_edge_if_absent(0, w);
+  EXPECT_LT(eccentricity(h, 0), dm.eccentricity(0));
+}
+
+TEST(KSwapStability, PathEndpointImprovesWithOneSwap) {
+  // Endpoint 0 of P_7 re-attaches toward the middle: ecc 6 → 4.
+  const KStabilityReport r = swap_stability_at(path(7), 0, 1);
+  EXPECT_FALSE(r.stable);
+  ASSERT_EQ(r.witness_deletions.size(), 1u);
+  ASSERT_EQ(r.witness_endpoints.size(), 1u);
+  // Validate the witness end to end.
+  Graph h = path(7);
+  h.remove_edge(0, r.witness_deletions[0]);
+  h.add_edge_if_absent(0, r.witness_endpoints[0]);
+  EXPECT_LT(eccentricity(h, 0), 6u);
+}
+
+TEST(KSwapStability, CycleVertexImprovesWithOneSwap) {
+  EXPECT_FALSE(swap_stability_at(cycle(12), 0, 1).stable);
+}
+
+TEST(KSwapStability, RotatedTorusIsOneSwapStable) {
+  // The form Theorem 12 states: stable under swapping up to d−1 = 1 edge.
+  const DiagonalTorus torus = rotated_torus(4);
+  EXPECT_TRUE(swap_stability_at(torus.graph(), 0, 1).stable);
+}
+
+TEST(KSwapStability, ThreeDimTorusIsTwoSwapStable) {
+  const DiagonalTorus torus(3, 3);
+  EXPECT_TRUE(swap_stability_at(torus.graph(), 0, 2).stable);
+}
+
+TEST(KSwapStability, InsertionStabilityImpliesSwapStability) {
+  // Deletions only lengthen paths in H = G − D, so a k-swap improvement
+  // yields a k-insertion improvement; contrapositive checked empirically.
+  Xoshiro256ss rng(222);
+  for (int trial = 0; trial < 6; ++trial) {
+    const Graph g = random_connected_gnm(12, 20, rng);
+    const DistanceMatrix dm(g);
+    for (Vertex v = 0; v < 4; ++v) {
+      if (insertion_stability_at(dm, v, 1).stable) {
+        EXPECT_TRUE(swap_stability_at(g, v, 1).stable) << to_string(g) << " v=" << v;
+      }
+    }
+  }
+}
+
+TEST(KSwapStability, ZeroBudgetIsAlwaysStable) {
+  EXPECT_TRUE(swap_stability_at(path(5), 0, 0).stable);
+}
+
+TEST(KSwapStability, CompleteGraphIsStable) {
+  EXPECT_TRUE(swap_stability_at(complete(6), 0, 3).stable);
+}
+
+TEST(KStability, DisconnectedGraphRejected) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  const DistanceMatrix dm(g);
+  EXPECT_THROW((void)insertion_stability_at(dm, 0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bncg

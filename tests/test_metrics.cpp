@@ -1,0 +1,141 @@
+// Unit tests for graph metrics: diameter, radius, girth, Wiener index.
+#include "graph/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/classic.hpp"
+#include "gen/random.hpp"
+#include "util/rng.hpp"
+
+namespace bncg {
+namespace {
+
+TEST(Metrics, PathDiameterAndRadius) {
+  const DistanceStats s = distance_stats(path(7));
+  EXPECT_TRUE(s.connected);
+  EXPECT_EQ(s.diameter, 6u);
+  EXPECT_EQ(s.radius, 3u);
+}
+
+TEST(Metrics, CycleDiameter) {
+  EXPECT_EQ(diameter(cycle(8)), 4u);
+  EXPECT_EQ(diameter(cycle(9)), 4u);
+}
+
+TEST(Metrics, StarStats) {
+  const DistanceStats s = distance_stats(star(10));
+  EXPECT_EQ(s.diameter, 2u);
+  EXPECT_EQ(s.radius, 1u);
+  // Wiener: 9 center-leaf pairs at 1, C(9,2)=36 leaf pairs at 2.
+  EXPECT_EQ(s.wiener, 9u + 72u);
+}
+
+TEST(Metrics, CompleteGraphDiameterOne) {
+  const DistanceStats s = distance_stats(complete(6));
+  EXPECT_EQ(s.diameter, 1u);
+  EXPECT_EQ(s.radius, 1u);
+  EXPECT_DOUBLE_EQ(s.avg_distance, 1.0);
+}
+
+TEST(Metrics, DisconnectedDiameterIsInf) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  EXPECT_EQ(diameter(g), kInfDist);
+  const DistanceStats s = distance_stats(g);
+  EXPECT_FALSE(s.connected);
+  EXPECT_EQ(s.diameter, kInfDist);
+}
+
+TEST(Metrics, GirthOfCycleIsItsLength) {
+  EXPECT_EQ(girth(cycle(5)), 5u);
+  EXPECT_EQ(girth(cycle(12)), 12u);
+}
+
+TEST(Metrics, GirthOfTreeIsInf) {
+  EXPECT_EQ(girth(path(10)), kInfDist);
+  EXPECT_EQ(girth(star(6)), kInfDist);
+}
+
+TEST(Metrics, GirthOfCompleteGraphIsThree) { EXPECT_EQ(girth(complete(5)), 3u); }
+
+TEST(Metrics, GirthOfCompleteBipartiteIsFour) {
+  EXPECT_EQ(girth(complete_bipartite(3, 3)), 4u);
+}
+
+TEST(Metrics, GirthOfPetersenIsFive) { EXPECT_EQ(girth(petersen()), 5u); }
+
+TEST(Metrics, PetersenDiameterTwo) { EXPECT_EQ(diameter(petersen()), 2u); }
+
+TEST(Metrics, HypercubeDiameterEqualsDimension) {
+  for (Vertex d = 1; d <= 6; ++d) {
+    EXPECT_EQ(diameter(hypercube(d)), d) << "dimension " << d;
+  }
+}
+
+TEST(Metrics, EccentricitiesOfDoubleStar) {
+  const Graph g = double_star(2, 2);  // centers 0,1; leaves 2,3 on 0; 4,5 on 1
+  const auto ecc = eccentricities(g);
+  EXPECT_EQ(ecc[0], 2u);
+  EXPECT_EQ(ecc[1], 2u);
+  EXPECT_EQ(ecc[2], 3u);
+  EXPECT_EQ(ecc[4], 3u);
+}
+
+TEST(Metrics, TotalDistanceSumIsTwiceWiener) {
+  Xoshiro256ss rng(9);
+  const Graph g = random_connected_gnm(24, 40, rng);
+  const DistanceStats s = distance_stats(g);
+  EXPECT_EQ(total_distance_sum(g), 2 * s.wiener);
+}
+
+TEST(Metrics, DistanceHistogramSumsToOrderedPairs) {
+  Xoshiro256ss rng(10);
+  const Graph g = random_connected_gnm(20, 35, rng);
+  const DistanceMatrix dm(g);
+  const auto hist = distance_histogram(dm);
+  std::uint64_t total = 0;
+  for (const auto count : hist) total += count;
+  EXPECT_EQ(total, 20ull * 20ull);  // includes n diagonal zeros
+  EXPECT_EQ(hist[0], 20u);
+  EXPECT_EQ(hist[1], 2 * g.num_edges());
+}
+
+TEST(Metrics, DegreeStats) {
+  const DegreeStats s = degree_stats(star(5));
+  EXPECT_EQ(s.min_degree, 1u);
+  EXPECT_EQ(s.max_degree, 4u);
+  EXPECT_DOUBLE_EQ(s.avg_degree, 8.0 / 5.0);
+}
+
+TEST(Metrics, IsTreeDetectsTreesAndNonTrees) {
+  EXPECT_TRUE(is_tree(path(5)));
+  EXPECT_TRUE(is_tree(star(7)));
+  EXPECT_FALSE(is_tree(cycle(5)));
+  Graph forest(4);
+  forest.add_edge(0, 1);
+  forest.add_edge(2, 3);
+  EXPECT_FALSE(is_tree(forest));  // right edge count minus one, disconnected
+  Graph g(1);
+  EXPECT_TRUE(is_tree(g));
+}
+
+TEST(Metrics, UniformDistanceProfileOnVertexTransitiveGraphs) {
+  EXPECT_TRUE(has_uniform_distance_profile(DistanceMatrix(cycle(9))));
+  EXPECT_TRUE(has_uniform_distance_profile(DistanceMatrix(complete(5))));
+  EXPECT_TRUE(has_uniform_distance_profile(DistanceMatrix(hypercube(4))));
+  EXPECT_FALSE(has_uniform_distance_profile(DistanceMatrix(path(4))));
+  EXPECT_FALSE(has_uniform_distance_profile(DistanceMatrix(star(5))));
+}
+
+TEST(Metrics, RadiusLeDiameterLeTwiceRadius) {
+  Xoshiro256ss rng(14);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = random_connected_gnm(30, 45 + trial, rng);
+    const DistanceStats s = distance_stats(g);
+    EXPECT_LE(s.radius, s.diameter);
+    EXPECT_LE(s.diameter, 2 * s.radius);
+  }
+}
+
+}  // namespace
+}  // namespace bncg

@@ -1,0 +1,97 @@
+// Unit tests for price-of-anarchy observables.
+#include "core/poa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/dynamics.hpp"
+#include "gen/classic.hpp"
+#include "gen/random.hpp"
+#include "graph/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace bncg {
+namespace {
+
+TEST(Poa, SumLowerBoundFormula) {
+  // 2n(n−1) − 2m.
+  EXPECT_EQ(sum_social_cost_lower_bound(5, 4), 2u * 20 - 8);
+  EXPECT_EQ(sum_social_cost_lower_bound(1, 0), 0u);
+}
+
+TEST(Poa, SumLowerBoundTightForDiameterTwoGraphs) {
+  for (const Graph& g : {star(9), complete(6), cycle(5)}) {
+    EXPECT_EQ(social_cost(g, UsageCost::Sum),
+              sum_social_cost_lower_bound(g.num_vertices(), g.num_edges()))
+        << to_string(g);
+  }
+}
+
+TEST(Poa, SumLowerBoundIsALowerBound) {
+  Xoshiro256ss rng(51);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = random_connected_gnm(20, 25 + trial, rng);
+    EXPECT_GE(social_cost(g, UsageCost::Sum),
+              sum_social_cost_lower_bound(20, g.num_edges()));
+  }
+}
+
+TEST(Poa, MaxLowerBoundBasics) {
+  // Star at m = n−1: the degree-capacity bound allows ⌊2m/(n−1)⌋ = 2
+  // full-degree vertices → bound 2·1 + 7·2 = 16; actual star cost is 17
+  // (only one center exists), so the bound is valid but not tight here.
+  EXPECT_EQ(max_social_cost_lower_bound(9, 8), 2u + 7 * 2);
+  EXPECT_EQ(social_cost(star(9), UsageCost::Max), 1u + 8 * 2);
+  EXPECT_GE(social_cost(star(9), UsageCost::Max), max_social_cost_lower_bound(9, 8));
+  // Clique: everyone at ecc 1 — tight.
+  EXPECT_EQ(max_social_cost_lower_bound(6, 15), 6u);
+  EXPECT_EQ(social_cost(complete(6), UsageCost::Max), 6u);
+}
+
+TEST(Poa, RatioIsAtLeastOne) {
+  Xoshiro256ss rng(52);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Graph g = random_connected_gnm(16, 20 + trial, rng);
+    EXPECT_GE(social_cost_ratio(g, UsageCost::Sum), 1.0 - 1e-12);
+    EXPECT_GE(social_cost_ratio(g, UsageCost::Max), 1.0 - 1e-12);
+  }
+}
+
+TEST(Poa, RatioOneForStars) {
+  EXPECT_DOUBLE_EQ(social_cost_ratio(star(12), UsageCost::Sum), 1.0);
+}
+
+TEST(Poa, RatioGrowsWithPathLength) {
+  EXPECT_LT(social_cost_ratio(path(5), UsageCost::Sum),
+            social_cost_ratio(path(50), UsageCost::Sum));
+}
+
+TEST(Poa, DisconnectedGraphGetsHugeRatio) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  EXPECT_GT(social_cost_ratio(g, UsageCost::Sum), 1e12);
+  EXPECT_GT(diameter_poa_proxy(g), 1e12);
+}
+
+TEST(Poa, DiameterProxyMatchesDiameter) {
+  EXPECT_DOUBLE_EQ(diameter_poa_proxy(path(8)), 7.0);
+  EXPECT_DOUBLE_EQ(diameter_poa_proxy(complete(5)), 1.0);
+}
+
+TEST(Poa, EquilibriaReachedByDynamicsHaveSmallRatio) {
+  // The paper's message: sum dynamics land on low-diameter equilibria, so
+  // the cost ratio stays near 1 (far below the path's ratio).
+  Xoshiro256ss rng(53);
+  DynamicsConfig config;
+  config.max_moves = 50'000;
+  const Graph start = random_connected_gnm(20, 24, rng);
+  const DynamicsResult r = run_dynamics(start, config);
+  ASSERT_TRUE(r.converged);
+  EXPECT_LT(social_cost_ratio(r.graph, UsageCost::Sum), 1.5);
+}
+
+TEST(Poa, BadEdgeBudgetRejected) {
+  EXPECT_THROW((void)sum_social_cost_lower_bound(3, 10), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bncg

@@ -1,0 +1,92 @@
+// Unit tests for graph powers and the prime-avoiding-interval helper.
+#include "graph/power.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/classic.hpp"
+#include "graph/metrics.hpp"
+
+namespace bncg {
+namespace {
+
+TEST(Power, FirstPowerIsIdentity) {
+  const Graph g = cycle(7);
+  EXPECT_EQ(power(g, 1), g);
+}
+
+TEST(Power, SquareOfPathSkipsOne) {
+  const Graph p2 = power(path(5), 2);
+  EXPECT_TRUE(p2.has_edge(0, 2));
+  EXPECT_TRUE(p2.has_edge(0, 1));
+  EXPECT_FALSE(p2.has_edge(0, 3));
+}
+
+TEST(Power, LargePowerGivesCompleteGraph) {
+  const Graph g = path(6);
+  EXPECT_EQ(power(g, 5), complete(6));
+  EXPECT_EQ(power(g, 100), complete(6));
+}
+
+TEST(Power, PowerDiameterIsCeilingOfQuotient) {
+  // Theorem 13's observation: distances divide by x, rounded up.
+  const Graph g = path(13);  // diameter 12
+  for (Vertex x = 1; x <= 6; ++x) {
+    const Vertex expected = (12 + x - 1) / x;
+    EXPECT_EQ(diameter(power(g, x)), expected) << "power " << x;
+  }
+}
+
+TEST(Power, PowerDistancesAreCeilDiv) {
+  const Graph g = cycle(12);
+  const DistanceMatrix dm(g);
+  const Vertex x = 3;
+  const DistanceMatrix dmx(power(dm, x));
+  for (Vertex u = 0; u < 12; ++u) {
+    for (Vertex v = 0; v < 12; ++v) {
+      EXPECT_EQ(dmx.at(u, v), (dm.at(u, v) + x - 1) / x);
+    }
+  }
+}
+
+TEST(Power, ExponentZeroRejected) {
+  EXPECT_THROW((void)power(path(3), 0), std::invalid_argument);
+}
+
+TEST(Power, DisconnectedPartsStayDisconnected) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  const Graph p = power(g, 5);
+  EXPECT_TRUE(p.has_edge(0, 1));
+  EXPECT_FALSE(p.has_edge(0, 2));
+}
+
+TEST(PrimeAvoidingInterval, FindsSmallPrimeOutsideInterval) {
+  // Interval [10, 12]: 2,3 divide members; 7 has multiples 7,14 — avoids it.
+  const Vertex p = prime_avoiding_interval(10, 12, 100);
+  EXPECT_NE(p, 0u);
+  for (Vertex m = 10; m <= 12; ++m) EXPECT_NE(m % p, 0u) << "prime " << p;
+}
+
+TEST(PrimeAvoidingInterval, ReturnsZeroWhenImpossible) {
+  // Every prime ≤ 7 has a multiple in [2, 100].
+  EXPECT_EQ(prime_avoiding_interval(2, 100, 7), 0u);
+}
+
+TEST(PrimeAvoidingInterval, TheoremThirteenRegime) {
+  // For an O(lg n)-length interval around D, an O(lg² n) prime must exist.
+  for (Vertex d = 50; d <= 500; d += 37) {
+    const Vertex lo = d;
+    const Vertex hi = d + 20;  // ~ 2p·lg n band
+    const Vertex p = prime_avoiding_interval(lo, hi, 1000);
+    ASSERT_NE(p, 0u) << "band at " << d;
+    for (Vertex m = lo; m <= hi; ++m) EXPECT_NE(m % p, 0u);
+  }
+}
+
+TEST(PrimeAvoidingInterval, RejectsBadInterval) {
+  EXPECT_THROW((void)prime_avoiding_interval(5, 4, 10), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bncg

@@ -1,0 +1,103 @@
+// Unit tests for induced subgraphs, vertex deletion, and the Lemma 3
+// cut-vertex decomposition.
+#include "graph/subgraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/classic.hpp"
+#include "gen/random.hpp"
+#include "graph/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace bncg {
+namespace {
+
+TEST(Subgraph, InducedSubgraphKeepsInternalEdges) {
+  const Graph g = cycle(6);
+  const Graph sub = induced_subgraph(g, {0, 1, 2});
+  EXPECT_EQ(sub.num_vertices(), 3u);
+  EXPECT_EQ(sub.num_edges(), 2u);  // 0-1, 1-2; the 2..0 arc is outside
+  EXPECT_TRUE(sub.has_edge(0, 1));
+  EXPECT_TRUE(sub.has_edge(1, 2));
+  EXPECT_FALSE(sub.has_edge(0, 2));
+}
+
+TEST(Subgraph, InducedSubgraphRemapsInGivenOrder) {
+  const Graph g = path(5);  // 0-1-2-3-4
+  const Graph sub = induced_subgraph(g, {4, 3, 0});
+  // Local ids: 4→0, 3→1, 0→2. Only edge 3-4 survives → local 0-1.
+  EXPECT_EQ(sub.num_edges(), 1u);
+  EXPECT_TRUE(sub.has_edge(0, 1));
+}
+
+TEST(Subgraph, InducedSubgraphRejectsDuplicates) {
+  EXPECT_THROW((void)induced_subgraph(path(4), {0, 0}), std::invalid_argument);
+  EXPECT_THROW((void)induced_subgraph(path(4), {9}), std::invalid_argument);
+}
+
+TEST(Subgraph, RemoveVertexShiftsIds) {
+  const Graph g = path(5);
+  const Graph h = remove_vertex(g, 2);
+  EXPECT_EQ(h.num_vertices(), 4u);
+  EXPECT_EQ(h.num_edges(), 2u);  // 0-1 and (3-4 → local 2-3)
+  EXPECT_TRUE(h.has_edge(0, 1));
+  EXPECT_TRUE(h.has_edge(2, 3));
+  EXPECT_FALSE(is_connected(h));
+}
+
+TEST(Subgraph, ComponentsWithoutCutVertex) {
+  const Graph g = double_star(2, 2);  // centers 0, 1
+  const auto comps = components_without(g, 0);
+  // Removing center 0: components {2}, {3}, {1, 4, 5}.
+  EXPECT_EQ(comps.size(), 3u);
+  const auto comps1 = components_without(g, 1);
+  EXPECT_EQ(comps1.size(), 3u);
+  const auto comps_leaf = components_without(g, 2);
+  EXPECT_EQ(comps_leaf.size(), 1u);
+}
+
+TEST(Subgraph, ComponentsPreserveOriginalIds) {
+  const Graph g = star(5);
+  const auto comps = components_without(g, 0);
+  EXPECT_EQ(comps.size(), 4u);
+  for (const auto& comp : comps) {
+    ASSERT_EQ(comp.size(), 1u);
+    EXPECT_GE(comp[0], 1u);
+  }
+}
+
+TEST(Subgraph, Lemma3PropertyOnDoubleStars) {
+  // Every certified max-equilibrium tree must satisfy Lemma 3 at each
+  // center: only the other-center side is deep.
+  const Graph g = double_star(3, 3);
+  EXPECT_TRUE(lemma3_cut_vertex_property(g, 0));
+  EXPECT_TRUE(lemma3_cut_vertex_property(g, 1));
+}
+
+TEST(Subgraph, Lemma3PropertyFailsOnPathCenter) {
+  // P_5's center has two deep components — consistent with P_5 not being a
+  // max equilibrium.
+  EXPECT_FALSE(lemma3_cut_vertex_property(path(5), 2));
+}
+
+TEST(Subgraph, Lemma3PropertyOnNonCutVertexIsTrivial) {
+  EXPECT_TRUE(lemma3_cut_vertex_property(cycle(8), 3));
+}
+
+TEST(Subgraph, RandomConsistencyWithConnectivityModule) {
+  Xoshiro256ss rng(71);
+  for (int trial = 0; trial < 6; ++trial) {
+    const Graph g = random_connected_gnm(18, 22, rng);
+    for (const Vertex v : articulation_points(g)) {
+      EXPECT_GE(components_without(g, v).size(), 2u) << "cut vertex " << v;
+    }
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      const auto cuts = articulation_points(g);
+      const bool is_cut = std::find(cuts.begin(), cuts.end(), v) != cuts.end();
+      EXPECT_EQ(components_without(g, v).size() > 1, is_cut) << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bncg

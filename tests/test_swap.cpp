@@ -1,0 +1,100 @@
+// Unit tests for edge swaps and the transactional ScopedSwap.
+#include "core/swap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/classic.hpp"
+
+namespace bncg {
+namespace {
+
+TEST(Swap, LegalityChecks) {
+  const Graph g = path(4);
+  EXPECT_TRUE(is_legal_swap(g, {1, 0, 3}));
+  EXPECT_FALSE(is_legal_swap(g, {1, 3, 0}));  // 1-3 not an edge
+  EXPECT_FALSE(is_legal_swap(g, {1, 0, 1}));  // self target
+  EXPECT_FALSE(is_legal_swap(g, {1, 0, 9}));  // out of range
+}
+
+TEST(Swap, ScopedSwapAppliesAndReverts) {
+  Graph g = path(4);
+  const Graph original = g;
+  {
+    ScopedSwap s(g, {0, 1, 3});
+    EXPECT_FALSE(g.has_edge(0, 1));
+    EXPECT_TRUE(g.has_edge(0, 3));
+    EXPECT_TRUE(s.added_edge());
+  }
+  EXPECT_EQ(g, original);
+}
+
+TEST(Swap, ScopedSwapCommitPersists) {
+  Graph g = path(4);
+  {
+    ScopedSwap s(g, {0, 1, 2});
+    s.commit();
+  }
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_EQ(g.num_edges(), 3u);
+}
+
+TEST(Swap, SwapOntoExistingEdgeIsDeletion) {
+  Graph g = cycle(4);  // 0-1-2-3-0
+  {
+    ScopedSwap s(g, {0, 1, 3});  // 0-3 already exists
+    EXPECT_FALSE(s.added_edge());
+    EXPECT_FALSE(g.has_edge(0, 1));
+    EXPECT_EQ(g.num_edges(), 3u);
+  }
+  EXPECT_EQ(g, cycle(4));
+}
+
+TEST(Swap, NoOpSwapLeavesGraphUntouched) {
+  Graph g = path(3);
+  {
+    ScopedSwap s(g, {1, 0, 0});
+    EXPECT_TRUE(g.has_edge(0, 1));
+    EXPECT_FALSE(s.added_edge());
+  }
+  EXPECT_EQ(g, path(3));
+}
+
+TEST(Swap, IllegalSwapThrows) {
+  Graph g = path(3);
+  EXPECT_THROW(ScopedSwap(g, {0, 2, 1}), std::invalid_argument);
+}
+
+TEST(Swap, ApplySwapHelper) {
+  Graph g = star(5);
+  apply_swap(g, {1, 0, 2});  // leaf 1 rewires from center to leaf 2
+  EXPECT_FALSE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_EQ(g.num_edges(), 4u);
+}
+
+TEST(Swap, EdgeCountInvariantUnderRealSwaps) {
+  Graph g = cycle(6);
+  const std::size_t m = g.num_edges();
+  apply_swap(g, {0, 1, 3});
+  apply_swap(g, {2, 3, 5});
+  EXPECT_EQ(g.num_edges(), m);
+  EXPECT_NO_THROW(g.check_invariants());
+}
+
+TEST(Swap, NestedScopedSwapsUnwindInOrder) {
+  Graph g = cycle(5);
+  const Graph original = g;
+  {
+    ScopedSwap outer(g, {0, 1, 2});
+    {
+      ScopedSwap inner(g, {3, 2, 0});
+      EXPECT_NO_THROW(g.check_invariants());
+    }
+    EXPECT_TRUE(g.has_edge(2, 3));
+  }
+  EXPECT_EQ(g, original);
+}
+
+}  // namespace
+}  // namespace bncg

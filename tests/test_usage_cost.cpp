@@ -1,0 +1,68 @@
+// Unit tests for the usage-cost models (sum / max, +∞ on disconnection).
+#include "core/usage_cost.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/classic.hpp"
+#include "gen/random.hpp"
+#include "util/rng.hpp"
+
+namespace bncg {
+namespace {
+
+TEST(UsageCost, SumModelMatchesDistanceSums) {
+  const Graph g = path(5);
+  BfsWorkspace ws;
+  EXPECT_EQ(vertex_cost(g, 0, UsageCost::Sum, ws), 1u + 2 + 3 + 4);
+  EXPECT_EQ(vertex_cost(g, 2, UsageCost::Sum, ws), 1u + 1 + 2 + 2);
+}
+
+TEST(UsageCost, MaxModelMatchesEccentricity) {
+  const Graph g = star(6);
+  BfsWorkspace ws;
+  EXPECT_EQ(vertex_cost(g, 0, UsageCost::Max, ws), 1u);
+  EXPECT_EQ(vertex_cost(g, 3, UsageCost::Max, ws), 2u);
+}
+
+TEST(UsageCost, DisconnectionIsInfiniteInBothModels) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  BfsWorkspace ws;
+  EXPECT_EQ(vertex_cost(g, 0, UsageCost::Sum, ws), kInfCost);
+  EXPECT_EQ(vertex_cost(g, 0, UsageCost::Max, ws), kInfCost);
+  EXPECT_EQ(vertex_cost(g, 2, UsageCost::Max, ws), kInfCost);
+}
+
+TEST(UsageCost, SingletonGraphCostsZero) {
+  const Graph g(1);
+  BfsWorkspace ws;
+  EXPECT_EQ(vertex_cost(g, 0, UsageCost::Sum, ws), 0u);
+  EXPECT_EQ(vertex_cost(g, 0, UsageCost::Max, ws), 0u);
+}
+
+TEST(UsageCost, CostAtMostAgreesWithExactCost) {
+  Xoshiro256ss rng(404);
+  BfsWorkspace ws;
+  for (int trial = 0; trial < 6; ++trial) {
+    const Graph g = random_connected_gnm(16, 24, rng);
+    for (Vertex v = 0; v < g.num_vertices(); v += 3) {
+      for (const UsageCost model : {UsageCost::Sum, UsageCost::Max}) {
+        const std::uint64_t exact = vertex_cost(g, v, model, ws);
+        EXPECT_TRUE(vertex_cost_at_most(g, v, model, exact, ws));
+        if (exact > 0) {
+          EXPECT_FALSE(vertex_cost_at_most(g, v, model, exact - 1, ws));
+        }
+      }
+    }
+  }
+}
+
+TEST(UsageCost, CostAtMostDisconnectedNeverPasses) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  BfsWorkspace ws;
+  EXPECT_FALSE(vertex_cost_at_most(g, 0, UsageCost::Max, 100, ws));
+}
+
+}  // namespace
+}  // namespace bncg

@@ -1,0 +1,145 @@
+// Unit tests for utility modules: RNG, tables, timer, preconditions.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace bncg {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Xoshiro256ss a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256ss a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LE(same, 1);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Xoshiro256ss rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+  EXPECT_THROW((void)rng.below(0), std::invalid_argument);
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Xoshiro256ss rng(4);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Xoshiro256ss rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto x = rng.uniform_int(-3, 3);
+    EXPECT_GE(x, -3);
+    EXPECT_LE(x, 3);
+    saw_lo = saw_lo || x == -3;
+    saw_hi = saw_hi || x == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Xoshiro256ss rng(6);
+  double sum = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = rng.uniform01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliRespectsProbability) {
+  Xoshiro256ss rng(7);
+  int hits = 0;
+  for (int i = 0; i < 10'000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / 10'000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Xoshiro256ss rng(8);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Xoshiro256ss parent(9);
+  Xoshiro256ss child = parent.fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (parent() == child());
+  EXPECT_LE(same, 1);
+}
+
+TEST(Table, AlignedAsciiOutput) {
+  Table t({"n", "diam"});
+  t.add_row({"10", "3"});
+  t.add_row({"100", "5"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| n   | diam |"), std::string::npos);
+  EXPECT_NE(out.find("| 100 | 5    |"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, RowWidthValidated) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(static_cast<long long>(42)), "42");
+  EXPECT_EQ(fmt(1.0 / 0.0), "inf");
+  EXPECT_EQ(verdict(true), "PASS");
+  EXPECT_EQ(verdict(false), "FAIL");
+}
+
+TEST(Timer, MeasuresNonNegativeDurations) {
+  Timer t;
+  EXPECT_GE(t.seconds(), 0.0);
+  t.reset();
+  EXPECT_GE(t.millis(), 0.0);
+}
+
+TEST(Error, RequireMacroThrowsWithContext) {
+  try {
+    BNCG_REQUIRE(1 == 2, "math broke");
+    FAIL() << "should have thrown";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("1 == 2"), std::string::npos);
+    EXPECT_NE(msg.find("math broke"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace bncg
