@@ -1,0 +1,129 @@
+// Engine-vs-naive certification throughput, emitted as machine-readable
+// JSON so the perf trajectory is tracked across PRs (BENCH_engine.json at
+// the repo root; regenerate with bench/run_bench.sh).
+//
+// For each (n, model) the program certifies the same random connected
+// G(n, 2n) instance with the delta-evaluation SwapEngine and with the naive
+// BFS-per-candidate oracle, reporting tentative swaps evaluated per second
+// and the speedup ratio. Plain std::chrono harness (no google-benchmark) so
+// the output format is fully under our control.
+//
+// Usage: bench_engine_json [output.json] [max_n]
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/equilibrium.hpp"
+#include "core/swap_engine.hpp"
+#include "gen/random.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace bncg;
+using Clock = std::chrono::steady_clock;
+
+struct Row {
+  Vertex n = 0;
+  std::string model;
+  std::uint64_t moves = 0;
+  double engine_seconds = 0.0;
+  double naive_seconds = 0.0;
+
+  [[nodiscard]] double engine_swaps_per_sec() const {
+    return static_cast<double>(moves) / engine_seconds;
+  }
+  [[nodiscard]] double naive_swaps_per_sec() const {
+    return static_cast<double>(moves) / naive_seconds;
+  }
+  [[nodiscard]] double speedup() const { return naive_seconds / engine_seconds; }
+};
+
+template <typename Fn>
+double time_seconds(Fn&& fn) {
+  const auto start = Clock::now();
+  fn();
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+Row measure(Vertex n, UsageCost model) {
+  Xoshiro256ss rng(0xBE7C ^ n);
+  const Graph g = random_connected_gnm(n, 2 * static_cast<std::size_t>(n), rng);
+  const bool deletions = model == UsageCost::Max;
+
+  Row row;
+  row.n = n;
+  row.model = model == UsageCost::Sum ? "sum" : "max";
+
+  const SwapEngine engine(g);
+  EquilibriumCertificate engine_cert;
+  // Engine runs are fast; repeat until ≥0.2 s of wall time for a stable rate.
+  std::uint64_t reps = 0;
+  double engine_total = 0.0;
+  while (engine_total < 0.2 && reps < 1000) {
+    engine_total += time_seconds([&] { engine_cert = engine.certify(model, deletions); });
+    ++reps;
+  }
+  row.engine_seconds = engine_total / static_cast<double>(reps);
+  row.moves = engine_cert.moves_checked;
+
+  EquilibriumCertificate naive_cert;
+  row.naive_seconds = time_seconds([&] {
+    naive_cert = model == UsageCost::Sum ? naive::certify_sum_equilibrium(g)
+                                         : naive::certify_max_equilibrium(g);
+  });
+
+  // Differential sanity on the benchmark instance itself.
+  if (engine_cert.is_equilibrium != naive_cert.is_equilibrium ||
+      engine_cert.moves_checked != naive_cert.moves_checked) {
+    std::cerr << "FATAL: engine/naive mismatch at n=" << n << " model=" << row.model << "\n";
+    std::exit(1);
+  }
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_engine.json";
+  Vertex max_n = 1024;
+  if (argc > 2) {
+    try {
+      max_n = static_cast<Vertex>(std::stoul(argv[2]));
+    } catch (const std::exception&) {
+      std::cerr << "usage: bench_engine_json [output.json] [max_n]\n";
+      return 2;
+    }
+  }
+
+  std::vector<Row> rows;
+  for (const Vertex n : {Vertex{256}, Vertex{1024}}) {
+    if (n > max_n) continue;
+    for (const UsageCost model : {UsageCost::Sum, UsageCost::Max}) {
+      const Row row = measure(n, model);
+      std::cout << "n=" << row.n << " model=" << row.model << " moves=" << row.moves
+                << " engine=" << row.engine_seconds << "s naive=" << row.naive_seconds
+                << "s speedup=" << row.speedup() << "x\n";
+      rows.push_back(row);
+    }
+  }
+
+  std::ofstream out(out_path);
+  out << "[\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "  {\"n\": " << r.n << ", \"model\": \"" << r.model << "\""
+        << ", \"moves_checked\": " << r.moves
+        << ", \"engine_seconds\": " << r.engine_seconds
+        << ", \"naive_seconds\": " << r.naive_seconds
+        << ", \"engine_swaps_per_sec\": " << r.engine_swaps_per_sec()
+        << ", \"naive_swaps_per_sec\": " << r.naive_swaps_per_sec()
+        << ", \"speedup\": " << r.speedup() << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

@@ -6,10 +6,13 @@
 #include "core/dynamics.hpp"
 #include "core/equilibrium.hpp"
 #include "core/kstability.hpp"
+#include "core/swap_engine.hpp"
 #include "gen/classic.hpp"
 #include "gen/paper.hpp"
 #include "gen/random.hpp"
 #include "graph/apsp.hpp"
+#include "graph/bfs_batch.hpp"
+#include "graph/csr.hpp"
 #include "graph/metrics.hpp"
 #include "util/rng.hpp"
 
@@ -96,6 +99,90 @@ void BM_DynamicsToEquilibrium(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DynamicsToEquilibrium)->Arg(16)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_BatchApsp(benchmark::State& state) {
+  // The engine's inner primitive: all distance rows of an edge-masked CSR
+  // snapshot via 64-source bit-parallel sweeps.
+  const Graph g = test_graph(static_cast<Vertex>(state.range(0)));
+  const CsrGraph csr(g);
+  const Vertex n = csr.num_vertices();
+  BatchBfsWorkspace ws;
+  std::vector<std::uint16_t> rows(static_cast<std::size_t>(n) * n);
+  const Vertex v = 0;
+  const Vertex w = csr.neighbors(v)[0];
+  for (auto _ : state) {
+    csr_apsp(csr, MaskedEdge{v, w}, rows.data(), ws);
+    benchmark::DoNotOptimize(rows.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);  // BFS-equivalents
+}
+BENCHMARK(BM_BatchApsp)->Arg(64)->Arg(256)->Arg(1024);
+
+// Engine-vs-naive certification on the same random G(n, 2n) instances. The
+// counters report tentative swaps evaluated per second — the system's
+// headline throughput metric (see BENCH_engine.json / run_bench.sh).
+
+void BM_CertifySumEngine(benchmark::State& state) {
+  const Graph g = test_graph(static_cast<Vertex>(state.range(0)));
+  const SwapEngine engine(g);
+  std::uint64_t moves = 0;
+  for (auto _ : state) {
+    const auto cert = engine.certify(UsageCost::Sum, /*include_deletions=*/false);
+    moves = cert.moves_checked;
+    benchmark::DoNotOptimize(cert);
+  }
+  state.SetItemsProcessed(state.iterations() * moves);
+  state.counters["swaps_per_sec"] =
+      benchmark::Counter(static_cast<double>(state.iterations() * moves),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CertifySumEngine)->Arg(64)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+void BM_CertifySumNaive(benchmark::State& state) {
+  const Graph g = test_graph(static_cast<Vertex>(state.range(0)));
+  std::uint64_t moves = 0;
+  for (auto _ : state) {
+    const auto cert = naive::certify_sum_equilibrium(g);
+    moves = cert.moves_checked;
+    benchmark::DoNotOptimize(cert);
+  }
+  state.SetItemsProcessed(state.iterations() * moves);
+  state.counters["swaps_per_sec"] =
+      benchmark::Counter(static_cast<double>(state.iterations() * moves),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CertifySumNaive)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_CertifyMaxEngine(benchmark::State& state) {
+  const Graph g = test_graph(static_cast<Vertex>(state.range(0)));
+  const SwapEngine engine(g);
+  std::uint64_t moves = 0;
+  for (auto _ : state) {
+    const auto cert = engine.certify(UsageCost::Max, /*include_deletions=*/true);
+    moves = cert.moves_checked;
+    benchmark::DoNotOptimize(cert);
+  }
+  state.SetItemsProcessed(state.iterations() * moves);
+  state.counters["swaps_per_sec"] =
+      benchmark::Counter(static_cast<double>(state.iterations() * moves),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CertifyMaxEngine)->Arg(64)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+void BM_CertifyMaxNaive(benchmark::State& state) {
+  const Graph g = test_graph(static_cast<Vertex>(state.range(0)));
+  std::uint64_t moves = 0;
+  for (auto _ : state) {
+    const auto cert = naive::certify_max_equilibrium(g);
+    moves = cert.moves_checked;
+    benchmark::DoNotOptimize(cert);
+  }
+  state.SetItemsProcessed(state.iterations() * moves);
+  state.counters["swaps_per_sec"] =
+      benchmark::Counter(static_cast<double>(state.iterations() * moves),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CertifyMaxNaive)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
 
 void BM_InsertionStability(benchmark::State& state) {
   const DiagonalTorus torus = rotated_torus(static_cast<Vertex>(state.range(0)));

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Builds the benchmark executables and regenerates BENCH_engine.json at the
+# repo root (engine-vs-naive certification throughput; see DESIGN.md).
+#
+# Usage: bench/run_bench.sh [max_n]   (default 1024)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${repo_root}/build-bench"
+max_n="${1:-1024}"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DBNCG_BUILD_BENCHMARKS=ON \
+  -DBNCG_BUILD_TESTS=OFF >/dev/null
+cmake --build "${build_dir}" --target bench_engine_json -j "$(nproc)" >/dev/null
+
+"${build_dir}/bench_engine_json" "${repo_root}/BENCH_engine.json" "${max_n}"

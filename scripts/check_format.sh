@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Checks (or, with --fix, applies) clang-format over the C++ tree so
+# subsequent PRs keep the diff noise-free. Exits 0 with a notice when
+# clang-format is not installed, so CI-less environments are not blocked.
+#
+# Usage: scripts/check_format.sh [--fix]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "check_format: clang-format not found; skipping (install it to enable)."
+  exit 0
+fi
+
+mapfile -t files < <(find src tests bench examples -name '*.cpp' -o -name '*.hpp' | sort)
+
+if [[ "${1:-}" == "--fix" ]]; then
+  clang-format -i "${files[@]}"
+  echo "check_format: formatted ${#files[@]} files."
+  exit 0
+fi
+
+status=0
+for f in "${files[@]}"; do
+  if ! clang-format --dry-run --Werror "$f" >/dev/null 2>&1; then
+    echo "needs formatting: $f"
+    status=1
+  fi
+done
+if [[ $status -eq 0 ]]; then
+  echo "check_format: ${#files[@]} files clean."
+fi
+exit $status

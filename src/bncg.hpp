@@ -23,6 +23,8 @@
 
 #include "graph/graph.hpp"
 #include "graph/bfs.hpp"
+#include "graph/csr.hpp"
+#include "graph/bfs_batch.hpp"
 #include "graph/apsp.hpp"
 #include "graph/metrics.hpp"
 #include "graph/connectivity.hpp"
@@ -42,6 +44,7 @@
 #include "core/swap.hpp"
 #include "core/usage_cost.hpp"
 #include "core/equilibrium.hpp"
+#include "core/swap_engine.hpp"
 #include "core/dynamics.hpp"
 #include "core/tree_game.hpp"
 #include "core/kstability.hpp"

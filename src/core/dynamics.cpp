@@ -4,6 +4,7 @@
 #include <numeric>
 #include <unordered_set>
 
+#include "core/swap_engine.hpp"
 #include "graph/io.hpp"
 #include "graph/metrics.hpp"
 
@@ -11,25 +12,81 @@ namespace bncg {
 
 namespace {
 
-/// Picks the deviation for agent `v` according to the configured model and
-/// policy. Neutral deletions are only surfaced in the max model when asked.
-std::optional<Deviation> agent_deviation(const Graph& g, Vertex v, const DynamicsConfig& config,
-                                         BfsWorkspace& ws) {
-  if (config.cost == UsageCost::Sum) {
-    return config.policy == MovePolicy::FirstImprovement ? first_sum_deviation(g, v, ws)
-                                                         : best_sum_deviation(g, v, ws);
+/// Move provider for the dynamics loop. The engine-backed implementation
+/// keeps one CSR snapshot alive across the whole scan of a pass and rebuilds
+/// it only after an *accepted* move — tentative moves never touch a mutable
+/// graph. The naive provider (BNCG_FORCE_NAIVE, or n too large for 16-bit
+/// distances) is the original BFS-per-candidate path.
+class MoveProvider {
+ public:
+  MoveProvider(const Graph& g, const DynamicsConfig& config)
+      : config_(config), use_engine_(swap_engine_enabled(g)) {
+    if (use_engine_) engine_.emplace(g);
   }
-  if (config.policy == MovePolicy::FirstImprovement) {
-    return first_max_deviation(g, v, ws, config.allow_neutral_deletions);
+
+  /// Must be called after every executed move (graph mutated).
+  void on_move(const Graph& g) {
+    if (use_engine_) engine_->rebuild(g);
   }
-  // Best-improvement in the max model: prefer the best improving swap, fall
-  // back to a neutral deletion (which never competes on cost_after).
-  auto best = best_max_deviation(g, v, ws);
-  if (!best && config.allow_neutral_deletions) {
-    best = first_max_deviation(g, v, ws, /*include_deletions=*/true);
+
+  /// Picks the deviation for agent `v` according to the configured model and
+  /// policy. Neutral deletions are only surfaced in the max model when asked.
+  std::optional<Deviation> agent_deviation(const Graph& g, Vertex v) {
+    const bool first = config_.policy == MovePolicy::FirstImprovement;
+    if (use_engine_) {
+      if (config_.cost == UsageCost::Sum) {
+        return first ? engine_->first_deviation(v, UsageCost::Sum)
+                     : engine_->best_deviation(v, UsageCost::Sum);
+      }
+      if (first) {
+        return engine_->first_deviation(v, UsageCost::Max, config_.allow_neutral_deletions);
+      }
+      auto best = engine_->best_deviation(v, UsageCost::Max);
+      if (!best && config_.allow_neutral_deletions) {
+        best = engine_->first_deviation(v, UsageCost::Max, /*include_deletions=*/true);
+      }
+      return best;
+    }
+    if (config_.cost == UsageCost::Sum) {
+      return first ? naive::first_sum_deviation(g, v, ws_) : naive::best_sum_deviation(g, v, ws_);
+    }
+    if (first) {
+      return naive::first_max_deviation(g, v, ws_, config_.allow_neutral_deletions);
+    }
+    // Best-improvement in the max model: prefer the best improving swap, fall
+    // back to a neutral deletion (which never competes on cost_after).
+    auto best = naive::best_max_deviation(g, v, ws_);
+    if (!best && config_.allow_neutral_deletions) {
+      best = naive::first_max_deviation(g, v, ws_, /*include_deletions=*/true);
+    }
+    return best;
   }
-  return best;
-}
+
+  /// True iff the graph is in equilibrium for the configured game (including
+  /// the deletion clause when neutral deletions participate in the max game).
+  bool certified(const Graph& g) {
+    if (use_engine_) {
+      if (config_.cost == UsageCost::Sum) {
+        return engine_->certify(UsageCost::Sum, /*include_deletions=*/false).is_equilibrium;
+      }
+      return engine_->certify(UsageCost::Max, config_.allow_neutral_deletions).is_equilibrium;
+    }
+    if (config_.cost == UsageCost::Sum) return naive::certify_sum_equilibrium(g).is_equilibrium;
+    if (config_.allow_neutral_deletions) return naive::certify_max_equilibrium(g).is_equilibrium;
+    // Swap-only max dynamics: check swap stability for every agent.
+    const Vertex n = g.num_vertices();
+    for (Vertex v = 0; v < n; ++v) {
+      if (naive::first_max_deviation(g, v, ws_, /*include_deletions=*/false)) return false;
+    }
+    return true;
+  }
+
+ private:
+  const DynamicsConfig& config_;
+  bool use_engine_;
+  std::optional<SwapEngine> engine_;
+  BfsWorkspace ws_;
+};
 
 /// Executes a deviation on the live graph. NonCriticalDelete witnesses
 /// encode a pure deletion (add_w == remove_w), which ScopedSwap treats as a
@@ -44,20 +101,6 @@ void execute(Graph& g, const Deviation& dev) {
 
 void record(const Graph& g, UsageCost model, std::uint64_t move, std::vector<TraceEntry>& trace) {
   trace.push_back({move, social_cost(g, model), diameter(g)});
-}
-
-/// True iff the graph is in equilibrium for the configured game (including
-/// the deletion clause when neutral deletions participate in the max game).
-bool certified(const Graph& g, const DynamicsConfig& config) {
-  if (config.cost == UsageCost::Sum) return certify_sum_equilibrium(g).is_equilibrium;
-  if (config.allow_neutral_deletions) return certify_max_equilibrium(g).is_equilibrium;
-  // Swap-only max dynamics: check swap stability for every agent.
-  const Vertex n = g.num_vertices();
-  BfsWorkspace ws;
-  for (Vertex v = 0; v < n; ++v) {
-    if (first_max_deviation(g, v, ws, /*include_deletions=*/false)) return false;
-  }
-  return true;
 }
 
 }  // namespace
@@ -82,7 +125,7 @@ DynamicsResult run_dynamics(Graph start, const DynamicsConfig& config) {
   const Vertex n = g.num_vertices();
 
   Xoshiro256ss rng(config.seed);
-  BfsWorkspace ws;
+  MoveProvider provider(g, config);
   if (config.record_trace) record(g, config.cost, 0, result.trace);
 
   std::vector<Vertex> order(n);
@@ -93,6 +136,7 @@ DynamicsResult run_dynamics(Graph start, const DynamicsConfig& config) {
 
   bool out_of_budget = false;
   const auto post_move = [&]() {
+    provider.on_move(g);
     ++result.moves;
     if (config.record_trace) record(g, config.cost, result.moves, result.trace);
     if (config.detect_revisits && !result.revisited &&
@@ -109,7 +153,7 @@ DynamicsResult run_dynamics(Graph start, const DynamicsConfig& config) {
       // One pass = one globally best move.
       std::optional<Deviation> best;
       for (Vertex v = 0; v < n && !out_of_budget; ++v) {
-        const auto dev = agent_deviation(g, v, config, ws);
+        const auto dev = provider.agent_deviation(g, v);
         if (!dev) continue;
         // Rank by absolute improvement; neutral deletions rank last.
         const auto gain = [](const Deviation& d) {
@@ -126,7 +170,7 @@ DynamicsResult run_dynamics(Graph start, const DynamicsConfig& config) {
       if (config.scheduler == Scheduler::RandomOrder) rng.shuffle(order);
       for (const Vertex v : order) {
         if (out_of_budget) break;
-        const auto dev = agent_deviation(g, v, config, ws);
+        const auto dev = provider.agent_deviation(g, v);
         if (!dev) continue;
         execute(g, *dev);
         any_move = true;
@@ -140,7 +184,7 @@ DynamicsResult run_dynamics(Graph start, const DynamicsConfig& config) {
   // A quiet pass under FirstImprovement scanning is already an exhaustive
   // certificate for the *scanned* move set; re-certify explicitly so the
   // flag is trustworthy regardless of policy or early exit.
-  result.converged = !out_of_budget && certified(g, config);
+  result.converged = !out_of_budget && provider.certified(g);
   return result;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/swap_engine.hpp"
 #include "graph/apsp.hpp"
 #include "graph/metrics.hpp"
 
@@ -9,9 +10,10 @@ namespace bncg {
 
 namespace {
 
-/// Shared body for the per-agent sum-model scans. Works on a private copy of
-/// the graph so tentative swaps never touch the caller's instance.
-/// `stop_at_first` returns the first improving swap instead of the best.
+/// Shared body for the per-agent sum-model scans (brute-force oracle).
+/// Works on a private copy of the graph so tentative swaps never touch the
+/// caller's instance. `stop_at_first` returns the first improving swap
+/// instead of the best.
 std::optional<Deviation> sum_deviation_impl(const Graph& g, Vertex v, BfsWorkspace& ws,
                                             bool stop_at_first,
                                             std::uint64_t* moves_checked = nullptr) {
@@ -41,9 +43,10 @@ std::optional<Deviation> sum_deviation_impl(const Graph& g, Vertex v, BfsWorkspa
   return best;
 }
 
-/// Shared body for the per-agent max-model scans. Uses the bounded-BFS early
-/// exit: a swap improves iff the whole graph is reachable from v within
-/// old_ecc − 1 after the swap.
+/// Shared body for the per-agent max-model scans (brute-force oracle). Uses
+/// the bounded-BFS early exit: a swap improves iff the whole graph is
+/// reachable from v within old_ecc − 1 after the swap, and that same
+/// truncated traversal already yields the exact new eccentricity.
 std::optional<Deviation> max_deviation_impl(const Graph& g, Vertex v, BfsWorkspace& ws,
                                             bool stop_at_first, bool include_deletions,
                                             std::uint64_t* moves_checked = nullptr) {
@@ -74,14 +77,15 @@ std::optional<Deviation> max_deviation_impl(const Graph& g, Vertex v, BfsWorkspa
       if (w2 == v || w2 == w || work.has_edge(v, w2)) continue;
       if (moves_checked != nullptr) ++*moves_checked;
       const ScopedSwap swap(work, {v, w, w2});
-      bool improves;
+      std::optional<std::uint64_t> bounded;
       if (old_cost == kInfCost) {
-        improves = vertex_cost(work, v, UsageCost::Max, ws) != kInfCost;
+        const std::uint64_t c = vertex_cost(work, v, UsageCost::Max, ws);
+        if (c != kInfCost) bounded = c;
       } else {
-        improves = vertex_cost_at_most(work, v, UsageCost::Max, old_cost - 1, ws);
+        bounded = vertex_cost_within(work, v, UsageCost::Max, old_cost - 1, ws);
       }
-      if (!improves) continue;
-      const std::uint64_t new_cost = vertex_cost(work, v, UsageCost::Max, ws);
+      if (!bounded) continue;
+      const std::uint64_t new_cost = *bounded;
       if (!best || new_cost < best->cost_after ||
           (best->kind == Deviation::Kind::NonCriticalDelete &&
            new_cost <= best->cost_after)) {
@@ -135,6 +139,8 @@ EquilibriumCertificate certify_impl(const Graph& g, ScanFn scan) {
 
 }  // namespace
 
+namespace naive {
+
 std::optional<Deviation> best_sum_deviation(const Graph& g, Vertex v, BfsWorkspace& ws) {
   return sum_deviation_impl(g, v, ws, /*stop_at_first=*/false);
 }
@@ -165,6 +171,45 @@ EquilibriumCertificate certify_max_equilibrium(const Graph& g) {
   });
 }
 
+}  // namespace naive
+
+std::optional<Deviation> best_sum_deviation(const Graph& g, Vertex v, BfsWorkspace& ws) {
+  if (!swap_engine_enabled(g)) return naive::best_sum_deviation(g, v, ws);
+  SwapEngine engine(g);
+  return engine.best_deviation(v, UsageCost::Sum);
+}
+
+std::optional<Deviation> first_sum_deviation(const Graph& g, Vertex v, BfsWorkspace& ws) {
+  if (!swap_engine_enabled(g)) return naive::first_sum_deviation(g, v, ws);
+  SwapEngine engine(g);
+  return engine.first_deviation(v, UsageCost::Sum);
+}
+
+std::optional<Deviation> best_max_deviation(const Graph& g, Vertex v, BfsWorkspace& ws) {
+  if (!swap_engine_enabled(g)) return naive::best_max_deviation(g, v, ws);
+  SwapEngine engine(g);
+  return engine.best_deviation(v, UsageCost::Max);
+}
+
+std::optional<Deviation> first_max_deviation(const Graph& g, Vertex v, BfsWorkspace& ws,
+                                             bool include_deletions) {
+  if (!swap_engine_enabled(g)) return naive::first_max_deviation(g, v, ws, include_deletions);
+  SwapEngine engine(g);
+  return engine.first_deviation(v, UsageCost::Max, include_deletions);
+}
+
+EquilibriumCertificate certify_sum_equilibrium(const Graph& g) {
+  if (!swap_engine_enabled(g)) return naive::certify_sum_equilibrium(g);
+  const SwapEngine engine(g);
+  return engine.certify(UsageCost::Sum, /*include_deletions=*/false);
+}
+
+EquilibriumCertificate certify_max_equilibrium(const Graph& g) {
+  if (!swap_engine_enabled(g)) return naive::certify_max_equilibrium(g);
+  const SwapEngine engine(g);
+  return engine.certify(UsageCost::Max, /*include_deletions=*/true);
+}
+
 bool is_sum_equilibrium(const Graph& g) { return certify_sum_equilibrium(g).is_equilibrium; }
 
 bool is_max_equilibrium(const Graph& g) { return certify_max_equilibrium(g).is_equilibrium; }
@@ -172,9 +217,26 @@ bool is_max_equilibrium(const Graph& g) { return certify_max_equilibrium(g).is_e
 bool is_deletion_critical(const Graph& g) {
   // Removing {u, v} must strictly increase *both* endpoints' local
   // diameters. Disconnecting deletions count as +∞ and therefore pass.
+  // One masked-APSP row read per endpoint on the CSR snapshot.
+  std::vector<Vertex> base_ecc = eccentricities(g);
+  if (swap_engine_enabled(g)) {
+    const CsrGraph csr(g);
+    BatchBfsWorkspace ws;
+    std::vector<std::uint16_t> dist(g.num_vertices());
+    for (const auto& [u, v] : g.edges()) {
+      if (base_ecc[u] == kInfDist || base_ecc[v] == kInfDist) return false;  // disconnected
+      const MaskedEdge mask{u, v};
+      const BfsResult ru = csr_bfs(csr, u, mask, dist.data(), ws);
+      const std::uint64_t ecc_u = ru.spans(csr.num_vertices()) ? ru.ecc : kInfCost;
+      if (ecc_u <= base_ecc[u]) return false;
+      const BfsResult rv = csr_bfs(csr, v, mask, dist.data(), ws);
+      const std::uint64_t ecc_v = rv.spans(csr.num_vertices()) ? rv.ecc : kInfCost;
+      if (ecc_v <= base_ecc[v]) return false;
+    }
+    return true;
+  }
   Graph work = g;
   BfsWorkspace ws;
-  std::vector<Vertex> base_ecc = eccentricities(g);
   for (const auto& [u, v] : g.edges()) {
     work.remove_edge(u, v);
     const std::uint64_t ecc_u = vertex_cost(work, u, UsageCost::Max, ws);

@@ -102,4 +102,23 @@ struct EquilibriumCertificate {
 [[nodiscard]] bool vertex_is_sum_stable(const Graph& g, Vertex v);
 [[nodiscard]] bool vertex_is_max_stable(const Graph& g, Vertex v);
 
+/// Brute-force oracle: one scoped mutation plus one full BFS per candidate
+/// move. The public entry points above route through the delta-evaluation
+/// SwapEngine (core/swap_engine.hpp) unless BNCG_FORCE_NAIVE is set; these
+/// are the reference implementations the engine is differential-tested
+/// against, and the fallback for graphs too large for 16-bit distances.
+namespace naive {
+[[nodiscard]] std::optional<Deviation> best_sum_deviation(const Graph& g, Vertex v,
+                                                          BfsWorkspace& ws);
+[[nodiscard]] std::optional<Deviation> first_sum_deviation(const Graph& g, Vertex v,
+                                                           BfsWorkspace& ws);
+[[nodiscard]] std::optional<Deviation> best_max_deviation(const Graph& g, Vertex v,
+                                                          BfsWorkspace& ws);
+[[nodiscard]] std::optional<Deviation> first_max_deviation(const Graph& g, Vertex v,
+                                                           BfsWorkspace& ws,
+                                                           bool include_deletions = false);
+[[nodiscard]] EquilibriumCertificate certify_sum_equilibrium(const Graph& g);
+[[nodiscard]] EquilibriumCertificate certify_max_equilibrium(const Graph& g);
+}  // namespace naive
+
 }  // namespace bncg

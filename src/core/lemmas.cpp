@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "core/equilibrium.hpp"
+#include "core/swap_engine.hpp"
 #include "graph/apsp.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/metrics.hpp"
@@ -28,10 +30,16 @@ bool lemma3_all_cut_vertices(const Graph& g) {
 
 bool lemma6_diameter2_vertices_are_stable(const Graph& g) {
   const auto ecc = eccentricities(g);
+  // One shared snapshot/scratch for the whole loop; the public per-agent
+  // entry point would rebuild the engine per vertex.
+  std::optional<SwapEngine> engine;
+  if (swap_engine_enabled(g)) engine.emplace(g);
   BfsWorkspace ws;
   for (Vertex v = 0; v < g.num_vertices(); ++v) {
     if (ecc[v] == kInfDist || ecc[v] > 2) continue;
-    if (first_sum_deviation(g, v, ws)) return false;
+    const auto dev = engine ? engine->first_deviation(v, UsageCost::Sum)
+                            : naive::first_sum_deviation(g, v, ws);
+    if (dev) return false;
   }
   return true;
 }

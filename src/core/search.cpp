@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/equilibrium.hpp"
+#include "core/swap_engine.hpp"
 #include "graph/bfs.hpp"
 #include "graph/metrics.hpp"
 
@@ -10,9 +11,20 @@ namespace bncg {
 
 std::uint64_t sum_unrest(const Graph& g) {
   std::uint64_t total = 0;
+  if (swap_engine_enabled(g)) {
+    // One CSR snapshot serves every agent's scan (the public per-agent API
+    // would rebuild it n times).
+    SwapEngine engine(g);
+    SwapEngine::Scratch scratch;
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      const auto dev = engine.best_deviation(v, UsageCost::Sum, scratch);
+      if (dev) total += dev->cost_before - dev->cost_after;
+    }
+    return total;
+  }
   BfsWorkspace ws;
   for (Vertex v = 0; v < g.num_vertices(); ++v) {
-    const auto dev = best_sum_deviation(g, v, ws);
+    const auto dev = naive::best_sum_deviation(g, v, ws);
     if (dev) total += dev->cost_before - dev->cost_after;
   }
   return total;
@@ -91,7 +103,9 @@ std::optional<Graph> exhaustive_diameter3_sum_equilibrium(Vertex n) {
     if (diameter(g) != 3) continue;
     bool stable = true;
     for (Vertex v = 0; v < n && stable; ++v) {
-      stable = !first_sum_deviation(g, v, ws).has_value();
+      // The allocation-free oracle wins at n ≤ 7: a SwapEngine build per
+      // enumerated graph (millions of them) would be pure overhead.
+      stable = !naive::first_sum_deviation(g, v, ws).has_value();
     }
     if (stable) return g;
   }

@@ -1,0 +1,235 @@
+#include "core/swap_engine.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace bncg {
+
+namespace {
+
+/// Post-swap sum cost: (n−1) + Σ_u min(m_u, c_u), where m = M^w (min over
+/// kept neighbor rows, with m_v = 0) and c = d_{G−v}(w₂,·). Any term at the
+/// ∞ sentinel means some vertex became unreachable. The accumulator fits
+/// 32 bits: every term is ≤ kInfDist16 = 2¹⁶−1 and n < 65535.
+std::uint64_t combine_sum(const std::uint16_t* m, const std::uint16_t* c, Vertex n) {
+  std::uint32_t sum = 0;
+  std::uint16_t worst = 0;
+  for (Vertex u = 0; u < n; ++u) {
+    const std::uint16_t t = std::min(m[u], c[u]);
+    sum += t;
+    worst = std::max(worst, t);
+  }
+  if (worst >= kInfDist16) return kInfCost;
+  return sum + (n - 1);
+}
+
+/// Post-swap max cost: 1 + max_u min(m_u, c_u) — the max-model analogue.
+std::uint64_t combine_max(const std::uint16_t* m, const std::uint16_t* c, Vertex n) {
+  std::uint16_t worst = 0;
+  for (Vertex u = 0; u < n; ++u) worst = std::max(worst, std::min(m[u], c[u]));
+  return worst >= kInfDist16 ? kInfCost : std::uint64_t{1} + worst;
+}
+
+/// Post-deletion max cost: 1 + max_u M^w_u (m_v = 0; n ≥ 2 here).
+std::uint64_t deletion_ecc(const std::uint16_t* m, Vertex n) {
+  std::uint16_t worst = 0;
+  for (Vertex u = 0; u < n; ++u) worst = std::max(worst, m[u]);
+  return worst >= kInfDist16 ? kInfCost : std::uint64_t{1} + worst;
+}
+
+}  // namespace
+
+bool swap_engine_enabled(const Graph& g) {
+  static const bool forced_naive = [] {
+    const char* env = std::getenv("BNCG_FORCE_NAIVE");
+    return env != nullptr && *env != '\0' && *env != '0';
+  }();
+  return !forced_naive && g.num_vertices() <= kSwapEngineAutoMaxVertices;
+}
+
+void SwapEngine::rebuild(const Graph& g) {
+  BNCG_REQUIRE(g.num_vertices() < kInfDist16, "SwapEngine requires n < 65535");
+  csr_.rebuild(g);
+}
+
+std::uint64_t SwapEngine::agent_cost(Vertex v, UsageCost model, Scratch& s) const {
+  const Vertex n = csr_.num_vertices();
+  BNCG_REQUIRE(v < n, "vertex id out of range");
+  s.base_.resize(n);
+  const BfsResult r = csr_bfs(csr_, v, MaskedEdge{}, s.base_.data(), s.bfs_);
+  if (!r.spans(n)) return kInfCost;
+  return model == UsageCost::Sum ? r.dist_sum : r.ecc;
+}
+
+std::optional<Deviation> SwapEngine::scan_agent(Vertex v, UsageCost model, bool stop_at_first,
+                                                bool include_deletions,
+                                                std::uint64_t* moves_checked,
+                                                Scratch& s) const {
+  const Vertex n = csr_.num_vertices();
+  BNCG_REQUIRE(v < n, "vertex id out of range");
+  const std::uint64_t old_cost = agent_cost(v, model, s);
+
+  const auto nbrs = csr_.neighbors(v);
+  if (nbrs.empty()) return std::nullopt;
+
+  // Closed-neighborhood marks: candidates w₂ must be fresh edges (swapping
+  // onto an existing edge is a deletion and never improves either model).
+  s.is_nbr_.assign(n, 0);
+  s.is_nbr_[v] = 1;
+  for (const Vertex w : nbrs) s.is_nbr_[w] = 1;
+
+  // The agent's single traversal bill: one batched APSP of G − v answers
+  // every (removed edge, candidate) pair via the source-removal identity.
+  s.apsp_.resize(static_cast<std::size_t>(n) * n);
+  csr_apsp(csr_, MaskedEdge{}, s.apsp_.data(), s.bfs_, /*masked_vertex=*/v);
+
+  // Elementwise min / argmin / second-min over the neighbor rows, so each
+  // removed edge's kept-neighbor profile M^w is an O(n) select.
+  s.min1_.assign(n, kInfDist16);
+  s.min2_.assign(n, kInfDist16);
+  s.argmin_.assign(n, kNoVertex);
+  for (const Vertex z : nbrs) {
+    const std::uint16_t* cz = s.apsp_.data() + static_cast<std::size_t>(z) * n;
+    for (Vertex u = 0; u < n; ++u) {
+      const std::uint16_t val = cz[u];
+      if (val < s.min1_[u]) {
+        s.min2_[u] = s.min1_[u];
+        s.min1_[u] = val;
+        s.argmin_[u] = z;
+      } else if (val < s.min2_[u]) {
+        s.min2_[u] = val;
+      }
+    }
+  }
+  s.mrow_.resize(n);
+
+  std::optional<Deviation> best;
+  for (const Vertex w : nbrs) {
+    // M^w_u = min_{z ∈ N(v)∖{w}} d_{G−v}(z, u); the v entry is pinned to 0
+    // so whole-row combines need no special case for u = v.
+    std::uint16_t* m = s.mrow_.data();
+    for (Vertex u = 0; u < n; ++u) m[u] = s.argmin_[u] == w ? s.min2_[u] : s.min1_[u];
+    m[v] = 0;
+
+    if (model == UsageCost::Max && include_deletions) {
+      // Deletion clause: removing {v, w} must *strictly* increase v's local
+      // diameter; 1 + M^w is exactly the post-deletion distance profile.
+      if (moves_checked != nullptr) ++*moves_checked;
+      const std::uint64_t del_cost = deletion_ecc(m, n);
+      if (del_cost <= old_cost) {
+        const Deviation dev{{v, w, w}, old_cost, del_cost, Deviation::Kind::NonCriticalDelete};
+        if (!best || dev.cost_after < best->cost_after) best = dev;
+        if (stop_at_first) return best;
+      }
+    }
+
+    if (model == UsageCost::Sum) {
+      for (Vertex w2 = 0; w2 < n; ++w2) {
+        if (s.is_nbr_[w2] != 0) continue;
+        if (moves_checked != nullptr) ++*moves_checked;
+        const std::uint64_t new_cost =
+            combine_sum(m, s.apsp_.data() + static_cast<std::size_t>(w2) * n, n);
+        if (new_cost >= old_cost) continue;
+        if (!best || new_cost < best->cost_after) {
+          best = Deviation{{v, w, w2}, old_cost, new_cost, Deviation::Kind::ImprovingSwap};
+          if (stop_at_first) return best;
+        }
+      }
+    } else {
+      // Far set of the removed edge: vertices the kept neighbors do not
+      // already serve within old_cost − 1. The swap improves iff candidate
+      // w₂ covers the whole far set within old_cost − 2 (reads "repair
+      // connectivity" when old_cost = ∞). cap is signed: old_cost = 1 makes
+      // improvement impossible and the far test rejects everything.
+      const std::int32_t cap =
+          old_cost == kInfCost ? kInfDist16 - 1 : static_cast<std::int32_t>(old_cost) - 2;
+      s.far_.clear();
+      for (Vertex u = 0; u < n; ++u) {
+        if (u != v && m[u] > cap) s.far_.push_back(u);
+      }
+      for (Vertex w2 = 0; w2 < n; ++w2) {
+        if (s.is_nbr_[w2] != 0) continue;
+        if (moves_checked != nullptr) ++*moves_checked;
+        const std::uint16_t* c = s.apsp_.data() + static_cast<std::size_t>(w2) * n;
+        bool improves = true;
+        for (const Vertex u : s.far_) {
+          if (c[u] > cap) {
+            improves = false;
+            break;
+          }
+        }
+        if (!improves) continue;
+        const std::uint64_t new_cost = combine_max(m, c, n);
+        if (!best || new_cost < best->cost_after ||
+            (best->kind == Deviation::Kind::NonCriticalDelete &&
+             new_cost <= best->cost_after)) {
+          best = Deviation{{v, w, w2}, old_cost, new_cost, Deviation::Kind::ImprovingSwap};
+          if (stop_at_first) return best;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+std::optional<Deviation> SwapEngine::best_deviation(Vertex v, UsageCost model, Scratch& scratch,
+                                                    bool include_deletions,
+                                                    std::uint64_t* moves_checked) const {
+  return scan_agent(v, model, /*stop_at_first=*/false, include_deletions, moves_checked, scratch);
+}
+
+std::optional<Deviation> SwapEngine::first_deviation(Vertex v, UsageCost model, Scratch& scratch,
+                                                     bool include_deletions,
+                                                     std::uint64_t* moves_checked) const {
+  return scan_agent(v, model, /*stop_at_first=*/true, include_deletions, moves_checked, scratch);
+}
+
+std::optional<Deviation> SwapEngine::best_deviation(Vertex v, UsageCost model,
+                                                    bool include_deletions) {
+  return best_deviation(v, model, scratch_, include_deletions);
+}
+
+std::optional<Deviation> SwapEngine::first_deviation(Vertex v, UsageCost model,
+                                                     bool include_deletions) {
+  return first_deviation(v, model, scratch_, include_deletions);
+}
+
+EquilibriumCertificate SwapEngine::certify(UsageCost model, bool include_deletions) const {
+  const Vertex n = csr_.num_vertices();
+  EquilibriumCertificate cert;
+  std::uint64_t moves = 0;
+  std::optional<Deviation> best;
+
+#ifdef BNCG_HAS_OPENMP
+#pragma omp parallel
+  {
+    Scratch scratch;
+    std::uint64_t local_moves = 0;
+    std::optional<Deviation> local_best;
+#pragma omp for schedule(dynamic, 1)
+    for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
+      const auto dev = best_deviation(static_cast<Vertex>(v), model, scratch, include_deletions,
+                                      &local_moves);
+      if (dev && (!local_best || dev->cost_after < local_best->cost_after)) local_best = dev;
+    }
+#pragma omp critical
+    {
+      moves += local_moves;
+      if (local_best && (!best || local_best->cost_after < best->cost_after)) best = local_best;
+    }
+  }
+#else
+  Scratch scratch;
+  for (Vertex v = 0; v < n; ++v) {
+    const auto dev = best_deviation(v, model, scratch, include_deletions, &moves);
+    if (dev && (!best || dev->cost_after < best->cost_after)) best = dev;
+  }
+#endif
+
+  cert.moves_checked = moves;
+  cert.witness = best;
+  cert.is_equilibrium = !best.has_value();
+  return cert;
+}
+
+}  // namespace bncg

@@ -1,0 +1,126 @@
+// Delta-evaluation swap engine — the hot path of the whole system.
+//
+// Certifying a swap equilibrium means evaluating every candidate swap
+// (v, w → w₂) of every agent; the naive path pays one full BFS per
+// candidate, i.e. Θ(deg(v)·n) traversals per agent. The engine replaces
+// that with per-*removed-edge* work plus a linear algebraic combine per
+// candidate, built on three ideas (proofs and measurements in DESIGN.md):
+//
+//  1. CSR snapshots. The adjacency is frozen into a CsrGraph once per
+//     *accepted* move (rebuild()); tentative moves never mutate anything.
+//  2. Source-removal identity. Every move of agent v only edits edges
+//     incident to v, and every post-move path from v starts with one of
+//     them, so for any new neighborhood N' of v:
+//       d'(v,u) = 1 + min_{z ∈ N'} d_{G−v}(z, u)        (u ≠ v).
+//     One (batched, bit-parallel) APSP of the *vertex-masked* snapshot G−v
+//     therefore answers every (removed edge w, candidate w₂) pair of the
+//     agent. With c_z = d_{G−v}(z,·) and M^w_u = min_{z ∈ N(v)∖{w}} c_{z,u}
+//     (built in O(n) per w from elementwise min/argmin/second-min over the
+//     neighbor rows):
+//       sum model: cost'(v) = (n−1) + Σ_u min(M^w_u, c_{w₂,u}),
+//       max model: cost'(v) = 1 + max_u min(M^w_u, c_{w₂,u}),
+//     an O(n) vectorizable combine per candidate — no per-candidate BFS,
+//     and no per-removed-edge traversal either. Deleting vw falls out for
+//     free: its post-move profile is 1 + M^w.
+//  3. Far-set filtering (max model). cost'(v) < ecc(v) requires
+//     c_{w₂,u} ≤ ecc(v) − 2 on the far set {u : M^w_u > ecc(v) − 2}, which
+//     is typically tiny — candidates are rejected after |far| comparisons
+//     and the exact combine runs only for actual improvers.
+//
+// Scans enumerate candidates in exactly the naive order and apply exactly
+// the naive acceptance rules, so engine results are bit-identical to the
+// brute-force oracle (differential-tested on hundreds of random instances;
+// set BNCG_FORCE_NAIVE=1 to route the public certifier API back to the
+// oracle).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/equilibrium.hpp"
+#include "core/usage_cost.hpp"
+#include "graph/bfs_batch.hpp"
+#include "graph/csr.hpp"
+#include "graph/graph.hpp"
+
+namespace bncg {
+
+/// Largest n for which the public entry points auto-select the engine. The
+/// per-thread Scratch holds an n×n 16-bit matrix (32 MB at this cap), so
+/// unbounded auto-enablement would trade the naive path's O(n) memory for
+/// multi-gigabyte allocations long before the 16-bit encoding limit.
+/// Callers that accept the memory bill can always construct a SwapEngine
+/// directly (hard limit: n < 65535).
+inline constexpr Vertex kSwapEngineAutoMaxVertices = 4096;
+
+/// True when the engine should back the public certifier entry points:
+/// n within the auto-enable cap and BNCG_FORCE_NAIVE is not set.
+[[nodiscard]] bool swap_engine_enabled(const Graph& g);
+
+/// Delta-evaluating swap scanner over an immutable CSR snapshot.
+class SwapEngine {
+ public:
+  /// Per-thread scratch: the masked-APSP matrix (n×n, 16-bit), the batched
+  /// BFS workspace, and small per-agent marks. Allocated once, reused for
+  /// every scan; one instance per thread.
+  class Scratch {
+   public:
+    friend class SwapEngine;
+
+   private:
+    BatchBfsWorkspace bfs_;
+    std::vector<std::uint16_t> apsp_;     // all rows of G − v
+    std::vector<std::uint16_t> base_;     // d_G(v, ·) of the scanned agent
+    std::vector<std::uint8_t> is_nbr_;    // closed neighborhood marks of v
+    std::vector<std::uint16_t> min1_;     // elementwise min over neighbor rows
+    std::vector<std::uint16_t> min2_;     // elementwise second min
+    std::vector<Vertex> argmin_;          // neighbor attaining min1
+    std::vector<std::uint16_t> mrow_;     // M^w: min over N(v)∖{w}
+    std::vector<Vertex> far_;             // far set of the removed edge
+  };
+
+  /// Snapshots `g`. Requires n < 65535 (16-bit distances).
+  explicit SwapEngine(const Graph& g) { rebuild(g); }
+
+  /// Re-snapshots after an accepted move (storage reused).
+  void rebuild(const Graph& g);
+
+  [[nodiscard]] const CsrGraph& snapshot() const noexcept { return csr_; }
+
+  /// Usage cost of agent `v` on the snapshot (kInfCost when disconnected).
+  [[nodiscard]] std::uint64_t agent_cost(Vertex v, UsageCost model, Scratch& scratch) const;
+
+  /// Best improving deviation of agent `v` (max model scans swaps only;
+  /// pass include_deletions for the deletion clause). Identical results and
+  /// move counts to the naive per-candidate-BFS scan.
+  [[nodiscard]] std::optional<Deviation> best_deviation(
+      Vertex v, UsageCost model, Scratch& scratch, bool include_deletions = false,
+      std::uint64_t* moves_checked = nullptr) const;
+
+  /// First improving deviation of agent `v` in scan order.
+  [[nodiscard]] std::optional<Deviation> first_deviation(
+      Vertex v, UsageCost model, Scratch& scratch, bool include_deletions = false,
+      std::uint64_t* moves_checked = nullptr) const;
+
+  /// Exhaustive certificate over all agents (sum: swap stability; max: swap
+  /// stability plus the strict-deletion clause when include_deletions).
+  /// Parallel over agents under OpenMP, one Scratch per thread.
+  [[nodiscard]] EquilibriumCertificate certify(UsageCost model, bool include_deletions) const;
+
+  /// Convenience overloads owning a scratch (single-threaded callers).
+  [[nodiscard]] std::optional<Deviation> best_deviation(Vertex v, UsageCost model,
+                                                        bool include_deletions = false);
+  [[nodiscard]] std::optional<Deviation> first_deviation(Vertex v, UsageCost model,
+                                                         bool include_deletions = false);
+
+ private:
+  std::optional<Deviation> scan_agent(Vertex v, UsageCost model, bool stop_at_first,
+                                      bool include_deletions, std::uint64_t* moves_checked,
+                                      Scratch& scratch) const;
+
+  CsrGraph csr_;
+  Scratch scratch_;  // for the convenience overloads
+};
+
+}  // namespace bncg

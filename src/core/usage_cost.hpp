@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <optional>
 
 #include "graph/bfs.hpp"
 #include "graph/graph.hpp"
@@ -44,6 +45,26 @@ inline constexpr std::uint64_t kInfCost = std::numeric_limits<std::uint64_t>::ma
     return r.spans(g.num_vertices());  // all reached within distance cap
   }
   return vertex_cost(g, v, model, ws) <= cap;
+}
+
+/// Bounded query returning the *exact* cost when it is ≤ cap, nullopt
+/// otherwise. In the Max model this is still a single truncated BFS: when
+/// every vertex is reached within `cap`, the truncation never cut a shortest
+/// path, so the traversal's aggregates are exact — callers that previously
+/// paired vertex_cost_at_most with a second full vertex_cost get both
+/// answers from one traversal.
+[[nodiscard]] inline std::optional<std::uint64_t> vertex_cost_within(const Graph& g, Vertex v,
+                                                                     UsageCost model,
+                                                                     std::uint64_t cap,
+                                                                     BfsWorkspace& ws) {
+  if (model == UsageCost::Max) {
+    const BfsResult r = bfs_bounded(g, v, static_cast<Vertex>(cap), ws);
+    if (!r.spans(g.num_vertices())) return std::nullopt;
+    return r.ecc;
+  }
+  const std::uint64_t cost = vertex_cost(g, v, model, ws);
+  if (cost > cap) return std::nullopt;
+  return cost;
 }
 
 }  // namespace bncg

@@ -1,0 +1,250 @@
+#include "graph/bfs_batch.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <type_traits>
+
+namespace bncg {
+
+/// Grants the traversal kernels access to workspace internals without
+/// exposing mutable buffers in the public interface (mirrors BfsAccess).
+struct BatchBfsAccess {
+  static std::vector<std::uint64_t>& cur(BatchBfsWorkspace& ws) { return ws.cur_; }
+  static std::vector<std::uint64_t>& next(BatchBfsWorkspace& ws) { return ws.next_; }
+  static std::vector<std::uint64_t>& visited(BatchBfsWorkspace& ws) { return ws.visited_; }
+  static std::vector<Vertex>& queue(BatchBfsWorkspace& ws) { return ws.queue_; }
+};
+
+namespace {
+
+template <typename Dist>
+constexpr Dist dist_inf() {
+  if constexpr (std::is_same_v<Dist, std::uint16_t>) {
+    return kInfDist16;
+  } else {
+    return kInfDist;
+  }
+}
+
+/// Plain queue BFS over the snapshot (the sparse / tiny-batch fallback).
+template <typename Dist>
+BfsResult queue_bfs(const CsrGraph& g, Vertex src, MaskedEdge mask, Dist* dist,
+                    std::vector<Vertex>& queue, Vertex masked_vertex) {
+  constexpr Dist kInf = dist_inf<Dist>();
+  const Vertex n = g.num_vertices();
+  std::fill(dist, dist + n, kInf);
+  queue.clear();
+  queue.reserve(n);
+  if (src == masked_vertex) return {};  // the vertex is absent: all-∞ row
+  dist[src] = 0;
+  queue.push_back(src);
+
+  BfsResult result;
+  result.reached = 1;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const Vertex u = queue[head];
+    const Dist du = dist[u];
+    result.dist_sum += du;
+    result.ecc = std::max<Vertex>(result.ecc, du);
+    for (const Vertex t : g.neighbors(u)) {
+      if (dist[t] != kInf) continue;
+      if (t == masked_vertex) continue;
+      if (mask.active() && mask.hides(u, t)) continue;
+      dist[t] = static_cast<Dist>(du + 1);
+      queue.push_back(t);
+      ++result.reached;
+    }
+  }
+  return result;
+}
+
+/// Word-parallel level-synchronous BFS: one frontier bit per source.
+///
+/// Pull formulation: per level, every vertex gathers the OR of its
+/// neighbors' previous-level frontier words in one streaming sweep over the
+/// CSR arrays — sequential offset/target reads, no frontier list, no
+/// per-edge branches, which measures faster than push-with-worklists on the
+/// dense instances this path is selected for (thin-frontier inputs take the
+/// queue fallback instead). The masked edge costs one recompute for its two
+/// endpoints per level. Distance rows are written once per settled bit;
+/// unreached entries are back-filled at the end, so the common connected
+/// case never pays an O(batch·n) infinity pre-fill.
+template <typename Dist>
+void bitparallel_batch(const CsrGraph& g, std::span<const Vertex> sources, MaskedEdge mask,
+                       Dist* rows, std::size_t stride, BatchBfsWorkspace& ws,
+                       Vertex masked_vertex) {
+  constexpr Dist kInf = dist_inf<Dist>();
+  const Vertex n = g.num_vertices();
+  auto& cur = BatchBfsAccess::cur(ws);
+  auto& next = BatchBfsAccess::next(ws);
+  auto& visited = BatchBfsAccess::visited(ws);
+  cur.assign(n, 0);
+  next.resize(n);
+  visited.assign(n, 0);
+
+  const std::uint64_t batch_mask =
+      sources.size() == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << sources.size()) - 1;
+  // A masked vertex starts saturated: it never settles, never enters a
+  // frontier, and its cur word stays 0, so nothing traverses through it.
+  if (masked_vertex < n) {
+    visited[masked_vertex] = batch_mask;
+    for (std::size_t i = 0; i < sources.size(); ++i) rows[i * stride + masked_vertex] = kInf;
+  }
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const Vertex s = sources[i];
+    if (s == masked_vertex) continue;  // absent source: row back-fills to ∞
+    visited[s] |= std::uint64_t{1} << i;
+    cur[s] |= std::uint64_t{1} << i;
+    rows[i * stride + s] = 0;
+  }
+
+  Vertex level = 0;
+  bool active = true;
+  while (active) {
+    ++level;
+    active = false;
+    for (Vertex u = 0; u < n; ++u) {
+      // Saturated vertices (all sources arrived) can gain nothing; skip the
+      // gather — this makes late, mostly-settled levels nearly free.
+      if (visited[u] == batch_mask) {
+        next[u] = 0;
+        continue;
+      }
+      std::uint64_t word = 0;
+      if (mask.active() && (u == mask.u || u == mask.v)) [[unlikely]] {
+        const Vertex other = u == mask.u ? mask.v : mask.u;
+        for (const Vertex t : g.neighbors(u)) {
+          if (t != other) word |= cur[t];
+        }
+      } else {
+        for (const Vertex t : g.neighbors(u)) word |= cur[t];
+      }
+      const std::uint64_t newly = word & ~visited[u];
+      next[u] = newly;
+      if (newly == 0) continue;
+      active = true;
+      visited[u] |= newly;
+      std::uint64_t bits = newly;
+      while (bits != 0) {
+        const int b = std::countr_zero(bits);
+        bits &= bits - 1;
+        rows[static_cast<std::size_t>(b) * stride + u] = static_cast<Dist>(level);
+      }
+    }
+    std::swap(cur, next);
+  }
+
+  // Back-fill unreached entries (no-op on connected graphs).
+  for (Vertex u = 0; u < n; ++u) {
+    std::uint64_t missing = batch_mask & ~visited[u];
+    while (missing != 0) {
+      const int b = std::countr_zero(missing);
+      missing &= missing - 1;
+      rows[static_cast<std::size_t>(b) * stride + u] = kInf;
+    }
+  }
+}
+
+/// Dispatch: word-parallelism pays once the batch is wide and frontiers are
+/// fat. On near-forests (m close to n) distances spread out, vertices
+/// re-enter the frontier once per distinct source distance, and per-source
+/// queue BFS wins; likewise for tiny batches. Cutoffs measured on random
+/// G(n, m) — see DESIGN.md.
+template <typename Dist>
+void batch_dispatch(const CsrGraph& g, std::span<const Vertex> sources, MaskedEdge mask,
+                    Dist* rows, std::size_t stride, BatchBfsWorkspace& ws,
+                    Vertex masked_vertex = kNoVertex) {
+  const std::size_t n = g.num_vertices();
+  const bool sparse = g.num_edges() < n + n / 4;
+  if (sources.size() < 8 || sparse) {
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      queue_bfs(g, sources[i], mask, rows + i * stride, BatchBfsAccess::queue(ws),
+                masked_vertex);
+    }
+    return;
+  }
+  bitparallel_batch(g, sources, mask, rows, stride, ws, masked_vertex);
+}
+
+template <typename Dist>
+void apsp_impl(const CsrGraph& g, MaskedEdge mask, Dist* rows, BatchBfsWorkspace& ws,
+               Vertex masked_vertex = kNoVertex) {
+  const Vertex n = g.num_vertices();
+  std::vector<Vertex> sources;
+  sources.reserve(64);
+  for (Vertex base = 0; base < n; base += 64) {
+    const Vertex count = std::min<Vertex>(64, n - base);
+    sources.resize(count);
+    for (Vertex i = 0; i < count; ++i) sources[i] = base + i;
+    batch_dispatch<Dist>(g, sources, mask, rows + static_cast<std::size_t>(base) * n, n, ws,
+                         masked_vertex);
+  }
+}
+
+}  // namespace
+
+BfsResult csr_bfs(const CsrGraph& g, Vertex src, MaskedEdge mask, std::uint16_t* dist,
+                  BatchBfsWorkspace& ws, Vertex masked_vertex) {
+  BNCG_REQUIRE(src < g.num_vertices(), "vertex id out of range");
+  BNCG_REQUIRE(g.num_vertices() < kInfDist16, "16-bit traversal requires n < 65535");
+  return queue_bfs(g, src, mask, dist, BatchBfsAccess::queue(ws), masked_vertex);
+}
+
+void bfs_batch(const CsrGraph& g, std::span<const Vertex> sources, MaskedEdge mask,
+               std::uint16_t* rows, std::size_t stride, BatchBfsWorkspace& ws,
+               Vertex masked_vertex) {
+  BNCG_REQUIRE(sources.size() <= 64, "at most 64 sources per batch");
+  BNCG_REQUIRE(g.num_vertices() < kInfDist16, "16-bit traversal requires n < 65535");
+  batch_dispatch(g, sources, mask, rows, stride, ws, masked_vertex);
+}
+
+void csr_apsp(const CsrGraph& g, MaskedEdge mask, std::uint16_t* rows, BatchBfsWorkspace& ws,
+              Vertex masked_vertex) {
+  BNCG_REQUIRE(g.num_vertices() < kInfDist16, "16-bit APSP requires n < 65535");
+  apsp_impl(g, mask, rows, ws, masked_vertex);
+}
+
+bool csr_apsp_wide(const CsrGraph& g, Vertex* rows) {
+  const Vertex n = g.num_vertices();
+  if (n == 0) return true;
+  const std::size_t stride = n;
+  const Vertex num_batches = (n + 63) / 64;
+
+#ifdef BNCG_HAS_OPENMP
+#pragma omp parallel
+  {
+    BatchBfsWorkspace ws;
+    std::vector<Vertex> sources;
+    sources.reserve(64);
+#pragma omp for schedule(dynamic, 1)
+    for (std::int64_t b = 0; b < static_cast<std::int64_t>(num_batches); ++b) {
+      const Vertex base = static_cast<Vertex>(b) * 64;
+      const Vertex count = std::min<Vertex>(64, n - base);
+      sources.resize(count);
+      for (Vertex i = 0; i < count; ++i) sources[i] = base + i;
+      batch_dispatch<Vertex>(g, sources, MaskedEdge{}, rows + static_cast<std::size_t>(base) * stride,
+                             stride, ws);
+    }
+  }
+#else
+  BatchBfsWorkspace ws;
+  std::vector<Vertex> sources;
+  sources.reserve(64);
+  for (Vertex b = 0; b < num_batches; ++b) {
+    const Vertex base = b * 64;
+    const Vertex count = std::min<Vertex>(64, n - base);
+    sources.resize(count);
+    for (Vertex i = 0; i < count; ++i) sources[i] = base + i;
+    batch_dispatch<Vertex>(g, sources, MaskedEdge{}, rows + static_cast<std::size_t>(base) * stride,
+                           stride, ws);
+  }
+#endif
+
+  const std::size_t total = static_cast<std::size_t>(n) * n;
+  for (std::size_t i = 0; i < total; ++i) {
+    if (rows[i] == kInfDist) return false;
+  }
+  return true;
+}
+
+}  // namespace bncg

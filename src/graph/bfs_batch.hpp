@@ -1,0 +1,79 @@
+// Batched bit-parallel BFS over CSR snapshots.
+//
+// The certifiers need *all* distance rows of G − vw for every edge vw the
+// swapping agent might abandon — that is an APSP per tentative removal. A
+// queue BFS per source wastes the fact that the 64-bit datapath can carry
+// one frontier bit per source: `bfs_batch` runs up to 64 sources at once,
+// level-synchronously, propagating a 64-bit "which sources have reached this
+// vertex" word along each edge with a single OR. Per level the work is one
+// word-OR per touched edge, so a full APSP costs ⌈n/64⌉ sweeps of O(m·levels)
+// word operations instead of n pointer-chasing traversals.
+//
+// On very sparse graphs (forests and near-forests) frontiers are thin and
+// distances spread out, so each vertex re-enters the frontier many times and
+// the word-parallelism stops paying; `bfs_batch` then falls back to one
+// cache-friendly queue BFS per source (`csr_bfs`). The cutoffs were measured
+// on random G(n, m); see DESIGN.md §"Cost model".
+//
+// Distances are written as 16-bit values (kInfDist16 = unreachable), which
+// halves APSP bandwidth; graphs must therefore have n < 65535. The wide
+// (32-bit) entry point `csr_apsp_wide` backs DistanceMatrix without that
+// restriction on its output type.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/bfs.hpp"  // BfsResult, kInfDist
+#include "graph/csr.hpp"
+
+namespace bncg {
+
+/// 16-bit distance sentinel for unreachable vertices.
+inline constexpr std::uint16_t kInfDist16 = 0xFFFF;
+
+/// Scratch buffers for batched traversals; reuse across calls (one per
+/// thread — not thread-safe).
+class BatchBfsWorkspace {
+ public:
+  friend struct BatchBfsAccess;
+
+ private:
+  std::vector<std::uint64_t> cur_;      // frontier bits per vertex
+  std::vector<std::uint64_t> next_;     // next-level bits per vertex
+  std::vector<std::uint64_t> visited_;  // settled bits per vertex
+  std::vector<Vertex> queue_;           // queue-BFS fallback
+};
+
+/// Single-source queue BFS over the snapshot, skipping `mask` if active and
+/// the vertex `masked_vertex` (all its incident edges) if given. Writes
+/// exact 16-bit distances into dist[0..n) and returns the aggregates
+/// (dist_sum / ecc / reached) of the traversal. O(n + m). When src is the
+/// masked vertex the row is all-∞ (the vertex is simply absent).
+BfsResult csr_bfs(const CsrGraph& g, Vertex src, MaskedEdge mask, std::uint16_t* dist,
+                  BatchBfsWorkspace& ws, Vertex masked_vertex = kNoVertex);
+
+/// Multi-source BFS from ≤64 distinct sources, skipping `mask` if active
+/// and `masked_vertex` if given. Row i receives the distances from
+/// sources[i]: rows[i·stride + x] = d(sources[i], x), kInfDist16 when
+/// unreachable. Chooses bit-parallel or per-source queue traversal based on
+/// batch size and graph density.
+void bfs_batch(const CsrGraph& g, std::span<const Vertex> sources, MaskedEdge mask,
+               std::uint16_t* rows, std::size_t stride, BatchBfsWorkspace& ws,
+               Vertex masked_vertex = kNoVertex);
+
+/// All-pairs shortest paths of the (masked) snapshot into an n×n row-major
+/// 16-bit matrix: rows[v·n + x] = d(v, x). Serial; callers parallelize over
+/// higher-level work units (agents, removed edges). Masking a vertex yields
+/// the APSP of G − v (the swap engine's per-agent primitive: every
+/// post-swap distance of agent v decomposes over d_{G−v}).
+void csr_apsp(const CsrGraph& g, MaskedEdge mask, std::uint16_t* rows, BatchBfsWorkspace& ws,
+              Vertex masked_vertex = kNoVertex);
+
+/// All-pairs shortest paths into an n×n 32-bit matrix (kInfDist sentinel),
+/// OpenMP-parallel over source batches. Returns true iff every pair is
+/// reachable. Backs DistanceMatrix.
+bool csr_apsp_wide(const CsrGraph& g, Vertex* rows);
+
+}  // namespace bncg

@@ -1,0 +1,27 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+
+namespace bncg {
+
+void CsrGraph::rebuild(const Graph& g) {
+  n_ = g.num_vertices();
+  offsets_.resize(static_cast<std::size_t>(n_) + 1);
+  targets_.resize(2 * g.num_edges());
+
+  std::uint32_t cursor = 0;
+  for (Vertex v = 0; v < n_; ++v) {
+    offsets_[v] = cursor;
+    const auto nbrs = g.neighbors(v);  // already sorted by Graph's invariant
+    std::copy(nbrs.begin(), nbrs.end(), targets_.begin() + cursor);
+    cursor += static_cast<std::uint32_t>(nbrs.size());
+  }
+  offsets_[n_] = cursor;
+}
+
+bool CsrGraph::has_edge(Vertex v, Vertex w) const {
+  const auto nbrs = neighbors(v);
+  return std::binary_search(nbrs.begin(), nbrs.end(), w);
+}
+
+}  // namespace bncg

@@ -1,0 +1,80 @@
+// Immutable CSR (compressed sparse row) graph snapshots.
+//
+// The mutable `Graph` (one std::vector per vertex) is the right substrate for
+// applying moves, but its pointer-chasing layout is wrong for the hot path:
+// swap evaluation runs millions of BFS traversals that only *read* the
+// adjacency. `CsrGraph` freezes a Graph into two flat arrays — `offsets`
+// (n+1 entries) and `targets` (2m entries, sorted per vertex) — so a whole
+// traversal touches two contiguous allocations and the prefetcher can keep
+// up. Snapshots are rebuilt once per *accepted* move; tentative moves are
+// simulated on top of the snapshot without copying:
+//
+//  * removing one edge  — `MaskedEdge` makes every traversal skip a single
+//    {u, v} pair (the edge the swapping agent abandons);
+//  * adding one edge    — never materialized at all: the single-removal
+//    identity d'(v,x) = min(d_{G−vw}(v,x), 1 + d_{G−vw}(w₂,x)) evaluates the
+//    new edge algebraically from distance rows of G−vw (see DESIGN.md).
+//
+// Traversals over CsrGraph live in bfs_batch.hpp.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace bncg {
+
+/// Sentinel vertex id ("none").
+inline constexpr Vertex kNoVertex = 0xFFFFFFFFu;
+
+/// One edge temporarily hidden from traversals (inactive by default).
+/// Simulates G − {u, v} on an immutable snapshot without copying it.
+struct MaskedEdge {
+  Vertex u = kNoVertex;
+  Vertex v = kNoVertex;
+
+  [[nodiscard]] constexpr bool active() const noexcept { return u != kNoVertex; }
+
+  /// True iff the (directed) adjacency entry `from → to` is hidden.
+  [[nodiscard]] constexpr bool hides(Vertex from, Vertex to) const noexcept {
+    return (from == u && to == v) || (from == v && to == u);
+  }
+};
+
+/// Immutable flat-array snapshot of a Graph.
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Snapshots `g`. One pass, two allocations (amortized away by rebuild()).
+  explicit CsrGraph(const Graph& g) { rebuild(g); }
+
+  /// Re-snapshots `g` in place, reusing storage when capacities allow.
+  void rebuild(const Graph& g);
+
+  [[nodiscard]] Vertex num_vertices() const noexcept { return n_; }
+
+  /// Number of undirected edges.
+  [[nodiscard]] std::size_t num_edges() const noexcept { return targets_.size() / 2; }
+
+  [[nodiscard]] Vertex degree(Vertex v) const noexcept {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// Sorted neighbor list of `v` (view into the flat targets array).
+  [[nodiscard]] std::span<const Vertex> neighbors(Vertex v) const noexcept {
+    return {targets_.data() + offsets_[v], targets_.data() + offsets_[v + 1]};
+  }
+
+  /// True iff edge {v, w} is present. O(log deg).
+  [[nodiscard]] bool has_edge(Vertex v, Vertex w) const;
+
+ private:
+  Vertex n_ = 0;
+  std::vector<std::uint32_t> offsets_;  // n+1 prefix sums into targets_
+  std::vector<Vertex> targets_;         // concatenated sorted adjacencies, 2m
+};
+
+}  // namespace bncg

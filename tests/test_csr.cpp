@@ -1,0 +1,240 @@
+// CSR snapshots and batched bit-parallel BFS, differential-tested against
+// the mutable Graph and its queue BFS: structure round-trips exactly,
+// masked-edge traversals agree with physically removing the edge, and the
+// batched APSP reproduces per-source BFS bit for bit on dense and sparse
+// (queue-fallback) instances alike.
+#include "graph/bfs_batch.hpp"
+#include "graph/csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gen/classic.hpp"
+#include "gen/random.hpp"
+#include "graph/apsp.hpp"
+#include "graph/bfs.hpp"
+#include "util/rng.hpp"
+
+namespace bncg {
+namespace {
+
+// ------------------------------------------------------------- structure
+
+TEST(CsrGraph, SnapshotMatchesGraphStructure) {
+  Xoshiro256ss rng(0xC5A);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Vertex n = 2 + static_cast<Vertex>(rng.below(30));
+    const std::size_t max_m = static_cast<std::size_t>(n) * (n - 1) / 2;
+    const Graph g = random_gnm(n, rng.below(max_m + 1), rng);
+    const CsrGraph csr(g);
+    ASSERT_EQ(csr.num_vertices(), g.num_vertices());
+    ASSERT_EQ(csr.num_edges(), g.num_edges());
+    for (Vertex v = 0; v < n; ++v) {
+      ASSERT_EQ(csr.degree(v), g.degree(v));
+      const auto a = g.neighbors(v);
+      const auto b = csr.neighbors(v);
+      ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+      for (Vertex w = 0; w < n; ++w) EXPECT_EQ(csr.has_edge(v, w), g.has_edge(v, w));
+    }
+  }
+}
+
+TEST(CsrGraph, RebuildReflectsMutations) {
+  Graph g = cycle(6);
+  CsrGraph csr(g);
+  EXPECT_TRUE(csr.has_edge(0, 1));
+  g.remove_edge(0, 1);
+  g.add_edge(0, 3);
+  csr.rebuild(g);
+  EXPECT_FALSE(csr.has_edge(0, 1));
+  EXPECT_TRUE(csr.has_edge(0, 3));
+  EXPECT_EQ(csr.num_edges(), g.num_edges());
+}
+
+TEST(CsrGraph, EmptyGraph) {
+  const CsrGraph csr{Graph(0)};
+  EXPECT_EQ(csr.num_vertices(), 0u);
+  EXPECT_EQ(csr.num_edges(), 0u);
+}
+
+// ------------------------------------------------------- single-source BFS
+
+void expect_rows_match_graph_bfs(const Graph& reference, const CsrGraph& csr, MaskedEdge mask) {
+  const Vertex n = reference.num_vertices();
+  BfsWorkspace gws;
+  BatchBfsWorkspace ws;
+  std::vector<std::uint16_t> dist(n);
+  for (Vertex src = 0; src < n; ++src) {
+    const BfsResult expect = bfs(reference, src, gws);
+    const BfsResult got = csr_bfs(csr, src, mask, dist.data(), ws);
+    ASSERT_EQ(got.dist_sum, expect.dist_sum);
+    ASSERT_EQ(got.ecc, expect.ecc);
+    ASSERT_EQ(got.reached, expect.reached);
+    for (Vertex x = 0; x < n; ++x) {
+      const Vertex want = gws.dist()[x];
+      ASSERT_EQ(dist[x], want == kInfDist ? kInfDist16 : static_cast<std::uint16_t>(want))
+          << "src=" << src << " x=" << x;
+    }
+  }
+}
+
+TEST(CsrBfs, MatchesGraphBfs) {
+  Xoshiro256ss rng(0xB15);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Vertex n = 2 + static_cast<Vertex>(rng.below(40));
+    const std::size_t max_m = static_cast<std::size_t>(n) * (n - 1) / 2;
+    const Graph g = random_gnm(n, rng.below(max_m + 1), rng);
+    expect_rows_match_graph_bfs(g, CsrGraph(g), MaskedEdge{});
+  }
+}
+
+TEST(CsrBfs, MaskedEdgeEqualsPhysicalRemoval) {
+  Xoshiro256ss rng(0x3A5C);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Vertex n = 3 + static_cast<Vertex>(rng.below(24));
+    const std::size_t max_m = static_cast<std::size_t>(n) * (n - 1) / 2;
+    const Graph g = random_connected_gnm(n, std::min(max_m, n - 1 + rng.below(n)), rng);
+    const CsrGraph csr(g);
+    const auto edges = g.edges();
+    const Edge e = edges[rng.below(edges.size())];
+    Graph removed = g;
+    removed.remove_edge(e.u, e.v);
+    expect_rows_match_graph_bfs(removed, csr, MaskedEdge{e.u, e.v});
+  }
+}
+
+// ------------------------------------------------------------ batched APSP
+
+void expect_apsp_matches(const Graph& reference, const CsrGraph& csr, MaskedEdge mask) {
+  const Vertex n = reference.num_vertices();
+  BatchBfsWorkspace ws;
+  std::vector<std::uint16_t> rows(static_cast<std::size_t>(n) * n);
+  csr_apsp(csr, mask, rows.data(), ws);
+  BfsWorkspace gws;
+  for (Vertex src = 0; src < n; ++src) {
+    bfs(reference, src, gws);
+    for (Vertex x = 0; x < n; ++x) {
+      const Vertex want = gws.dist()[x];
+      ASSERT_EQ(rows[static_cast<std::size_t>(src) * n + x],
+                want == kInfDist ? kInfDist16 : static_cast<std::uint16_t>(want))
+          << "src=" << src << " x=" << x;
+    }
+  }
+}
+
+TEST(BatchBfs, ApspMatchesPerSourceBfsDense) {
+  // Dense instances with n > 64 exercise the bit-parallel path across
+  // multiple 64-source batches.
+  Xoshiro256ss rng(0xAB5B);
+  for (int trial = 0; trial < 6; ++trial) {
+    const Vertex n = 65 + static_cast<Vertex>(rng.below(80));
+    const Graph g = random_connected_gnm(n, 3 * static_cast<std::size_t>(n), rng);
+    expect_apsp_matches(g, CsrGraph(g), MaskedEdge{});
+  }
+}
+
+TEST(BatchBfs, ApspMatchesPerSourceBfsSparseFallback) {
+  // Trees (m = n − 1) take the queue-BFS fallback; verify it too.
+  Xoshiro256ss rng(0x7EE5);
+  for (int trial = 0; trial < 6; ++trial) {
+    const Vertex n = 65 + static_cast<Vertex>(rng.below(60));
+    const Graph g = random_tree(n, rng);
+    expect_apsp_matches(g, CsrGraph(g), MaskedEdge{});
+  }
+}
+
+TEST(BatchBfs, ApspMatchesOnDisconnectedGraphs) {
+  Xoshiro256ss rng(0xD15C);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Vertex n = 66 + static_cast<Vertex>(rng.below(40));
+    const Graph g = random_gnm(n, n, rng);  // typically disconnected
+    expect_apsp_matches(g, CsrGraph(g), MaskedEdge{});
+  }
+}
+
+TEST(BatchBfs, MaskedApspEqualsPhysicalRemoval) {
+  Xoshiro256ss rng(0x9A55);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Vertex n = 70 + static_cast<Vertex>(rng.below(30));
+    const Graph g = random_connected_gnm(n, 2 * static_cast<std::size_t>(n), rng);
+    const CsrGraph csr(g);
+    const auto edges = g.edges();
+    const Edge e = edges[rng.below(edges.size())];
+    Graph removed = g;
+    removed.remove_edge(e.u, e.v);
+    expect_apsp_matches(removed, csr, MaskedEdge{e.u, e.v});
+  }
+}
+
+TEST(BatchBfs, VertexMaskedApspEqualsPhysicalVertexRemoval) {
+  // Masking a vertex must equal deleting all its incident edges, except
+  // that the masked vertex's own row reads all-∞ (it is absent, not just
+  // isolated).
+  Xoshiro256ss rng(0xFACE);
+  BatchBfsWorkspace ws;
+  for (int trial = 0; trial < 8; ++trial) {
+    const Vertex n = 66 + static_cast<Vertex>(rng.below(30));
+    const Graph g = random_connected_gnm(n, 2 * static_cast<std::size_t>(n), rng);
+    const CsrGraph csr(g);
+    const Vertex v = static_cast<Vertex>(rng.below(n));
+    Graph removed = g;
+    const std::vector<Vertex> nbrs(g.neighbors(v).begin(), g.neighbors(v).end());
+    for (const Vertex w : nbrs) removed.remove_edge(v, w);
+
+    std::vector<std::uint16_t> rows(static_cast<std::size_t>(n) * n);
+    csr_apsp(csr, MaskedEdge{}, rows.data(), ws, /*masked_vertex=*/v);
+    BfsWorkspace gws;
+    for (Vertex src = 0; src < n; ++src) {
+      if (src == v) {
+        for (Vertex x = 0; x < n; ++x) {
+          ASSERT_EQ(rows[static_cast<std::size_t>(src) * n + x], kInfDist16);
+        }
+        continue;
+      }
+      bfs(removed, src, gws);
+      for (Vertex x = 0; x < n; ++x) {
+        const Vertex want = x == v ? kInfDist : gws.dist()[x];
+        ASSERT_EQ(rows[static_cast<std::size_t>(src) * n + x],
+                  want == kInfDist ? kInfDist16 : static_cast<std::uint16_t>(want))
+            << "src=" << src << " x=" << x << " v=" << v;
+      }
+    }
+  }
+}
+
+TEST(BatchBfs, PartialBatchWithExplicitSources) {
+  const Graph g = path(12);
+  const CsrGraph csr(g);
+  BatchBfsWorkspace ws;
+  const std::vector<Vertex> sources = {0, 5, 11};
+  std::vector<std::uint16_t> rows(sources.size() * 12);
+  bfs_batch(csr, sources, MaskedEdge{}, rows.data(), 12, ws);
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    for (Vertex x = 0; x < 12; ++x) {
+      const Vertex want = sources[i] > x ? sources[i] - x : x - sources[i];
+      EXPECT_EQ(rows[i * 12 + x], want);
+    }
+  }
+}
+
+TEST(DistanceMatrix, StillMatchesGraphBfsThroughCsrBackend) {
+  Xoshiro256ss rng(0xD157);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Vertex n = 40 + static_cast<Vertex>(rng.below(90));
+    const Graph g = trial % 2 == 0 ? random_connected_gnm(n, 2 * static_cast<std::size_t>(n), rng)
+                                   : random_gnm(n, n, rng);
+    const DistanceMatrix dm(g);
+    BfsWorkspace gws;
+    bool all_reached = true;
+    for (Vertex src = 0; src < n; ++src) {
+      const BfsResult r = bfs(g, src, gws);
+      all_reached = all_reached && r.spans(n);
+      for (Vertex x = 0; x < n; ++x) ASSERT_EQ(dm.at(src, x), gws.dist()[x]);
+    }
+    EXPECT_EQ(dm.connected(), all_reached);
+  }
+}
+
+}  // namespace
+}  // namespace bncg
