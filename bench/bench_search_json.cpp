@@ -1,0 +1,152 @@
+// Incremental-vs-full-recompute annealing throughput, emitted as
+// machine-readable JSON (BENCH_search.json at the repo root; regenerate with
+// bench/run_bench.sh).
+//
+// For each (n, model) the program replays the SAME annealing schedule — same
+// start graph, same seed, same proposal sequence — twice: once with the
+// legacy full-recompute evaluation (graph copy + connectivity/diameter scan
+// + full unrest recompute per proposal) and once through the incremental
+// SearchState (cached per-agent masked matrices, dirty-row refresh, R2
+// pruning; see core/search_state.hpp and DESIGN.md §9). Identical
+// trajectories are asserted — same counters, same outcome — so the reported
+// ratio is a pure evaluation-path speedup, and proposals/second is the
+// headline number.
+//
+// Usage: bench_search_json [output.json] [max_n]
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/search.hpp"
+#include "gen/random.hpp"
+#include "graph/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace bncg;
+using Clock = std::chrono::steady_clock;
+
+struct Row {
+  Vertex n = 0;
+  std::string model;
+  std::uint64_t proposals = 0;
+  std::uint64_t evaluated = 0;
+  std::uint64_t accepted = 0;
+  double incremental_seconds = 0.0;
+  double full_seconds = 0.0;
+
+  [[nodiscard]] double incremental_proposals_per_sec() const {
+    return static_cast<double>(proposals) / incremental_seconds;
+  }
+  [[nodiscard]] double full_proposals_per_sec() const {
+    return static_cast<double>(proposals) / full_seconds;
+  }
+  [[nodiscard]] double speedup() const { return full_seconds / incremental_seconds; }
+};
+
+template <typename Fn>
+double time_seconds(Fn&& fn) {
+  const auto start = Clock::now();
+  fn();
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+Row measure(Vertex n, UsageCost model, std::uint64_t steps) {
+  Xoshiro256ss rng(0x5EA2 ^ n);
+  const Graph start = random_connected_gnm(n, 2 * static_cast<std::size_t>(n), rng);
+
+  AnnealConfig config;
+  config.cost = model;
+  config.steps = steps;
+  config.seed = 0xBE7C0 + n;
+  // Anneal within the start graph's diameter class: proposals that keep the
+  // diameter are plentiful, so the run exercises the evaluation path instead
+  // of the rejection filter.
+  config.target_diameter = diameter(start);
+
+  Row row;
+  row.n = n;
+  row.model = model == UsageCost::Sum ? "sum" : "max";
+
+  AnnealStats incremental_stats;
+  config.evaluation = UnrestEval::Incremental;
+  std::optional<Graph> incremental_result;
+  row.incremental_seconds =
+      time_seconds([&] { incremental_result = anneal_equilibrium(start, config, &incremental_stats); });
+
+  AnnealStats full_stats;
+  config.evaluation = UnrestEval::FullRecompute;
+  std::optional<Graph> full_result;
+  row.full_seconds =
+      time_seconds([&] { full_result = anneal_equilibrium(start, config, &full_stats); });
+
+  // Differential sanity on the benchmark run itself: both paths must have
+  // walked the identical trajectory.
+  if (incremental_stats.proposals != full_stats.proposals ||
+      incremental_stats.evaluated != full_stats.evaluated ||
+      incremental_stats.accepted != full_stats.accepted ||
+      incremental_stats.final_unrest != full_stats.final_unrest ||
+      incremental_result.has_value() != full_result.has_value() ||
+      (incremental_result && *incremental_result != *full_result)) {
+    std::cerr << "FATAL: incremental/full trajectory mismatch at n=" << n
+              << " model=" << row.model << "\n";
+    std::exit(1);
+  }
+
+  row.proposals = incremental_stats.proposals;
+  row.evaluated = incremental_stats.evaluated;
+  row.accepted = incremental_stats.accepted;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_search.json";
+  Vertex max_n = 256;
+  if (argc > 2) {
+    try {
+      max_n = static_cast<Vertex>(std::stoul(argv[2]));
+    } catch (const std::exception&) {
+      std::cerr << "usage: bench_search_json [output.json] [max_n]\n";
+      return 2;
+    }
+  }
+
+  std::vector<Row> rows;
+  for (const Vertex n : {Vertex{64}, Vertex{256}}) {
+    if (n > max_n) continue;
+    // Budgets sized so the slow full-recompute leg stays tolerable while
+    // the one-time SearchState construction amortizes realistically.
+    const std::uint64_t steps = n <= 64 ? 1200 : 300;
+    for (const UsageCost model : {UsageCost::Sum, UsageCost::Max}) {
+      const Row row = measure(n, model, steps);
+      std::cout << "n=" << row.n << " model=" << row.model << " proposals=" << row.proposals
+                << " evaluated=" << row.evaluated << " accepted=" << row.accepted
+                << " incremental=" << row.incremental_seconds << "s full=" << row.full_seconds
+                << "s speedup=" << row.speedup() << "x\n";
+      rows.push_back(row);
+    }
+  }
+
+  std::ofstream out(out_path);
+  out << "[\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "  {\"n\": " << r.n << ", \"model\": \"" << r.model << "\""
+        << ", \"proposals\": " << r.proposals << ", \"evaluated\": " << r.evaluated
+        << ", \"accepted\": " << r.accepted
+        << ", \"incremental_seconds\": " << r.incremental_seconds
+        << ", \"full_seconds\": " << r.full_seconds
+        << ", \"incremental_proposals_per_sec\": " << r.incremental_proposals_per_sec()
+        << ", \"full_proposals_per_sec\": " << r.full_proposals_per_sec()
+        << ", \"speedup\": " << r.speedup() << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
-# Builds the benchmark executables and regenerates BENCH_engine.json at the
-# repo root (engine-vs-naive certification throughput; see DESIGN.md).
+# Builds the benchmark executables and regenerates the tracked perf artifacts
+# at the repo root:
+#   BENCH_engine.json — engine-vs-naive certification throughput (DESIGN.md §6)
+#   BENCH_search.json — incremental-vs-full annealing throughput (DESIGN.md §9)
 #
-# Usage: bench/run_bench.sh [max_n]   (default 1024)
+# Usage: bench/run_bench.sh [max_n]   (default 1024 for the engine bench;
+# the search bench caps itself at min(max_n, 256))
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -13,6 +16,8 @@ cmake -B "${build_dir}" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=Release \
   -DBNCG_BUILD_BENCHMARKS=ON \
   -DBNCG_BUILD_TESTS=OFF >/dev/null
-cmake --build "${build_dir}" --target bench_engine_json -j "$(nproc)" >/dev/null
+cmake --build "${build_dir}" --target bench_engine_json bench_search_json -j "$(nproc)" >/dev/null
 
 "${build_dir}/bench_engine_json" "${repo_root}/BENCH_engine.json" "${max_n}"
+search_max_n=$(( max_n < 256 ? max_n : 256 ))
+"${build_dir}/bench_search_json" "${repo_root}/BENCH_search.json" "${search_max_n}"

@@ -2,7 +2,10 @@
 //
 // Runs the configured dynamics with full trace recording and prints the
 // social cost / diameter trajectory — the "small world emerges from selfish
-// swaps" phenomenon the paper's introduction motivates.
+// swaps" phenomenon the paper's introduction motivates. Agent scans route
+// through the incremental SearchState (cached per-agent masked distance
+// matrices with journal catch-up) whenever n is within its auto cap; the
+// banner reports which provider tier backs the run.
 //
 //   $ ./dynamics_explorer [family: tree|cycle|sparse|ba] [n] [sum|max] [seed]
 #include <cstdlib>
@@ -10,6 +13,8 @@
 #include <string>
 
 #include "core/dynamics.hpp"
+#include "core/search_state.hpp"
+#include "core/swap_engine.hpp"
 #include "gen/classic.hpp"
 #include "gen/random.hpp"
 #include "graph/metrics.hpp"
@@ -44,8 +49,11 @@ int main(int argc, char** argv) {
   config.max_moves = 200'000;
   config.seed = seed;
 
+  const char* provider = search_state_enabled(start)  ? "incremental SearchState"
+                         : swap_engine_enabled(start) ? "SwapEngine"
+                                                      : "naive oracle";
   std::cout << "family=" << family << " n=" << n << " m=" << start.num_edges()
-            << " model=" << model << "\n\n";
+            << " model=" << model << " provider=" << provider << "\n\n";
   const DynamicsResult r = run_dynamics(start, config);
 
   Table t({"move", "social_cost", "diameter"});

@@ -3,7 +3,10 @@
 //
 //  1. quantify how far the literal Figure 3 graph is from equilibrium
 //     (sum_unrest), and show the refuting swap;
-//  2. anneal from a random diameter-3 graph toward zero unrest;
+//  2. anneal from a random diameter-3 graph toward zero unrest — proposals
+//     are evaluated incrementally through the SearchState (cached per-agent
+//     masked matrices; see core/search_state.hpp), and the run reports its
+//     proposal throughput and acceptance counters;
 //  3. certify whatever the search returns, and compare it against the
 //     library's canonical 8-vertex witness up to isomorphism;
 //  4. exhaustively confirm no smaller witness exists (n ≤ 6 here; n = 7
@@ -15,6 +18,7 @@
 
 #include "core/equilibrium.hpp"
 #include "core/search.hpp"
+#include "core/search_state.hpp"
 #include "gen/paper.hpp"
 #include "gen/random.hpp"
 #include "graph/io.hpp"
@@ -42,14 +46,24 @@ int main(int argc, char** argv) {
   AnnealConfig config;
   config.steps = steps;
   config.seed = seed;
+  config.cost = UsageCost::Sum;
+  AnnealStats stats;
   Timer timer;
-  const auto found = anneal_sum_equilibrium(random_connected_gnm(n, 2 * n, rng), config);
+  const Graph start = random_connected_gnm(n, 2 * n, rng);
+  const char* evaluation = search_state_enabled(start) ? "incremental" : "full recompute";
+  const auto found = anneal_equilibrium(start, config, &stats);
+  const double secs = timer.seconds();
+  std::cout << stats.proposals << " proposals in " << secs << " s ("
+            << (secs > 0 ? static_cast<double>(stats.proposals) / secs : 0.0) << "/s "
+            << evaluation << "): " << stats.filtered << " filtered, " << stats.evaluated
+            << " evaluated, " << stats.accepted << " accepted, final unrest "
+            << stats.final_unrest << "\n";
   if (!found) {
-    std::cout << "no equilibrium found in " << steps << " steps (" << timer.seconds()
-              << " s) — try more steps or another seed\n";
+    std::cout << "no equilibrium found in " << steps
+              << " steps — try more steps or another seed\n";
     return 1;
   }
-  std::cout << "found in " << timer.seconds() << " s: " << to_string(*found) << "\n"
+  std::cout << "found: " << to_string(*found) << "\n"
             << "graph6: " << to_graph6(*found) << "\n";
 
   std::cout << "\n=== 3. certify and compare ===\n";

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 verification entry point (matches ROADMAP's verify line):
+# configure, build, and run every test carrying the `tier1` CTest label.
+#
+# Usage: scripts/run_tests.sh [extra ctest args...]
+#   scripts/run_tests.sh                 # full tier-1 suite
+#   scripts/run_tests.sh -L property     # just the seeded property harness
+#
+# The build directory defaults to ./build; override with BNCG_BUILD_DIR.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${BNCG_BUILD_DIR:-${repo_root}/build}"
+
+cmake -B "${build_dir}" -S "${repo_root}" >/dev/null
+cmake --build "${build_dir}" -j "$(nproc)"
+
+if [ "$#" -gt 0 ]; then
+  ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" "$@"
+else
+  ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" -L tier1
+fi

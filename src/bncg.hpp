@@ -45,6 +45,7 @@
 #include "core/usage_cost.hpp"
 #include "core/equilibrium.hpp"
 #include "core/swap_engine.hpp"
+#include "core/search_state.hpp"
 #include "core/dynamics.hpp"
 #include "core/tree_game.hpp"
 #include "core/kstability.hpp"

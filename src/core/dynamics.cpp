@@ -4,6 +4,7 @@
 #include <numeric>
 #include <unordered_set>
 
+#include "core/search_state.hpp"
 #include "core/swap_engine.hpp"
 #include "graph/io.hpp"
 #include "graph/metrics.hpp"
@@ -12,20 +13,42 @@ namespace bncg {
 
 namespace {
 
-/// Move provider for the dynamics loop. The engine-backed implementation
-/// keeps one CSR snapshot alive across the whole scan of a pass and rebuilds
-/// it only after an *accepted* move — tentative moves never touch a mutable
-/// graph. The naive provider (BNCG_FORCE_NAIVE, or n too large for 16-bit
-/// distances) is the original BFS-per-candidate path.
+/// Move provider for the dynamics loop, in three tiers:
+///  * SearchState-backed (default, n within the auto cap): per-agent masked
+///    distance matrices are cached across moves and caught up lazily through
+///    the toggle journal, so a scan costs a streamed row update instead of a
+///    fresh masked APSP.
+///  * SwapEngine-backed (n too large for the matrix cache): one CSR snapshot
+///    per accepted move, one masked APSP per scan.
+///  * naive (BNCG_FORCE_NAIVE, or n too large for 16-bit distances): the
+///    original BFS-per-candidate oracle.
+/// All three return bit-identical deviations, so trajectories do not depend
+/// on the tier (differential-tested in tests/test_search_state.cpp).
 class MoveProvider {
  public:
   MoveProvider(const Graph& g, const DynamicsConfig& config)
-      : config_(config), use_engine_(swap_engine_enabled(g)) {
-    if (use_engine_) engine_.emplace(g);
+      : config_(config),
+        use_state_(search_state_enabled(g)),
+        use_engine_(!use_state_ && swap_engine_enabled(g)) {
+    if (use_state_) {
+      state_.emplace(g, config.cost,
+                     /*include_deletions=*/config.cost == UsageCost::Max &&
+                         config.allow_neutral_deletions);
+    } else if (use_engine_) {
+      engine_.emplace(g);
+    }
   }
 
-  /// Must be called after every executed move (graph mutated).
-  void on_move(const Graph& g) {
+  /// Must be called after every executed move (graph mutated accordingly).
+  void on_move(const Graph& g, const Deviation& dev) {
+    if (use_state_) {
+      if (dev.kind == Deviation::Kind::NonCriticalDelete) {
+        state_->apply_deletion(dev.swap.v, dev.swap.remove_w);
+      } else {
+        state_->apply_swap(dev.swap);
+      }
+      return;
+    }
     if (use_engine_) engine_->rebuild(g);
   }
 
@@ -33,6 +56,19 @@ class MoveProvider {
   /// policy. Neutral deletions are only surfaced in the max model when asked.
   std::optional<Deviation> agent_deviation(const Graph& g, Vertex v) {
     const bool first = config_.policy == MovePolicy::FirstImprovement;
+    if (use_state_) {
+      if (config_.cost == UsageCost::Sum) {
+        return first ? state_->first_deviation(v) : state_->best_deviation(v);
+      }
+      if (first) {
+        return state_->first_deviation(v, config_.allow_neutral_deletions);
+      }
+      auto best = state_->best_deviation(v);
+      if (!best && config_.allow_neutral_deletions) {
+        best = state_->first_deviation(v, /*include_deletions=*/true);
+      }
+      return best;
+    }
     if (use_engine_) {
       if (config_.cost == UsageCost::Sum) {
         return first ? engine_->first_deviation(v, UsageCost::Sum)
@@ -65,6 +101,7 @@ class MoveProvider {
   /// True iff the graph is in equilibrium for the configured game (including
   /// the deletion clause when neutral deletions participate in the max game).
   bool certified(const Graph& g) {
+    if (use_state_) return state_->certify_current();
     if (use_engine_) {
       if (config_.cost == UsageCost::Sum) {
         return engine_->certify(UsageCost::Sum, /*include_deletions=*/false).is_equilibrium;
@@ -83,7 +120,9 @@ class MoveProvider {
 
  private:
   const DynamicsConfig& config_;
+  bool use_state_;
   bool use_engine_;
+  std::optional<SearchState> state_;
   std::optional<SwapEngine> engine_;
   BfsWorkspace ws_;
 };
@@ -135,8 +174,8 @@ DynamicsResult run_dynamics(Graph start, const DynamicsConfig& config) {
   if (config.detect_revisits) visited.insert(to_graph6(g));
 
   bool out_of_budget = false;
-  const auto post_move = [&]() {
-    provider.on_move(g);
+  const auto post_move = [&](const Deviation& dev) {
+    provider.on_move(g, dev);
     ++result.moves;
     if (config.record_trace) record(g, config.cost, result.moves, result.trace);
     if (config.detect_revisits && !result.revisited &&
@@ -164,7 +203,7 @@ DynamicsResult run_dynamics(Graph start, const DynamicsConfig& config) {
       if (best) {
         execute(g, *best);
         any_move = true;
-        post_move();
+        post_move(*best);
       }
     } else {
       if (config.scheduler == Scheduler::RandomOrder) rng.shuffle(order);
@@ -174,7 +213,7 @@ DynamicsResult run_dynamics(Graph start, const DynamicsConfig& config) {
         if (!dev) continue;
         execute(g, *dev);
         any_move = true;
-        post_move();
+        post_move(*dev);
       }
     }
     ++result.passes;

@@ -6,10 +6,16 @@
 // edge count — the basic game has no α and edges can only be relocated —
 // so the reachable equilibria live inside the fixed-m configuration space.
 //
+// Agent scans route through the incremental SearchState (cached per-agent
+// masked distance matrices, core/search_state.hpp) when n is within its
+// auto cap, through the delta-evaluation SwapEngine otherwise, and through
+// the naive BFS-per-candidate oracle under BNCG_FORCE_NAIVE — all three
+// produce bit-identical moves, so the tier never changes a trajectory.
+//
 // Neither version admits an obvious potential function, so convergence is
-// not guaranteed a priori; the engine caps the number of moves and reports
+// not guaranteed a priori; the loop caps the number of moves and reports
 // honestly whether it stopped at an equilibrium (verified by a final
-// exhaustive scan) or at the budget.
+// exhaustive certification) or at the budget.
 #pragma once
 
 #include <cstdint>

@@ -98,38 +98,40 @@ std::optional<Deviation> max_deviation_impl(const Graph& g, Vertex v, BfsWorkspa
 }
 
 /// Generic parallel certifier: runs `scan(vertex)` for every vertex, keeping
-/// the deviation with the smallest post-move cost.
+/// the deviation with the smallest post-move cost. Per-agent results are
+/// folded serially so the witness tie-break (earliest agent among equal
+/// cost_after) is deterministic under any OpenMP thread count.
 template <typename ScanFn>
 EquilibriumCertificate certify_impl(const Graph& g, ScanFn scan) {
   const Vertex n = g.num_vertices();
   EquilibriumCertificate cert;
   std::uint64_t moves = 0;
-  std::optional<Deviation> best;
+  std::vector<std::optional<Deviation>> per_agent(n);
 
 #ifdef BNCG_HAS_OPENMP
 #pragma omp parallel
   {
     BfsWorkspace ws;
     std::uint64_t local_moves = 0;
-    std::optional<Deviation> local_best;
 #pragma omp for schedule(dynamic, 1)
     for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
-      const auto dev = scan(static_cast<Vertex>(v), ws, local_moves);
-      if (dev && (!local_best || dev->cost_after < local_best->cost_after)) local_best = dev;
+      per_agent[static_cast<std::size_t>(v)] = scan(static_cast<Vertex>(v), ws, local_moves);
     }
 #pragma omp critical
-    {
-      moves += local_moves;
-      if (local_best && (!best || local_best->cost_after < best->cost_after)) best = local_best;
-    }
+    moves += local_moves;
   }
 #else
   BfsWorkspace ws;
   for (Vertex v = 0; v < n; ++v) {
-    const auto dev = scan(v, ws, moves);
-    if (dev && (!best || dev->cost_after < best->cost_after)) best = dev;
+    per_agent[v] = scan(v, ws, moves);
   }
 #endif
+
+  std::optional<Deviation> best;
+  for (Vertex v = 0; v < n; ++v) {
+    const auto& dev = per_agent[v];
+    if (dev && (!best || dev->cost_after < best->cost_after)) best = dev;
+  }
 
   cert.moves_checked = moves;
   cert.witness = best;
@@ -149,8 +151,9 @@ std::optional<Deviation> first_sum_deviation(const Graph& g, Vertex v, BfsWorksp
   return sum_deviation_impl(g, v, ws, /*stop_at_first=*/true);
 }
 
-std::optional<Deviation> best_max_deviation(const Graph& g, Vertex v, BfsWorkspace& ws) {
-  return max_deviation_impl(g, v, ws, /*stop_at_first=*/false, /*include_deletions=*/false);
+std::optional<Deviation> best_max_deviation(const Graph& g, Vertex v, BfsWorkspace& ws,
+                                            bool include_deletions) {
+  return max_deviation_impl(g, v, ws, /*stop_at_first=*/false, include_deletions);
 }
 
 std::optional<Deviation> first_max_deviation(const Graph& g, Vertex v, BfsWorkspace& ws,

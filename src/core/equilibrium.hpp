@@ -112,8 +112,12 @@ namespace naive {
                                                           BfsWorkspace& ws);
 [[nodiscard]] std::optional<Deviation> first_sum_deviation(const Graph& g, Vertex v,
                                                            BfsWorkspace& ws);
+/// Best max-model deviation; with `include_deletions`, cost-neutral
+/// deletions (Kind::NonCriticalDelete) compete too — the oracle behind
+/// max_unrest and the incremental search state's differential tests.
 [[nodiscard]] std::optional<Deviation> best_max_deviation(const Graph& g, Vertex v,
-                                                          BfsWorkspace& ws);
+                                                          BfsWorkspace& ws,
+                                                          bool include_deletions = false);
 [[nodiscard]] std::optional<Deviation> first_max_deviation(const Graph& g, Vertex v,
                                                            BfsWorkspace& ws,
                                                            bool include_deletions = false);

@@ -3,11 +3,28 @@
 #include <cmath>
 
 #include "core/equilibrium.hpp"
+#include "core/search_state.hpp"
 #include "core/swap_engine.hpp"
 #include "graph/bfs.hpp"
 #include "graph/metrics.hpp"
 
 namespace bncg {
+
+namespace {
+
+/// Unrest contribution of one agent's best deviation: the improvement when
+/// there is one (≥ 1 for improving swaps), and a floor of 1 for violations
+/// that improve nothing (the max model's cost-neutral deletions) — so every
+/// certifier violation is visible in the potential. Matches
+/// SearchState::unrest term for term.
+std::uint64_t deviation_unrest(const std::optional<Deviation>& dev) {
+  if (!dev) return 0;
+  const std::uint64_t gain =
+      dev->cost_before > dev->cost_after ? dev->cost_before - dev->cost_after : 0;
+  return std::max<std::uint64_t>(1, gain);
+}
+
+}  // namespace
 
 std::uint64_t sum_unrest(const Graph& g) {
   std::uint64_t total = 0;
@@ -17,22 +34,43 @@ std::uint64_t sum_unrest(const Graph& g) {
     SwapEngine engine(g);
     SwapEngine::Scratch scratch;
     for (Vertex v = 0; v < g.num_vertices(); ++v) {
-      const auto dev = engine.best_deviation(v, UsageCost::Sum, scratch);
-      if (dev) total += dev->cost_before - dev->cost_after;
+      total += deviation_unrest(engine.best_deviation(v, UsageCost::Sum, scratch));
     }
     return total;
   }
   BfsWorkspace ws;
   for (Vertex v = 0; v < g.num_vertices(); ++v) {
-    const auto dev = naive::best_sum_deviation(g, v, ws);
-    if (dev) total += dev->cost_before - dev->cost_after;
+    total += deviation_unrest(naive::best_sum_deviation(g, v, ws));
   }
   return total;
 }
 
-std::optional<Graph> anneal_sum_equilibrium(Graph start, const AnnealConfig& config) {
+std::uint64_t max_unrest(const Graph& g) {
+  std::uint64_t total = 0;
+  if (swap_engine_enabled(g)) {
+    SwapEngine engine(g);
+    SwapEngine::Scratch scratch;
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      total += deviation_unrest(
+          engine.best_deviation(v, UsageCost::Max, scratch, /*include_deletions=*/true));
+    }
+    return total;
+  }
+  BfsWorkspace ws;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    total += deviation_unrest(
+        naive::best_max_deviation(g, v, ws, /*include_deletions=*/true));
+  }
+  return total;
+}
+
+std::optional<Graph> anneal_equilibrium(Graph start, const AnnealConfig& config,
+                                        AnnealStats* stats) {
   const Vertex n = start.num_vertices();
   BNCG_REQUIRE(n >= 2, "search needs at least two vertices");
+  AnnealStats local_stats;
+  AnnealStats& st = stats != nullptr ? *stats : local_stats;
+  st = AnnealStats{};  // reset up front so every exit reports this run
   Xoshiro256ss rng(config.seed);
 
   // Nudge the start onto the diameter constraint if it is off it: add edges
@@ -52,8 +90,51 @@ std::optional<Graph> anneal_sum_equilibrium(Graph start, const AnnealConfig& con
   }
   if (diameter(start) != config.target_diameter) return std::nullopt;
 
+  const bool incremental =
+      config.evaluation == UnrestEval::Incremental ||
+      (config.evaluation == UnrestEval::Auto && search_state_enabled(start));
+
+  const auto unrest_of = [&](const Graph& g) {
+    return config.cost == UsageCost::Sum ? sum_unrest(g) : max_unrest(g);
+  };
+
+  // Both evaluation paths run the exact same proposal/acceptance schedule —
+  // same rng draws in the same order, same filter semantics, same unrest
+  // values — so trajectories are identical (differential-tested in
+  // tests/test_search_state.cpp and the search bench).
+  if (incremental) {
+    SearchState state(std::move(start), config.cost,
+                      /*include_deletions=*/config.cost == UsageCost::Max);
+    std::uint64_t current_unrest = state.unrest();
+    double temperature = config.initial_temperature;
+    for (std::uint64_t step = 0; step < config.steps && current_unrest > 0; ++step) {
+      temperature *= config.cooling;
+      const Vertex u = static_cast<Vertex>(rng.below(n));
+      const Vertex v = static_cast<Vertex>(rng.below(n));
+      if (u == v) continue;
+      ++st.proposals;
+      const ToggleShape shape = state.propose_toggle(u, v);
+      if (!shape.connected || shape.diameter != config.target_diameter) {
+        ++st.filtered;
+        continue;
+      }
+      const std::uint64_t proposal_unrest = state.proposal_unrest();
+      ++st.evaluated;
+      const double delta =
+          static_cast<double>(proposal_unrest) - static_cast<double>(current_unrest);
+      if (delta <= 0 || rng.uniform01() < std::exp(-delta / temperature)) {
+        state.commit();
+        current_unrest = proposal_unrest;
+        ++st.accepted;
+      }
+    }
+    st.final_unrest = current_unrest;
+    if (current_unrest == 0) return state.graph();
+    return std::nullopt;
+  }
+
   Graph current = std::move(start);
-  std::uint64_t current_unrest = sum_unrest(current);
+  std::uint64_t current_unrest = unrest_of(current);
   double temperature = config.initial_temperature;
 
   for (std::uint64_t step = 0; step < config.steps && current_unrest > 0; ++step) {
@@ -61,23 +142,36 @@ std::optional<Graph> anneal_sum_equilibrium(Graph start, const AnnealConfig& con
     const Vertex u = static_cast<Vertex>(rng.below(n));
     const Vertex v = static_cast<Vertex>(rng.below(n));
     if (u == v) continue;
+    ++st.proposals;
     Graph proposal = current;
     if (proposal.has_edge(u, v)) {
       proposal.remove_edge(u, v);
     } else {
       proposal.add_edge(u, v);
     }
-    if (!is_connected(proposal) || diameter(proposal) != config.target_diameter) continue;
-    const std::uint64_t proposal_unrest = sum_unrest(proposal);
+    if (!is_connected(proposal) || diameter(proposal) != config.target_diameter) {
+      ++st.filtered;
+      continue;
+    }
+    const std::uint64_t proposal_unrest = unrest_of(proposal);
+    ++st.evaluated;
     const double delta =
         static_cast<double>(proposal_unrest) - static_cast<double>(current_unrest);
     if (delta <= 0 || rng.uniform01() < std::exp(-delta / temperature)) {
       current = std::move(proposal);
       current_unrest = proposal_unrest;
+      ++st.accepted;
     }
   }
+  st.final_unrest = current_unrest;
   if (current_unrest == 0) return current;
   return std::nullopt;
+}
+
+std::optional<Graph> anneal_sum_equilibrium(Graph start, const AnnealConfig& config) {
+  AnnealConfig sum_config = config;
+  sum_config.cost = UsageCost::Sum;
+  return anneal_equilibrium(std::move(start), sum_config);
 }
 
 std::optional<Graph> exhaustive_diameter3_sum_equilibrium(Vertex n) {

@@ -4,11 +4,17 @@
 // Motivation: the reproduction found that the paper's literal Figure 3
 // instance admits improving swaps (see gen/paper.hpp). Theorem 5 is
 // existential, so the library provides the machinery that re-establishes it:
-//  * sum_unrest — a quantitative "distance from equilibrium" potential
-//    (total improvement available across agents; 0 ⇔ sum equilibrium);
-//  * anneal_sum_equilibrium — simulated annealing over edge toggles that
-//    minimizes unrest subject to a diameter constraint (this is how
-//    diameter3_sum_equilibrium_n8() was discovered);
+//  * sum_unrest / max_unrest — quantitative "distance from equilibrium"
+//    potentials (total improvement available across agents; 0 ⇔ the matching
+//    certifier passes);
+//  * anneal_equilibrium — simulated annealing over edge toggles that
+//    minimizes unrest subject to a diameter constraint, in either usage-cost
+//    model (this is how diameter3_sum_equilibrium_n8() was discovered).
+//    Proposals are evaluated *incrementally* through core/search_state.hpp —
+//    cached per-agent masked distance matrices updated per toggle — instead
+//    of a full APSP-plus-scan recompute per proposal; AnnealConfig can force
+//    the legacy full-recompute evaluation, and both paths produce identical
+//    trajectories (differential-tested);
 //  * exhaustive_diameter3_sum_equilibrium — complete enumeration of all
 //    2^C(n,2) labelled graphs for small n, establishing minimality results
 //    (no diameter-3 sum equilibrium exists on ≤ 7 vertices).
@@ -17,6 +23,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "core/usage_cost.hpp"
 #include "graph/graph.hpp"
 #include "util/rng.hpp"
 
@@ -24,21 +31,54 @@ namespace bncg {
 
 /// Σ_v (best available improvement of agent v's distance sum); 0 iff the
 /// graph is a sum equilibrium. A natural progress measure for search.
+/// Intended for connected graphs.
 [[nodiscard]] std::uint64_t sum_unrest(const Graph& g);
 
-/// Configuration for the annealing search.
+/// Max-model counterpart: Σ_v max(1, best available improvement of agent
+/// v's local diameter), where an agent with only a cost-neutral deletion
+/// violation (the max-equilibrium deletion clause) contributes 1. Hence
+/// 0 ⇔ the graph is a max equilibrium. Intended for connected graphs.
+[[nodiscard]] std::uint64_t max_unrest(const Graph& g);
+
+/// How anneal proposals are evaluated.
+enum class UnrestEval {
+  Auto,           ///< incremental when search_state_enabled(), else full
+  Incremental,    ///< force the SearchState delta-evaluation path
+  FullRecompute,  ///< force the legacy graph-copy + full unrest recompute
+};
+
+/// Configuration for the annealing search. A single `seed` drives every
+/// random draw of a run (start nudging, proposal endpoints, Metropolis
+/// acceptance), so identical configs give identical trajectories — in
+/// particular the evaluation mode must not (and does not) change them.
 struct AnnealConfig {
   Vertex target_diameter = 3;      ///< hard constraint on every accepted state
   std::uint64_t steps = 6000;      ///< edge-toggle proposals
   double initial_temperature = 3.0;
   double cooling = 0.9995;         ///< geometric cooling per step
   std::uint64_t seed = 0x5ea2c4;
+  UsageCost cost = UsageCost::Sum;            ///< which unrest is annealed
+  UnrestEval evaluation = UnrestEval::Auto;   ///< proposal evaluation path
 };
 
-/// Anneals from `start` toward a sum equilibrium of the target diameter.
-/// Returns the reached graph when unrest hit 0, nullopt otherwise. Proposals
-/// toggle a single edge; states that are disconnected or off-diameter are
-/// rejected. Deterministic given the seed.
+/// Counters of one annealing run (filled when a stats sink is passed).
+struct AnnealStats {
+  std::uint64_t proposals = 0;   ///< toggles drawn (self-loops excluded)
+  std::uint64_t filtered = 0;    ///< rejected by the connectivity/diameter screen
+  std::uint64_t evaluated = 0;   ///< proposals whose unrest was computed
+  std::uint64_t accepted = 0;    ///< proposals taken by the Metropolis rule
+  std::uint64_t final_unrest = 0;
+};
+
+/// Anneals from `start` toward a zero-unrest graph of the target diameter in
+/// the configured usage-cost model. Returns the reached graph when unrest
+/// hit 0, nullopt otherwise. Proposals toggle a single edge; states that are
+/// disconnected or off-diameter are rejected. Deterministic given the seed.
+[[nodiscard]] std::optional<Graph> anneal_equilibrium(Graph start, const AnnealConfig& config,
+                                                      AnnealStats* stats = nullptr);
+
+/// Sum-model convenience wrapper (the historical entry point): as
+/// anneal_equilibrium with config.cost forced to UsageCost::Sum.
 [[nodiscard]] std::optional<Graph> anneal_sum_equilibrium(Graph start, const AnnealConfig& config);
 
 /// Exhaustively decides whether any labelled graph on n vertices is a

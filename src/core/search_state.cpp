@@ -1,0 +1,920 @@
+#include "core/search_state.hpp"
+
+#include "core/swap_engine.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <numeric>
+
+#ifdef BNCG_HAS_OPENMP
+#include <omp.h>
+#endif
+
+namespace bncg {
+
+namespace {
+
+/// Post-swap sum cost on a capped-infinity matrix: (n−1) + Σ_y min(m_y, c_y)
+/// with any capped term meaning some vertex became unreachable. Mirrors the
+/// engine's combine_sum bit for bit on finite values.
+std::uint64_t combine_sum_capped(const std::uint16_t* m, const std::uint16_t* c, Vertex n) {
+  std::uint32_t sum = 0;
+  std::uint16_t worst = 0;
+  for (Vertex y = 0; y < n; ++y) {
+    const std::uint16_t t = std::min(m[y], c[y]);
+    sum += t;
+    worst = std::max(worst, t);
+  }
+  if (worst >= kSearchInf16) return kInfCost;
+  return sum + (n - 1);
+}
+
+/// Post-swap max cost: 1 + max_y min(m_y, c_y).
+std::uint64_t combine_max_capped(const std::uint16_t* m, const std::uint16_t* c, Vertex n) {
+  std::uint16_t worst = 0;
+  for (Vertex y = 0; y < n; ++y) worst = std::max(worst, std::min(m[y], c[y]));
+  return worst >= kSearchInf16 ? kInfCost : std::uint64_t{1} + worst;
+}
+
+/// Post-deletion max cost: 1 + max_y m_y.
+std::uint64_t deletion_ecc_capped(const std::uint16_t* m, Vertex n) {
+  std::uint16_t worst = 0;
+  for (Vertex y = 0; y < n; ++y) worst = std::max(worst, m[y]);
+  return worst >= kSearchInf16 ? kInfCost : std::uint64_t{1} + worst;
+}
+
+/// Single-edge-addition identity on a capped-infinity distance matrix:
+/// d'(x,y) = min(d(x,y), d(x,u)+1+d(v,y), d(x,v)+1+d(u,y)). `ru`/`rv` hold
+/// the pre-update rows of u and v; all arithmetic stays < 2¹⁵ (two chained
+/// adds of capped values), so the loop is branch-free u16 add/min and
+/// vectorizes under -O3.
+void addition_row(const std::uint16_t* src_row, std::uint16_t* dst_row, const std::uint16_t* ru,
+                  const std::uint16_t* rv, Vertex u, Vertex v, Vertex n) {
+  const std::uint16_t au = static_cast<std::uint16_t>(src_row[u] + 1);
+  const std::uint16_t av = static_cast<std::uint16_t>(src_row[v] + 1);
+  for (Vertex y = 0; y < n; ++y) {
+    const std::uint16_t t1 = static_cast<std::uint16_t>(au + rv[y]);
+    const std::uint16_t t2 = static_cast<std::uint16_t>(av + ru[y]);
+    const std::uint16_t nd = std::min(src_row[y], std::min(t1, t2));
+    dst_row[y] = std::min(nd, kSearchInf16);
+  }
+}
+
+/// Row-level no-op test for adding edge {u, v}: if |d(x,u) − d(x,v)| ≤ 1,
+/// no pair (x, y) gains a shortcut — d(x,u)+1+d(v,y) ≥ d(x,v)+d(v,y) ≥ d(x,y)
+/// by the triangle inequality (and symmetrically) — so row x is unchanged
+/// and a plain copy replaces the formula pass. In small-diameter graphs this
+/// covers most rows.
+bool addition_leaves_row(const std::uint16_t* src_row, Vertex u, Vertex v) {
+  const std::uint16_t du = src_row[u];
+  const std::uint16_t dv = src_row[v];
+  const std::uint16_t diff = du > dv ? du - dv : dv - du;
+  return diff <= 1;
+}
+
+/// Dirty-row test for removing edge {u, v}: a shortest path from x crossing
+/// u→v reaches u shortest-ly (prefixes of shortest paths are shortest), so
+/// the edge lies on some shortest path from x iff |d(x,u) − d(x,v)| = 1.
+/// Rows failing the test are exactly the rows the removal cannot change.
+void collect_dirty_rows(const std::uint16_t* row_u, const std::uint16_t* row_v, Vertex n,
+                        std::vector<Vertex>& out) {
+  out.clear();
+  for (Vertex x = 0; x < n; ++x) {
+    const std::uint16_t du = row_u[x];
+    const std::uint16_t dv = row_v[x];
+    const std::uint16_t diff = du > dv ? du - dv : dv - du;
+    if (diff == 1) out.push_back(x);
+  }
+}
+
+/// Removes row x's contribution from the R1 relief bound (no-op when r1 is
+/// null, i.e. the max model). Must run with the row's pre-update content and
+/// pre-update min1[x], so the subtraction exactly cancels what the row
+/// previously added.
+void table_sub_row(std::uint32_t* r1, std::uint16_t min1x, const std::uint16_t* row, Vertex n) {
+  if (r1 == nullptr) return;
+  for (Vertex y = 0; y < n; ++y) {
+    r1[y] -= static_cast<std::uint16_t>(min1x > row[y] ? min1x - row[y] : 0);
+  }
+}
+
+/// Refolds coordinate x's neighbor minima from the row's new content and
+/// adds the row's new R1 contribution.
+void table_add_row(std::uint16_t* min1, std::uint16_t* min2, Vertex* argmin, std::uint32_t* r1,
+                   Vertex x, const std::uint16_t* row, const Vertex* nbrs, std::size_t deg,
+                   Vertex n) {
+  std::uint16_t m1 = kSearchInf16;
+  std::uint16_t m2 = kSearchInf16;
+  Vertex am = kNoVertex;
+  for (std::size_t i = 0; i < deg; ++i) {
+    const std::uint16_t val = row[nbrs[i]];
+    if (val < m1) {
+      m2 = m1;
+      m1 = val;
+      am = nbrs[i];
+    } else if (val < m2) {
+      m2 = val;
+    }
+  }
+  min1[x] = m1;
+  min2[x] = m2;
+  argmin[x] = am;
+  if (r1 == nullptr) return;
+  for (Vertex y = 0; y < n; ++y) {
+    r1[y] += static_cast<std::uint16_t>(m1 > row[y] ? m1 - row[y] : 0);
+  }
+}
+
+/// Thresholds above this are effectively infinite: the R1 prune comparison
+/// adds R1 (≤ n · kSearchInf16) to the threshold, and skipping the prune for
+/// huge thresholds keeps that addition overflow-free.
+constexpr std::uint64_t kPruneThresholdCap = std::uint64_t{1} << 40;
+
+}  // namespace
+
+bool search_state_enabled(const Graph& g) {
+  return !force_naive_requested() && g.num_vertices() <= kSearchStateAutoMaxVertices;
+}
+
+SearchState::SearchState(const Graph& g, UsageCost model, bool include_deletions, bool parallel)
+    : graph_(g),
+      csr_(g),
+      model_(model),
+      include_deletions_(model == UsageCost::Max && include_deletions),
+      parallel_(parallel),
+      n_(g.num_vertices()) {
+  BNCG_REQUIRE(n_ >= 1 && n_ <= kSearchInf16, "SearchState requires 1 <= n <= 16383");
+  const std::size_t nn = static_cast<std::size_t>(n_) * n_;
+  full_[0].resize(nn);
+  full_[1].resize(nn);
+  for (int s = 0; s < 2; ++s) {
+    rowsum_[s].resize(n_);
+    rowmax_[s].resize(n_);
+  }
+  version_.assign(n_, kUnbuilt);
+  table_version_.assign(n_, kUnbuilt);
+  scratch_.resize(1);
+
+  std::vector<Vertex> all(n_);
+  std::iota(all.begin(), all.end(), Vertex{0});
+  csr_apsp_rows(csr_, all, MaskedEdge{}, full_rows(fcur_), n_, scratch_[0].bfs, kNoVertex,
+                kSearchInf16);
+  refresh_shape(fcur_);
+}
+
+Vertex SearchState::diameter() const noexcept { return diameter_[fcur_]; }
+
+bool SearchState::connected() const noexcept { return diameter_[fcur_] != kInfDist; }
+
+void SearchState::refresh_shape(std::size_t slab) {
+  const Vertex n = n_;
+  const std::uint16_t* rows = full_[slab].data();
+  std::uint32_t* rowsum = rowsum_[slab].data();
+  std::uint16_t* rowmax = rowmax_[slab].data();
+  Vertex worst = 0;
+  bool disconnected = false;
+  for (Vertex a = 0; a < n; ++a) {
+    const std::uint16_t* row = rows + static_cast<std::size_t>(a) * n;
+    std::uint32_t sum = 0;
+    std::uint16_t mx = 0;
+    for (Vertex y = 0; y < n; ++y) {
+      sum += row[y];
+      mx = std::max(mx, row[y]);
+    }
+    rowsum[a] = sum;
+    rowmax[a] = mx;
+    if (mx >= kSearchInf16) disconnected = true;
+    worst = std::max<Vertex>(worst, mx);
+  }
+  diameter_[slab] = disconnected ? kInfDist : worst;
+}
+
+std::uint64_t SearchState::agent_cost_from_full(std::size_t slab, Vertex a) const {
+  if (rowmax_[slab][a] >= kSearchInf16) return kInfCost;
+  return model_ == UsageCost::Sum ? rowsum_[slab][a] : rowmax_[slab][a];
+}
+
+void SearchState::ensure_slabs() {
+  if (!agents_.empty()) return;
+  agents_.resize(static_cast<std::size_t>(n_) * n_ * n_);
+}
+
+void SearchState::rebuild_agent(Vertex a, Scratch& s) {
+  s.sources.resize(n_);
+  std::iota(s.sources.begin(), s.sources.end(), Vertex{0});
+  csr_apsp_rows(csr_, s.sources, MaskedEdge{}, agent_rows(a), n_, s.bfs,
+                /*masked_vertex=*/a, kSearchInf16);
+}
+
+void SearchState::ensure_agent_current(Vertex a, Scratch& s) {
+  if (version_[a] == head_) return;
+  ensure_slabs();
+  if (version_[a] == kUnbuilt || head_ - version_[a] > kReplayLimit) {
+    rebuild_agent(a, s);
+    version_[a] = head_;
+    table_version_[a] = kUnbuilt;
+    return;
+  }
+  std::uint16_t* rows = agent_rows(a);
+  const Vertex n = n_;
+  // The cached scan tables ride along through the replay when they are in
+  // lockstep with the matrix: each changed row's old contribution is
+  // subtracted before the update and its new one added after. A toggle
+  // incident to a changes the neighbor set the tables were folded over, so
+  // any such toggle in the window invalidates them. Tables AHEAD of the
+  // matrix (a committed proposal's tables flipped in before the matrix
+  // caught up) are left untouched — they already describe the target state.
+  const bool maintain = table_version_[a] != kUnbuilt && table_version_[a] == version_[a];
+  bool tables_live = maintain;
+  for (std::uint64_t i = version_[a]; tables_live && i < head_; ++i) {
+    const Toggle& t = log_[static_cast<std::size_t>(i - log_base_)];
+    if (t.u == a || t.v == a) tables_live = false;
+  }
+  std::uint16_t* min1 = tables_live ? table_min1(a) : nullptr;
+  std::uint16_t* min2 = tables_live ? table_min2(a) : nullptr;
+  Vertex* argmin = tables_live ? table_argmin(a) : nullptr;
+  std::uint32_t* r1 =
+      tables_live && model_ == UsageCost::Sum ? table_r1(a) : nullptr;
+  const auto nbrs = csr_.neighbors(a);
+
+  for (std::uint64_t i = version_[a]; i < head_; ++i) {
+    const Toggle& t = log_[static_cast<std::size_t>(i - log_base_)];
+    if (t.u == a || t.v == a) continue;  // edges at the masked vertex vanish
+    if (t.add) {
+      // In-place formula replay: stash the pre-update endpoint rows first,
+      // then touch only the rows the addition can change — row x is
+      // unchanged when |d(x,u) − d(x,v)| ≤ 1 (no pair gains a shortcut by
+      // the triangle inequality), read off the stashed rows by symmetry.
+      s.row_u.assign(rows + static_cast<std::size_t>(t.u) * n,
+                     rows + static_cast<std::size_t>(t.u) * n + n);
+      s.row_v.assign(rows + static_cast<std::size_t>(t.v) * n,
+                     rows + static_cast<std::size_t>(t.v) * n + n);
+      const std::uint16_t* ru = s.row_u.data();
+      const std::uint16_t* rv = s.row_v.data();
+      for (Vertex x = 0; x < n; ++x) {
+        const std::uint16_t du = ru[x];
+        const std::uint16_t dv = rv[x];
+        if ((du > dv ? du - dv : dv - du) <= 1) continue;
+        std::uint16_t* row = rows + static_cast<std::size_t>(x) * n;
+        if (tables_live) table_sub_row(r1, min1[x], row, n);
+        addition_row(row, row, ru, rv, t.u, t.v, n);
+        if (tables_live) {
+          table_add_row(min1, min2, argmin, r1, x, row, nbrs.data(), nbrs.size(), n);
+        }
+      }
+    } else {
+      collect_dirty_rows(rows + static_cast<std::size_t>(t.u) * n,
+                         rows + static_cast<std::size_t>(t.v) * n, n, s.sources);
+      s.stats.rows_refreshed += s.sources.size();
+      s.stats.rows_reused += n - s.sources.size();
+      if (tables_live) {
+        for (const Vertex x : s.sources) {
+          table_sub_row(r1, min1[x], rows + static_cast<std::size_t>(x) * n, n);
+        }
+      }
+      csr_apsp_rows(*t.before, s.sources, MaskedEdge{t.u, t.v}, rows, n, s.bfs,
+                    /*masked_vertex=*/a, kSearchInf16);
+      if (tables_live) {
+        for (const Vertex x : s.sources) {
+          table_add_row(min1, min2, argmin, r1, x, rows + static_cast<std::size_t>(x) * n,
+                        nbrs.data(), nbrs.size(), n);
+        }
+      }
+    }
+  }
+  version_[a] = head_;
+  if (maintain) table_version_[a] = tables_live ? head_ : kUnbuilt;
+}
+
+void SearchState::ensure_table_slabs() {
+  if (!tmin1_[0].empty()) return;
+  const std::size_t total = static_cast<std::size_t>(n_) * n_;
+  for (int set = 0; set < 2; ++set) {
+    tmin1_[set].resize(total);
+    tmin2_[set].resize(total);
+    targmin_[set].resize(total);
+    if (model_ == UsageCost::Sum) tr1_[set].resize(total);
+  }
+}
+
+void SearchState::store_shadow_tables(Vertex a, const Scratch& s) {
+  const std::size_t shadow = 1 - tcur_;
+  const std::size_t off = static_cast<std::size_t>(a) * n_;
+  std::memcpy(tmin1_[shadow].data() + off, s.min1.data(), n_ * sizeof(std::uint16_t));
+  std::memcpy(tmin2_[shadow].data() + off, s.min2.data(), n_ * sizeof(std::uint16_t));
+  std::memcpy(targmin_[shadow].data() + off, s.argmin.data(), n_ * sizeof(Vertex));
+  if (model_ == UsageCost::Sum) {
+    std::memcpy(tr1_[shadow].data() + off, s.r1.data(), n_ * sizeof(std::uint32_t));
+  }
+}
+
+void SearchState::ensure_tables(Vertex a, Scratch& s) {
+  if (table_version_[a] == head_) return;
+  ensure_table_slabs();
+  // Full rebuild from the (current) matrix via the generic pass, then keep
+  // the result as the persistent tables for this agent.
+  const auto nbrs = csr_.neighbors(a);
+  s.nbrs.assign(nbrs.begin(), nbrs.end());
+  prepare_scan(agent_rows(a), a, s, model_ == UsageCost::Sum);
+  const Vertex n = n_;
+  std::memcpy(table_min1(a), s.min1.data(), n * sizeof(std::uint16_t));
+  std::memcpy(table_min2(a), s.min2.data(), n * sizeof(std::uint16_t));
+  std::memcpy(table_argmin(a), s.argmin.data(), n * sizeof(Vertex));
+  if (model_ == UsageCost::Sum) {
+    std::memcpy(table_r1(a), s.r1.data(), n * sizeof(std::uint32_t));
+  }
+  table_version_[a] = head_;
+}
+
+void SearchState::load_tables(Vertex a, Scratch& s) {
+  const Vertex n = n_;
+  s.min1.assign(table_min1(a), table_min1(a) + n);
+  s.min2.assign(table_min2(a), table_min2(a) + n);
+  s.argmin.assign(table_argmin(a), table_argmin(a) + n);
+  if (model_ == UsageCost::Sum) {
+    s.r1.assign(table_r1(a), table_r1(a) + n);
+  }
+}
+
+void SearchState::merge_stats(Scratch& s) {
+  stats_.rows_refreshed += s.stats.rows_refreshed;
+  stats_.rows_reused += s.stats.rows_reused;
+  stats_.agents_scanned += s.stats.agents_scanned;
+  stats_.candidates_pruned += s.stats.candidates_pruned;
+  stats_.candidates_combined += s.stats.candidates_combined;
+  s.stats = SearchStats{};
+}
+
+void SearchState::update_full_matrix_addition(Vertex u, Vertex v, std::size_t dst_slab,
+                                              Scratch& s) {
+  const std::uint16_t* src = full_rows(fcur_);
+  std::uint16_t* dst = full_[dst_slab].data();
+  s.row_u.assign(src + static_cast<std::size_t>(u) * n_,
+                 src + static_cast<std::size_t>(u) * n_ + n_);
+  s.row_v.assign(src + static_cast<std::size_t>(v) * n_,
+                 src + static_cast<std::size_t>(v) * n_ + n_);
+  const Vertex n = n_;
+  for (Vertex x = 0; x < n; ++x) {
+    const std::uint16_t* srow = src + static_cast<std::size_t>(x) * n;
+    std::uint16_t* drow = dst + static_cast<std::size_t>(x) * n;
+    if (addition_leaves_row(srow, u, v)) {
+      std::memcpy(drow, srow, static_cast<std::size_t>(n) * sizeof(std::uint16_t));
+    } else {
+      addition_row(srow, drow, s.row_u.data(), s.row_v.data(), u, v, n);
+    }
+  }
+}
+
+void SearchState::update_full_matrix_removal(Vertex u, Vertex v, std::size_t dst_slab,
+                                             Scratch& s) {
+  const std::uint16_t* src = full_rows(fcur_);
+  std::uint16_t* dst = full_[dst_slab].data();
+  std::memcpy(dst, src, static_cast<std::size_t>(n_) * n_ * sizeof(std::uint16_t));
+  collect_dirty_rows(src + static_cast<std::size_t>(u) * n_,
+                     src + static_cast<std::size_t>(v) * n_, n_, s.sources);
+  s.stats.rows_refreshed += s.sources.size();
+  s.stats.rows_reused += n_ - s.sources.size();
+  csr_apsp_rows(csr_, s.sources, MaskedEdge{u, v}, dst, n_, s.bfs, kNoVertex, kSearchInf16);
+}
+
+ToggleShape SearchState::propose_toggle(Vertex u, Vertex v) {
+  BNCG_REQUIRE(u != v && u < n_ && v < n_, "toggle endpoints must be distinct in-range vertices");
+  staged_ = true;
+  evaluated_ = false;
+  staged_u_ = u;
+  staged_v_ = v;
+  staged_add_ = !graph_.has_edge(u, v);
+  ++stats_.proposals;
+  const std::size_t shadow = 1 - fcur_;
+  if (staged_add_) {
+    update_full_matrix_addition(u, v, shadow, scratch_[0]);
+  } else {
+    update_full_matrix_removal(u, v, shadow, scratch_[0]);
+  }
+  refresh_shape(shadow);
+  merge_stats(scratch_[0]);
+  return {diameter_[shadow] != kInfDist, diameter_[shadow]};
+}
+
+void SearchState::proposal_neighbors(Vertex a, Vertex tu, Vertex tv, bool add, bool staged,
+                                     std::vector<Vertex>& out) const {
+  const auto base = csr_.neighbors(a);
+  out.assign(base.begin(), base.end());
+  if (!staged || (a != tu && a != tv)) return;
+  const Vertex other = a == tu ? tv : tu;
+  if (add) {
+    out.insert(std::lower_bound(out.begin(), out.end(), other), other);
+  } else {
+    out.erase(std::lower_bound(out.begin(), out.end(), other));
+  }
+}
+
+void SearchState::stream_addition(Vertex a, Vertex u, Vertex v, Scratch& s) {
+  // Matrix and tables are current (the caller ran ensure_agent_current and
+  // ensure_tables); derive the proposal's tables by delta: rows the addition
+  // provably leaves alone (|d(x,u) − d(x,v)| ≤ 1, read off the stashed
+  // endpoint rows by symmetry) keep serving from the cache and are never
+  // read; changed rows swap their old contribution for the new one.
+  const std::uint16_t* src = agent_rows(a);
+  const Vertex n = n_;
+  const bool want_r1 = model_ == UsageCost::Sum;
+  load_tables(a, s);
+  s.proposal_rows.resize(static_cast<std::size_t>(n) * n);
+  s.rowptr.resize(n);
+  s.row_u.assign(src + static_cast<std::size_t>(u) * n,
+                 src + static_cast<std::size_t>(u) * n + n);
+  s.row_v.assign(src + static_cast<std::size_t>(v) * n,
+                 src + static_cast<std::size_t>(v) * n + n);
+  const std::uint16_t* ru = s.row_u.data();
+  const std::uint16_t* rv = s.row_v.data();
+  std::uint16_t* scratch_rows = s.proposal_rows.data();
+  const std::uint16_t** rowptr = s.rowptr.data();
+  std::uint16_t* min1 = s.min1.data();
+  std::uint16_t* min2 = s.min2.data();
+  Vertex* argmin = s.argmin.data();
+  std::uint32_t* r1 = want_r1 ? s.r1.data() : nullptr;
+  for (Vertex x = 0; x < n; ++x) {
+    const std::uint16_t du = ru[x];
+    const std::uint16_t dv = rv[x];
+    const std::uint16_t* srow = src + static_cast<std::size_t>(x) * n;
+    if ((du > dv ? du - dv : dv - du) <= 1) {
+      rowptr[x] = srow;
+      continue;
+    }
+    std::uint16_t* drow = scratch_rows + static_cast<std::size_t>(x) * n;
+    table_sub_row(r1, min1[x], srow, n);
+    addition_row(srow, drow, ru, rv, u, v, n);
+    table_add_row(min1, min2, argmin, r1, x, drow, s.nbrs.data(), s.nbrs.size(), n);
+    rowptr[x] = drow;
+  }
+}
+
+/// Builds min1/min2/argmin (coordinate-wise neighbor minima, via the row
+/// symmetry of the masked matrices) and optionally the R1 relief bound from
+/// the per-row sources in scratch.rowptr.
+void SearchState::scan_tables(Scratch& s, bool want_r1) {
+  const Vertex n = n_;
+  s.min1.assign(n, kSearchInf16);
+  s.min2.assign(n, kSearchInf16);
+  s.argmin.assign(n, kNoVertex);
+  if (want_r1) s.r1.assign(n, 0);
+  std::uint16_t* min1 = s.min1.data();
+  std::uint16_t* min2 = s.min2.data();
+  Vertex* argmin = s.argmin.data();
+  std::uint32_t* r1 = want_r1 ? s.r1.data() : nullptr;
+  const Vertex* nbrs = s.nbrs.data();
+  const std::size_t deg = s.nbrs.size();
+  const std::uint16_t* const* rowptr = s.rowptr.data();
+  for (Vertex x = 0; x < n; ++x) {
+    const std::uint16_t* row = rowptr[x];
+    if (x + 2 < n) {
+      const std::uint16_t* next = rowptr[x + 2];
+      for (Vertex off = 0; off < n; off += 32) __builtin_prefetch(next + off);
+    }
+    for (std::size_t i = 0; i < deg; ++i) {
+      const std::uint16_t val = row[nbrs[i]];
+      if (val < min1[x]) {
+        min2[x] = min1[x];
+        min1[x] = val;
+        argmin[x] = nbrs[i];
+      } else if (val < min2[x]) {
+        min2[x] = val;
+      }
+    }
+    if (want_r1) {
+      const std::uint16_t m1 = min1[x];
+      for (Vertex y = 0; y < n; ++y) {
+        r1[y] += static_cast<std::uint16_t>(m1 > row[y] ? m1 - row[y] : 0);
+      }
+    }
+  }
+}
+
+void SearchState::stream_removal(Vertex a, Vertex u, Vertex v, Scratch& s) {
+  // Same delta scheme as stream_addition, with the dirty rows re-traversed
+  // into their scratch slots; clean rows keep serving from the cache.
+  const std::uint16_t* src = agent_rows(a);
+  const Vertex n = n_;
+  const bool want_r1 = model_ == UsageCost::Sum;
+  load_tables(a, s);
+  s.proposal_rows.resize(static_cast<std::size_t>(n) * n);
+  s.rowptr.resize(n);
+  collect_dirty_rows(src + static_cast<std::size_t>(u) * n,
+                     src + static_cast<std::size_t>(v) * n, n, s.sources);
+  s.stats.rows_refreshed += s.sources.size();
+  s.stats.rows_reused += n - s.sources.size();
+  std::uint16_t* min1 = s.min1.data();
+  std::uint16_t* min2 = s.min2.data();
+  Vertex* argmin = s.argmin.data();
+  std::uint32_t* r1 = want_r1 ? s.r1.data() : nullptr;
+  for (const Vertex x : s.sources) {
+    table_sub_row(r1, min1[x], src + static_cast<std::size_t>(x) * n, n);
+  }
+  csr_apsp_rows(csr_, s.sources, MaskedEdge{u, v}, s.proposal_rows.data(), n, s.bfs,
+                /*masked_vertex=*/a, kSearchInf16);
+  for (Vertex x = 0; x < n; ++x) s.rowptr[x] = src + static_cast<std::size_t>(x) * n;
+  for (const Vertex x : s.sources) {
+    const std::uint16_t* drow = s.proposal_rows.data() + static_cast<std::size_t>(x) * n;
+    table_add_row(min1, min2, argmin, r1, x, drow, s.nbrs.data(), s.nbrs.size(), n);
+    s.rowptr[x] = drow;
+  }
+}
+
+void SearchState::prepare_scan(const std::uint16_t* rows, Vertex a, Scratch& s, bool want_r1) {
+  (void)a;
+  const Vertex n = n_;
+  s.rowptr.resize(n);
+  for (Vertex x = 0; x < n; ++x) s.rowptr[x] = rows + static_cast<std::size_t>(x) * n;
+  scan_tables(s, want_r1);
+}
+
+SearchState::ScanResult SearchState::scan_agent(Vertex a, std::uint64_t old_cost,
+                                                bool include_deletions, ScanMode mode,
+                                                Scratch& s, bool r1_valid) {
+  ScanResult result;
+  ++s.stats.agents_scanned;
+  if (s.nbrs.empty()) return result;
+  const Vertex n = n_;
+  const std::uint16_t* const* rowptr = s.rowptr.data();
+
+  s.is_nbr.assign(n, 0);
+  s.is_nbr[a] = 1;
+  for (const Vertex w : s.nbrs) s.is_nbr[w] = 1;
+  s.mrow.resize(n);
+
+  // Sum-model prune, valid for EVERY removed edge w at once: with
+  // base = Σ_{y≠a} min1_y and R1[w2] = Σ_y max(0, min1_y − c_{w2,y}),
+  //   cost(w, w2) = (n−1) + Σ_y M^w_y − relief(w, w2)
+  //               ≥ (n−1) + base − R1[w2],
+  // because Σ_y M^w_y exceeds base by the same owned slack
+  // Σ_{argmin_y=w} (min2_y − min1_y) by which R1[w2] + slack bounds the
+  // relief (max(0, x+δ) ≤ max(0, x) + δ for δ ≥ 0) — the slack cancels.
+  // min1[a] = ∞ (every neighbor row is ∞ at the masked vertex) and M^w_a is
+  // pinned to 0, matching R1's zero contribution at coordinate a.
+  std::uint64_t base_sum = 0;
+  if (model_ == UsageCost::Sum) {
+    for (Vertex y = 0; y < n; ++y) base_sum += s.min1[y];
+    base_sum -= s.min1[a];  // pin M^w_a = 0
+
+    // Static survivor list against the fixed old_cost threshold: skipped
+    // candidates satisfy lb ≥ old_cost ≥ every later dynamic threshold, so
+    // dropping them up front cannot change any witness or value.
+    s.cands.clear();
+    const bool can_prune = r1_valid && old_cost < kPruneThresholdCap;
+    for (Vertex w2 = 0; w2 < n; ++w2) {
+      if (s.is_nbr[w2] != 0) continue;
+      if (can_prune && std::uint64_t{n - 1} + base_sum >= old_cost + s.r1[w2]) {
+        s.stats.candidates_pruned += s.nbrs.size();
+        continue;
+      }
+      s.cands.push_back(w2);
+    }
+  }
+
+  std::optional<Deviation> best;
+  std::uint64_t best_cost = kInfCost;
+  const auto accept_threshold = [&]() {
+    return mode == ScanMode::First ? old_cost : std::min(old_cost, best_cost);
+  };
+
+  for (const Vertex w : s.nbrs) {
+    std::uint16_t* m = s.mrow.data();
+    for (Vertex y = 0; y < n; ++y) m[y] = s.argmin[y] == w ? s.min2[y] : s.min1[y];
+    m[a] = 0;
+
+    if (model_ == UsageCost::Max && include_deletions) {
+      const std::uint64_t del_cost = deletion_ecc_capped(m, n);
+      if (del_cost <= old_cost) {
+        const Deviation dev{{a, w, w}, old_cost, del_cost, Deviation::Kind::NonCriticalDelete};
+        result.found = true;
+        best_cost = std::min(best_cost, del_cost);
+        if (!best || dev.cost_after < best->cost_after) best = dev;
+        if (mode == ScanMode::First) {
+          result.witness = best;
+          result.best_cost = best_cost;
+          return result;
+        }
+      }
+    }
+
+    if (model_ == UsageCost::Sum) {
+      for (const Vertex w2 : s.cands) {
+        const std::uint64_t threshold = accept_threshold();
+        if (r1_valid && threshold < kPruneThresholdCap &&
+            std::uint64_t{n - 1} + base_sum >= threshold + s.r1[w2]) {
+          // The dynamic re-check of the same lower bound, against the
+          // tightened running-best threshold (ties never displace).
+          ++s.stats.candidates_pruned;
+          continue;
+        }
+        ++s.stats.candidates_combined;
+        const std::uint64_t new_cost = combine_sum_capped(m, rowptr[w2], n);
+        if (new_cost >= old_cost) continue;
+        result.found = true;
+        if (new_cost < best_cost) best_cost = new_cost;
+        if (!best || new_cost < best->cost_after) {
+          best = Deviation{{a, w, w2}, old_cost, new_cost, Deviation::Kind::ImprovingSwap};
+          if (mode == ScanMode::First) {
+            result.witness = best;
+            result.best_cost = best_cost;
+            return result;
+          }
+        }
+      }
+    } else {
+      // Far-set filter with a dynamically tightening cap. In Best/Value
+      // modes a candidate is useful only when it beats the running best
+      // (or ties a NonCriticalDelete best, which a swap displaces), so the
+      // cap shrinks below the engine's old_cost − 2 as soon as a better
+      // deviation is found; candidates failing the tighter test have
+      // new_cost ≥ threshold and could never be accepted. The FAR1 list
+      // (min1-based, valid for every removed edge since M^w ≥ min1) first
+      // drops candidates that fail for ALL w at once.
+      const auto max_threshold = [&]() {
+        if (mode == ScanMode::First) return old_cost;
+        std::uint64_t t = old_cost;
+        if (best) {
+          // A swap displaces a NonCriticalDelete best on ties, so the
+          // delete's threshold is one above its cost (saturating: a
+          // disconnected delete at kInfCost constrains nothing).
+          const std::uint64_t displace =
+              best->kind == Deviation::Kind::NonCriticalDelete
+                  ? (best->cost_after == kInfCost ? kInfCost : best->cost_after + 1)
+                  : best->cost_after;
+          t = std::min(t, displace);
+        }
+        return t;
+      }();
+      const std::int32_t cap = max_threshold == kInfCost
+                                   ? kSearchInf16 - 1
+                                   : static_cast<std::int32_t>(max_threshold) - 2;
+      if (w == s.nbrs.front()) {
+        s.far.clear();
+        const std::int32_t cap0 = old_cost == kInfCost
+                                      ? kSearchInf16 - 1
+                                      : static_cast<std::int32_t>(old_cost) - 2;
+        for (Vertex y = 0; y < n; ++y) {
+          if (y != a && s.min1[y] > cap0) s.far.push_back(y);
+        }
+        s.cands.clear();
+        for (Vertex w2 = 0; w2 < n; ++w2) {
+          if (s.is_nbr[w2] != 0) continue;
+          const std::uint16_t* c = rowptr[w2];
+          bool viable = true;
+          for (const Vertex y : s.far) {
+            if (c[y] > cap0) {
+              viable = false;
+              break;
+            }
+          }
+          if (!viable) {
+            s.stats.candidates_pruned += s.nbrs.size();
+            continue;
+          }
+          s.cands.push_back(w2);
+        }
+      }
+      s.far.clear();
+      for (Vertex y = 0; y < n; ++y) {
+        if (y != a && m[y] > cap) s.far.push_back(y);
+      }
+      for (const Vertex w2 : s.cands) {
+        const std::uint16_t* c = rowptr[w2];
+        bool improves = true;
+        for (const Vertex y : s.far) {
+          if (c[y] > cap) {
+            improves = false;
+            break;
+          }
+        }
+        if (!improves) {
+          ++s.stats.candidates_pruned;
+          continue;
+        }
+        ++s.stats.candidates_combined;
+        const std::uint64_t new_cost = combine_max_capped(m, c, n);
+        if (new_cost >= max_threshold && mode != ScanMode::First) {
+          // The far test ran against a stale (looser) cap from before a
+          // best-update in this same w-iteration; the exact cost settles it.
+          continue;
+        }
+        result.found = true;
+        best_cost = std::min(best_cost, new_cost);
+        if (!best || new_cost < best->cost_after ||
+            (best->kind == Deviation::Kind::NonCriticalDelete && new_cost <= best->cost_after)) {
+          best = Deviation{{a, w, w2}, old_cost, new_cost, Deviation::Kind::ImprovingSwap};
+          if (mode == ScanMode::First) {
+            result.witness = best;
+            result.best_cost = best_cost;
+            return result;
+          }
+        }
+      }
+    }
+  }
+  result.witness = best;
+  result.best_cost = best_cost;
+  return result;
+}
+
+std::uint64_t SearchState::unrest_contribution(const ScanResult& r, std::uint64_t old_cost) {
+  if (!r.found) return 0;
+  const std::uint64_t gain = old_cost > r.best_cost ? old_cost - r.best_cost : 0;
+  return std::max<std::uint64_t>(1, gain);
+}
+
+std::uint64_t SearchState::evaluate_pass(bool staged) {
+  ensure_slabs();
+  ensure_table_slabs();  // allocated up front: the parallel region below must not resize
+  const std::size_t full_slab = staged ? 1 - fcur_ : fcur_;
+  const Vertex tu = staged_u_;
+  const Vertex tv = staged_v_;
+  const bool add = staged_add_;
+  std::uint64_t total = 0;
+
+  const auto evaluate_agent = [&](Vertex a, Scratch& s) -> std::uint64_t {
+    const std::uint64_t old_cost = agent_cost_from_full(full_slab, a);
+    ensure_agent_current(a, s);
+    if (staged && (a == tu || a == tv)) {
+      // The toggled edge is incident to a, where it vanishes under the mask
+      // (G'−a = G−a) — but the proposal's neighbor set differs from the one
+      // the cached tables were folded over, so rebuild them transiently.
+      proposal_neighbors(a, tu, tv, add, staged, s.nbrs);
+      prepare_scan(agent_rows(a), a, s, model_ == UsageCost::Sum);
+    } else if (!staged) {
+      ensure_tables(a, s);
+      proposal_neighbors(a, tu, tv, add, staged, s.nbrs);
+      load_tables(a, s);
+      s.rowptr.resize(n_);
+      const std::uint16_t* rows = agent_rows(a);
+      for (Vertex x = 0; x < n_; ++x) {
+        s.rowptr[x] = rows + static_cast<std::size_t>(x) * n_;
+      }
+    } else if (add) {
+      ensure_tables(a, s);
+      proposal_neighbors(a, tu, tv, add, staged, s.nbrs);
+      stream_addition(a, tu, tv, s);
+    } else {
+      ensure_tables(a, s);
+      proposal_neighbors(a, tu, tv, add, staged, s.nbrs);
+      stream_removal(a, tu, tv, s);
+    }
+    if (staged) {
+      // The scratch tables describe the staged proposal for this agent;
+      // park them in the shadow set so commit() can flip them in as the
+      // new current tables without recomputation.
+      ensure_table_slabs();
+      store_shadow_tables(a, s);
+    }
+    const ScanResult r =
+        scan_agent(a, old_cost, include_deletions_, ScanMode::Value, s, model_ == UsageCost::Sum);
+    return unrest_contribution(r, old_cost);
+  };
+
+#ifdef BNCG_HAS_OPENMP
+  if (parallel_) {
+#pragma omp parallel
+    {
+      Scratch local;
+      std::uint64_t sub = 0;
+#pragma omp for schedule(dynamic, 4)
+      for (std::int64_t a = 0; a < static_cast<std::int64_t>(n_); ++a) {
+        sub += evaluate_agent(static_cast<Vertex>(a), local);
+      }
+#pragma omp critical
+      {
+        total += sub;
+        merge_stats(local);
+      }
+    }
+    return total;
+  }
+#endif
+  for (Vertex a = 0; a < n_; ++a) total += evaluate_agent(a, scratch_[0]);
+  merge_stats(scratch_[0]);
+  return total;
+}
+
+std::uint64_t SearchState::proposal_unrest() {
+  BNCG_REQUIRE(staged_, "proposal_unrest requires a staged toggle");
+  if (evaluated_) return staged_unrest_;
+  staged_unrest_ = evaluate_pass(/*staged=*/true);
+  evaluated_ = true;
+  ++stats_.evaluations;
+  return staged_unrest_;
+}
+
+std::uint64_t SearchState::unrest() {
+  if (unrest_) return *unrest_;
+  unrest_ = evaluate_pass(/*staged=*/false);
+  return *unrest_;
+}
+
+void SearchState::append_toggle(Vertex u, Vertex v, bool add) {
+  Toggle t;
+  t.u = u;
+  t.v = v;
+  t.add = add;
+  if (!add) t.before = std::make_shared<const CsrGraph>(csr_);
+  log_.push_back(std::move(t));
+  ++head_;
+  while (log_.size() > kReplayLimit) {
+    log_.erase(log_.begin());
+    ++log_base_;
+  }
+}
+
+void SearchState::commit() {
+  BNCG_REQUIRE(staged_ && evaluated_, "commit requires an evaluated staged toggle");
+  append_toggle(staged_u_, staged_v_, staged_add_);
+  fcur_ = 1 - fcur_;
+  // The evaluation parked every agent's proposal tables in the shadow set;
+  // flipping makes them current. The matrices still catch up lazily through
+  // the journal (table_version_ runs ahead of version_ until then).
+  tcur_ = 1 - tcur_;
+  std::fill(table_version_.begin(), table_version_.end(), head_);
+  if (staged_add_) {
+    graph_.add_edge(staged_u_, staged_v_);
+  } else {
+    graph_.remove_edge(staged_u_, staged_v_);
+  }
+  csr_.rebuild(graph_);
+  unrest_ = staged_unrest_;
+  staged_ = false;
+  evaluated_ = false;
+  ++stats_.commits;
+}
+
+void SearchState::apply_toggle_impl(Vertex u, Vertex v, bool add) {
+  BNCG_REQUIRE(u != v && u < n_ && v < n_, "toggle endpoints must be distinct in-range vertices");
+  staged_ = false;
+  evaluated_ = false;
+  const std::size_t shadow = 1 - fcur_;
+  if (add) {
+    update_full_matrix_addition(u, v, shadow, scratch_[0]);
+  } else {
+    update_full_matrix_removal(u, v, shadow, scratch_[0]);
+  }
+  refresh_shape(shadow);
+  fcur_ = shadow;
+  append_toggle(u, v, add);
+  if (add) {
+    graph_.add_edge(u, v);
+  } else {
+    graph_.remove_edge(u, v);
+  }
+  csr_.rebuild(graph_);
+  unrest_.reset();
+  merge_stats(scratch_[0]);
+  ++stats_.commits;
+}
+
+void SearchState::apply_swap(const EdgeSwap& swap) {
+  apply_toggle_impl(swap.v, swap.remove_w, /*add=*/false);
+  apply_toggle_impl(swap.v, swap.add_w, /*add=*/true);
+}
+
+void SearchState::apply_deletion(Vertex v, Vertex w) { apply_toggle_impl(v, w, /*add=*/false); }
+
+void SearchState::apply_toggle(Vertex u, Vertex v) {
+  apply_toggle_impl(u, v, /*add=*/!graph_.has_edge(u, v));
+}
+
+std::optional<Deviation> SearchState::deviation_impl(Vertex a, bool include_deletions,
+                                                     ScanMode mode) {
+  BNCG_REQUIRE(a < n_, "vertex id out of range");
+  ensure_slabs();
+  Scratch& s = scratch_[0];
+  ensure_agent_current(a, s);
+  ensure_tables(a, s);
+  proposal_neighbors(a, kNoVertex, kNoVertex, false, false, s.nbrs);
+  load_tables(a, s);
+  s.rowptr.resize(n_);
+  {
+    const std::uint16_t* rows = agent_rows(a);
+    for (Vertex x = 0; x < n_; ++x) s.rowptr[x] = rows + static_cast<std::size_t>(x) * n_;
+  }
+  const std::uint64_t old_cost = agent_cost_from_full(fcur_, a);
+  ScanResult r = scan_agent(a, old_cost, include_deletions, mode, s, model_ == UsageCost::Sum);
+  merge_stats(s);
+  return r.witness;
+}
+
+std::optional<Deviation> SearchState::best_deviation(Vertex a, bool include_deletions) {
+  return deviation_impl(a, include_deletions, ScanMode::Best);
+}
+
+std::optional<Deviation> SearchState::first_deviation(Vertex a, bool include_deletions) {
+  return deviation_impl(a, include_deletions, ScanMode::First);
+}
+
+bool SearchState::certify_current() {
+  if (unrest_) return *unrest_ == 0;
+  for (Vertex a = 0; a < n_; ++a) {
+    if (first_deviation(a, include_deletions_)) return false;
+  }
+  return true;
+}
+
+}  // namespace bncg

@@ -1,0 +1,334 @@
+// Incremental-unrest search state — delta evaluation for *search*, the way
+// core/swap_engine.hpp is delta evaluation for *certification*.
+//
+// Equilibrium search (core/search.hpp) and best-response dynamics
+// (core/dynamics.hpp) both sit in a propose → evaluate → accept/reject loop
+// whose evaluation step used to recompute the unrest potential from scratch:
+// one vertex-masked APSP plus a best-response scan per agent, per proposal.
+// SearchState makes the loop incremental around three observations:
+//
+//  1. Toggling one edge {u, v} cannot be used to *skip* agents exactly: the
+//     entry d_{G−a}(u, v) of every agent's masked matrix changes on every
+//     toggle (an added edge drops it to 1; a removed edge lifts it off 1),
+//     and the best-response scan reads every entry. What CAN be made cheap
+//     is each agent's re-evaluation, by caching every agent's masked
+//     distance matrix d_{G−a} across proposals:
+//       * addition of {u, v}: a shortest path uses a new edge at most once,
+//         so d'(x,y) = min(d(x,y), d(x,u)+1+d(v,y), d(x,v)+1+d(u,y)) updates
+//         each cached matrix in one branch-free streaming pass — no BFS;
+//       * removal of {u, v}: row x changes only if the edge lies on some
+//         shortest path from x, i.e. |d(x,u) − d(x,v)| = 1 (a shortest-path
+//         prefix is shortest, so a shortest path crossing u→v reaches u
+//         shortest-ly). Only these *dirty rows* are re-traversed, batched
+//         through graph/bfs_batch (csr_apsp_rows); clean rows are kept.
+//     Distances are stored with infinity capped at kSearchInf16 = 0x3FFF so
+//     the addition formula's two chained adds cannot overflow 16 bits and
+//     the whole pass vectorizes (pure u16 add/min).
+//  2. The same pass that streams an agent's updated rows accumulates, per
+//     candidate w₂, the sum-model relief bound
+//       R1[w₂] = Σ_y max(0, min1_y − d'(w₂, y))
+//     (min1 = elementwise min over the agent's neighbor rows). For every
+//     removed edge w the post-swap cost is (n−1) + Σ_y M^w_y − relief, and
+//     both the kept-neighbor sum's excess over Σ min1 and the relief's
+//     excess over R1 are the same owned-slack Σ_{argmin_y=w} (min2_y −
+//     min1_y), so they cancel:  cost(w, w₂) ≥ (n−1) + Σ_{y≠a} min1_y −
+//     R1[w₂] — one w-independent O(1) test per candidate, the sum model's
+//     analogue of the engine's max-model far-set filter. The prune only
+//     ever skips candidates that provably cannot beat (or tie) the running
+//     best, so witnesses and scan order match the engine and the
+//     bncg::naive oracles bit for bit.
+//  3. Evaluation never writes the matrix cache: per agent, only the CHANGED
+//     rows are touched — their old contributions are subtracted from cached
+//     per-agent scan tables (min1/min2/argmin and R1), the new rows are
+//     materialized into a per-thread scratch matrix behind row-pointer
+//     indirection, and new contributions are added. Accepting a proposal is
+//     a journal append plus two O(1) buffer flips (full matrix and scan
+//     tables are double-buffered; every staged evaluation parks its
+//     proposal tables in the shadow set). The agent matrices catch up
+//     lazily through the journal: addition backlogs replay as formula
+//     passes over changed rows, removal backlogs re-traverse dirty rows
+//     against the journal's CSR snapshot, long backlogs fall back to one
+//     fresh masked APSP. Rejection costs nothing.
+//
+// The full-graph APSP is maintained the same way (one un-masked matrix), so
+// the search loop's connectivity/diameter screen and every agent's current
+// cost are read off cached rows instead of fresh traversals.
+//
+// Everything here is exact: differential tests (tests/test_search_state.cpp)
+// pin unrest values, deviations, and certification verdicts to full naive
+// recomputation after every accepted and rejected proposal. DESIGN.md §9
+// documents the invalidation rule and the measured cost model.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/equilibrium.hpp"
+#include "core/usage_cost.hpp"
+#include "graph/bfs_batch.hpp"
+#include "graph/csr.hpp"
+#include "graph/graph.hpp"
+
+namespace bncg {
+
+/// Largest n for which search/dynamics auto-select the incremental state.
+/// The cache holds one n×n² 16-bit slab (≈ 2n³ bytes: 34 MB at n = 256,
+/// 0.27 GB at this cap), so unbounded auto-enablement would silently trade
+/// the engine's O(n²) scratch for gigabytes. Direct construction accepts
+/// any n ≤ 16383 when the caller accepts the memory bill.
+inline constexpr Vertex kSearchStateAutoMaxVertices = 512;
+
+/// Capped infinity of the cached matrices: large enough to dominate every
+/// finite distance (n < kSearchInf16), small enough that the addition
+/// identity's two chained 16-bit adds (≤ 2·kSearchInf16 + 1 < 2¹⁵) cannot
+/// wrap — which is what keeps the streaming update branch-free.
+inline constexpr std::uint16_t kSearchInf16 = 0x3FFF;
+
+/// True when search and dynamics should route through SearchState: n within
+/// the auto-enable cap and BNCG_FORCE_NAIVE not set.
+[[nodiscard]] bool search_state_enabled(const Graph& g);
+
+/// Operation counters for benchmarks and the differential harness.
+struct SearchStats {
+  std::uint64_t proposals = 0;        ///< propose_toggle() calls
+  std::uint64_t evaluations = 0;      ///< proposal_unrest() computations
+  std::uint64_t commits = 0;          ///< accepted proposals + applied moves
+  std::uint64_t rows_refreshed = 0;   ///< rows re-traversed after removals
+  std::uint64_t rows_reused = 0;      ///< rows kept by the dirty-row test
+  std::uint64_t agents_scanned = 0;   ///< best-response scans executed
+  std::uint64_t candidates_pruned = 0;    ///< candidates rejected by R1/far-set
+  std::uint64_t candidates_combined = 0;  ///< candidates fully combined
+};
+
+/// Connectivity/diameter screen of a pending toggle (read off the
+/// incrementally updated full-graph matrix, no fresh traversal).
+struct ToggleShape {
+  bool connected = false;
+  Vertex diameter = 0;  ///< kInfDist when disconnected
+};
+
+/// Incremental evaluation state for equilibrium search and dynamics.
+/// Not thread-safe; internal passes parallelize over agents under OpenMP
+/// when `parallel` is set (results are deterministic either way).
+class SearchState {
+ public:
+  /// Snapshots `g` (connected or not) and builds the full-graph matrix.
+  /// Per-agent masked matrices materialize lazily on first use. For the max
+  /// model, `include_deletions` selects whether unrest and certification
+  /// count non-critical deletions as violations (the max-equilibrium
+  /// definition does); ignored in the sum model.
+  SearchState(const Graph& g, UsageCost model, bool include_deletions = false,
+              bool parallel = true);
+
+  [[nodiscard]] const Graph& graph() const noexcept { return graph_; }
+  [[nodiscard]] UsageCost model() const noexcept { return model_; }
+  [[nodiscard]] Vertex num_vertices() const noexcept { return n_; }
+  [[nodiscard]] Vertex diameter() const noexcept;      ///< kInfDist if disconnected
+  [[nodiscard]] bool connected() const noexcept;
+
+  /// Total unrest of the current graph: Σ_a max(1, gain of a's best
+  /// deviation), 0 iff no agent has a deviation — so 0 ⇔ the matching
+  /// certifier passes. Sum model: equals sum_unrest(). Lazily computed,
+  /// cached until the graph changes. Intended for connected graphs.
+  [[nodiscard]] std::uint64_t unrest();
+
+  // ---------------------------------------------------- search (anneal) API
+  /// Stages toggling edge {u, v} and returns the cheap shape screen of the
+  /// would-be graph. No agent work happens here; a subsequent
+  /// proposal_unrest() evaluates the staged toggle, commit() accepts it, and
+  /// staging a new toggle discards the old one. u ≠ v, both in range.
+  ToggleShape propose_toggle(Vertex u, Vertex v);
+
+  /// Exact unrest of the staged toggle's graph (== unrest() after
+  /// committing it). Requires a staged toggle.
+  [[nodiscard]] std::uint64_t proposal_unrest();
+
+  /// Accepts the staged toggle: a journal append plus a CSR rebuild; the
+  /// cached per-agent matrices catch up lazily. Requires the staged toggle
+  /// to have been evaluated.
+  void commit();
+
+  // ------------------------------------------------------------ dynamics API
+  /// Best/first improving deviation of agent `a`, identical in witness,
+  /// costs, and scan order to SwapEngine and the bncg::naive oracles.
+  [[nodiscard]] std::optional<Deviation> best_deviation(Vertex a, bool include_deletions = false);
+  [[nodiscard]] std::optional<Deviation> first_deviation(Vertex a, bool include_deletions = false);
+
+  /// Applies an accepted move to the live state (graph, matrices, journal).
+  void apply_swap(const EdgeSwap& swap);
+  void apply_deletion(Vertex v, Vertex w);
+  /// Applies a single edge toggle (add when absent, remove when present).
+  void apply_toggle(Vertex u, Vertex v);
+
+  /// True iff no agent has a deviation (same verdict as the certifiers,
+  /// honoring the constructor's include_deletions in the max model).
+  [[nodiscard]] bool certify_current();
+
+  [[nodiscard]] const SearchStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Toggle {
+    Vertex u = kNoVertex;
+    Vertex v = kNoVertex;
+    bool add = false;
+    /// Snapshot of the graph *before* a removal (edge still present): the
+    /// lazy replay of the removal BFS needs that historical adjacency.
+    /// Empty for additions (the formula replay is graph-free).
+    std::shared_ptr<const CsrGraph> before;
+  };
+
+  /// Per-thread scan scratch (mirrors SwapEngine::Scratch) plus per-thread
+  /// stat counters merged after each pass (keeps parallel passes race-free).
+  struct Scratch {
+    BatchBfsWorkspace bfs;
+    std::vector<std::uint16_t> proposal_rows;  // staged-toggle matrix (n×n)
+    std::vector<const std::uint16_t*> rowptr;  // per-row source (cache/scratch)
+    std::vector<Vertex> cands;                 // static candidate survivors
+    std::vector<std::uint16_t> row_u, row_v;  // stashed toggle-endpoint rows
+    std::vector<std::uint16_t> min1, min2;    // elementwise neighbor minima
+    std::vector<Vertex> argmin;
+    std::vector<std::uint16_t> mrow;          // M^w: min over N(a)∖{w}
+    std::vector<std::uint32_t> r1;            // sum-model relief bound
+    std::vector<std::uint8_t> is_nbr;
+    std::vector<Vertex> far;                  // max-model far set
+    std::vector<Vertex> sources;              // dirty rows to refresh
+    std::vector<Vertex> nbrs;                 // proposal-adjusted neighbor list
+    SearchStats stats;
+  };
+
+  enum class ScanMode { Value, First, Best };
+
+  struct ScanResult {
+    std::optional<Deviation> witness;     // First/Best modes
+    std::uint64_t best_cost = kInfCost;   // best cost_after over deviations
+    bool found = false;
+  };
+
+  [[nodiscard]] std::uint16_t* agent_rows(Vertex a) noexcept {
+    return agents_.data() + static_cast<std::size_t>(a) * n_ * n_;
+  }
+  [[nodiscard]] std::uint16_t* table_min1(Vertex a) noexcept {
+    return tmin1_[tcur_].data() + static_cast<std::size_t>(a) * n_;
+  }
+  [[nodiscard]] std::uint16_t* table_min2(Vertex a) noexcept {
+    return tmin2_[tcur_].data() + static_cast<std::size_t>(a) * n_;
+  }
+  [[nodiscard]] Vertex* table_argmin(Vertex a) noexcept {
+    return targmin_[tcur_].data() + static_cast<std::size_t>(a) * n_;
+  }
+  [[nodiscard]] std::uint32_t* table_r1(Vertex a) noexcept {
+    return tr1_[tcur_].data() + static_cast<std::size_t>(a) * n_;
+  }
+  /// Stores the scratch tables (which describe the staged proposal for
+  /// agent a) into the shadow table set; commit() flips the sets, so an
+  /// accepted proposal's tables become current for free.
+  void store_shadow_tables(Vertex a, const Scratch& scratch);
+  [[nodiscard]] std::uint16_t* full_rows(std::size_t slab) noexcept {
+    return full_[slab].data();
+  }
+
+  void ensure_slabs();
+  void ensure_table_slabs();
+  void ensure_agent_current(Vertex a, Scratch& scratch);
+  /// Rebuilds agent a's persistent scan tables when stale (matrix must be
+  /// current). Kept in lockstep with the matrix by the replay's row deltas;
+  /// toggles incident to a invalidate them (the neighbor set changed).
+  void ensure_tables(Vertex a, Scratch& scratch);
+  /// Copies agent a's persistent tables into the scratch working copies.
+  void load_tables(Vertex a, Scratch& scratch);
+  void rebuild_agent(Vertex a, Scratch& scratch);
+  void update_full_matrix_addition(Vertex u, Vertex v, std::size_t dst_slab, Scratch& scratch);
+  void update_full_matrix_removal(Vertex u, Vertex v, std::size_t dst_slab, Scratch& scratch);
+  void refresh_shape(std::size_t slab);
+  void merge_stats(Scratch& scratch);
+
+  /// Streams agent a's updated matrix for the staged addition into the
+  /// scratch proposal matrix while accumulating R1 and neighbor minima;
+  /// pure formula, the cached matrix is only read.
+  void stream_addition(Vertex a, Vertex u, Vertex v, Scratch& scratch);
+  /// Copies agent a's matrix into the scratch proposal matrix and
+  /// re-traverses the rows dirtied by the staged removal.
+  void stream_removal(Vertex a, Vertex u, Vertex v, Scratch& scratch);
+  /// Builds R1 (optional) and min1/min2/argmin for a matrix already in place.
+  void prepare_scan(const std::uint16_t* rows, Vertex a, Scratch& scratch, bool want_r1);
+  /// Builds min1/min2/argmin and optionally R1 from scratch.rowptr rows.
+  void scan_tables(Scratch& scratch, bool want_r1);
+
+  ScanResult scan_agent(Vertex a, std::uint64_t old_cost, bool include_deletions, ScanMode mode,
+                        Scratch& scratch, bool r1_valid);
+
+  [[nodiscard]] std::uint64_t evaluate_pass(bool staged);
+  [[nodiscard]] static std::uint64_t unrest_contribution(const ScanResult& r,
+                                                         std::uint64_t old_cost);
+  [[nodiscard]] std::uint64_t agent_cost_from_full(std::size_t slab, Vertex a) const;
+  void proposal_neighbors(Vertex a, Vertex tu, Vertex tv, bool add, bool staged,
+                          std::vector<Vertex>& out) const;
+  std::optional<Deviation> deviation_impl(Vertex a, bool include_deletions, ScanMode mode);
+  void append_toggle(Vertex u, Vertex v, bool add);
+  void apply_toggle_impl(Vertex u, Vertex v, bool add);
+
+  Graph graph_;
+  CsrGraph csr_;
+  UsageCost model_;
+  bool include_deletions_;
+  bool parallel_;
+  Vertex n_ = 0;
+
+  // Full-graph matrix: double-buffered (entries use kSearchInf16 for ∞);
+  // fcur_ indexes the live copy, the other is the shadow a staged toggle is
+  // screened into, and commit is the O(1) index flip. Per-agent masked
+  // matrices live in ONE slab updated lazily through the journal —
+  // evaluation materializes proposal matrices into per-thread scratch
+  // instead of a shadow slab, halving both memory and DRAM write traffic.
+  std::vector<std::uint16_t> full_[2];  // n×n full-graph distances
+  std::vector<std::uint16_t> agents_;   // n slabs of n×n masked distances
+  std::size_t fcur_ = 0;
+
+  // Persistent per-agent scan tables (n entries per agent): coordinate-wise
+  // neighbor minima and, in the sum model, the R1 relief bound. Maintained
+  // by the same changed-row deltas as the matrices, so a staged evaluation
+  // only touches rows the toggle actually changes. Double-buffered like the
+  // full matrix: staged evaluations write every agent's proposal tables to
+  // the shadow set, and commit() flips tcur_ — the accepted proposal's
+  // tables become current with no recomputation. table_version_[a] tracks
+  // the journal version the current set matches (kUnbuilt = must rebuild);
+  // it may run ahead of version_[a] right after a commit, in which case the
+  // matrix catches up through the journal without touching the tables.
+  std::vector<std::uint16_t> tmin1_[2], tmin2_[2];
+  std::vector<Vertex> targmin_[2];
+  std::vector<std::uint32_t> tr1_[2];
+  std::size_t tcur_ = 0;
+  std::vector<std::uint64_t> table_version_;
+
+  // Shape caches of the full matrices (per slab).
+  std::vector<std::uint32_t> rowsum_[2];  // Σ_y d(a, y) over capped values
+  std::vector<std::uint16_t> rowmax_[2];  // max_y d(a, y)
+  Vertex diameter_[2] = {0, 0};           // kInfDist when disconnected
+
+  // Toggle journal for lazy per-agent maintenance. version_[a] indexes into
+  // the virtual history; log_base_ is the history index of log_[0]. An agent
+  // with version_[a] == kUnbuilt has no matrix yet. Entries deeper than
+  // kReplayLimit are dropped eagerly — agents that far behind rebuild from
+  // one fresh masked APSP instead of replaying.
+  std::vector<Toggle> log_;
+  std::uint64_t log_base_ = 0;
+  std::uint64_t head_ = 0;
+  std::vector<std::uint64_t> version_;
+  static constexpr std::uint64_t kUnbuilt = ~std::uint64_t{0};
+  static constexpr std::size_t kReplayLimit = 4;
+
+  // Staged proposal.
+  bool staged_ = false;
+  bool evaluated_ = false;
+  Vertex staged_u_ = kNoVertex, staged_v_ = kNoVertex;
+  bool staged_add_ = false;
+  std::uint64_t staged_unrest_ = 0;
+
+  std::optional<std::uint64_t> unrest_;  // cached unrest of the live graph
+  SearchStats stats_;
+  std::vector<Scratch> scratch_;  // scratch_[0] serves the serial paths
+};
+
+}  // namespace bncg

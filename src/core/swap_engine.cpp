@@ -39,12 +39,16 @@ std::uint64_t deletion_ecc(const std::uint16_t* m, Vertex n) {
 
 }  // namespace
 
-bool swap_engine_enabled(const Graph& g) {
+bool force_naive_requested() {
   static const bool forced_naive = [] {
     const char* env = std::getenv("BNCG_FORCE_NAIVE");
     return env != nullptr && *env != '\0' && *env != '0';
   }();
-  return !forced_naive && g.num_vertices() <= kSwapEngineAutoMaxVertices;
+  return forced_naive;
+}
+
+bool swap_engine_enabled(const Graph& g) {
+  return !force_naive_requested() && g.num_vertices() <= kSwapEngineAutoMaxVertices;
 }
 
 void SwapEngine::rebuild(const Graph& g) {
@@ -198,33 +202,38 @@ EquilibriumCertificate SwapEngine::certify(UsageCost model, bool include_deletio
   const Vertex n = csr_.num_vertices();
   EquilibriumCertificate cert;
   std::uint64_t moves = 0;
-  std::optional<Deviation> best;
+
+  // Per-agent results land in a vector and are folded serially afterwards,
+  // so the witness tie-break (earliest agent among equal cost_after) matches
+  // the serial naive certifiers under any OpenMP thread count — the parallel
+  // reduction used to pick among ties in thread-arrival order.
+  std::vector<std::optional<Deviation>> per_agent(n);
 
 #ifdef BNCG_HAS_OPENMP
 #pragma omp parallel
   {
     Scratch scratch;
     std::uint64_t local_moves = 0;
-    std::optional<Deviation> local_best;
 #pragma omp for schedule(dynamic, 1)
     for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
-      const auto dev = best_deviation(static_cast<Vertex>(v), model, scratch, include_deletions,
-                                      &local_moves);
-      if (dev && (!local_best || dev->cost_after < local_best->cost_after)) local_best = dev;
+      per_agent[static_cast<std::size_t>(v)] =
+          best_deviation(static_cast<Vertex>(v), model, scratch, include_deletions, &local_moves);
     }
 #pragma omp critical
-    {
-      moves += local_moves;
-      if (local_best && (!best || local_best->cost_after < best->cost_after)) best = local_best;
-    }
+    moves += local_moves;
   }
 #else
   Scratch scratch;
   for (Vertex v = 0; v < n; ++v) {
-    const auto dev = best_deviation(v, model, scratch, include_deletions, &moves);
-    if (dev && (!best || dev->cost_after < best->cost_after)) best = dev;
+    per_agent[v] = best_deviation(v, model, scratch, include_deletions, &moves);
   }
 #endif
+
+  std::optional<Deviation> best;
+  for (Vertex v = 0; v < n; ++v) {
+    const auto& dev = per_agent[v];
+    if (dev && (!best || dev->cost_after < best->cost_after)) best = dev;
+  }
 
   cert.moves_checked = moves;
   cert.witness = best;

@@ -54,6 +54,11 @@ namespace bncg {
 /// directly (hard limit: n < 65535).
 inline constexpr Vertex kSwapEngineAutoMaxVertices = 4096;
 
+/// True iff BNCG_FORCE_NAIVE is set (read once per process): every
+/// accelerated tier — SwapEngine and SearchState alike — must consult this
+/// one helper so the env var toggles them together.
+[[nodiscard]] bool force_naive_requested();
+
 /// True when the engine should back the public certifier entry points:
 /// n within the auto-enable cap and BNCG_FORCE_NAIVE is not set.
 [[nodiscard]] bool swap_engine_enabled(const Graph& g);

@@ -13,6 +13,7 @@ struct BatchBfsAccess {
   static std::vector<std::uint64_t>& next(BatchBfsWorkspace& ws) { return ws.next_; }
   static std::vector<std::uint64_t>& visited(BatchBfsWorkspace& ws) { return ws.visited_; }
   static std::vector<Vertex>& queue(BatchBfsWorkspace& ws) { return ws.queue_; }
+  static std::vector<std::uint16_t>& rows16(BatchBfsWorkspace& ws) { return ws.rows16_; }
 };
 
 namespace {
@@ -202,6 +203,28 @@ void csr_apsp(const CsrGraph& g, MaskedEdge mask, std::uint16_t* rows, BatchBfsW
               Vertex masked_vertex) {
   BNCG_REQUIRE(g.num_vertices() < kInfDist16, "16-bit APSP requires n < 65535");
   apsp_impl(g, mask, rows, ws, masked_vertex);
+}
+
+void csr_apsp_rows(const CsrGraph& g, std::span<const Vertex> sources, MaskedEdge mask,
+                   std::uint16_t* matrix, std::size_t stride, BatchBfsWorkspace& ws,
+                   Vertex masked_vertex, std::uint16_t inf_value) {
+  const Vertex n = g.num_vertices();
+  BNCG_REQUIRE(g.num_vertices() < kInfDist16, "16-bit traversal requires n < 65535");
+  BNCG_REQUIRE(inf_value >= n, "inf_value must dominate every finite distance");
+  auto& staging = BatchBfsAccess::rows16(ws);
+  staging.resize(std::size_t{64} * n);
+  for (std::size_t base = 0; base < sources.size(); base += 64) {
+    const std::size_t count = std::min<std::size_t>(64, sources.size() - base);
+    const std::span<const Vertex> group = sources.subspan(base, count);
+    batch_dispatch(g, group, mask, staging.data(), n, ws, masked_vertex);
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::uint16_t* src_row = staging.data() + i * n;
+      std::uint16_t* dst = matrix + static_cast<std::size_t>(group[i]) * stride;
+      // min() maps the traversal's 0xFFFF sentinel onto inf_value and is the
+      // identity on finite distances (all < n ≤ inf_value).
+      for (Vertex x = 0; x < n; ++x) dst[x] = std::min(src_row[x], inf_value);
+    }
+  }
 }
 
 bool csr_apsp_wide(const CsrGraph& g, Vertex* rows) {

@@ -44,6 +44,7 @@ class BatchBfsWorkspace {
   std::vector<std::uint64_t> next_;     // next-level bits per vertex
   std::vector<std::uint64_t> visited_;  // settled bits per vertex
   std::vector<Vertex> queue_;           // queue-BFS fallback
+  std::vector<std::uint16_t> rows16_;   // staging rows for csr_apsp_rows
 };
 
 /// Single-source queue BFS over the snapshot, skipping `mask` if active and
@@ -75,5 +76,18 @@ void csr_apsp(const CsrGraph& g, MaskedEdge mask, std::uint16_t* rows, BatchBfsW
 /// OpenMP-parallel over source batches. Returns true iff every pair is
 /// reachable. Backs DistanceMatrix.
 bool csr_apsp_wide(const CsrGraph& g, Vertex* rows);
+
+/// Selective row refresh: recomputes the distance row of every source in
+/// `sources` (arbitrary, need not be contiguous) inside an n-stride matrix,
+/// writing row s at matrix[s·stride .. s·stride + n). The backbone of the
+/// incremental search state's dirty-row maintenance: after an edge toggle,
+/// only rows whose shortest-path DAG used the toggled edge are re-traversed,
+/// the rest are kept. Sources are processed through `bfs_batch` in ≤64-source
+/// groups; unreachable entries are written as `inf_value`, which lets callers
+/// with an overflow-free capped-infinity encoding (e.g. core/search_state)
+/// stay inside their representation. Precondition: inf_value ≥ n.
+void csr_apsp_rows(const CsrGraph& g, std::span<const Vertex> sources, MaskedEdge mask,
+                   std::uint16_t* matrix, std::size_t stride, BatchBfsWorkspace& ws,
+                   Vertex masked_vertex = kNoVertex, std::uint16_t inf_value = kInfDist16);
 
 }  // namespace bncg

@@ -1,0 +1,164 @@
+// Seeded property harness over random instances — CTest labels
+// "tier1;property" (run alone with `ctest -L property`). These are the
+// repo-wide invariants that tie the incremental search machinery, the
+// certifiers, and the paper's structural lemmas together:
+//
+//   P1  unrest == 0  ⟺  the matching certifier passes (both models, both
+//       the engine-backed potentials and the incremental SearchState);
+//   P2  every max swap equilibrium is deletion-critical (each endpoint of
+//       each edge owns the deletion move, so the deletion clause covers
+//       both sides);
+//   P3  an anneal result, when non-nullopt, certifies and sits exactly on
+//       the configured diameter;
+//   P4  identical AnnealConfigs give identical trajectories — across
+//       repeated runs and across evaluation paths (seed reproducibility).
+#include <gtest/gtest.h>
+
+#include "core/dynamics.hpp"
+#include "core/equilibrium.hpp"
+#include "core/search.hpp"
+#include "core/search_state.hpp"
+#include "gen/classic.hpp"
+#include "gen/paper.hpp"
+#include "gen/random.hpp"
+#include "graph/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace bncg {
+namespace {
+
+Graph random_connected(Xoshiro256ss& rng) {
+  const Vertex n = 6 + static_cast<Vertex>(rng.below(11));  // 6..16
+  const std::size_t extra = rng.below(n);
+  return random_connected_gnm(n, n - 1 + extra, rng);
+}
+
+TEST(PropertyRandom, UnrestZeroIffSumCertifierPasses) {
+  Xoshiro256ss rng(0x9001);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Graph g = random_connected(rng);
+    const bool certified = certify_sum_equilibrium(g).is_equilibrium;
+    EXPECT_EQ(sum_unrest(g) == 0, certified) << "trial " << trial;
+    SearchState state(g, UsageCost::Sum);
+    EXPECT_EQ(state.unrest() == 0, certified) << "trial " << trial;
+  }
+}
+
+TEST(PropertyRandom, UnrestZeroIffMaxCertifierPasses) {
+  Xoshiro256ss rng(0x9002);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Graph g = random_connected(rng);
+    const bool certified = certify_max_equilibrium(g).is_equilibrium;
+    EXPECT_EQ(max_unrest(g) == 0, certified) << "trial " << trial;
+    SearchState state(g, UsageCost::Max, /*include_deletions=*/true);
+    EXPECT_EQ(state.unrest() == 0, certified) << "trial " << trial;
+  }
+}
+
+TEST(PropertyRandom, KnownEquilibriaAnchorTheEquivalence) {
+  // Fixed points pin the ⟺ in both directions on known instances.
+  EXPECT_EQ(sum_unrest(star(10)), 0u);
+  EXPECT_EQ(sum_unrest(complete(7)), 0u);
+  EXPECT_EQ(sum_unrest(diameter3_sum_equilibrium_n8()), 0u);
+  EXPECT_EQ(max_unrest(star(10)), 0u);
+  EXPECT_GT(sum_unrest(path(9)), 0u);
+  EXPECT_GT(max_unrest(cycle(9)), 0u);
+}
+
+TEST(PropertyRandom, MaxEquilibriaAreDeletionCritical) {
+  // P2: drive max dynamics (neutral deletions on) to convergence; every
+  // reached max equilibrium must survive is_deletion_critical.
+  Xoshiro256ss rng(0x9003);
+  int reached = 0;
+  for (int trial = 0; trial < 25; ++trial) {
+    DynamicsConfig config;
+    config.cost = UsageCost::Max;
+    config.allow_neutral_deletions = true;
+    config.max_moves = 20'000;
+    config.seed = rng();
+    const DynamicsResult r = run_dynamics(random_connected(rng), config);
+    if (!r.converged) continue;
+    ASSERT_TRUE(is_max_equilibrium(r.graph)) << "trial " << trial;
+    EXPECT_TRUE(is_deletion_critical(r.graph)) << "trial " << trial;
+    ++reached;
+  }
+  EXPECT_GT(reached, 0);  // the property must actually have been exercised
+}
+
+TEST(PropertyRandom, AnnealResultsCertifyOnTheTargetDiameter) {
+  // P3, both models: whatever the anneal returns must certify and sit
+  // exactly on the configured diameter.
+  Xoshiro256ss rng(0x9004);
+  int found = 0;
+  for (int trial = 0; trial < 8; ++trial) {
+    const Graph start = random_connected(rng);
+    for (const UsageCost model : {UsageCost::Sum, UsageCost::Max}) {
+      AnnealConfig config;
+      config.cost = model;
+      config.steps = 1500;
+      config.seed = rng();
+      config.target_diameter = 2;
+      const auto result = anneal_equilibrium(start, config);
+      if (!result) continue;
+      ++found;
+      EXPECT_EQ(diameter(*result), config.target_diameter);
+      if (model == UsageCost::Sum) {
+        EXPECT_TRUE(is_sum_equilibrium(*result));
+        EXPECT_EQ(sum_unrest(*result), 0u);
+      } else {
+        EXPECT_TRUE(is_max_equilibrium(*result));
+        EXPECT_EQ(max_unrest(*result), 0u);
+      }
+    }
+  }
+  EXPECT_GT(found, 0);
+}
+
+TEST(PropertyRandom, AnnealTrajectoriesAreSeedReproducible) {
+  // P4: one seed drives every draw, so rerunning an identical config must
+  // reproduce the identical outcome and counters — and so must switching
+  // the evaluation path (already pinned differentially in
+  // tests/test_search_state.cpp; re-checked here as a user-facing property).
+  Xoshiro256ss rng(0x9005);
+  for (int trial = 0; trial < 4; ++trial) {
+    const Graph start = random_connected(rng);
+    AnnealConfig config;
+    config.cost = trial % 2 == 0 ? UsageCost::Sum : UsageCost::Max;
+    config.steps = 600;
+    config.seed = 0xFEED + trial;
+    config.target_diameter = diameter(start);
+    AnnealStats first_stats;
+    AnnealStats second_stats;
+    const auto first = anneal_equilibrium(start, config, &first_stats);
+    const auto second = anneal_equilibrium(start, config, &second_stats);
+    ASSERT_EQ(first.has_value(), second.has_value()) << "trial " << trial;
+    if (first) EXPECT_EQ(*first, *second) << "trial " << trial;
+    EXPECT_EQ(first_stats.proposals, second_stats.proposals);
+    EXPECT_EQ(first_stats.evaluated, second_stats.evaluated);
+    EXPECT_EQ(first_stats.accepted, second_stats.accepted);
+    EXPECT_EQ(first_stats.final_unrest, second_stats.final_unrest);
+  }
+}
+
+TEST(PropertyRandom, DynamicsEquilibriaHaveZeroUnrest) {
+  // Dynamics and search agree on what "done" means: a converged dynamics
+  // run is a zero of the matching unrest potential.
+  Xoshiro256ss rng(0x9006);
+  for (int trial = 0; trial < 10; ++trial) {
+    DynamicsConfig config;
+    config.cost = trial % 2 == 0 ? UsageCost::Sum : UsageCost::Max;
+    config.allow_neutral_deletions = config.cost == UsageCost::Max;
+    config.max_moves = 20'000;
+    config.seed = rng();
+    const DynamicsResult r = run_dynamics(random_connected(rng), config);
+    if (!r.converged) continue;
+    if (config.cost == UsageCost::Sum) {
+      EXPECT_EQ(sum_unrest(r.graph), 0u) << "trial " << trial;
+    } else {
+      EXPECT_EQ(max_unrest(r.graph), 0u) << "trial " << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bncg

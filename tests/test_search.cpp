@@ -73,5 +73,57 @@ TEST(Search, ExhaustiveRejectsLargeN) {
   EXPECT_THROW((void)exhaustive_diameter3_sum_equilibrium(9), std::invalid_argument);
 }
 
+TEST(Search, MaxUnrestIsZeroExactlyOnMaxEquilibria) {
+  EXPECT_EQ(max_unrest(star(9)), 0u);
+  EXPECT_EQ(max_unrest(complete(6)), 0u);
+  // C_9 admits no improving swap but plenty of non-critical chords once one
+  // is added; the plain cycle's unrest comes from improving swaps.
+  EXPECT_GT(max_unrest(cycle(9)), 0u);
+  // A cost-neutral deletion (the chord of C_8 + {0,2}) is a violation worth
+  // at least the floor contribution of 1.
+  Graph chorded = cycle(8);
+  chorded.add_edge(0, 2);
+  EXPECT_GT(max_unrest(chorded), 0u);
+}
+
+TEST(Search, AnnealMaxModelResultsCertify) {
+  Xoshiro256ss rng(63);
+  AnnealConfig config;
+  config.cost = UsageCost::Max;
+  config.target_diameter = 2;
+  config.steps = 2000;
+  config.seed = 41;
+  const auto found = anneal_equilibrium(random_connected_gnm(9, 14, rng), config);
+  if (found) {
+    EXPECT_EQ(diameter(*found), 2u);
+    EXPECT_TRUE(is_max_equilibrium(*found));
+  }
+}
+
+TEST(Search, AnnealStatsAccountForEveryProposal) {
+  Xoshiro256ss rng(64);
+  AnnealConfig config;
+  config.steps = 500;
+  config.seed = 7;
+  config.target_diameter = 4;
+  AnnealStats stats;
+  const Graph start = random_connected_gnm(10, 16, rng);
+  (void)anneal_equilibrium(start, config, &stats);
+  EXPECT_EQ(stats.proposals, stats.filtered + stats.evaluated);
+  EXPECT_LE(stats.accepted, stats.evaluated);
+}
+
+TEST(Search, AnnealSumWrapperForcesTheSumModel) {
+  // The historical entry point keeps working even if a caller sets
+  // config.cost to Max by mistake.
+  AnnealConfig config;
+  config.cost = UsageCost::Max;
+  config.steps = 100;
+  config.seed = 5;
+  const auto found = anneal_sum_equilibrium(diameter3_sum_equilibrium_n8(), config);
+  ASSERT_TRUE(found.has_value());  // sum equilibrium: returns immediately
+  EXPECT_EQ(*found, diameter3_sum_equilibrium_n8());
+}
+
 }  // namespace
 }  // namespace bncg

@@ -1,0 +1,300 @@
+// Differential tests for the incremental-unrest SearchState
+// (core/search_state.hpp): every incremental quantity — proposal shapes,
+// unrest values, per-agent deviations, applied-move trajectories — is pinned
+// to full recomputation through the bncg::naive oracles after every accepted
+// AND rejected proposal, across 250+ random instances in both usage-cost
+// models, with the parallel evaluation pass both on and off.
+#include "core/search_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "core/equilibrium.hpp"
+#include "core/search.hpp"
+#include "gen/classic.hpp"
+#include "gen/random.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace bncg {
+namespace {
+
+/// Reference unrest straight from the naive BFS-per-candidate oracles:
+/// Σ_a max(1, gain of the best deviation), deletions counted in the max
+/// model when asked. Deliberately shares no code with SearchState.
+std::uint64_t naive_unrest(const Graph& g, UsageCost model, bool include_deletions) {
+  BfsWorkspace ws;
+  std::uint64_t total = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const std::optional<Deviation> dev =
+        model == UsageCost::Sum ? naive::best_sum_deviation(g, v, ws)
+                                : naive::best_max_deviation(g, v, ws, include_deletions);
+    if (!dev) continue;
+    const std::uint64_t gain =
+        dev->cost_before > dev->cost_after ? dev->cost_before - dev->cost_after : 0;
+    total += std::max<std::uint64_t>(1, gain);
+  }
+  return total;
+}
+
+void expect_same_deviation(const std::optional<Deviation>& got,
+                           const std::optional<Deviation>& want, const std::string& context) {
+  ASSERT_EQ(got.has_value(), want.has_value()) << context;
+  if (!got) return;
+  EXPECT_EQ(got->swap.v, want->swap.v) << context;
+  EXPECT_EQ(got->swap.remove_w, want->swap.remove_w) << context;
+  EXPECT_EQ(got->swap.add_w, want->swap.add_w) << context;
+  EXPECT_EQ(got->cost_before, want->cost_before) << context;
+  EXPECT_EQ(got->cost_after, want->cost_after) << context;
+  EXPECT_EQ(got->kind, want->kind) << context;
+}
+
+Graph random_instance(int trial, Xoshiro256ss& rng) {
+  const Vertex n = 6 + static_cast<Vertex>(rng.below(13));  // 6..18
+  switch (trial % 4) {
+    case 0:
+      return random_connected_gnm(n, n + n / 2, rng);
+    case 1:
+      return random_connected_gnm(n, 2 * static_cast<std::size_t>(n), rng);
+    case 2:
+      return random_tree(n, rng);
+    default:
+      return random_connected_gnm(n, n - 1 + rng.below(n), rng);
+  }
+}
+
+/// Core differential loop: random toggles, every proposal's shape and unrest
+/// compared against full recomputation on a mirror graph, random commits,
+/// post-commit state compared again.
+void run_unrest_differential(UsageCost model, bool parallel, int instances,
+                             std::uint64_t seed) {
+  Xoshiro256ss rng(seed);
+  const bool include_deletions = model == UsageCost::Max;
+  for (int trial = 0; trial < instances; ++trial) {
+    Graph mirror = random_instance(trial, rng);
+    const Vertex n = mirror.num_vertices();
+    SearchState state(mirror, model, include_deletions, parallel);
+    ASSERT_EQ(state.unrest(), naive_unrest(mirror, model, include_deletions))
+        << "initial unrest, trial " << trial;
+
+    for (int step = 0; step < 25; ++step) {
+      const Vertex u = static_cast<Vertex>(rng.below(n));
+      const Vertex v = static_cast<Vertex>(rng.below(n));
+      if (u == v) continue;
+      const ToggleShape shape = state.propose_toggle(u, v);
+
+      Graph toggled = mirror;
+      if (toggled.has_edge(u, v)) {
+        toggled.remove_edge(u, v);
+      } else {
+        toggled.add_edge(u, v);
+      }
+      ASSERT_EQ(shape.connected, is_connected(toggled))
+          << "trial " << trial << " step " << step;
+      ASSERT_EQ(shape.diameter, diameter(toggled)) << "trial " << trial << " step " << step;
+
+      ASSERT_EQ(state.proposal_unrest(), naive_unrest(toggled, model, include_deletions))
+          << "proposal unrest, trial " << trial << " step " << step << " toggle {" << u << ","
+          << v << "}";
+
+      if (rng.bernoulli(0.5)) {
+        state.commit();
+        mirror = std::move(toggled);
+        ASSERT_EQ(state.graph(), mirror) << "trial " << trial << " step " << step;
+        ASSERT_EQ(state.unrest(), naive_unrest(mirror, model, include_deletions))
+            << "post-commit unrest, trial " << trial << " step " << step;
+      }
+    }
+  }
+}
+
+TEST(SearchStateDifferential, SumUnrestMatchesNaiveOnEveryProposalSerial) {
+  run_unrest_differential(UsageCost::Sum, /*parallel=*/false, 35, 0xA001);
+}
+
+TEST(SearchStateDifferential, SumUnrestMatchesNaiveOnEveryProposalParallel) {
+  run_unrest_differential(UsageCost::Sum, /*parallel=*/true, 35, 0xA002);
+}
+
+TEST(SearchStateDifferential, MaxUnrestMatchesNaiveOnEveryProposalSerial) {
+  run_unrest_differential(UsageCost::Max, /*parallel=*/false, 35, 0xA003);
+}
+
+TEST(SearchStateDifferential, MaxUnrestMatchesNaiveOnEveryProposalParallel) {
+  run_unrest_differential(UsageCost::Max, /*parallel=*/true, 35, 0xA004);
+}
+
+TEST(SearchStateDifferential, DeviationsMatchNaiveWitnessForWitness) {
+  Xoshiro256ss rng(0xB005);
+  BfsWorkspace ws;
+  for (int trial = 0; trial < 60; ++trial) {
+    const Graph g = random_instance(trial, rng);
+    for (const UsageCost model : {UsageCost::Sum, UsageCost::Max}) {
+      SearchState state(g, model, /*include_deletions=*/true);
+      for (Vertex v = 0; v < g.num_vertices(); ++v) {
+        const std::string ctx = "trial " + std::to_string(trial) + " agent " +
+                                std::to_string(v) +
+                                (model == UsageCost::Sum ? " sum" : " max");
+        if (model == UsageCost::Sum) {
+          expect_same_deviation(state.best_deviation(v), naive::best_sum_deviation(g, v, ws),
+                                ctx + " best");
+          expect_same_deviation(state.first_deviation(v), naive::first_sum_deviation(g, v, ws),
+                                ctx + " first");
+        } else {
+          expect_same_deviation(state.best_deviation(v), naive::best_max_deviation(g, v, ws),
+                                ctx + " best");
+          expect_same_deviation(state.best_deviation(v, /*include_deletions=*/true),
+                                naive::best_max_deviation(g, v, ws, true), ctx + " best+del");
+          expect_same_deviation(state.first_deviation(v, /*include_deletions=*/true),
+                                naive::first_max_deviation(g, v, ws, true), ctx + " first+del");
+        }
+      }
+    }
+  }
+}
+
+TEST(SearchStateDifferential, AppliedMoveTrajectoriesMatchNaiveDynamics) {
+  // Round-robin first-improvement dynamics driven twice: once through
+  // SearchState::apply_swap (journal catch-up, lazy matrices), once through
+  // the naive oracle on a mirror graph. Every move must be identical.
+  Xoshiro256ss rng(0xC006);
+  BfsWorkspace ws;
+  for (int trial = 0; trial < 25; ++trial) {
+    Graph mirror = random_instance(trial, rng);
+    const UsageCost model = trial % 2 == 0 ? UsageCost::Sum : UsageCost::Max;
+    const bool deletions = model == UsageCost::Max;
+    SearchState state(mirror, model, deletions);
+    int moves = 0;
+    bool progress = true;
+    while (progress && moves < 60) {
+      progress = false;
+      for (Vertex v = 0; v < mirror.num_vertices() && moves < 60; ++v) {
+        const auto naive_dev = model == UsageCost::Sum
+                                   ? naive::first_sum_deviation(mirror, v, ws)
+                                   : naive::first_max_deviation(mirror, v, ws, deletions);
+        const auto state_dev = state.first_deviation(v, deletions);
+        expect_same_deviation(state_dev, naive_dev,
+                              "trial " + std::to_string(trial) + " move " +
+                                  std::to_string(moves) + " agent " + std::to_string(v));
+        if (!naive_dev) continue;
+        if (naive_dev->kind == Deviation::Kind::NonCriticalDelete) {
+          mirror.remove_edge(naive_dev->swap.v, naive_dev->swap.remove_w);
+          state.apply_deletion(naive_dev->swap.v, naive_dev->swap.remove_w);
+        } else {
+          apply_swap(mirror, naive_dev->swap);
+          state.apply_swap(naive_dev->swap);
+        }
+        ASSERT_EQ(state.graph(), mirror);
+        ++moves;
+        progress = true;
+      }
+    }
+    // Converged (or budget): certification verdicts must agree too.
+    const bool naive_certified = model == UsageCost::Sum
+                                     ? naive::certify_sum_equilibrium(mirror).is_equilibrium
+                                     : naive::certify_max_equilibrium(mirror).is_equilibrium;
+    EXPECT_EQ(state.certify_current(), naive_certified) << "trial " << trial;
+  }
+}
+
+TEST(SearchStateDifferential, LazyAgentsCatchUpAcrossLongJournals) {
+  // Apply more toggles than the replay window while querying only one agent,
+  // forcing both the formula-replay and the full-rebuild catch-up paths.
+  Xoshiro256ss rng(0xD007);
+  for (int trial = 0; trial < 12; ++trial) {
+    Graph mirror = random_connected_gnm(12, 22, rng);
+    SearchState state(mirror, UsageCost::Sum);
+    BfsWorkspace ws;
+    // Seed the lazy matrices for agent 0 only.
+    expect_same_deviation(state.best_deviation(0), naive::best_sum_deviation(mirror, 0, ws),
+                          "pre-toggle");
+    int applied = 0;
+    int guard = 0;
+    while (applied < 8 && guard++ < 200) {
+      const Vertex u = static_cast<Vertex>(rng.below(12));
+      const Vertex v = static_cast<Vertex>(rng.below(12));
+      if (u == v) continue;
+      Graph toggled = mirror;
+      const bool removing = toggled.has_edge(u, v);
+      if (removing) {
+        toggled.remove_edge(u, v);
+        if (!is_connected(toggled)) continue;  // keep the walk connected
+        state.apply_deletion(u, v);
+      } else {
+        toggled.add_edge(u, v);
+        state.apply_toggle(u, v);
+      }
+      mirror = std::move(toggled);
+      ++applied;
+    }
+    for (Vertex v = 0; v < 12; ++v) {
+      expect_same_deviation(state.best_deviation(v), naive::best_sum_deviation(mirror, v, ws),
+                            "trial " + std::to_string(trial) + " agent " + std::to_string(v));
+    }
+  }
+}
+
+TEST(SearchStateDifferential, AnnealTrajectoriesIdenticalAcrossEvaluationModes) {
+  // The tentpole guarantee behind AnnealConfig::evaluation: incremental and
+  // full-recompute proposal evaluation produce the same trajectory — same
+  // counters, same outcome — for identical configs, in both models.
+  Xoshiro256ss rng(0xE008);
+  for (int trial = 0; trial < 6; ++trial) {
+    const Graph start = random_connected_gnm(10, 18, rng);
+    for (const UsageCost model : {UsageCost::Sum, UsageCost::Max}) {
+      AnnealConfig config;
+      config.cost = model;
+      config.steps = 400;
+      config.seed = 0x5EED00 + trial;
+      config.target_diameter = diameter(start);
+      AnnealStats incremental_stats;
+      AnnealStats full_stats;
+      config.evaluation = UnrestEval::Incremental;
+      const auto incremental = anneal_equilibrium(start, config, &incremental_stats);
+      config.evaluation = UnrestEval::FullRecompute;
+      const auto full = anneal_equilibrium(start, config, &full_stats);
+      ASSERT_EQ(incremental.has_value(), full.has_value()) << "trial " << trial;
+      if (incremental) EXPECT_EQ(*incremental, *full) << "trial " << trial;
+      EXPECT_EQ(incremental_stats.proposals, full_stats.proposals);
+      EXPECT_EQ(incremental_stats.filtered, full_stats.filtered);
+      EXPECT_EQ(incremental_stats.evaluated, full_stats.evaluated);
+      EXPECT_EQ(incremental_stats.accepted, full_stats.accepted);
+      EXPECT_EQ(incremental_stats.final_unrest, full_stats.final_unrest);
+    }
+  }
+}
+
+TEST(SearchState, KnownEquilibriaHaveZeroUnrest) {
+  EXPECT_EQ(SearchState(star(9), UsageCost::Sum).unrest(), 0u);
+  EXPECT_EQ(SearchState(complete(6), UsageCost::Sum).unrest(), 0u);
+  EXPECT_EQ(SearchState(star(9), UsageCost::Max, true).unrest(), 0u);
+  EXPECT_GT(SearchState(path(8), UsageCost::Sum).unrest(), 0u);
+  EXPECT_GT(SearchState(cycle(9), UsageCost::Max, true).unrest(), 0u);
+}
+
+TEST(SearchState, RejectsInvalidToggles) {
+  SearchState state(cycle(5), UsageCost::Sum);
+  EXPECT_THROW((void)state.propose_toggle(2, 2), std::invalid_argument);
+  EXPECT_THROW((void)state.propose_toggle(0, 7), std::invalid_argument);
+  EXPECT_THROW((void)state.commit(), std::invalid_argument);  // nothing staged
+  (void)state.propose_toggle(0, 2);
+  EXPECT_THROW((void)state.commit(), std::invalid_argument);  // not evaluated
+}
+
+TEST(SearchState, StatsCountProposalLifecycle) {
+  SearchState state(cycle(6), UsageCost::Sum);
+  (void)state.unrest();
+  (void)state.propose_toggle(0, 2);
+  (void)state.proposal_unrest();
+  state.commit();
+  const SearchStats& st = state.stats();
+  EXPECT_EQ(st.proposals, 1u);
+  EXPECT_EQ(st.evaluations, 1u);
+  EXPECT_EQ(st.commits, 1u);
+  EXPECT_GT(st.agents_scanned, 0u);
+}
+
+}  // namespace
+}  // namespace bncg
