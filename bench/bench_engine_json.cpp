@@ -2,11 +2,21 @@
 // JSON so the perf trajectory is tracked across PRs (BENCH_engine.json at
 // the repo root; regenerate with bench/run_bench.sh).
 //
-// For each (n, model) the program certifies the same random connected
-// G(n, 2n) instance with the delta-evaluation SwapEngine and with the naive
-// BFS-per-candidate oracle, reporting tentative swaps evaluated per second
-// and the speedup ratio. Plain std::chrono harness (no google-benchmark) so
-// the output format is fully under our control.
+// For each (n, m, model) the program certifies the same random connected
+// G(n, m) instance:
+//   * with the delta-evaluation SwapEngine at its auto-selected distance
+//     width (the headline engine numbers),
+//   * with the width forced to u8 and to u16 — the ratio of those two runs
+//     is the width-adaptivity payoff (DESIGN.md §10) on an instance whose
+//     diameter fits the 8-bit cap,
+//   * through the sharded certification driver (core/certify_sharded.hpp),
+//   * and, on the m = 2n rows, with the naive BFS-per-candidate oracle
+//     (the dense m = 4n tier skips the oracle — it needs several minutes
+//     per run and the m = 2n rows already track that trajectory; its JSON
+//     fields are emitted as null).
+// Every pair of certifications is asserted identical (verdict and move
+// count) before a row is written. Plain std::chrono harness (no
+// google-benchmark) so the output format is fully under our control.
 //
 // Usage: bench_engine_json [output.json] [max_n]
 #include <chrono>
@@ -16,9 +26,11 @@
 #include <string>
 #include <vector>
 
+#include "core/certify_sharded.hpp"
 #include "core/equilibrium.hpp"
 #include "core/swap_engine.hpp"
 #include "gen/random.hpp"
+#include "graph/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -28,14 +40,24 @@ using Clock = std::chrono::steady_clock;
 
 struct Row {
   Vertex n = 0;
+  std::size_t m = 0;
   std::string model;
+  Vertex diameter = 0;
   std::uint64_t moves = 0;
-  double engine_seconds = 0.0;
-  double naive_seconds = 0.0;
+  std::string width;  // auto-selected preference
+  std::uint64_t width_fallbacks = 0;
+  double engine_seconds = 0.0;  // auto width
+  double u8_seconds = 0.0;
+  double u16_seconds = 0.0;
+  double sharded_seconds = 0.0;
+  std::size_t shards = 0;
+  double naive_seconds = -1.0;  // < 0 ⇒ not measured (dense tier)
 
   [[nodiscard]] double engine_swaps_per_sec() const {
     return static_cast<double>(moves) / engine_seconds;
   }
+  [[nodiscard]] double width_speedup() const { return u16_seconds / u8_seconds; }
+  [[nodiscard]] bool has_naive() const { return naive_seconds > 0.0; }
   [[nodiscard]] double naive_swaps_per_sec() const {
     return static_cast<double>(moves) / naive_seconds;
   }
@@ -49,38 +71,72 @@ double time_seconds(Fn&& fn) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-Row measure(Vertex n, UsageCost model) {
+/// Repeats fast certifications until ≥ 0.2 s of wall time for a stable
+/// rate; reports the repetition count so per-run counters (the engine's
+/// width_fallbacks accumulate across certify() calls) can be de-scaled.
+template <typename Fn>
+double time_repeated(Fn&& fn, std::uint64_t* reps_out = nullptr) {
+  std::uint64_t reps = 0;
+  double total = 0.0;
+  while (total < 0.2 && reps < 1000) {
+    total += time_seconds(fn);
+    ++reps;
+  }
+  if (reps_out != nullptr) *reps_out = reps;
+  return total / static_cast<double>(reps);
+}
+
+Row measure(Vertex n, std::size_t m, UsageCost model, bool measure_naive) {
   Xoshiro256ss rng(0xBE7C ^ n);
-  const Graph g = random_connected_gnm(n, 2 * static_cast<std::size_t>(n), rng);
+  const Graph g = random_connected_gnm(n, m, rng);
   const bool deletions = model == UsageCost::Max;
 
   Row row;
   row.n = n;
+  row.m = m;
   row.model = model == UsageCost::Sum ? "sum" : "max";
+  row.diameter = diameter(g);
 
-  const SwapEngine engine(g);
-  EquilibriumCertificate engine_cert;
-  // Engine runs are fast; repeat until ≥0.2 s of wall time for a stable rate.
+  const auto check = [&](const EquilibriumCertificate& a, const EquilibriumCertificate& b,
+                         const char* what) {
+    if (a.is_equilibrium != b.is_equilibrium || a.moves_checked != b.moves_checked) {
+      std::cerr << "FATAL: " << what << " mismatch at n=" << n << " m=" << m
+                << " model=" << row.model << "\n";
+      std::exit(1);
+    }
+  };
+
+  const SwapEngine engine_auto(g);
+  EquilibriumCertificate cert;
   std::uint64_t reps = 0;
-  double engine_total = 0.0;
-  while (engine_total < 0.2 && reps < 1000) {
-    engine_total += time_seconds([&] { engine_cert = engine.certify(model, deletions); });
-    ++reps;
-  }
-  row.engine_seconds = engine_total / static_cast<double>(reps);
-  row.moves = engine_cert.moves_checked;
+  row.engine_seconds =
+      time_repeated([&] { cert = engine_auto.certify(model, deletions); }, &reps);
+  row.moves = cert.moves_checked;
+  row.width = dist_width_name(engine_auto.preferred_width());
+  row.width_fallbacks = engine_auto.width_fallbacks() / reps;  // per-certification count
 
-  EquilibriumCertificate naive_cert;
-  row.naive_seconds = time_seconds([&] {
-    naive_cert = model == UsageCost::Sum ? naive::certify_sum_equilibrium(g)
-                                         : naive::certify_max_equilibrium(g);
-  });
+  const SwapEngine engine_u8(g, WidthPolicy::ForceU8);
+  EquilibriumCertificate cert_u8;
+  row.u8_seconds = time_repeated([&] { cert_u8 = engine_u8.certify(model, deletions); });
+  check(cert, cert_u8, "engine auto/u8");
 
-  // Differential sanity on the benchmark instance itself.
-  if (engine_cert.is_equilibrium != naive_cert.is_equilibrium ||
-      engine_cert.moves_checked != naive_cert.moves_checked) {
-    std::cerr << "FATAL: engine/naive mismatch at n=" << n << " model=" << row.model << "\n";
-    std::exit(1);
+  const SwapEngine engine_u16(g, WidthPolicy::ForceU16);
+  EquilibriumCertificate cert_u16;
+  row.u16_seconds = time_repeated([&] { cert_u16 = engine_u16.certify(model, deletions); });
+  check(cert, cert_u16, "engine auto/u16");
+
+  ShardedCertificate sharded;
+  row.sharded_seconds = time_repeated([&] { sharded = certify_sharded(g, model, deletions); });
+  row.shards = sharded.shards_used;
+  check(cert, sharded.certificate, "engine/sharded");
+
+  if (measure_naive) {
+    EquilibriumCertificate naive_cert;
+    row.naive_seconds = time_seconds([&] {
+      naive_cert = model == UsageCost::Sum ? naive::certify_sum_equilibrium(g)
+                                           : naive::certify_max_equilibrium(g);
+    });
+    check(cert, naive_cert, "engine/naive");
   }
   return row;
 }
@@ -99,14 +155,30 @@ int main(int argc, char** argv) {
     }
   }
 
+  struct Tier {
+    Vertex n;
+    std::size_t m_factor;
+    bool naive;
+  };
+  // m = 2n rows keep the PR-1 naive trajectory; the m = 4n row is the
+  // combine-bound tier where the width adaptivity pays the most.
+  const std::vector<Tier> tiers = {{256, 2, true}, {1024, 2, true}, {1024, 4, false}};
+
   std::vector<Row> rows;
-  for (const Vertex n : {Vertex{256}, Vertex{1024}}) {
-    if (n > max_n) continue;
+  for (const Tier& tier : tiers) {
+    if (tier.n > max_n) continue;
     for (const UsageCost model : {UsageCost::Sum, UsageCost::Max}) {
-      const Row row = measure(n, model);
-      std::cout << "n=" << row.n << " model=" << row.model << " moves=" << row.moves
-                << " engine=" << row.engine_seconds << "s naive=" << row.naive_seconds
-                << "s speedup=" << row.speedup() << "x\n";
+      const Row row = measure(tier.n, tier.m_factor * tier.n, model, tier.naive);
+      std::cout << "n=" << row.n << " m=" << row.m << " model=" << row.model
+                << " diameter=" << row.diameter << " moves=" << row.moves
+                << " width=" << row.width << " engine=" << row.engine_seconds
+                << "s u8=" << row.u8_seconds << "s u16=" << row.u16_seconds
+                << "s width_speedup=" << row.width_speedup()
+                << "x sharded=" << row.sharded_seconds << "s";
+      if (row.has_naive()) {
+        std::cout << " naive=" << row.naive_seconds << "s speedup=" << row.speedup() << "x";
+      }
+      std::cout << "\n";
       rows.push_back(row);
     }
   }
@@ -115,13 +187,23 @@ int main(int argc, char** argv) {
   out << "[\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
-    out << "  {\"n\": " << r.n << ", \"model\": \"" << r.model << "\""
-        << ", \"moves_checked\": " << r.moves
+    out << "  {\"n\": " << r.n << ", \"m\": " << r.m << ", \"model\": \"" << r.model << "\""
+        << ", \"diameter\": " << r.diameter << ", \"moves_checked\": " << r.moves
+        << ", \"width\": \"" << r.width << "\""
+        << ", \"width_fallbacks\": " << r.width_fallbacks
         << ", \"engine_seconds\": " << r.engine_seconds
-        << ", \"naive_seconds\": " << r.naive_seconds
         << ", \"engine_swaps_per_sec\": " << r.engine_swaps_per_sec()
-        << ", \"naive_swaps_per_sec\": " << r.naive_swaps_per_sec()
-        << ", \"speedup\": " << r.speedup() << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+        << ", \"u8_seconds\": " << r.u8_seconds << ", \"u16_seconds\": " << r.u16_seconds
+        << ", \"width_speedup\": " << r.width_speedup()
+        << ", \"sharded_seconds\": " << r.sharded_seconds << ", \"shards\": " << r.shards;
+    if (r.has_naive()) {
+      out << ", \"naive_seconds\": " << r.naive_seconds
+          << ", \"naive_swaps_per_sec\": " << r.naive_swaps_per_sec()
+          << ", \"speedup\": " << r.speedup();
+    } else {
+      out << ", \"naive_seconds\": null, \"naive_swaps_per_sec\": null, \"speedup\": null";
+    }
+    out << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "]\n";
   std::cout << "wrote " << out_path << "\n";

@@ -3,14 +3,18 @@
 // bench/run_bench.sh).
 //
 // For each (n, model) the program replays the SAME annealing schedule — same
-// start graph, same seed, same proposal sequence — twice: once with the
-// legacy full-recompute evaluation (graph copy + connectivity/diameter scan
-// + full unrest recompute per proposal) and once through the incremental
-// SearchState (cached per-agent masked matrices, dirty-row refresh, R2
-// pruning; see core/search_state.hpp and DESIGN.md §9). Identical
-// trajectories are asserted — same counters, same outcome — so the reported
-// ratio is a pure evaluation-path speedup, and proposals/second is the
-// headline number.
+// start graph, same seed, same proposal sequence — three times: with the
+// incremental SearchState at its auto-selected distance width (u8 on these
+// small-diameter instances; see core/search_state.hpp and DESIGN.md §9–10),
+// with the width forced to u16, and with the legacy full-recompute
+// evaluation (graph copy + connectivity/diameter scan + full unrest
+// recompute per proposal). Identical trajectories are asserted across all
+// three — same counters, same outcome — so the reported ratios are pure
+// evaluation-path speedups: `speedup` is incremental-vs-full,
+// `width_speedup` is the u16/u8 storage-width ratio, and the JSON records
+// the selected width and how many u8 → u16 cap promotions the run crossed
+// (0 on these instances; promotions only fire when a toggle pushes some
+// distance past the 8-bit cap).
 //
 // Usage: bench_search_json [output.json] [max_n]
 #include <chrono>
@@ -36,7 +40,10 @@ struct Row {
   std::uint64_t proposals = 0;
   std::uint64_t evaluated = 0;
   std::uint64_t accepted = 0;
-  double incremental_seconds = 0.0;
+  std::string width;  // auto-selected width of the incremental leg
+  std::uint64_t width_promotions = 0;
+  double incremental_seconds = 0.0;  // auto width (headline)
+  double u16_seconds = 0.0;          // forced-u16 incremental leg
   double full_seconds = 0.0;
 
   [[nodiscard]] double incremental_proposals_per_sec() const {
@@ -46,6 +53,7 @@ struct Row {
     return static_cast<double>(proposals) / full_seconds;
   }
   [[nodiscard]] double speedup() const { return full_seconds / incremental_seconds; }
+  [[nodiscard]] double width_speedup() const { return u16_seconds / incremental_seconds; }
 };
 
 template <typename Fn>
@@ -74,9 +82,18 @@ Row measure(Vertex n, UsageCost model, std::uint64_t steps) {
 
   AnnealStats incremental_stats;
   config.evaluation = UnrestEval::Incremental;
+  config.dist_width = WidthPolicy::Auto;
   std::optional<Graph> incremental_result;
-  row.incremental_seconds =
-      time_seconds([&] { incremental_result = anneal_equilibrium(start, config, &incremental_stats); });
+  row.incremental_seconds = time_seconds(
+      [&] { incremental_result = anneal_equilibrium(start, config, &incremental_stats); });
+  row.width = dist_width_name(incremental_stats.dist_width);
+  row.width_promotions = incremental_stats.width_promotions;
+
+  AnnealStats u16_stats;
+  config.dist_width = WidthPolicy::ForceU16;
+  std::optional<Graph> u16_result;
+  row.u16_seconds =
+      time_seconds([&] { u16_result = anneal_equilibrium(start, config, &u16_stats); });
 
   AnnealStats full_stats;
   config.evaluation = UnrestEval::FullRecompute;
@@ -84,15 +101,17 @@ Row measure(Vertex n, UsageCost model, std::uint64_t steps) {
   row.full_seconds =
       time_seconds([&] { full_result = anneal_equilibrium(start, config, &full_stats); });
 
-  // Differential sanity on the benchmark run itself: both paths must have
-  // walked the identical trajectory.
-  if (incremental_stats.proposals != full_stats.proposals ||
-      incremental_stats.evaluated != full_stats.evaluated ||
-      incremental_stats.accepted != full_stats.accepted ||
-      incremental_stats.final_unrest != full_stats.final_unrest ||
-      incremental_result.has_value() != full_result.has_value() ||
-      (incremental_result && *incremental_result != *full_result)) {
-    std::cerr << "FATAL: incremental/full trajectory mismatch at n=" << n
+  // Differential sanity on the benchmark run itself: all three paths must
+  // have walked the identical trajectory.
+  const auto same = [&](const AnnealStats& a, const std::optional<Graph>& ra,
+                        const AnnealStats& b, const std::optional<Graph>& rb) {
+    return a.proposals == b.proposals && a.evaluated == b.evaluated &&
+           a.accepted == b.accepted && a.final_unrest == b.final_unrest &&
+           ra.has_value() == rb.has_value() && (!ra || *ra == *rb);
+  };
+  if (!same(incremental_stats, incremental_result, u16_stats, u16_result) ||
+      !same(incremental_stats, incremental_result, full_stats, full_result)) {
+    std::cerr << "FATAL: evaluation-path trajectory mismatch at n=" << n
               << " model=" << row.model << "\n";
     std::exit(1);
   }
@@ -127,8 +146,9 @@ int main(int argc, char** argv) {
       const Row row = measure(n, model, steps);
       std::cout << "n=" << row.n << " model=" << row.model << " proposals=" << row.proposals
                 << " evaluated=" << row.evaluated << " accepted=" << row.accepted
-                << " incremental=" << row.incremental_seconds << "s full=" << row.full_seconds
-                << "s speedup=" << row.speedup() << "x\n";
+                << " width=" << row.width << " incremental=" << row.incremental_seconds
+                << "s u16=" << row.u16_seconds << "s width_speedup=" << row.width_speedup()
+                << "x full=" << row.full_seconds << "s speedup=" << row.speedup() << "x\n";
       rows.push_back(row);
     }
   }
@@ -139,8 +159,11 @@ int main(int argc, char** argv) {
     const Row& r = rows[i];
     out << "  {\"n\": " << r.n << ", \"model\": \"" << r.model << "\""
         << ", \"proposals\": " << r.proposals << ", \"evaluated\": " << r.evaluated
-        << ", \"accepted\": " << r.accepted
+        << ", \"accepted\": " << r.accepted << ", \"width\": \"" << r.width << "\""
+        << ", \"width_promotions\": " << r.width_promotions
         << ", \"incremental_seconds\": " << r.incremental_seconds
+        << ", \"u16_seconds\": " << r.u16_seconds
+        << ", \"width_speedup\": " << r.width_speedup()
         << ", \"full_seconds\": " << r.full_seconds
         << ", \"incremental_proposals_per_sec\": " << r.incremental_proposals_per_sec()
         << ", \"full_proposals_per_sec\": " << r.full_proposals_per_sec()

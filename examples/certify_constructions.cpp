@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "core/certify_sharded.hpp"
 #include "core/equilibrium.hpp"
 #include "gen/cayley.hpp"
 #include "gen/paper.hpp"
@@ -54,6 +55,21 @@ int main(int argc, char** argv) {
               << "insertion-stable:   " << (ins_stable ? "yes" : "NO") << "\n"
               << "max equilibrium:    " << (max_eq ? "CERTIFIED" : "REFUTED") << " ("
               << timer.millis() << " ms total)\n";
+
+    // The same verdict through the large-n sharded driver (the path used
+    // past the engine's auto cap), with its width/shard telemetry.
+    Timer sharded_timer;
+    const ShardedCertificate sharded =
+        certify_sharded(g, UsageCost::Max, /*include_deletions=*/true);
+    std::cout << "sharded certify:    "
+              << (sharded.certificate.is_equilibrium ? "CERTIFIED" : "REFUTED") << " ("
+              << sharded.shards_used << " shards, " << dist_width_name(sharded.width)
+              << " distances, " << sharded.width_fallbacks << " width fallbacks, "
+              << sharded_timer.millis() << " ms)\n";
+    if (sharded.certificate.is_equilibrium != max_eq) {
+      std::cerr << "FATAL: sharded certifier disagrees with is_max_equilibrium\n";
+      return 1;
+    }
 
     // §5: the same graph as a Cayley graph of an Abelian group.
     const Graph cayley_form = even_sum_subgroup_cayley(k);

@@ -24,6 +24,7 @@
 #include "graph/graph.hpp"
 #include "graph/bfs.hpp"
 #include "graph/csr.hpp"
+#include "graph/dist_width.hpp"
 #include "graph/bfs_batch.hpp"
 #include "graph/apsp.hpp"
 #include "graph/metrics.hpp"
@@ -45,6 +46,7 @@
 #include "core/usage_cost.hpp"
 #include "core/equilibrium.hpp"
 #include "core/swap_engine.hpp"
+#include "core/certify_sharded.hpp"
 #include "core/search_state.hpp"
 #include "core/dynamics.hpp"
 #include "core/tree_game.hpp"

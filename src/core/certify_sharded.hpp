@@ -1,0 +1,81 @@
+// Sharded certification — the large-n driver over the swap engine.
+//
+// SwapEngine::certify parallelizes one flat `omp for` over agents, which is
+// the right shape while every thread's n×n scratch fits in cache-adjacent
+// memory and the per-agent cost is uniform. Past n ≈ 4096 neither holds:
+// agent costs spread out (degree skew makes some masked APSPs several times
+// pricier than others), a single straggler holds the whole loop's implicit
+// barrier, and a verdict-only caller still pays for the full best-witness
+// scan of every agent. certify_sharded repackages the same per-agent scans
+// as OpenMP *task* shards:
+//
+//  * the agent range splits into `shards` contiguous blocks dispatched as
+//    untied-scheduler-friendly tasks, so threads steal whole blocks and a
+//    straggling shard overlaps the rest instead of gating a barrier;
+//  * each shard folds its own best witness locally; the final merge walks
+//    shards in index order — which IS agent order — picking the strictly
+//    better cost_after, so the certificate (witness, tie-breaks,
+//    moves_checked) is bit-identical to SwapEngine::certify and the serial
+//    naive fold, under any thread count and any task schedule;
+//  * `stop_on_violation` flips the scan to first-deviation with a shared
+//    abort flag checked between agents: the moment any shard finds a
+//    violation the remaining shards drain. The *verdict* stays
+//    deterministic (a violation exists or it does not); the reported
+//    witness and move count then depend on timing and are documented as
+//    such — that mode is for "is this an equilibrium at all" screens where
+//    the answer is usually "no" within a few shards.
+//
+// Width adaptivity rides along for free: the engine underneath starts its
+// scans at u8 whenever the instance's diameter bound fits
+// (graph/dist_width.hpp), halving per-shard scratch and combine bandwidth
+// at exactly the scale where this driver matters.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/equilibrium.hpp"
+#include "core/usage_cost.hpp"
+#include "graph/dist_width.hpp"
+#include "graph/graph.hpp"
+
+namespace bncg {
+
+/// Tuning knobs of a sharded certification run. Defaults reproduce
+/// SwapEngine::certify results exactly with auto-sized shards.
+struct ShardedCertifyConfig {
+  /// Number of contiguous agent shards; 0 = auto (4 blocks per available
+  /// thread, capped at n — enough slack for stealing without shrinking
+  /// blocks below the task-dispatch overhead).
+  std::size_t shards = 0;
+  /// Verdict-only fast path: scan first-deviation per agent and abort every
+  /// shard once any violation is found. Witness/moves become
+  /// schedule-dependent; is_equilibrium stays deterministic.
+  bool stop_on_violation = false;
+  /// Distance storage width the underlying engine prefers.
+  WidthPolicy width = WidthPolicy::Auto;
+};
+
+/// Outcome of certify_sharded: the standard certificate plus the sharding
+/// and width telemetry the benches record.
+struct ShardedCertificate {
+  EquilibriumCertificate certificate;
+  std::size_t shards_used = 0;
+  Vertex agents_scanned = 0;          ///< < n only when stop_on_violation aborted
+  DistWidth width = DistWidth::U16;   ///< width the engine's scans preferred
+  std::uint64_t width_fallbacks = 0;  ///< agents redone at u16 after u8 saturation
+};
+
+/// Certifies `g` under `model` by sharding the per-agent scan (see header
+/// comment). Without stop_on_violation the certificate — witness,
+/// tie-breaks, moves_checked — is bit-identical to SwapEngine::certify and
+/// the bncg::naive certifiers (differential-tested in
+/// tests/test_certify_sharded.cpp). `include_deletions` selects the max
+/// model's deletion clause, exactly as in SwapEngine::certify. Requires
+/// n < 65535; intended for the n ≥ 4096 tier above
+/// kSwapEngineAutoMaxVertices, correct at any size.
+[[nodiscard]] ShardedCertificate certify_sharded(const Graph& g, UsageCost model,
+                                                 bool include_deletions = false,
+                                                 const ShardedCertifyConfig& config = {});
+
+}  // namespace bncg

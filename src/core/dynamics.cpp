@@ -33,7 +33,8 @@ class MoveProvider {
     if (use_state_) {
       state_.emplace(g, config.cost,
                      /*include_deletions=*/config.cost == UsageCost::Max &&
-                         config.allow_neutral_deletions);
+                         config.allow_neutral_deletions,
+                     /*parallel=*/true, config.dist_width);
     } else if (use_engine_) {
       engine_.emplace(g);
     }

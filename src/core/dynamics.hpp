@@ -23,6 +23,7 @@
 
 #include "core/equilibrium.hpp"
 #include "core/usage_cost.hpp"
+#include "graph/dist_width.hpp"
 #include "graph/graph.hpp"
 #include "util/rng.hpp"
 
@@ -63,6 +64,9 @@ struct DynamicsConfig {
   /// best-response cycles are a genuine open possibility — this is the
   /// instrument for probing it. Memory: O(moves · n²/6) bytes.
   bool detect_revisits = false;
+  /// Distance storage width of the SearchState tier (graph/dist_width.hpp).
+  /// Purely a speed/memory knob; moves are width-independent.
+  WidthPolicy dist_width = WidthPolicy::Auto;
 };
 
 /// One point of the recorded trajectory.

@@ -104,7 +104,8 @@ std::optional<Graph> anneal_equilibrium(Graph start, const AnnealConfig& config,
   // tests/test_search_state.cpp and the search bench).
   if (incremental) {
     SearchState state(std::move(start), config.cost,
-                      /*include_deletions=*/config.cost == UsageCost::Max);
+                      /*include_deletions=*/config.cost == UsageCost::Max,
+                      /*parallel=*/true, config.dist_width);
     std::uint64_t current_unrest = state.unrest();
     double temperature = config.initial_temperature;
     for (std::uint64_t step = 0; step < config.steps && current_unrest > 0; ++step) {
@@ -129,6 +130,8 @@ std::optional<Graph> anneal_equilibrium(Graph start, const AnnealConfig& config,
       }
     }
     st.final_unrest = current_unrest;
+    st.dist_width = state.width();
+    st.width_promotions = state.stats().promotions;
     if (current_unrest == 0) return state.graph();
     return std::nullopt;
   }

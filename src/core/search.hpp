@@ -24,6 +24,7 @@
 #include <optional>
 
 #include "core/usage_cost.hpp"
+#include "graph/dist_width.hpp"
 #include "graph/graph.hpp"
 #include "util/rng.hpp"
 
@@ -59,6 +60,10 @@ struct AnnealConfig {
   std::uint64_t seed = 0x5ea2c4;
   UsageCost cost = UsageCost::Sum;            ///< which unrest is annealed
   UnrestEval evaluation = UnrestEval::Auto;   ///< proposal evaluation path
+  /// Distance storage width of the incremental state (graph/dist_width.hpp).
+  /// Purely a speed/memory knob: trajectories are identical at any width —
+  /// the state promotes u8 → u16 exactly rather than approximate.
+  WidthPolicy dist_width = WidthPolicy::Auto;
 };
 
 /// Counters of one annealing run (filled when a stats sink is passed).
@@ -68,6 +73,10 @@ struct AnnealStats {
   std::uint64_t evaluated = 0;   ///< proposals whose unrest was computed
   std::uint64_t accepted = 0;    ///< proposals taken by the Metropolis rule
   std::uint64_t final_unrest = 0;
+  /// Width the incremental state finished at (U16 for the full-recompute
+  /// path) and how many u8 → u16 cap promotions the run crossed.
+  DistWidth dist_width = DistWidth::U16;
+  std::uint64_t width_promotions = 0;
 };
 
 /// Anneals from `start` toward a zero-unrest graph of the target diameter in

@@ -1,8 +1,10 @@
 #include "core/search_state.hpp"
 
 #include "core/swap_engine.hpp"
+#include "graph/bfs.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
 #include <numeric>
@@ -18,46 +20,81 @@ namespace {
 /// Post-swap sum cost on a capped-infinity matrix: (n−1) + Σ_y min(m_y, c_y)
 /// with any capped term meaning some vertex became unreachable. Mirrors the
 /// engine's combine_sum bit for bit on finite values.
-std::uint64_t combine_sum_capped(const std::uint16_t* m, const std::uint16_t* c, Vertex n) {
+template <typename Dist>
+std::uint64_t combine_sum_capped(const Dist* m, const Dist* c, Vertex n, Dist inf) {
   std::uint32_t sum = 0;
-  std::uint16_t worst = 0;
+  Dist worst = 0;
   for (Vertex y = 0; y < n; ++y) {
-    const std::uint16_t t = std::min(m[y], c[y]);
+    const Dist t = std::min(m[y], c[y]);
     sum += t;
     worst = std::max(worst, t);
   }
-  if (worst >= kSearchInf16) return kInfCost;
+  if (worst >= inf) return kInfCost;
   return sum + (n - 1);
 }
 
 /// Post-swap max cost: 1 + max_y min(m_y, c_y).
-std::uint64_t combine_max_capped(const std::uint16_t* m, const std::uint16_t* c, Vertex n) {
-  std::uint16_t worst = 0;
+template <typename Dist>
+std::uint64_t combine_max_capped(const Dist* m, const Dist* c, Vertex n, Dist inf) {
+  Dist worst = 0;
   for (Vertex y = 0; y < n; ++y) worst = std::max(worst, std::min(m[y], c[y]));
-  return worst >= kSearchInf16 ? kInfCost : std::uint64_t{1} + worst;
+  return worst >= inf ? kInfCost : std::uint64_t{1} + worst;
 }
 
 /// Post-deletion max cost: 1 + max_y m_y.
-std::uint64_t deletion_ecc_capped(const std::uint16_t* m, Vertex n) {
-  std::uint16_t worst = 0;
+template <typename Dist>
+std::uint64_t deletion_ecc_capped(const Dist* m, Vertex n, Dist inf) {
+  Dist worst = 0;
   for (Vertex y = 0; y < n; ++y) worst = std::max(worst, m[y]);
-  return worst >= kSearchInf16 ? kInfCost : std::uint64_t{1} + worst;
+  return worst >= inf ? kInfCost : std::uint64_t{1} + worst;
+}
+
+/// Exact saturation pre-check for adding edge {u, v} on a capped-infinity
+/// matrix (`row_u`/`row_v` are the pre-update endpoint rows). Distances can
+/// only *shrink* under an addition, so a new finite value above the cap can
+/// appear only when the edge **bridges** two components (some pair flips
+/// from ∞ to finite) — i.e. when d(u, v) = ∞ — and the largest new finite
+/// distance is then exactly eccf(u) + 1 + eccf(v) (finite eccentricities,
+/// realized by the farthest pair across the bridge: that pair's only route
+/// runs through the new edge). Checking that sum against kMaxFinite is
+/// therefore exact, costs one vectorizable max-scan of the two stashed
+/// rows, and keeps the row kernel itself pure add/min. At u16 the test can
+/// never fire: the two components together hold ≤ n ≤ kMaxFinite + 1
+/// vertices, so eccf(u) + 1 + eccf(v) ≤ n − 1 ≤ kMaxFinite.
+template <typename Dist>
+[[nodiscard]] bool addition_saturates(const Dist* row_u, const Dist* row_v, Vertex v, Vertex n,
+                                      Dist inf) {
+  if (row_u[v] < inf) return false;  // same component: distances only shrink
+  Dist ecc_u = 0;
+  Dist ecc_v = 0;
+  for (Vertex y = 0; y < n; ++y) {
+    const Dist du = row_u[y];
+    const Dist dv = row_v[y];
+    ecc_u = std::max(ecc_u, du >= inf ? Dist{0} : du);
+    ecc_v = std::max(ecc_v, dv >= inf ? Dist{0} : dv);
+  }
+  return std::uint32_t{ecc_u} + 1 + ecc_v > kMaxFiniteFor<Dist>;
 }
 
 /// Single-edge-addition identity on a capped-infinity distance matrix:
 /// d'(x,y) = min(d(x,y), d(x,u)+1+d(v,y), d(x,v)+1+d(u,y)). `ru`/`rv` hold
-/// the pre-update rows of u and v; all arithmetic stays < 2¹⁵ (two chained
-/// adds of capped values), so the loop is branch-free u16 add/min and
-/// vectorizes under -O3.
-void addition_row(const std::uint16_t* src_row, std::uint16_t* dst_row, const std::uint16_t* ru,
-                  const std::uint16_t* rv, Vertex u, Vertex v, Vertex n) {
-  const std::uint16_t au = static_cast<std::uint16_t>(src_row[u] + 1);
-  const std::uint16_t av = static_cast<std::uint16_t>(src_row[v] + 1);
+/// the pre-update rows of u and v; all arithmetic stays ≤ 2·kInf + 1 (two
+/// chained adds of capped values), which fits the storage type at either
+/// width — 127 < 2⁸, 2¹⁵ < 2¹⁶ — so the loop is branch-free add/min and
+/// vectorizes under -O3 (twice as many lanes in u8). Callers must have run
+/// addition_saturates first: a "fake" sum through an ∞ component is ≥
+/// kInf + 1 and the final clamp maps it back to ∞, which is only correct
+/// when no genuine finite distance lives above the cap.
+template <typename Dist>
+void addition_row(const Dist* src_row, Dist* dst_row, const Dist* ru, const Dist* rv, Vertex u,
+                  Vertex v, Vertex n, Dist inf) {
+  const Dist au = static_cast<Dist>(src_row[u] + 1);
+  const Dist av = static_cast<Dist>(src_row[v] + 1);
   for (Vertex y = 0; y < n; ++y) {
-    const std::uint16_t t1 = static_cast<std::uint16_t>(au + rv[y]);
-    const std::uint16_t t2 = static_cast<std::uint16_t>(av + ru[y]);
-    const std::uint16_t nd = std::min(src_row[y], std::min(t1, t2));
-    dst_row[y] = std::min(nd, kSearchInf16);
+    const Dist t1 = static_cast<Dist>(au + rv[y]);
+    const Dist t2 = static_cast<Dist>(av + ru[y]);
+    const Dist nd = std::min(src_row[y], std::min(t1, t2));
+    dst_row[y] = std::min(nd, inf);
   }
 }
 
@@ -65,25 +102,30 @@ void addition_row(const std::uint16_t* src_row, std::uint16_t* dst_row, const st
 /// no pair (x, y) gains a shortcut — d(x,u)+1+d(v,y) ≥ d(x,v)+d(v,y) ≥ d(x,y)
 /// by the triangle inequality (and symmetrically) — so row x is unchanged
 /// and a plain copy replaces the formula pass. In small-diameter graphs this
-/// covers most rows.
-bool addition_leaves_row(const std::uint16_t* src_row, Vertex u, Vertex v) {
-  const std::uint16_t du = src_row[u];
-  const std::uint16_t dv = src_row[v];
-  const std::uint16_t diff = du > dv ? du - dv : dv - du;
+/// covers most rows. Sound on capped values because the largest finite
+/// distance is kInf − 2: a capped ∞ differs from every finite value by ≥ 2,
+/// so the test can never conflate "unreachable" with "one hop closer".
+template <typename Dist>
+bool addition_leaves_row(const Dist* src_row, Vertex u, Vertex v) {
+  const Dist du = src_row[u];
+  const Dist dv = src_row[v];
+  const Dist diff = du > dv ? du - dv : dv - du;
   return diff <= 1;
 }
 
 /// Dirty-row test for removing edge {u, v}: a shortest path from x crossing
 /// u→v reaches u shortest-ly (prefixes of shortest paths are shortest), so
 /// the edge lies on some shortest path from x iff |d(x,u) − d(x,v)| = 1.
-/// Rows failing the test are exactly the rows the removal cannot change.
-void collect_dirty_rows(const std::uint16_t* row_u, const std::uint16_t* row_v, Vertex n,
+/// Rows failing the test are exactly the rows the removal cannot change
+/// (same kInf − 2 cap argument as addition_leaves_row).
+template <typename Dist>
+void collect_dirty_rows(const Dist* row_u, const Dist* row_v, Vertex n,
                         std::vector<Vertex>& out) {
   out.clear();
   for (Vertex x = 0; x < n; ++x) {
-    const std::uint16_t du = row_u[x];
-    const std::uint16_t dv = row_v[x];
-    const std::uint16_t diff = du > dv ? du - dv : dv - du;
+    const Dist du = row_u[x];
+    const Dist dv = row_v[x];
+    const Dist diff = du > dv ? du - dv : dv - du;
     if (diff == 1) out.push_back(x);
   }
 }
@@ -92,23 +134,24 @@ void collect_dirty_rows(const std::uint16_t* row_u, const std::uint16_t* row_v, 
 /// null, i.e. the max model). Must run with the row's pre-update content and
 /// pre-update min1[x], so the subtraction exactly cancels what the row
 /// previously added.
-void table_sub_row(std::uint32_t* r1, std::uint16_t min1x, const std::uint16_t* row, Vertex n) {
+template <typename Dist>
+void table_sub_row(std::uint32_t* r1, Dist min1x, const Dist* row, Vertex n) {
   if (r1 == nullptr) return;
   for (Vertex y = 0; y < n; ++y) {
-    r1[y] -= static_cast<std::uint16_t>(min1x > row[y] ? min1x - row[y] : 0);
+    r1[y] -= static_cast<std::uint32_t>(min1x > row[y] ? min1x - row[y] : 0);
   }
 }
 
 /// Refolds coordinate x's neighbor minima from the row's new content and
 /// adds the row's new R1 contribution.
-void table_add_row(std::uint16_t* min1, std::uint16_t* min2, Vertex* argmin, std::uint32_t* r1,
-                   Vertex x, const std::uint16_t* row, const Vertex* nbrs, std::size_t deg,
-                   Vertex n) {
-  std::uint16_t m1 = kSearchInf16;
-  std::uint16_t m2 = kSearchInf16;
+template <typename Dist>
+void table_add_row(Dist* min1, Dist* min2, Vertex* argmin, std::uint32_t* r1, Vertex x,
+                   const Dist* row, const Vertex* nbrs, std::size_t deg, Vertex n, Dist inf) {
+  Dist m1 = inf;
+  Dist m2 = inf;
   Vertex am = kNoVertex;
   for (std::size_t i = 0; i < deg; ++i) {
-    const std::uint16_t val = row[nbrs[i]];
+    const Dist val = row[nbrs[i]];
     if (val < m1) {
       m2 = m1;
       m1 = val;
@@ -122,13 +165,13 @@ void table_add_row(std::uint16_t* min1, std::uint16_t* min2, Vertex* argmin, std
   argmin[x] = am;
   if (r1 == nullptr) return;
   for (Vertex y = 0; y < n; ++y) {
-    r1[y] += static_cast<std::uint16_t>(m1 > row[y] ? m1 - row[y] : 0);
+    r1[y] += static_cast<std::uint32_t>(m1 > row[y] ? m1 - row[y] : 0);
   }
 }
 
 /// Thresholds above this are effectively infinite: the R1 prune comparison
-/// adds R1 (≤ n · kSearchInf16) to the threshold, and skipping the prune for
-/// huge thresholds keeps that addition overflow-free.
+/// adds R1 (≤ n · kInf) to the threshold, and skipping the prune for huge
+/// thresholds keeps that addition overflow-free.
 constexpr std::uint64_t kPruneThresholdCap = std::uint64_t{1} << 40;
 
 }  // namespace
@@ -137,14 +180,17 @@ bool search_state_enabled(const Graph& g) {
   return !force_naive_requested() && g.num_vertices() <= kSearchStateAutoMaxVertices;
 }
 
-SearchState::SearchState(const Graph& g, UsageCost model, bool include_deletions, bool parallel)
+template <typename Dist>
+SearchStateImpl<Dist>::SearchStateImpl(const Graph& g, UsageCost model, bool include_deletions,
+                                       bool parallel)
     : graph_(g),
       csr_(g),
       model_(model),
       include_deletions_(model == UsageCost::Max && include_deletions),
       parallel_(parallel),
       n_(g.num_vertices()) {
-  BNCG_REQUIRE(n_ >= 1 && n_ <= kSearchInf16, "SearchState requires 1 <= n <= 16383");
+  BNCG_REQUIRE(n_ >= 1 && n_ <= kMaxFiniteFor<std::uint16_t> + 1,
+               "SearchState requires 1 <= n <= 16382");
   const std::size_t nn = static_cast<std::size_t>(n_) * n_;
   full_[0].resize(nn);
   full_[1].resize(nn);
@@ -158,56 +204,75 @@ SearchState::SearchState(const Graph& g, UsageCost model, bool include_deletions
 
   std::vector<Vertex> all(n_);
   std::iota(all.begin(), all.end(), Vertex{0});
-  csr_apsp_rows(csr_, all, MaskedEdge{}, full_rows(fcur_), n_, scratch_[0].bfs, kNoVertex,
-                kSearchInf16);
+  refresh_rows(csr_, all, MaskedEdge{}, full_rows(fcur_), scratch_[0].bfs, kNoVertex);
   refresh_shape(fcur_);
 }
 
-Vertex SearchState::diameter() const noexcept { return diameter_[fcur_]; }
+template <typename Dist>
+void SearchStateImpl<Dist>::refresh_rows(const CsrGraph& g, std::span<const Vertex> sources,
+                                         MaskedEdge mask, Dist* matrix, BatchBfsWorkspace& bfs,
+                                         Vertex masked_vertex) {
+  if (!csr_apsp_rows_capped<Dist>(g, sources, mask, matrix, n_, bfs, masked_vertex, kInf,
+                                  kMaxFinite)) {
+    throw WidthSaturated{};
+  }
+}
 
-bool SearchState::connected() const noexcept { return diameter_[fcur_] != kInfDist; }
+template <typename Dist>
+Vertex SearchStateImpl<Dist>::diameter() const noexcept {
+  return diameter_[fcur_];
+}
 
-void SearchState::refresh_shape(std::size_t slab) {
+template <typename Dist>
+bool SearchStateImpl<Dist>::connected() const noexcept {
+  return diameter_[fcur_] != kInfDist;
+}
+
+template <typename Dist>
+void SearchStateImpl<Dist>::refresh_shape(std::size_t slab) {
   const Vertex n = n_;
-  const std::uint16_t* rows = full_[slab].data();
+  const Dist* rows = full_[slab].data();
   std::uint32_t* rowsum = rowsum_[slab].data();
-  std::uint16_t* rowmax = rowmax_[slab].data();
+  Dist* rowmax = rowmax_[slab].data();
   Vertex worst = 0;
   bool disconnected = false;
   for (Vertex a = 0; a < n; ++a) {
-    const std::uint16_t* row = rows + static_cast<std::size_t>(a) * n;
+    const Dist* row = rows + static_cast<std::size_t>(a) * n;
     std::uint32_t sum = 0;
-    std::uint16_t mx = 0;
+    Dist mx = 0;
     for (Vertex y = 0; y < n; ++y) {
       sum += row[y];
       mx = std::max(mx, row[y]);
     }
     rowsum[a] = sum;
     rowmax[a] = mx;
-    if (mx >= kSearchInf16) disconnected = true;
+    if (mx >= kInf) disconnected = true;
     worst = std::max<Vertex>(worst, mx);
   }
   diameter_[slab] = disconnected ? kInfDist : worst;
 }
 
-std::uint64_t SearchState::agent_cost_from_full(std::size_t slab, Vertex a) const {
-  if (rowmax_[slab][a] >= kSearchInf16) return kInfCost;
+template <typename Dist>
+std::uint64_t SearchStateImpl<Dist>::agent_cost_from_full(std::size_t slab, Vertex a) const {
+  if (rowmax_[slab][a] >= kInf) return kInfCost;
   return model_ == UsageCost::Sum ? rowsum_[slab][a] : rowmax_[slab][a];
 }
 
-void SearchState::ensure_slabs() {
+template <typename Dist>
+void SearchStateImpl<Dist>::ensure_slabs() {
   if (!agents_.empty()) return;
   agents_.resize(static_cast<std::size_t>(n_) * n_ * n_);
 }
 
-void SearchState::rebuild_agent(Vertex a, Scratch& s) {
+template <typename Dist>
+void SearchStateImpl<Dist>::rebuild_agent(Vertex a, Scratch& s) {
   s.sources.resize(n_);
   std::iota(s.sources.begin(), s.sources.end(), Vertex{0});
-  csr_apsp_rows(csr_, s.sources, MaskedEdge{}, agent_rows(a), n_, s.bfs,
-                /*masked_vertex=*/a, kSearchInf16);
+  refresh_rows(csr_, s.sources, MaskedEdge{}, agent_rows(a), s.bfs, /*masked_vertex=*/a);
 }
 
-void SearchState::ensure_agent_current(Vertex a, Scratch& s) {
+template <typename Dist>
+void SearchStateImpl<Dist>::ensure_agent_current(Vertex a, Scratch& s) {
   if (version_[a] == head_) return;
   ensure_slabs();
   if (version_[a] == kUnbuilt || head_ - version_[a] > kReplayLimit) {
@@ -216,7 +281,7 @@ void SearchState::ensure_agent_current(Vertex a, Scratch& s) {
     table_version_[a] = kUnbuilt;
     return;
   }
-  std::uint16_t* rows = agent_rows(a);
+  Dist* rows = agent_rows(a);
   const Vertex n = n_;
   // The cached scan tables ride along through the replay when they are in
   // lockstep with the matrix: each changed row's old contribution is
@@ -231,11 +296,10 @@ void SearchState::ensure_agent_current(Vertex a, Scratch& s) {
     const Toggle& t = log_[static_cast<std::size_t>(i - log_base_)];
     if (t.u == a || t.v == a) tables_live = false;
   }
-  std::uint16_t* min1 = tables_live ? table_min1(a) : nullptr;
-  std::uint16_t* min2 = tables_live ? table_min2(a) : nullptr;
+  Dist* min1 = tables_live ? table_min1(a) : nullptr;
+  Dist* min2 = tables_live ? table_min2(a) : nullptr;
   Vertex* argmin = tables_live ? table_argmin(a) : nullptr;
-  std::uint32_t* r1 =
-      tables_live && model_ == UsageCost::Sum ? table_r1(a) : nullptr;
+  std::uint32_t* r1 = tables_live && model_ == UsageCost::Sum ? table_r1(a) : nullptr;
   const auto nbrs = csr_.neighbors(a);
 
   for (std::uint64_t i = version_[a]; i < head_; ++i) {
@@ -250,17 +314,18 @@ void SearchState::ensure_agent_current(Vertex a, Scratch& s) {
                      rows + static_cast<std::size_t>(t.u) * n + n);
       s.row_v.assign(rows + static_cast<std::size_t>(t.v) * n,
                      rows + static_cast<std::size_t>(t.v) * n + n);
-      const std::uint16_t* ru = s.row_u.data();
-      const std::uint16_t* rv = s.row_v.data();
+      const Dist* ru = s.row_u.data();
+      const Dist* rv = s.row_v.data();
+      if (addition_saturates(ru, rv, t.v, n, kInf)) throw WidthSaturated{};
       for (Vertex x = 0; x < n; ++x) {
-        const std::uint16_t du = ru[x];
-        const std::uint16_t dv = rv[x];
+        const Dist du = ru[x];
+        const Dist dv = rv[x];
         if ((du > dv ? du - dv : dv - du) <= 1) continue;
-        std::uint16_t* row = rows + static_cast<std::size_t>(x) * n;
+        Dist* row = rows + static_cast<std::size_t>(x) * n;
         if (tables_live) table_sub_row(r1, min1[x], row, n);
-        addition_row(row, row, ru, rv, t.u, t.v, n);
+        addition_row(row, row, ru, rv, t.u, t.v, n, kInf);
         if (tables_live) {
-          table_add_row(min1, min2, argmin, r1, x, row, nbrs.data(), nbrs.size(), n);
+          table_add_row(min1, min2, argmin, r1, x, row, nbrs.data(), nbrs.size(), n, kInf);
         }
       }
     } else {
@@ -273,12 +338,12 @@ void SearchState::ensure_agent_current(Vertex a, Scratch& s) {
           table_sub_row(r1, min1[x], rows + static_cast<std::size_t>(x) * n, n);
         }
       }
-      csr_apsp_rows(*t.before, s.sources, MaskedEdge{t.u, t.v}, rows, n, s.bfs,
-                    /*masked_vertex=*/a, kSearchInf16);
+      refresh_rows(*t.before, s.sources, MaskedEdge{t.u, t.v}, rows, s.bfs,
+                   /*masked_vertex=*/a);
       if (tables_live) {
         for (const Vertex x : s.sources) {
           table_add_row(min1, min2, argmin, r1, x, rows + static_cast<std::size_t>(x) * n,
-                        nbrs.data(), nbrs.size(), n);
+                        nbrs.data(), nbrs.size(), n, kInf);
         }
       }
     }
@@ -287,7 +352,8 @@ void SearchState::ensure_agent_current(Vertex a, Scratch& s) {
   if (maintain) table_version_[a] = tables_live ? head_ : kUnbuilt;
 }
 
-void SearchState::ensure_table_slabs() {
+template <typename Dist>
+void SearchStateImpl<Dist>::ensure_table_slabs() {
   if (!tmin1_[0].empty()) return;
   const std::size_t total = static_cast<std::size_t>(n_) * n_;
   for (int set = 0; set < 2; ++set) {
@@ -298,18 +364,20 @@ void SearchState::ensure_table_slabs() {
   }
 }
 
-void SearchState::store_shadow_tables(Vertex a, const Scratch& s) {
+template <typename Dist>
+void SearchStateImpl<Dist>::store_shadow_tables(Vertex a, const Scratch& s) {
   const std::size_t shadow = 1 - tcur_;
   const std::size_t off = static_cast<std::size_t>(a) * n_;
-  std::memcpy(tmin1_[shadow].data() + off, s.min1.data(), n_ * sizeof(std::uint16_t));
-  std::memcpy(tmin2_[shadow].data() + off, s.min2.data(), n_ * sizeof(std::uint16_t));
+  std::memcpy(tmin1_[shadow].data() + off, s.min1.data(), n_ * sizeof(Dist));
+  std::memcpy(tmin2_[shadow].data() + off, s.min2.data(), n_ * sizeof(Dist));
   std::memcpy(targmin_[shadow].data() + off, s.argmin.data(), n_ * sizeof(Vertex));
   if (model_ == UsageCost::Sum) {
     std::memcpy(tr1_[shadow].data() + off, s.r1.data(), n_ * sizeof(std::uint32_t));
   }
 }
 
-void SearchState::ensure_tables(Vertex a, Scratch& s) {
+template <typename Dist>
+void SearchStateImpl<Dist>::ensure_tables(Vertex a, Scratch& s) {
   if (table_version_[a] == head_) return;
   ensure_table_slabs();
   // Full rebuild from the (current) matrix via the generic pass, then keep
@@ -318,8 +386,8 @@ void SearchState::ensure_tables(Vertex a, Scratch& s) {
   s.nbrs.assign(nbrs.begin(), nbrs.end());
   prepare_scan(agent_rows(a), a, s, model_ == UsageCost::Sum);
   const Vertex n = n_;
-  std::memcpy(table_min1(a), s.min1.data(), n * sizeof(std::uint16_t));
-  std::memcpy(table_min2(a), s.min2.data(), n * sizeof(std::uint16_t));
+  std::memcpy(table_min1(a), s.min1.data(), n * sizeof(Dist));
+  std::memcpy(table_min2(a), s.min2.data(), n * sizeof(Dist));
   std::memcpy(table_argmin(a), s.argmin.data(), n * sizeof(Vertex));
   if (model_ == UsageCost::Sum) {
     std::memcpy(table_r1(a), s.r1.data(), n * sizeof(std::uint32_t));
@@ -327,7 +395,8 @@ void SearchState::ensure_tables(Vertex a, Scratch& s) {
   table_version_[a] = head_;
 }
 
-void SearchState::load_tables(Vertex a, Scratch& s) {
+template <typename Dist>
+void SearchStateImpl<Dist>::load_tables(Vertex a, Scratch& s) {
   const Vertex n = n_;
   s.min1.assign(table_min1(a), table_min1(a) + n);
   s.min2.assign(table_min2(a), table_min2(a) + n);
@@ -337,7 +406,8 @@ void SearchState::load_tables(Vertex a, Scratch& s) {
   }
 }
 
-void SearchState::merge_stats(Scratch& s) {
+template <typename Dist>
+void SearchStateImpl<Dist>::merge_stats(Scratch& s) {
   stats_.rows_refreshed += s.stats.rows_refreshed;
   stats_.rows_reused += s.stats.rows_reused;
   stats_.agents_scanned += s.stats.agents_scanned;
@@ -346,39 +416,43 @@ void SearchState::merge_stats(Scratch& s) {
   s.stats = SearchStats{};
 }
 
-void SearchState::update_full_matrix_addition(Vertex u, Vertex v, std::size_t dst_slab,
-                                              Scratch& s) {
-  const std::uint16_t* src = full_rows(fcur_);
-  std::uint16_t* dst = full_[dst_slab].data();
+template <typename Dist>
+void SearchStateImpl<Dist>::update_full_matrix_addition(Vertex u, Vertex v, std::size_t dst_slab,
+                                                        Scratch& s) {
+  const Dist* src = full_rows(fcur_);
+  Dist* dst = full_[dst_slab].data();
+  const Vertex n = n_;
   s.row_u.assign(src + static_cast<std::size_t>(u) * n_,
                  src + static_cast<std::size_t>(u) * n_ + n_);
   s.row_v.assign(src + static_cast<std::size_t>(v) * n_,
                  src + static_cast<std::size_t>(v) * n_ + n_);
-  const Vertex n = n_;
+  if (addition_saturates(s.row_u.data(), s.row_v.data(), v, n, kInf)) throw WidthSaturated{};
   for (Vertex x = 0; x < n; ++x) {
-    const std::uint16_t* srow = src + static_cast<std::size_t>(x) * n;
-    std::uint16_t* drow = dst + static_cast<std::size_t>(x) * n;
+    const Dist* srow = src + static_cast<std::size_t>(x) * n;
+    Dist* drow = dst + static_cast<std::size_t>(x) * n;
     if (addition_leaves_row(srow, u, v)) {
-      std::memcpy(drow, srow, static_cast<std::size_t>(n) * sizeof(std::uint16_t));
+      std::memcpy(drow, srow, static_cast<std::size_t>(n) * sizeof(Dist));
     } else {
-      addition_row(srow, drow, s.row_u.data(), s.row_v.data(), u, v, n);
+      addition_row(srow, drow, s.row_u.data(), s.row_v.data(), u, v, n, kInf);
     }
   }
 }
 
-void SearchState::update_full_matrix_removal(Vertex u, Vertex v, std::size_t dst_slab,
-                                             Scratch& s) {
-  const std::uint16_t* src = full_rows(fcur_);
-  std::uint16_t* dst = full_[dst_slab].data();
-  std::memcpy(dst, src, static_cast<std::size_t>(n_) * n_ * sizeof(std::uint16_t));
+template <typename Dist>
+void SearchStateImpl<Dist>::update_full_matrix_removal(Vertex u, Vertex v, std::size_t dst_slab,
+                                                       Scratch& s) {
+  const Dist* src = full_rows(fcur_);
+  Dist* dst = full_[dst_slab].data();
+  std::memcpy(dst, src, static_cast<std::size_t>(n_) * n_ * sizeof(Dist));
   collect_dirty_rows(src + static_cast<std::size_t>(u) * n_,
                      src + static_cast<std::size_t>(v) * n_, n_, s.sources);
   s.stats.rows_refreshed += s.sources.size();
   s.stats.rows_reused += n_ - s.sources.size();
-  csr_apsp_rows(csr_, s.sources, MaskedEdge{u, v}, dst, n_, s.bfs, kNoVertex, kSearchInf16);
+  refresh_rows(csr_, s.sources, MaskedEdge{u, v}, dst, s.bfs, kNoVertex);
 }
 
-ToggleShape SearchState::propose_toggle(Vertex u, Vertex v) {
+template <typename Dist>
+ToggleShape SearchStateImpl<Dist>::propose_toggle(Vertex u, Vertex v) {
   BNCG_REQUIRE(u != v && u < n_ && v < n_, "toggle endpoints must be distinct in-range vertices");
   staged_ = true;
   evaluated_ = false;
@@ -397,8 +471,9 @@ ToggleShape SearchState::propose_toggle(Vertex u, Vertex v) {
   return {diameter_[shadow] != kInfDist, diameter_[shadow]};
 }
 
-void SearchState::proposal_neighbors(Vertex a, Vertex tu, Vertex tv, bool add, bool staged,
-                                     std::vector<Vertex>& out) const {
+template <typename Dist>
+void SearchStateImpl<Dist>::proposal_neighbors(Vertex a, Vertex tu, Vertex tv, bool add,
+                                               bool staged, std::vector<Vertex>& out) const {
   const auto base = csr_.neighbors(a);
   out.assign(base.begin(), base.end());
   if (!staged || (a != tu && a != tv)) return;
@@ -410,13 +485,14 @@ void SearchState::proposal_neighbors(Vertex a, Vertex tu, Vertex tv, bool add, b
   }
 }
 
-void SearchState::stream_addition(Vertex a, Vertex u, Vertex v, Scratch& s) {
+template <typename Dist>
+void SearchStateImpl<Dist>::stream_addition(Vertex a, Vertex u, Vertex v, Scratch& s) {
   // Matrix and tables are current (the caller ran ensure_agent_current and
   // ensure_tables); derive the proposal's tables by delta: rows the addition
   // provably leaves alone (|d(x,u) − d(x,v)| ≤ 1, read off the stashed
   // endpoint rows by symmetry) keep serving from the cache and are never
   // read; changed rows swap their old contribution for the new one.
-  const std::uint16_t* src = agent_rows(a);
+  const Dist* src = agent_rows(a);
   const Vertex n = n_;
   const bool want_r1 = model_ == UsageCost::Sum;
   load_tables(a, s);
@@ -426,26 +502,27 @@ void SearchState::stream_addition(Vertex a, Vertex u, Vertex v, Scratch& s) {
                  src + static_cast<std::size_t>(u) * n + n);
   s.row_v.assign(src + static_cast<std::size_t>(v) * n,
                  src + static_cast<std::size_t>(v) * n + n);
-  const std::uint16_t* ru = s.row_u.data();
-  const std::uint16_t* rv = s.row_v.data();
-  std::uint16_t* scratch_rows = s.proposal_rows.data();
-  const std::uint16_t** rowptr = s.rowptr.data();
-  std::uint16_t* min1 = s.min1.data();
-  std::uint16_t* min2 = s.min2.data();
+  const Dist* ru = s.row_u.data();
+  const Dist* rv = s.row_v.data();
+  if (addition_saturates(ru, rv, v, n, kInf)) throw WidthSaturated{};
+  Dist* scratch_rows = s.proposal_rows.data();
+  const Dist** rowptr = s.rowptr.data();
+  Dist* min1 = s.min1.data();
+  Dist* min2 = s.min2.data();
   Vertex* argmin = s.argmin.data();
   std::uint32_t* r1 = want_r1 ? s.r1.data() : nullptr;
   for (Vertex x = 0; x < n; ++x) {
-    const std::uint16_t du = ru[x];
-    const std::uint16_t dv = rv[x];
-    const std::uint16_t* srow = src + static_cast<std::size_t>(x) * n;
+    const Dist du = ru[x];
+    const Dist dv = rv[x];
+    const Dist* srow = src + static_cast<std::size_t>(x) * n;
     if ((du > dv ? du - dv : dv - du) <= 1) {
       rowptr[x] = srow;
       continue;
     }
-    std::uint16_t* drow = scratch_rows + static_cast<std::size_t>(x) * n;
+    Dist* drow = scratch_rows + static_cast<std::size_t>(x) * n;
     table_sub_row(r1, min1[x], srow, n);
-    addition_row(srow, drow, ru, rv, u, v, n);
-    table_add_row(min1, min2, argmin, r1, x, drow, s.nbrs.data(), s.nbrs.size(), n);
+    addition_row(srow, drow, ru, rv, u, v, n, kInf);
+    table_add_row(min1, min2, argmin, r1, x, drow, s.nbrs.data(), s.nbrs.size(), n, kInf);
     rowptr[x] = drow;
   }
 }
@@ -453,27 +530,29 @@ void SearchState::stream_addition(Vertex a, Vertex u, Vertex v, Scratch& s) {
 /// Builds min1/min2/argmin (coordinate-wise neighbor minima, via the row
 /// symmetry of the masked matrices) and optionally the R1 relief bound from
 /// the per-row sources in scratch.rowptr.
-void SearchState::scan_tables(Scratch& s, bool want_r1) {
+template <typename Dist>
+void SearchStateImpl<Dist>::scan_tables(Scratch& s, bool want_r1) {
   const Vertex n = n_;
-  s.min1.assign(n, kSearchInf16);
-  s.min2.assign(n, kSearchInf16);
+  s.min1.assign(n, kInf);
+  s.min2.assign(n, kInf);
   s.argmin.assign(n, kNoVertex);
   if (want_r1) s.r1.assign(n, 0);
-  std::uint16_t* min1 = s.min1.data();
-  std::uint16_t* min2 = s.min2.data();
+  Dist* min1 = s.min1.data();
+  Dist* min2 = s.min2.data();
   Vertex* argmin = s.argmin.data();
   std::uint32_t* r1 = want_r1 ? s.r1.data() : nullptr;
   const Vertex* nbrs = s.nbrs.data();
   const std::size_t deg = s.nbrs.size();
-  const std::uint16_t* const* rowptr = s.rowptr.data();
+  const Dist* const* rowptr = s.rowptr.data();
+  constexpr Vertex kPrefetchStep = 64 / sizeof(Dist);  // one cache line
   for (Vertex x = 0; x < n; ++x) {
-    const std::uint16_t* row = rowptr[x];
+    const Dist* row = rowptr[x];
     if (x + 2 < n) {
-      const std::uint16_t* next = rowptr[x + 2];
-      for (Vertex off = 0; off < n; off += 32) __builtin_prefetch(next + off);
+      const Dist* next = rowptr[x + 2];
+      for (Vertex off = 0; off < n; off += kPrefetchStep) __builtin_prefetch(next + off);
     }
     for (std::size_t i = 0; i < deg; ++i) {
-      const std::uint16_t val = row[nbrs[i]];
+      const Dist val = row[nbrs[i]];
       if (val < min1[x]) {
         min2[x] = min1[x];
         min1[x] = val;
@@ -483,18 +562,19 @@ void SearchState::scan_tables(Scratch& s, bool want_r1) {
       }
     }
     if (want_r1) {
-      const std::uint16_t m1 = min1[x];
+      const Dist m1 = min1[x];
       for (Vertex y = 0; y < n; ++y) {
-        r1[y] += static_cast<std::uint16_t>(m1 > row[y] ? m1 - row[y] : 0);
+        r1[y] += static_cast<std::uint32_t>(m1 > row[y] ? m1 - row[y] : 0);
       }
     }
   }
 }
 
-void SearchState::stream_removal(Vertex a, Vertex u, Vertex v, Scratch& s) {
+template <typename Dist>
+void SearchStateImpl<Dist>::stream_removal(Vertex a, Vertex u, Vertex v, Scratch& s) {
   // Same delta scheme as stream_addition, with the dirty rows re-traversed
   // into their scratch slots; clean rows keep serving from the cache.
-  const std::uint16_t* src = agent_rows(a);
+  const Dist* src = agent_rows(a);
   const Vertex n = n_;
   const bool want_r1 = model_ == UsageCost::Sum;
   load_tables(a, s);
@@ -504,24 +584,25 @@ void SearchState::stream_removal(Vertex a, Vertex u, Vertex v, Scratch& s) {
                      src + static_cast<std::size_t>(v) * n, n, s.sources);
   s.stats.rows_refreshed += s.sources.size();
   s.stats.rows_reused += n - s.sources.size();
-  std::uint16_t* min1 = s.min1.data();
-  std::uint16_t* min2 = s.min2.data();
+  Dist* min1 = s.min1.data();
+  Dist* min2 = s.min2.data();
   Vertex* argmin = s.argmin.data();
   std::uint32_t* r1 = want_r1 ? s.r1.data() : nullptr;
   for (const Vertex x : s.sources) {
     table_sub_row(r1, min1[x], src + static_cast<std::size_t>(x) * n, n);
   }
-  csr_apsp_rows(csr_, s.sources, MaskedEdge{u, v}, s.proposal_rows.data(), n, s.bfs,
-                /*masked_vertex=*/a, kSearchInf16);
+  refresh_rows(csr_, s.sources, MaskedEdge{u, v}, s.proposal_rows.data(), s.bfs,
+               /*masked_vertex=*/a);
   for (Vertex x = 0; x < n; ++x) s.rowptr[x] = src + static_cast<std::size_t>(x) * n;
   for (const Vertex x : s.sources) {
-    const std::uint16_t* drow = s.proposal_rows.data() + static_cast<std::size_t>(x) * n;
-    table_add_row(min1, min2, argmin, r1, x, drow, s.nbrs.data(), s.nbrs.size(), n);
+    const Dist* drow = s.proposal_rows.data() + static_cast<std::size_t>(x) * n;
+    table_add_row(min1, min2, argmin, r1, x, drow, s.nbrs.data(), s.nbrs.size(), n, kInf);
     s.rowptr[x] = drow;
   }
 }
 
-void SearchState::prepare_scan(const std::uint16_t* rows, Vertex a, Scratch& s, bool want_r1) {
+template <typename Dist>
+void SearchStateImpl<Dist>::prepare_scan(const Dist* rows, Vertex a, Scratch& s, bool want_r1) {
   (void)a;
   const Vertex n = n_;
   s.rowptr.resize(n);
@@ -529,14 +610,15 @@ void SearchState::prepare_scan(const std::uint16_t* rows, Vertex a, Scratch& s, 
   scan_tables(s, want_r1);
 }
 
-SearchState::ScanResult SearchState::scan_agent(Vertex a, std::uint64_t old_cost,
-                                                bool include_deletions, ScanMode mode,
-                                                Scratch& s, bool r1_valid) {
+template <typename Dist>
+typename SearchStateImpl<Dist>::ScanResult SearchStateImpl<Dist>::scan_agent(
+    Vertex a, std::uint64_t old_cost, bool include_deletions, ScanMode mode, Scratch& s,
+    bool r1_valid) {
   ScanResult result;
   ++s.stats.agents_scanned;
   if (s.nbrs.empty()) return result;
   const Vertex n = n_;
-  const std::uint16_t* const* rowptr = s.rowptr.data();
+  const Dist* const* rowptr = s.rowptr.data();
 
   s.is_nbr.assign(n, 0);
   s.is_nbr[a] = 1;
@@ -579,12 +661,12 @@ SearchState::ScanResult SearchState::scan_agent(Vertex a, std::uint64_t old_cost
   };
 
   for (const Vertex w : s.nbrs) {
-    std::uint16_t* m = s.mrow.data();
+    Dist* m = s.mrow.data();
     for (Vertex y = 0; y < n; ++y) m[y] = s.argmin[y] == w ? s.min2[y] : s.min1[y];
     m[a] = 0;
 
     if (model_ == UsageCost::Max && include_deletions) {
-      const std::uint64_t del_cost = deletion_ecc_capped(m, n);
+      const std::uint64_t del_cost = deletion_ecc_capped(m, n, kInf);
       if (del_cost <= old_cost) {
         const Deviation dev{{a, w, w}, old_cost, del_cost, Deviation::Kind::NonCriticalDelete};
         result.found = true;
@@ -609,7 +691,7 @@ SearchState::ScanResult SearchState::scan_agent(Vertex a, std::uint64_t old_cost
           continue;
         }
         ++s.stats.candidates_combined;
-        const std::uint64_t new_cost = combine_sum_capped(m, rowptr[w2], n);
+        const std::uint64_t new_cost = combine_sum_capped(m, rowptr[w2], n, kInf);
         if (new_cost >= old_cost) continue;
         result.found = true;
         if (new_cost < best_cost) best_cost = new_cost;
@@ -647,12 +729,12 @@ SearchState::ScanResult SearchState::scan_agent(Vertex a, std::uint64_t old_cost
         return t;
       }();
       const std::int32_t cap = max_threshold == kInfCost
-                                   ? kSearchInf16 - 1
+                                   ? std::int32_t{kInf} - 1
                                    : static_cast<std::int32_t>(max_threshold) - 2;
       if (w == s.nbrs.front()) {
         s.far.clear();
         const std::int32_t cap0 = old_cost == kInfCost
-                                      ? kSearchInf16 - 1
+                                      ? std::int32_t{kInf} - 1
                                       : static_cast<std::int32_t>(old_cost) - 2;
         for (Vertex y = 0; y < n; ++y) {
           if (y != a && s.min1[y] > cap0) s.far.push_back(y);
@@ -660,7 +742,7 @@ SearchState::ScanResult SearchState::scan_agent(Vertex a, std::uint64_t old_cost
         s.cands.clear();
         for (Vertex w2 = 0; w2 < n; ++w2) {
           if (s.is_nbr[w2] != 0) continue;
-          const std::uint16_t* c = rowptr[w2];
+          const Dist* c = rowptr[w2];
           bool viable = true;
           for (const Vertex y : s.far) {
             if (c[y] > cap0) {
@@ -680,7 +762,7 @@ SearchState::ScanResult SearchState::scan_agent(Vertex a, std::uint64_t old_cost
         if (y != a && m[y] > cap) s.far.push_back(y);
       }
       for (const Vertex w2 : s.cands) {
-        const std::uint16_t* c = rowptr[w2];
+        const Dist* c = rowptr[w2];
         bool improves = true;
         for (const Vertex y : s.far) {
           if (c[y] > cap) {
@@ -693,7 +775,7 @@ SearchState::ScanResult SearchState::scan_agent(Vertex a, std::uint64_t old_cost
           continue;
         }
         ++s.stats.candidates_combined;
-        const std::uint64_t new_cost = combine_max_capped(m, c, n);
+        const std::uint64_t new_cost = combine_max_capped(m, c, n, kInf);
         if (new_cost >= max_threshold && mode != ScanMode::First) {
           // The far test ran against a stale (looser) cap from before a
           // best-update in this same w-iteration; the exact cost settles it.
@@ -718,13 +800,16 @@ SearchState::ScanResult SearchState::scan_agent(Vertex a, std::uint64_t old_cost
   return result;
 }
 
-std::uint64_t SearchState::unrest_contribution(const ScanResult& r, std::uint64_t old_cost) {
+template <typename Dist>
+std::uint64_t SearchStateImpl<Dist>::unrest_contribution(const ScanResult& r,
+                                                         std::uint64_t old_cost) {
   if (!r.found) return 0;
   const std::uint64_t gain = old_cost > r.best_cost ? old_cost - r.best_cost : 0;
   return std::max<std::uint64_t>(1, gain);
 }
 
-std::uint64_t SearchState::evaluate_pass(bool staged) {
+template <typename Dist>
+std::uint64_t SearchStateImpl<Dist>::evaluate_pass(bool staged) {
   ensure_slabs();
   ensure_table_slabs();  // allocated up front: the parallel region below must not resize
   const std::size_t full_slab = staged ? 1 - fcur_ : fcur_;
@@ -747,7 +832,7 @@ std::uint64_t SearchState::evaluate_pass(bool staged) {
       proposal_neighbors(a, tu, tv, add, staged, s.nbrs);
       load_tables(a, s);
       s.rowptr.resize(n_);
-      const std::uint16_t* rows = agent_rows(a);
+      const Dist* rows = agent_rows(a);
       for (Vertex x = 0; x < n_; ++x) {
         s.rowptr[x] = rows + static_cast<std::size_t>(x) * n_;
       }
@@ -764,7 +849,6 @@ std::uint64_t SearchState::evaluate_pass(bool staged) {
       // The scratch tables describe the staged proposal for this agent;
       // park them in the shadow set so commit() can flip them in as the
       // new current tables without recomputation.
-      ensure_table_slabs();
       store_shadow_tables(a, s);
     }
     const ScanResult r =
@@ -774,13 +858,24 @@ std::uint64_t SearchState::evaluate_pass(bool staged) {
 
 #ifdef BNCG_HAS_OPENMP
   if (parallel_) {
+    // A saturating refresh inside the region (u8 only) must not unwind
+    // through the OpenMP runtime: park the signal in a flag, drain the
+    // remaining iterations, and rethrow it after the region — the facade
+    // discards this whole state on promotion, so the half-updated caches
+    // left behind are never read.
+    std::atomic<bool> saturated{false};
 #pragma omp parallel
     {
       Scratch local;
       std::uint64_t sub = 0;
 #pragma omp for schedule(dynamic, 4)
       for (std::int64_t a = 0; a < static_cast<std::int64_t>(n_); ++a) {
-        sub += evaluate_agent(static_cast<Vertex>(a), local);
+        if (saturated.load(std::memory_order_relaxed)) continue;
+        try {
+          sub += evaluate_agent(static_cast<Vertex>(a), local);
+        } catch (const WidthSaturated&) {
+          saturated.store(true, std::memory_order_relaxed);
+        }
       }
 #pragma omp critical
       {
@@ -788,6 +883,7 @@ std::uint64_t SearchState::evaluate_pass(bool staged) {
         merge_stats(local);
       }
     }
+    if (saturated.load(std::memory_order_relaxed)) throw WidthSaturated{};
     return total;
   }
 #endif
@@ -796,7 +892,8 @@ std::uint64_t SearchState::evaluate_pass(bool staged) {
   return total;
 }
 
-std::uint64_t SearchState::proposal_unrest() {
+template <typename Dist>
+std::uint64_t SearchStateImpl<Dist>::proposal_unrest() {
   BNCG_REQUIRE(staged_, "proposal_unrest requires a staged toggle");
   if (evaluated_) return staged_unrest_;
   staged_unrest_ = evaluate_pass(/*staged=*/true);
@@ -805,13 +902,15 @@ std::uint64_t SearchState::proposal_unrest() {
   return staged_unrest_;
 }
 
-std::uint64_t SearchState::unrest() {
+template <typename Dist>
+std::uint64_t SearchStateImpl<Dist>::unrest() {
   if (unrest_) return *unrest_;
   unrest_ = evaluate_pass(/*staged=*/false);
   return *unrest_;
 }
 
-void SearchState::append_toggle(Vertex u, Vertex v, bool add) {
+template <typename Dist>
+void SearchStateImpl<Dist>::append_toggle(Vertex u, Vertex v, bool add) {
   Toggle t;
   t.u = u;
   t.v = v;
@@ -825,7 +924,8 @@ void SearchState::append_toggle(Vertex u, Vertex v, bool add) {
   }
 }
 
-void SearchState::commit() {
+template <typename Dist>
+void SearchStateImpl<Dist>::commit() {
   BNCG_REQUIRE(staged_ && evaluated_, "commit requires an evaluated staged toggle");
   append_toggle(staged_u_, staged_v_, staged_add_);
   fcur_ = 1 - fcur_;
@@ -846,11 +946,15 @@ void SearchState::commit() {
   ++stats_.commits;
 }
 
-void SearchState::apply_toggle_impl(Vertex u, Vertex v, bool add) {
+template <typename Dist>
+void SearchStateImpl<Dist>::apply_toggle_impl(Vertex u, Vertex v, bool add) {
   BNCG_REQUIRE(u != v && u < n_ && v < n_, "toggle endpoints must be distinct in-range vertices");
   staged_ = false;
   evaluated_ = false;
   const std::size_t shadow = 1 - fcur_;
+  // The matrix updates run BEFORE any mutation, so a WidthSaturated thrown
+  // here leaves graph_/csr_/journal untouched — the facade can replay the
+  // same toggle on the promoted state.
   if (add) {
     update_full_matrix_addition(u, v, shadow, scratch_[0]);
   } else {
@@ -870,19 +974,19 @@ void SearchState::apply_toggle_impl(Vertex u, Vertex v, bool add) {
   ++stats_.commits;
 }
 
-void SearchState::apply_swap(const EdgeSwap& swap) {
-  apply_toggle_impl(swap.v, swap.remove_w, /*add=*/false);
-  apply_toggle_impl(swap.v, swap.add_w, /*add=*/true);
+template <typename Dist>
+void SearchStateImpl<Dist>::apply_deletion(Vertex v, Vertex w) {
+  apply_toggle_impl(v, w, /*add=*/false);
 }
 
-void SearchState::apply_deletion(Vertex v, Vertex w) { apply_toggle_impl(v, w, /*add=*/false); }
-
-void SearchState::apply_toggle(Vertex u, Vertex v) {
+template <typename Dist>
+void SearchStateImpl<Dist>::apply_toggle(Vertex u, Vertex v) {
   apply_toggle_impl(u, v, /*add=*/!graph_.has_edge(u, v));
 }
 
-std::optional<Deviation> SearchState::deviation_impl(Vertex a, bool include_deletions,
-                                                     ScanMode mode) {
+template <typename Dist>
+std::optional<Deviation> SearchStateImpl<Dist>::deviation_impl(Vertex a, bool include_deletions,
+                                                               ScanMode mode) {
   BNCG_REQUIRE(a < n_, "vertex id out of range");
   ensure_slabs();
   Scratch& s = scratch_[0];
@@ -892,7 +996,7 @@ std::optional<Deviation> SearchState::deviation_impl(Vertex a, bool include_dele
   load_tables(a, s);
   s.rowptr.resize(n_);
   {
-    const std::uint16_t* rows = agent_rows(a);
+    const Dist* rows = agent_rows(a);
     for (Vertex x = 0; x < n_; ++x) s.rowptr[x] = rows + static_cast<std::size_t>(x) * n_;
   }
   const std::uint64_t old_cost = agent_cost_from_full(fcur_, a);
@@ -901,20 +1005,213 @@ std::optional<Deviation> SearchState::deviation_impl(Vertex a, bool include_dele
   return r.witness;
 }
 
-std::optional<Deviation> SearchState::best_deviation(Vertex a, bool include_deletions) {
+template <typename Dist>
+std::optional<Deviation> SearchStateImpl<Dist>::best_deviation(Vertex a, bool include_deletions) {
   return deviation_impl(a, include_deletions, ScanMode::Best);
 }
 
-std::optional<Deviation> SearchState::first_deviation(Vertex a, bool include_deletions) {
+template <typename Dist>
+std::optional<Deviation> SearchStateImpl<Dist>::first_deviation(Vertex a,
+                                                                bool include_deletions) {
   return deviation_impl(a, include_deletions, ScanMode::First);
 }
 
-bool SearchState::certify_current() {
+template <typename Dist>
+bool SearchStateImpl<Dist>::certify_current() {
   if (unrest_) return *unrest_ == 0;
   for (Vertex a = 0; a < n_; ++a) {
     if (first_deviation(a, include_deletions_)) return false;
   }
   return true;
+}
+
+template <typename Dist>
+void SearchStateImpl<Dist>::debug_scan_tables(Vertex a, std::vector<Vertex>& min1,
+                                              std::vector<Vertex>& min2,
+                                              std::vector<Vertex>& argmin,
+                                              std::vector<std::uint32_t>& r1) {
+  BNCG_REQUIRE(a < n_, "vertex id out of range");
+  ensure_slabs();
+  Scratch& s = scratch_[0];
+  ensure_agent_current(a, s);
+  ensure_tables(a, s);
+  const Vertex n = n_;
+  min1.resize(n);
+  min2.resize(n);
+  argmin.assign(table_argmin(a), table_argmin(a) + n);
+  const Dist* m1 = table_min1(a);
+  const Dist* m2 = table_min2(a);
+  for (Vertex y = 0; y < n; ++y) {
+    min1[y] = m1[y] >= kInf ? kInfDist : m1[y];
+    min2[y] = m2[y] >= kInf ? kInfDist : m2[y];
+  }
+  if (model_ == UsageCost::Sum) {
+    r1.assign(table_r1(a), table_r1(a) + n);
+  } else {
+    r1.clear();
+  }
+}
+
+template class SearchStateImpl<std::uint8_t>;
+template class SearchStateImpl<std::uint16_t>;
+
+// ---------------------------------------------------------------- facade
+
+SearchState::SearchState(const Graph& g, UsageCost model, bool include_deletions, bool parallel,
+                         WidthPolicy width)
+    : model_(model), include_deletions_(include_deletions), parallel_(parallel) {
+  const Vertex n = g.num_vertices();
+  BNCG_REQUIRE(n >= 1 && n <= kMaxFiniteFor<std::uint16_t> + 1,
+               "SearchState requires 1 <= n <= 16382");
+  bool try_u8 = width == WidthPolicy::ForceU8;
+  if (width == WidthPolicy::Auto) {
+    // One BFS screens out instances that certainly do not fit: ecc(0) lower
+    // bounds the diameter, and disconnected graphs keep the conservative
+    // wide layout (components unseen from vertex 0 stay unbounded). A graph
+    // that passes the screen but saturates mid-construction still lands on
+    // u16 through the catch below.
+    BfsWorkspace ws;
+    const BfsResult r = bfs(g, 0, ws);
+    try_u8 = r.spans(n) && r.ecc <= kMaxFiniteFor<std::uint8_t>;
+  }
+  if (try_u8) {
+    try {
+      impl8_ = std::make_unique<SearchStateImpl<std::uint8_t>>(g, model, include_deletions,
+                                                               parallel);
+    } catch (const WidthSaturated&) {
+      impl8_.reset();
+    }
+  }
+  if (!impl8_) {
+    impl16_ = std::make_unique<SearchStateImpl<std::uint16_t>>(g, model, include_deletions,
+                                                               parallel);
+    if (try_u8) {
+      // The narrow attempt burned and taught us the width — record it like
+      // a promotion so stats expose the cap crossing.
+      SearchStats s = impl16_->stats();
+      s.promotions += 1;
+      impl16_->adopt_stats(s);
+    }
+  }
+}
+
+SearchState::~SearchState() = default;
+
+void SearchState::promote() {
+  SearchStats carried = impl8_->stats();
+  carried.promotions += 1;
+  const Graph g = impl8_->graph();
+  impl8_.reset();
+  impl16_ =
+      std::make_unique<SearchStateImpl<std::uint16_t>>(g, model_, include_deletions_, parallel_);
+  impl16_->adopt_stats(carried);
+  // A toggle staged on the old width is re-staged here so the interrupted
+  // proposal_unrest()/commit() sequence resumes exactly where it was; the
+  // re-stage is bookkeeping, not a new proposal, so its count is undone.
+  if (staged_) {
+    (void)impl16_->propose_toggle(staged_u_, staged_v_);
+    SearchStats restaged = impl16_->stats();
+    restaged.proposals -= 1;
+    impl16_->adopt_stats(restaged);
+  }
+}
+
+template <typename F>
+decltype(auto) SearchState::dispatch(F&& f) {
+  if (impl8_) {
+    try {
+      return f(*impl8_);
+    } catch (const WidthSaturated&) {
+      promote();
+    }
+  }
+  return f(*impl16_);
+}
+
+const Graph& SearchState::graph() const noexcept {
+  return impl8_ ? impl8_->graph() : impl16_->graph();
+}
+
+Vertex SearchState::num_vertices() const noexcept {
+  return impl8_ ? impl8_->num_vertices() : impl16_->num_vertices();
+}
+
+Vertex SearchState::diameter() const noexcept {
+  return impl8_ ? impl8_->diameter() : impl16_->diameter();
+}
+
+bool SearchState::connected() const noexcept {
+  return impl8_ ? impl8_->connected() : impl16_->connected();
+}
+
+DistWidth SearchState::width() const noexcept {
+  return impl8_ ? DistWidth::U8 : DistWidth::U16;
+}
+
+const SearchStats& SearchState::stats() const noexcept {
+  return impl8_ ? impl8_->stats() : impl16_->stats();
+}
+
+std::uint64_t SearchState::unrest() {
+  return dispatch([](auto& s) { return s.unrest(); });
+}
+
+ToggleShape SearchState::propose_toggle(Vertex u, Vertex v) {
+  // Cleared first so a promotion *inside* this call does not re-stage the
+  // toggle ahead of the retry (the retry stages it itself).
+  staged_ = false;
+  const ToggleShape shape = dispatch([&](auto& s) { return s.propose_toggle(u, v); });
+  staged_ = true;
+  staged_u_ = u;
+  staged_v_ = v;
+  return shape;
+}
+
+std::uint64_t SearchState::proposal_unrest() {
+  return dispatch([](auto& s) { return s.proposal_unrest(); });
+}
+
+void SearchState::commit() {
+  dispatch([](auto& s) { s.commit(); });
+  staged_ = false;
+}
+
+std::optional<Deviation> SearchState::best_deviation(Vertex a, bool include_deletions) {
+  return dispatch([&](auto& s) { return s.best_deviation(a, include_deletions); });
+}
+
+std::optional<Deviation> SearchState::first_deviation(Vertex a, bool include_deletions) {
+  return dispatch([&](auto& s) { return s.first_deviation(a, include_deletions); });
+}
+
+void SearchState::apply_swap(const EdgeSwap& swap) {
+  staged_ = false;  // applying a move discards any staged proposal
+  // Dispatched as two single toggles, not one impl-level apply_swap: each
+  // toggle throws (if at all) BEFORE mutating, so a promotion between the
+  // removal and the addition replays only the not-yet-applied half —
+  // impl-level apply_swap would re-remove an already-removed edge on retry.
+  dispatch([&](auto& s) { s.apply_deletion(swap.v, swap.remove_w); });
+  dispatch([&](auto& s) { s.apply_toggle(swap.v, swap.add_w); });
+}
+
+void SearchState::apply_deletion(Vertex v, Vertex w) {
+  staged_ = false;
+  dispatch([&](auto& s) { s.apply_deletion(v, w); });
+}
+
+void SearchState::apply_toggle(Vertex u, Vertex v) {
+  staged_ = false;
+  dispatch([&](auto& s) { s.apply_toggle(u, v); });
+}
+
+bool SearchState::certify_current() {
+  return dispatch([](auto& s) { return s.certify_current(); });
+}
+
+SearchState::ScanTables SearchState::debug_scan_tables(Vertex a) {
+  ScanTables t;
+  dispatch([&](auto& s) { s.debug_scan_tables(a, t.min1, t.min2, t.argmin, t.r1); });
+  return t;
 }
 
 }  // namespace bncg

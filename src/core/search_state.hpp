@@ -20,10 +20,13 @@
 //         shortest path from x, i.e. |d(x,u) − d(x,v)| = 1 (a shortest-path
 //         prefix is shortest, so a shortest path crossing u→v reaches u
 //         shortest-ly). Only these *dirty rows* are re-traversed, batched
-//         through graph/bfs_batch (csr_apsp_rows); clean rows are kept.
-//     Distances are stored with infinity capped at kSearchInf16 = 0x3FFF so
-//     the addition formula's two chained adds cannot overflow 16 bits and
-//     the whole pass vectorizes (pure u16 add/min).
+//         through graph/bfs_batch (csr_apsp_rows_capped); clean rows kept.
+//     Distances are stored in a width-adaptive capped-infinity encoding
+//     (graph/dist_width.hpp): kSearchInf8 = 0x3F when the instance's
+//     diameter fits 8 bits, kSearchInf16 = 0x3FFF otherwise. Either cap
+//     keeps the addition formula's two chained adds (≤ 2·kInf + 1) inside
+//     the storage type, so the whole pass stays branch-free add/min — and
+//     the u8 layout halves the bandwidth of every row stream.
 //  2. The same pass that streams an agent's updated rows accumulates, per
 //     candidate w₂, the sum-model relief bound
 //       R1[w₂] = Σ_y max(0, min1_y − d'(w₂, y))
@@ -50,12 +53,16 @@
 //     against the journal's CSR snapshot, long backlogs fall back to one
 //     fresh masked APSP. Rejection costs nothing.
 //
-// The full-graph APSP is maintained the same way (one un-masked matrix), so
-// the search loop's connectivity/diameter screen and every agent's current
-// cost are read off cached rows instead of fresh traversals.
+// The width is invisible in the results: SearchState (the public facade)
+// starts narrow when the diameter bound fits, and any refresh that meets a
+// finite distance the u8 cap cannot represent *promotes* the whole state to
+// u16 — every cached structure is a pure function of the current graph plus
+// the staged toggle, so promotion is a rebuild-at-width, bit-identical to
+// having run u16 from the start (DESIGN.md §10 has the protocol).
 //
-// Everything here is exact: differential tests (tests/test_search_state.cpp)
-// pin unrest values, deviations, and certification verdicts to full naive
+// Everything here is exact: differential tests (tests/test_search_state.cpp
+// and the cross-width fuzz suite tests/test_width_fuzz.cpp) pin unrest
+// values, deviations, and certification verdicts to full naive
 // recomputation after every accepted and rejected proposal. DESIGN.md §9
 // documents the invalidation rule and the measured cost model.
 #pragma once
@@ -69,22 +76,17 @@
 #include "core/usage_cost.hpp"
 #include "graph/bfs_batch.hpp"
 #include "graph/csr.hpp"
+#include "graph/dist_width.hpp"
 #include "graph/graph.hpp"
 
 namespace bncg {
 
 /// Largest n for which search/dynamics auto-select the incremental state.
-/// The cache holds one n×n² 16-bit slab (≈ 2n³ bytes: 34 MB at n = 256,
-/// 0.27 GB at this cap), so unbounded auto-enablement would silently trade
-/// the engine's O(n²) scratch for gigabytes. Direct construction accepts
-/// any n ≤ 16383 when the caller accepts the memory bill.
+/// The cache holds one n×n² slab (n³ bytes in u8, 2n³ in u16: 0.13–0.27 GB
+/// at this cap), so unbounded auto-enablement would silently trade the
+/// engine's O(n²) scratch for gigabytes. Direct construction accepts any
+/// n ≤ 16382 when the caller accepts the memory bill.
 inline constexpr Vertex kSearchStateAutoMaxVertices = 512;
-
-/// Capped infinity of the cached matrices: large enough to dominate every
-/// finite distance (n < kSearchInf16), small enough that the addition
-/// identity's two chained 16-bit adds (≤ 2·kSearchInf16 + 1 < 2¹⁵) cannot
-/// wrap — which is what keeps the streaming update branch-free.
-inline constexpr std::uint16_t kSearchInf16 = 0x3FFF;
 
 /// True when search and dynamics should route through SearchState: n within
 /// the auto-enable cap and BNCG_FORCE_NAIVE not set.
@@ -100,6 +102,7 @@ struct SearchStats {
   std::uint64_t agents_scanned = 0;   ///< best-response scans executed
   std::uint64_t candidates_pruned = 0;    ///< candidates rejected by R1/far-set
   std::uint64_t candidates_combined = 0;  ///< candidates fully combined
+  std::uint64_t promotions = 0;           ///< u8 → u16 cap promotions
 };
 
 /// Connectivity/diameter screen of a pending toggle (read off the
@@ -109,24 +112,260 @@ struct ToggleShape {
   Vertex diameter = 0;  ///< kInfDist when disconnected
 };
 
-/// Incremental evaluation state for equilibrium search and dynamics.
-/// Not thread-safe; internal passes parallelize over agents under OpenMP
-/// when `parallel` is set (results are deterministic either way).
-class SearchState {
+/// Width-typed incremental evaluation state — the implementation behind the
+/// SearchState facade, instantiated for Dist ∈ {u8, u16}. Every distance
+/// slab, scan table, and delta kernel runs in Dist; the u8 instantiation
+/// throws WidthSaturated from any refresh that meets a finite distance
+/// above kMaxFiniteFor<u8> (the facade catches it and promotes). Use the
+/// facade unless you are the facade.
+template <typename Dist>
+class SearchStateImpl {
  public:
-  /// Snapshots `g` (connected or not) and builds the full-graph matrix.
-  /// Per-agent masked matrices materialize lazily on first use. For the max
-  /// model, `include_deletions` selects whether unrest and certification
-  /// count non-critical deletions as violations (the max-equilibrium
-  /// definition does); ignored in the sum model.
-  SearchState(const Graph& g, UsageCost model, bool include_deletions = false,
-              bool parallel = true);
+  static constexpr Dist kInf = kSearchInfFor<Dist>;
+  static constexpr Dist kMaxFinite = kMaxFiniteFor<Dist>;
+
+  /// Snapshots `g` (connected or not) and builds the full-graph matrix
+  /// (throws WidthSaturated when it does not fit the width). Per-agent
+  /// masked matrices materialize lazily on first use. For the max model,
+  /// `include_deletions` selects whether unrest and certification count
+  /// non-critical deletions as violations (the max-equilibrium definition
+  /// does); ignored in the sum model.
+  SearchStateImpl(const Graph& g, UsageCost model, bool include_deletions, bool parallel);
 
   [[nodiscard]] const Graph& graph() const noexcept { return graph_; }
   [[nodiscard]] UsageCost model() const noexcept { return model_; }
   [[nodiscard]] Vertex num_vertices() const noexcept { return n_; }
-  [[nodiscard]] Vertex diameter() const noexcept;      ///< kInfDist if disconnected
+  [[nodiscard]] Vertex diameter() const noexcept;  ///< kInfDist if disconnected
   [[nodiscard]] bool connected() const noexcept;
+
+  [[nodiscard]] std::uint64_t unrest();
+
+  ToggleShape propose_toggle(Vertex u, Vertex v);
+  [[nodiscard]] std::uint64_t proposal_unrest();
+  void commit();
+
+  [[nodiscard]] std::optional<Deviation> best_deviation(Vertex a, bool include_deletions);
+  [[nodiscard]] std::optional<Deviation> first_deviation(Vertex a, bool include_deletions);
+
+  // Swaps have no impl-level entry point on purpose: the facade applies
+  // them as two single toggles so each throw point precedes its mutation
+  // (promotion retry-safety).
+  void apply_deletion(Vertex v, Vertex w);
+  void apply_toggle(Vertex u, Vertex v);
+
+  [[nodiscard]] bool certify_current();
+
+  [[nodiscard]] const SearchStats& stats() const noexcept { return stats_; }
+  /// Replaces the counters wholesale — promotion carries the u8 impl's
+  /// counters into its u16 successor so the run's totals survive the swap.
+  void adopt_stats(const SearchStats& stats) noexcept { stats_ = stats; }
+
+  /// Test introspection: agent a's scan tables brought current and widened
+  /// to width-independent values (capped ∞ → kInfDist). See the facade.
+  void debug_scan_tables(Vertex a, std::vector<Vertex>& min1, std::vector<Vertex>& min2,
+                         std::vector<Vertex>& argmin, std::vector<std::uint32_t>& r1);
+
+ private:
+  struct Toggle {
+    Vertex u = kNoVertex;
+    Vertex v = kNoVertex;
+    bool add = false;
+    /// Snapshot of the graph *before* a removal (edge still present): the
+    /// lazy replay of the removal BFS needs that historical adjacency.
+    /// Empty for additions (the formula replay is graph-free).
+    std::shared_ptr<const CsrGraph> before;
+  };
+
+  /// Per-thread scan scratch (mirrors SwapEngine::Scratch) plus per-thread
+  /// stat counters merged after each pass (keeps parallel passes race-free).
+  struct Scratch {
+    BatchBfsWorkspace bfs;
+    std::vector<Dist> proposal_rows;    // staged-toggle matrix (n×n)
+    std::vector<const Dist*> rowptr;    // per-row source (cache/scratch)
+    std::vector<Vertex> cands;          // static candidate survivors
+    std::vector<Dist> row_u, row_v;     // stashed toggle-endpoint rows
+    std::vector<Dist> min1, min2;       // elementwise neighbor minima
+    std::vector<Vertex> argmin;
+    std::vector<Dist> mrow;             // M^w: min over N(a)∖{w}
+    std::vector<std::uint32_t> r1;      // sum-model relief bound
+    std::vector<std::uint8_t> is_nbr;
+    std::vector<Vertex> far;            // max-model far set
+    std::vector<Vertex> sources;        // dirty rows to refresh
+    std::vector<Vertex> nbrs;           // proposal-adjusted neighbor list
+    SearchStats stats;
+  };
+
+  enum class ScanMode { Value, First, Best };
+
+  struct ScanResult {
+    std::optional<Deviation> witness;    // First/Best modes
+    std::uint64_t best_cost = kInfCost;  // best cost_after over deviations
+    bool found = false;
+  };
+
+  [[nodiscard]] Dist* agent_rows(Vertex a) noexcept {
+    return agents_.data() + static_cast<std::size_t>(a) * n_ * n_;
+  }
+  [[nodiscard]] Dist* table_min1(Vertex a) noexcept {
+    return tmin1_[tcur_].data() + static_cast<std::size_t>(a) * n_;
+  }
+  [[nodiscard]] Dist* table_min2(Vertex a) noexcept {
+    return tmin2_[tcur_].data() + static_cast<std::size_t>(a) * n_;
+  }
+  [[nodiscard]] Vertex* table_argmin(Vertex a) noexcept {
+    return targmin_[tcur_].data() + static_cast<std::size_t>(a) * n_;
+  }
+  [[nodiscard]] std::uint32_t* table_r1(Vertex a) noexcept {
+    return tr1_[tcur_].data() + static_cast<std::size_t>(a) * n_;
+  }
+  /// Stores the scratch tables (which describe the staged proposal for
+  /// agent a) into the shadow table set; commit() flips the sets, so an
+  /// accepted proposal's tables become current for free.
+  void store_shadow_tables(Vertex a, const Scratch& scratch);
+  [[nodiscard]] Dist* full_rows(std::size_t slab) noexcept { return full_[slab].data(); }
+
+  /// csr_apsp_rows_capped under this width's cap; throws WidthSaturated
+  /// instead of returning false (u16 cannot saturate: n ≤ kMaxFinite + 1).
+  void refresh_rows(const CsrGraph& g, std::span<const Vertex> sources, MaskedEdge mask,
+                    Dist* matrix, BatchBfsWorkspace& bfs, Vertex masked_vertex);
+
+  void ensure_slabs();
+  void ensure_table_slabs();
+  void ensure_agent_current(Vertex a, Scratch& scratch);
+  /// Rebuilds agent a's persistent scan tables when stale (matrix must be
+  /// current). Kept in lockstep with the matrix by the replay's row deltas;
+  /// toggles incident to a invalidate them (the neighbor set changed).
+  void ensure_tables(Vertex a, Scratch& scratch);
+  /// Copies agent a's persistent tables into the scratch working copies.
+  void load_tables(Vertex a, Scratch& scratch);
+  void rebuild_agent(Vertex a, Scratch& scratch);
+  void update_full_matrix_addition(Vertex u, Vertex v, std::size_t dst_slab, Scratch& scratch);
+  void update_full_matrix_removal(Vertex u, Vertex v, std::size_t dst_slab, Scratch& scratch);
+  void refresh_shape(std::size_t slab);
+  void merge_stats(Scratch& scratch);
+
+  /// Streams agent a's updated matrix for the staged addition into the
+  /// scratch proposal matrix while accumulating R1 and neighbor minima;
+  /// pure formula, the cached matrix is only read.
+  void stream_addition(Vertex a, Vertex u, Vertex v, Scratch& scratch);
+  /// Copies agent a's matrix into the scratch proposal matrix and
+  /// re-traverses the rows dirtied by the staged removal.
+  void stream_removal(Vertex a, Vertex u, Vertex v, Scratch& scratch);
+  /// Builds R1 (optional) and min1/min2/argmin for a matrix already in place.
+  void prepare_scan(const Dist* rows, Vertex a, Scratch& scratch, bool want_r1);
+  /// Builds min1/min2/argmin and optionally R1 from scratch.rowptr rows.
+  void scan_tables(Scratch& scratch, bool want_r1);
+
+  ScanResult scan_agent(Vertex a, std::uint64_t old_cost, bool include_deletions, ScanMode mode,
+                        Scratch& scratch, bool r1_valid);
+
+  [[nodiscard]] std::uint64_t evaluate_pass(bool staged);
+  [[nodiscard]] static std::uint64_t unrest_contribution(const ScanResult& r,
+                                                         std::uint64_t old_cost);
+  [[nodiscard]] std::uint64_t agent_cost_from_full(std::size_t slab, Vertex a) const;
+  void proposal_neighbors(Vertex a, Vertex tu, Vertex tv, bool add, bool staged,
+                          std::vector<Vertex>& out) const;
+  std::optional<Deviation> deviation_impl(Vertex a, bool include_deletions, ScanMode mode);
+  void append_toggle(Vertex u, Vertex v, bool add);
+  void apply_toggle_impl(Vertex u, Vertex v, bool add);
+
+  Graph graph_;
+  CsrGraph csr_;
+  UsageCost model_;
+  bool include_deletions_;
+  bool parallel_;
+  Vertex n_ = 0;
+
+  // Full-graph matrix: double-buffered (entries use kInf for ∞); fcur_
+  // indexes the live copy, the other is the shadow a staged toggle is
+  // screened into, and commit is the O(1) index flip. Per-agent masked
+  // matrices live in ONE slab updated lazily through the journal —
+  // evaluation materializes proposal matrices into per-thread scratch
+  // instead of a shadow slab, halving both memory and DRAM write traffic.
+  std::vector<Dist> full_[2];  // n×n full-graph distances
+  std::vector<Dist> agents_;   // n slabs of n×n masked distances
+  std::size_t fcur_ = 0;
+
+  // Persistent per-agent scan tables (n entries per agent): coordinate-wise
+  // neighbor minima and, in the sum model, the R1 relief bound. Maintained
+  // by the same changed-row deltas as the matrices, so a staged evaluation
+  // only touches rows the toggle actually changes. Double-buffered like the
+  // full matrix: staged evaluations write every agent's proposal tables to
+  // the shadow set, and commit() flips tcur_ — the accepted proposal's
+  // tables become current with no recomputation. table_version_[a] tracks
+  // the journal version the current set matches (kUnbuilt = must rebuild);
+  // it may run ahead of version_[a] right after a commit, in which case the
+  // matrix catches up through the journal without touching the tables.
+  std::vector<Dist> tmin1_[2], tmin2_[2];
+  std::vector<Vertex> targmin_[2];
+  std::vector<std::uint32_t> tr1_[2];
+  std::size_t tcur_ = 0;
+  std::vector<std::uint64_t> table_version_;
+
+  // Shape caches of the full matrices (per slab).
+  std::vector<std::uint32_t> rowsum_[2];  // Σ_y d(a, y) over capped values
+  std::vector<Dist> rowmax_[2];           // max_y d(a, y)
+  Vertex diameter_[2] = {0, 0};           // kInfDist when disconnected
+
+  // Toggle journal for lazy per-agent maintenance. version_[a] indexes into
+  // the virtual history; log_base_ is the history index of log_[0]. An agent
+  // with version_[a] == kUnbuilt has no matrix yet. Entries deeper than
+  // kReplayLimit are dropped eagerly — agents that far behind rebuild from
+  // one fresh masked APSP instead of replaying.
+  std::vector<Toggle> log_;
+  std::uint64_t log_base_ = 0;
+  std::uint64_t head_ = 0;
+  std::vector<std::uint64_t> version_;
+  static constexpr std::uint64_t kUnbuilt = ~std::uint64_t{0};
+  static constexpr std::size_t kReplayLimit = 4;
+
+  // Staged proposal.
+  bool staged_ = false;
+  bool evaluated_ = false;
+  Vertex staged_u_ = kNoVertex, staged_v_ = kNoVertex;
+  bool staged_add_ = false;
+  std::uint64_t staged_unrest_ = 0;
+
+  std::optional<std::uint64_t> unrest_;  // cached unrest of the live graph
+  SearchStats stats_;
+  std::vector<Scratch> scratch_;  // scratch_[0] serves the serial paths
+};
+
+extern template class SearchStateImpl<std::uint8_t>;
+extern template class SearchStateImpl<std::uint16_t>;
+
+/// Incremental evaluation state for equilibrium search and dynamics — the
+/// public, width-adaptive facade. Picks the u8 implementation when a cheap
+/// diameter bound fits the 8-bit cap (or WidthPolicy::ForceU8 asks for it),
+/// and transparently promotes to u16 the moment any refreshed row would
+/// saturate — callers never observe the width except through width() and
+/// stats().promotions; every value, witness, and trajectory is identical
+/// across widths. Not thread-safe; internal passes parallelize over agents
+/// under OpenMP when `parallel` is set (results are deterministic either
+/// way).
+class SearchState {
+ public:
+  /// Snapshots `g` (connected or not); see SearchStateImpl's constructor
+  /// for the model/include_deletions semantics. Requires 1 ≤ n ≤ 16382.
+  SearchState(const Graph& g, UsageCost model, bool include_deletions = false,
+              bool parallel = true, WidthPolicy width = WidthPolicy::Auto);
+  ~SearchState();
+  SearchState(const SearchState&) = delete;
+  SearchState& operator=(const SearchState&) = delete;
+
+  /// The current graph. Like stats(), the reference points into the active
+  /// implementation: any mutating call (commit/apply_*, or an evaluation
+  /// that promotes u8 → u16 and rebuilds the backing state) invalidates
+  /// previously returned references — re-fetch after mutations, copy to
+  /// keep.
+  [[nodiscard]] const Graph& graph() const noexcept;
+  [[nodiscard]] UsageCost model() const noexcept { return model_; }
+  [[nodiscard]] Vertex num_vertices() const noexcept;
+  [[nodiscard]] Vertex diameter() const noexcept;  ///< kInfDist if disconnected
+  [[nodiscard]] bool connected() const noexcept;
+
+  /// Distance storage width currently in use (U8 until a promotion).
+  [[nodiscard]] DistWidth width() const noexcept;
 
   /// Total unrest of the current graph: Σ_a max(1, gain of a's best
   /// deviation), 0 iff no agent has a deviation — so 0 ⇔ the matching
@@ -154,7 +393,8 @@ class SearchState {
   /// Best/first improving deviation of agent `a`, identical in witness,
   /// costs, and scan order to SwapEngine and the bncg::naive oracles.
   [[nodiscard]] std::optional<Deviation> best_deviation(Vertex a, bool include_deletions = false);
-  [[nodiscard]] std::optional<Deviation> first_deviation(Vertex a, bool include_deletions = false);
+  [[nodiscard]] std::optional<Deviation> first_deviation(Vertex a,
+                                                         bool include_deletions = false);
 
   /// Applies an accepted move to the live state (graph, matrices, journal).
   void apply_swap(const EdgeSwap& swap);
@@ -166,169 +406,35 @@ class SearchState {
   /// honoring the constructor's include_deletions in the max model).
   [[nodiscard]] bool certify_current();
 
-  [[nodiscard]] const SearchStats& stats() const noexcept { return stats_; }
+  /// Counters of this run (carried across promotions). Invalidated like
+  /// graph(): a promoting call rebuilds the backing state.
+  [[nodiscard]] const SearchStats& stats() const noexcept;
+
+  /// Width-independent snapshot of agent a's (current-graph) scan tables,
+  /// with the capped infinity widened to kInfDist — so a promoted state and
+  /// a from-scratch u16 state can be compared table for table (the
+  /// promotion-invariant property tests do exactly that). r1 is empty in
+  /// the max model.
+  struct ScanTables {
+    std::vector<Vertex> min1, min2, argmin;
+    std::vector<std::uint32_t> r1;
+  };
+  [[nodiscard]] ScanTables debug_scan_tables(Vertex a);
 
  private:
-  struct Toggle {
-    Vertex u = kNoVertex;
-    Vertex v = kNoVertex;
-    bool add = false;
-    /// Snapshot of the graph *before* a removal (edge still present): the
-    /// lazy replay of the removal BFS needs that historical adjacency.
-    /// Empty for additions (the formula replay is graph-free).
-    std::shared_ptr<const CsrGraph> before;
-  };
+  template <typename F>
+  decltype(auto) dispatch(F&& f);
+  void promote();
 
-  /// Per-thread scan scratch (mirrors SwapEngine::Scratch) plus per-thread
-  /// stat counters merged after each pass (keeps parallel passes race-free).
-  struct Scratch {
-    BatchBfsWorkspace bfs;
-    std::vector<std::uint16_t> proposal_rows;  // staged-toggle matrix (n×n)
-    std::vector<const std::uint16_t*> rowptr;  // per-row source (cache/scratch)
-    std::vector<Vertex> cands;                 // static candidate survivors
-    std::vector<std::uint16_t> row_u, row_v;  // stashed toggle-endpoint rows
-    std::vector<std::uint16_t> min1, min2;    // elementwise neighbor minima
-    std::vector<Vertex> argmin;
-    std::vector<std::uint16_t> mrow;          // M^w: min over N(a)∖{w}
-    std::vector<std::uint32_t> r1;            // sum-model relief bound
-    std::vector<std::uint8_t> is_nbr;
-    std::vector<Vertex> far;                  // max-model far set
-    std::vector<Vertex> sources;              // dirty rows to refresh
-    std::vector<Vertex> nbrs;                 // proposal-adjusted neighbor list
-    SearchStats stats;
-  };
-
-  enum class ScanMode { Value, First, Best };
-
-  struct ScanResult {
-    std::optional<Deviation> witness;     // First/Best modes
-    std::uint64_t best_cost = kInfCost;   // best cost_after over deviations
-    bool found = false;
-  };
-
-  [[nodiscard]] std::uint16_t* agent_rows(Vertex a) noexcept {
-    return agents_.data() + static_cast<std::size_t>(a) * n_ * n_;
-  }
-  [[nodiscard]] std::uint16_t* table_min1(Vertex a) noexcept {
-    return tmin1_[tcur_].data() + static_cast<std::size_t>(a) * n_;
-  }
-  [[nodiscard]] std::uint16_t* table_min2(Vertex a) noexcept {
-    return tmin2_[tcur_].data() + static_cast<std::size_t>(a) * n_;
-  }
-  [[nodiscard]] Vertex* table_argmin(Vertex a) noexcept {
-    return targmin_[tcur_].data() + static_cast<std::size_t>(a) * n_;
-  }
-  [[nodiscard]] std::uint32_t* table_r1(Vertex a) noexcept {
-    return tr1_[tcur_].data() + static_cast<std::size_t>(a) * n_;
-  }
-  /// Stores the scratch tables (which describe the staged proposal for
-  /// agent a) into the shadow table set; commit() flips the sets, so an
-  /// accepted proposal's tables become current for free.
-  void store_shadow_tables(Vertex a, const Scratch& scratch);
-  [[nodiscard]] std::uint16_t* full_rows(std::size_t slab) noexcept {
-    return full_[slab].data();
-  }
-
-  void ensure_slabs();
-  void ensure_table_slabs();
-  void ensure_agent_current(Vertex a, Scratch& scratch);
-  /// Rebuilds agent a's persistent scan tables when stale (matrix must be
-  /// current). Kept in lockstep with the matrix by the replay's row deltas;
-  /// toggles incident to a invalidate them (the neighbor set changed).
-  void ensure_tables(Vertex a, Scratch& scratch);
-  /// Copies agent a's persistent tables into the scratch working copies.
-  void load_tables(Vertex a, Scratch& scratch);
-  void rebuild_agent(Vertex a, Scratch& scratch);
-  void update_full_matrix_addition(Vertex u, Vertex v, std::size_t dst_slab, Scratch& scratch);
-  void update_full_matrix_removal(Vertex u, Vertex v, std::size_t dst_slab, Scratch& scratch);
-  void refresh_shape(std::size_t slab);
-  void merge_stats(Scratch& scratch);
-
-  /// Streams agent a's updated matrix for the staged addition into the
-  /// scratch proposal matrix while accumulating R1 and neighbor minima;
-  /// pure formula, the cached matrix is only read.
-  void stream_addition(Vertex a, Vertex u, Vertex v, Scratch& scratch);
-  /// Copies agent a's matrix into the scratch proposal matrix and
-  /// re-traverses the rows dirtied by the staged removal.
-  void stream_removal(Vertex a, Vertex u, Vertex v, Scratch& scratch);
-  /// Builds R1 (optional) and min1/min2/argmin for a matrix already in place.
-  void prepare_scan(const std::uint16_t* rows, Vertex a, Scratch& scratch, bool want_r1);
-  /// Builds min1/min2/argmin and optionally R1 from scratch.rowptr rows.
-  void scan_tables(Scratch& scratch, bool want_r1);
-
-  ScanResult scan_agent(Vertex a, std::uint64_t old_cost, bool include_deletions, ScanMode mode,
-                        Scratch& scratch, bool r1_valid);
-
-  [[nodiscard]] std::uint64_t evaluate_pass(bool staged);
-  [[nodiscard]] static std::uint64_t unrest_contribution(const ScanResult& r,
-                                                         std::uint64_t old_cost);
-  [[nodiscard]] std::uint64_t agent_cost_from_full(std::size_t slab, Vertex a) const;
-  void proposal_neighbors(Vertex a, Vertex tu, Vertex tv, bool add, bool staged,
-                          std::vector<Vertex>& out) const;
-  std::optional<Deviation> deviation_impl(Vertex a, bool include_deletions, ScanMode mode);
-  void append_toggle(Vertex u, Vertex v, bool add);
-  void apply_toggle_impl(Vertex u, Vertex v, bool add);
-
-  Graph graph_;
-  CsrGraph csr_;
   UsageCost model_;
   bool include_deletions_;
   bool parallel_;
-  Vertex n_ = 0;
-
-  // Full-graph matrix: double-buffered (entries use kSearchInf16 for ∞);
-  // fcur_ indexes the live copy, the other is the shadow a staged toggle is
-  // screened into, and commit is the O(1) index flip. Per-agent masked
-  // matrices live in ONE slab updated lazily through the journal —
-  // evaluation materializes proposal matrices into per-thread scratch
-  // instead of a shadow slab, halving both memory and DRAM write traffic.
-  std::vector<std::uint16_t> full_[2];  // n×n full-graph distances
-  std::vector<std::uint16_t> agents_;   // n slabs of n×n masked distances
-  std::size_t fcur_ = 0;
-
-  // Persistent per-agent scan tables (n entries per agent): coordinate-wise
-  // neighbor minima and, in the sum model, the R1 relief bound. Maintained
-  // by the same changed-row deltas as the matrices, so a staged evaluation
-  // only touches rows the toggle actually changes. Double-buffered like the
-  // full matrix: staged evaluations write every agent's proposal tables to
-  // the shadow set, and commit() flips tcur_ — the accepted proposal's
-  // tables become current with no recomputation. table_version_[a] tracks
-  // the journal version the current set matches (kUnbuilt = must rebuild);
-  // it may run ahead of version_[a] right after a commit, in which case the
-  // matrix catches up through the journal without touching the tables.
-  std::vector<std::uint16_t> tmin1_[2], tmin2_[2];
-  std::vector<Vertex> targmin_[2];
-  std::vector<std::uint32_t> tr1_[2];
-  std::size_t tcur_ = 0;
-  std::vector<std::uint64_t> table_version_;
-
-  // Shape caches of the full matrices (per slab).
-  std::vector<std::uint32_t> rowsum_[2];  // Σ_y d(a, y) over capped values
-  std::vector<std::uint16_t> rowmax_[2];  // max_y d(a, y)
-  Vertex diameter_[2] = {0, 0};           // kInfDist when disconnected
-
-  // Toggle journal for lazy per-agent maintenance. version_[a] indexes into
-  // the virtual history; log_base_ is the history index of log_[0]. An agent
-  // with version_[a] == kUnbuilt has no matrix yet. Entries deeper than
-  // kReplayLimit are dropped eagerly — agents that far behind rebuild from
-  // one fresh masked APSP instead of replaying.
-  std::vector<Toggle> log_;
-  std::uint64_t log_base_ = 0;
-  std::uint64_t head_ = 0;
-  std::vector<std::uint64_t> version_;
-  static constexpr std::uint64_t kUnbuilt = ~std::uint64_t{0};
-  static constexpr std::size_t kReplayLimit = 4;
-
-  // Staged proposal.
+  // Facade copy of the staged toggle so a promotion mid-evaluation can
+  // re-stage it on the fresh u16 state before retrying.
   bool staged_ = false;
-  bool evaluated_ = false;
   Vertex staged_u_ = kNoVertex, staged_v_ = kNoVertex;
-  bool staged_add_ = false;
-  std::uint64_t staged_unrest_ = 0;
-
-  std::optional<std::uint64_t> unrest_;  // cached unrest of the live graph
-  SearchStats stats_;
-  std::vector<Scratch> scratch_;  // scratch_[0] serves the serial paths
+  std::unique_ptr<SearchStateImpl<std::uint8_t>> impl8_;
+  std::unique_ptr<SearchStateImpl<std::uint16_t>> impl16_;
 };
 
 }  // namespace bncg

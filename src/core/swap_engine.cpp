@@ -7,34 +7,59 @@ namespace bncg {
 
 namespace {
 
+/// Infinity sentinel of the engine's per-width matrices. u16 keeps the full
+/// 0xFFFF traversal sentinel (the historical engine encoding); u8 uses the
+/// capped kSearchInf8 with finite range 0..kMaxFiniteFor — a sweep that
+/// would exceed it saturates and the agent is redone at u16.
+template <typename Dist>
+constexpr Dist engine_inf() {
+  if constexpr (std::is_same_v<Dist, std::uint8_t>) {
+    return kSearchInf8;
+  } else {
+    return kInfDist16;
+  }
+}
+
+template <typename Dist>
+constexpr Dist engine_max_finite() {
+  if constexpr (std::is_same_v<Dist, std::uint8_t>) {
+    return kMaxFiniteFor<std::uint8_t>;
+  } else {
+    return static_cast<std::uint16_t>(kInfDist16 - 1);
+  }
+}
+
 /// Post-swap sum cost: (n−1) + Σ_u min(m_u, c_u), where m = M^w (min over
 /// kept neighbor rows, with m_v = 0) and c = d_{G−v}(w₂,·). Any term at the
 /// ∞ sentinel means some vertex became unreachable. The accumulator fits
-/// 32 bits: every term is ≤ kInfDist16 = 2¹⁶−1 and n < 65535.
-std::uint64_t combine_sum(const std::uint16_t* m, const std::uint16_t* c, Vertex n) {
+/// 32 bits: every term is ≤ 2¹⁶−1 and n < 65535.
+template <typename Dist>
+std::uint64_t combine_sum(const Dist* m, const Dist* c, Vertex n, Dist inf) {
   std::uint32_t sum = 0;
-  std::uint16_t worst = 0;
+  Dist worst = 0;
   for (Vertex u = 0; u < n; ++u) {
-    const std::uint16_t t = std::min(m[u], c[u]);
+    const Dist t = std::min(m[u], c[u]);
     sum += t;
     worst = std::max(worst, t);
   }
-  if (worst >= kInfDist16) return kInfCost;
+  if (worst >= inf) return kInfCost;
   return sum + (n - 1);
 }
 
 /// Post-swap max cost: 1 + max_u min(m_u, c_u) — the max-model analogue.
-std::uint64_t combine_max(const std::uint16_t* m, const std::uint16_t* c, Vertex n) {
-  std::uint16_t worst = 0;
+template <typename Dist>
+std::uint64_t combine_max(const Dist* m, const Dist* c, Vertex n, Dist inf) {
+  Dist worst = 0;
   for (Vertex u = 0; u < n; ++u) worst = std::max(worst, std::min(m[u], c[u]));
-  return worst >= kInfDist16 ? kInfCost : std::uint64_t{1} + worst;
+  return worst >= inf ? kInfCost : std::uint64_t{1} + worst;
 }
 
 /// Post-deletion max cost: 1 + max_u M^w_u (m_v = 0; n ≥ 2 here).
-std::uint64_t deletion_ecc(const std::uint16_t* m, Vertex n) {
-  std::uint16_t worst = 0;
+template <typename Dist>
+std::uint64_t deletion_ecc(const Dist* m, Vertex n, Dist inf) {
+  Dist worst = 0;
   for (Vertex u = 0; u < n; ++u) worst = std::max(worst, m[u]);
-  return worst >= kInfDist16 ? kInfCost : std::uint64_t{1} + worst;
+  return worst >= inf ? kInfCost : std::uint64_t{1} + worst;
 }
 
 }  // namespace
@@ -51,9 +76,30 @@ bool swap_engine_enabled(const Graph& g) {
   return !force_naive_requested() && g.num_vertices() <= kSwapEngineAutoMaxVertices;
 }
 
+void SwapEngine::rebuild(const Graph& g, WidthPolicy width) {
+  policy_ = width;
+  rebuild(g);
+}
+
 void SwapEngine::rebuild(const Graph& g) {
   BNCG_REQUIRE(g.num_vertices() < kInfDist16, "SwapEngine requires n < 65535");
   csr_.rebuild(g);
+  width_fallbacks_.store(0, std::memory_order_relaxed);
+  prefer_u8_ = false;
+  const Vertex n = csr_.num_vertices();
+  if (policy_ == WidthPolicy::ForceU16 || n == 0) return;
+  if (policy_ == WidthPolicy::ForceU8) {
+    prefer_u8_ = true;
+    return;
+  }
+  // Auto probe: one BFS bounds the diameter by 2·ecc(0). Masked per-agent
+  // sweeps can still exceed the bound (G − v may be much wider than G), but
+  // the per-agent u16 fallback absorbs those exactly — the probe only has
+  // to make the preference pay off on average.
+  scratch_.base_.resize(n);
+  const BfsResult r = csr_bfs(csr_, 0, MaskedEdge{}, scratch_.base_.data(), scratch_.bfs_);
+  prefer_u8_ =
+      r.spans(n) && 2 * static_cast<std::uint64_t>(r.ecc) <= kMaxFiniteFor<std::uint8_t>;
 }
 
 std::uint64_t SwapEngine::agent_cost(Vertex v, UsageCost model, Scratch& s) const {
@@ -65,16 +111,18 @@ std::uint64_t SwapEngine::agent_cost(Vertex v, UsageCost model, Scratch& s) cons
   return model == UsageCost::Sum ? r.dist_sum : r.ecc;
 }
 
-std::optional<Deviation> SwapEngine::scan_agent(Vertex v, UsageCost model, bool stop_at_first,
-                                                bool include_deletions,
-                                                std::uint64_t* moves_checked,
-                                                Scratch& s) const {
+template <typename Dist>
+bool SwapEngine::scan_agent_t(Vertex v, UsageCost model, bool stop_at_first,
+                              bool include_deletions, std::uint64_t* moves_checked,
+                              Scratch& s, std::optional<Deviation>& out) const {
+  constexpr Dist kInf = engine_inf<Dist>();
   const Vertex n = csr_.num_vertices();
   BNCG_REQUIRE(v < n, "vertex id out of range");
   const std::uint64_t old_cost = agent_cost(v, model, s);
 
   const auto nbrs = csr_.neighbors(v);
-  if (nbrs.empty()) return std::nullopt;
+  out.reset();
+  if (nbrs.empty()) return true;
 
   // Closed-neighborhood marks: candidates w₂ must be fresh edges (swapping
   // onto an existing edge is a deletion and never improves either model).
@@ -84,46 +132,55 @@ std::optional<Deviation> SwapEngine::scan_agent(Vertex v, UsageCost model, bool 
 
   // The agent's single traversal bill: one batched APSP of G − v answers
   // every (removed edge, candidate) pair via the source-removal identity.
-  s.apsp_.resize(static_cast<std::size_t>(n) * n);
-  csr_apsp(csr_, MaskedEdge{}, s.apsp_.data(), s.bfs_, /*masked_vertex=*/v);
+  // A saturating sweep means this agent does not fit the width — bail so
+  // the dispatcher redoes it at u16.
+  auto& rows = s.rows<Dist>();
+  rows.apsp.resize(static_cast<std::size_t>(n) * n);
+  if (!csr_apsp_capped<Dist>(csr_, MaskedEdge{}, rows.apsp.data(), s.bfs_,
+                             /*masked_vertex=*/v, kInf, engine_max_finite<Dist>())) {
+    return false;
+  }
 
   // Elementwise min / argmin / second-min over the neighbor rows, so each
   // removed edge's kept-neighbor profile M^w is an O(n) select.
-  s.min1_.assign(n, kInfDist16);
-  s.min2_.assign(n, kInfDist16);
+  rows.min1.assign(n, kInf);
+  rows.min2.assign(n, kInf);
   s.argmin_.assign(n, kNoVertex);
   for (const Vertex z : nbrs) {
-    const std::uint16_t* cz = s.apsp_.data() + static_cast<std::size_t>(z) * n;
+    const Dist* cz = rows.apsp.data() + static_cast<std::size_t>(z) * n;
     for (Vertex u = 0; u < n; ++u) {
-      const std::uint16_t val = cz[u];
-      if (val < s.min1_[u]) {
-        s.min2_[u] = s.min1_[u];
-        s.min1_[u] = val;
+      const Dist val = cz[u];
+      if (val < rows.min1[u]) {
+        rows.min2[u] = rows.min1[u];
+        rows.min1[u] = val;
         s.argmin_[u] = z;
-      } else if (val < s.min2_[u]) {
-        s.min2_[u] = val;
+      } else if (val < rows.min2[u]) {
+        rows.min2[u] = val;
       }
     }
   }
-  s.mrow_.resize(n);
+  rows.mrow.resize(n);
 
   std::optional<Deviation> best;
   for (const Vertex w : nbrs) {
     // M^w_u = min_{z ∈ N(v)∖{w}} d_{G−v}(z, u); the v entry is pinned to 0
     // so whole-row combines need no special case for u = v.
-    std::uint16_t* m = s.mrow_.data();
-    for (Vertex u = 0; u < n; ++u) m[u] = s.argmin_[u] == w ? s.min2_[u] : s.min1_[u];
+    Dist* m = rows.mrow.data();
+    for (Vertex u = 0; u < n; ++u) m[u] = s.argmin_[u] == w ? rows.min2[u] : rows.min1[u];
     m[v] = 0;
 
     if (model == UsageCost::Max && include_deletions) {
       // Deletion clause: removing {v, w} must *strictly* increase v's local
       // diameter; 1 + M^w is exactly the post-deletion distance profile.
       if (moves_checked != nullptr) ++*moves_checked;
-      const std::uint64_t del_cost = deletion_ecc(m, n);
+      const std::uint64_t del_cost = deletion_ecc(m, n, kInf);
       if (del_cost <= old_cost) {
         const Deviation dev{{v, w, w}, old_cost, del_cost, Deviation::Kind::NonCriticalDelete};
         if (!best || dev.cost_after < best->cost_after) best = dev;
-        if (stop_at_first) return best;
+        if (stop_at_first) {
+          out = best;
+          return true;
+        }
       }
     }
 
@@ -132,11 +189,14 @@ std::optional<Deviation> SwapEngine::scan_agent(Vertex v, UsageCost model, bool 
         if (s.is_nbr_[w2] != 0) continue;
         if (moves_checked != nullptr) ++*moves_checked;
         const std::uint64_t new_cost =
-            combine_sum(m, s.apsp_.data() + static_cast<std::size_t>(w2) * n, n);
+            combine_sum(m, rows.apsp.data() + static_cast<std::size_t>(w2) * n, n, kInf);
         if (new_cost >= old_cost) continue;
         if (!best || new_cost < best->cost_after) {
           best = Deviation{{v, w, w2}, old_cost, new_cost, Deviation::Kind::ImprovingSwap};
-          if (stop_at_first) return best;
+          if (stop_at_first) {
+            out = best;
+            return true;
+          }
         }
       }
     } else {
@@ -146,7 +206,7 @@ std::optional<Deviation> SwapEngine::scan_agent(Vertex v, UsageCost model, bool 
       // connectivity" when old_cost = ∞). cap is signed: old_cost = 1 makes
       // improvement impossible and the far test rejects everything.
       const std::int32_t cap =
-          old_cost == kInfCost ? kInfDist16 - 1 : static_cast<std::int32_t>(old_cost) - 2;
+          old_cost == kInfCost ? std::int32_t{kInf} - 1 : static_cast<std::int32_t>(old_cost) - 2;
       s.far_.clear();
       for (Vertex u = 0; u < n; ++u) {
         if (u != v && m[u] > cap) s.far_.push_back(u);
@@ -154,7 +214,7 @@ std::optional<Deviation> SwapEngine::scan_agent(Vertex v, UsageCost model, bool 
       for (Vertex w2 = 0; w2 < n; ++w2) {
         if (s.is_nbr_[w2] != 0) continue;
         if (moves_checked != nullptr) ++*moves_checked;
-        const std::uint16_t* c = s.apsp_.data() + static_cast<std::size_t>(w2) * n;
+        const Dist* c = rows.apsp.data() + static_cast<std::size_t>(w2) * n;
         bool improves = true;
         for (const Vertex u : s.far_) {
           if (c[u] > cap) {
@@ -163,17 +223,43 @@ std::optional<Deviation> SwapEngine::scan_agent(Vertex v, UsageCost model, bool 
           }
         }
         if (!improves) continue;
-        const std::uint64_t new_cost = combine_max(m, c, n);
+        const std::uint64_t new_cost = combine_max(m, c, n, kInf);
         if (!best || new_cost < best->cost_after ||
             (best->kind == Deviation::Kind::NonCriticalDelete &&
              new_cost <= best->cost_after)) {
           best = Deviation{{v, w, w2}, old_cost, new_cost, Deviation::Kind::ImprovingSwap};
-          if (stop_at_first) return best;
+          if (stop_at_first) {
+            out = best;
+            return true;
+          }
         }
       }
     }
   }
-  return best;
+  out = best;
+  return true;
+}
+
+std::optional<Deviation> SwapEngine::scan_agent(Vertex v, UsageCost model, bool stop_at_first,
+                                                bool include_deletions,
+                                                std::uint64_t* moves_checked,
+                                                Scratch& s) const {
+  std::optional<Deviation> out;
+  if (prefer_u8_) {
+    // Run the narrow scan against a local move counter so a saturating
+    // sweep leaves the caller's count untouched — the u16 redo recounts the
+    // identical scan order, keeping move counts width-independent.
+    std::uint64_t narrow_moves = 0;
+    if (scan_agent_t<std::uint8_t>(v, model, stop_at_first, include_deletions,
+                                   moves_checked != nullptr ? &narrow_moves : nullptr, s, out)) {
+      if (moves_checked != nullptr) *moves_checked += narrow_moves;
+      return out;
+    }
+    width_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  }
+  (void)scan_agent_t<std::uint16_t>(v, model, stop_at_first, include_deletions, moves_checked, s,
+                                    out);
+  return out;
 }
 
 std::optional<Deviation> SwapEngine::best_deviation(Vertex v, UsageCost model, Scratch& scratch,

@@ -27,31 +27,43 @@
 //     is typically tiny — candidates are rejected after |far| comparisons
 //     and the exact combine runs only for actual improvers.
 //
+// The scan kernels are templated on the distance storage width
+// (graph/dist_width.hpp): on small-diameter instances the per-agent masked
+// matrix and all combine rows shrink to u8 (capped infinity kSearchInf8),
+// halving the combine's memory traffic — DESIGN.md §10. Width is a pure
+// storage choice: any agent whose masked sweep meets a distance the narrow
+// cap cannot represent is transparently redone at u16 (width_fallbacks()),
+// so results never depend on the width.
+//
 // Scans enumerate candidates in exactly the naive order and apply exactly
 // the naive acceptance rules, so engine results are bit-identical to the
-// brute-force oracle (differential-tested on hundreds of random instances;
-// set BNCG_FORCE_NAIVE=1 to route the public certifier API back to the
-// oracle).
+// brute-force oracle (differential-tested on hundreds of random instances —
+// across widths too, see tests/test_width_fuzz.cpp; set BNCG_FORCE_NAIVE=1
+// to route the public certifier API back to the oracle).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
+#include <type_traits>
 #include <vector>
 
 #include "core/equilibrium.hpp"
 #include "core/usage_cost.hpp"
 #include "graph/bfs_batch.hpp"
 #include "graph/csr.hpp"
+#include "graph/dist_width.hpp"
 #include "graph/graph.hpp"
 
 namespace bncg {
 
 /// Largest n for which the public entry points auto-select the engine. The
-/// per-thread Scratch holds an n×n 16-bit matrix (32 MB at this cap), so
-/// unbounded auto-enablement would trade the naive path's O(n) memory for
-/// multi-gigabyte allocations long before the 16-bit encoding limit.
-/// Callers that accept the memory bill can always construct a SwapEngine
-/// directly (hard limit: n < 65535).
+/// per-thread Scratch holds an n×n matrix (16 MB at this cap in u8, twice
+/// that in u16), so unbounded auto-enablement would trade the naive path's
+/// O(n) memory for multi-gigabyte allocations long before the 16-bit
+/// encoding limit. Callers that accept the memory bill can always construct
+/// a SwapEngine directly (hard limit: n < 65535); core/certify_sharded.hpp
+/// is the packaged way to do that for large-n certification.
 inline constexpr Vertex kSwapEngineAutoMaxVertices = 4096;
 
 /// True iff BNCG_FORCE_NAIVE is set (read once per process): every
@@ -66,32 +78,69 @@ inline constexpr Vertex kSwapEngineAutoMaxVertices = 4096;
 /// Delta-evaluating swap scanner over an immutable CSR snapshot.
 class SwapEngine {
  public:
-  /// Per-thread scratch: the masked-APSP matrix (n×n, 16-bit), the batched
-  /// BFS workspace, and small per-agent marks. Allocated once, reused for
-  /// every scan; one instance per thread.
+  /// Per-thread scratch: the masked-APSP matrix (n×n, in the width the scan
+  /// runs at), the batched BFS workspace, and small per-agent marks.
+  /// Allocated once, reused for every scan; one instance per thread. Only
+  /// the width actually exercised allocates its matrix, so u8-preferring
+  /// engines that never fall back pay no u16 slab.
   class Scratch {
    public:
     friend class SwapEngine;
 
    private:
+    /// Width-typed row buffers of one scan.
+    template <typename Dist>
+    struct Rows {
+      std::vector<Dist> apsp;  // all rows of G − v
+      std::vector<Dist> min1;  // elementwise min over neighbor rows
+      std::vector<Dist> min2;  // elementwise second min
+      std::vector<Dist> mrow;  // M^w: min over N(v)∖{w}
+    };
+    template <typename Dist>
+    [[nodiscard]] Rows<Dist>& rows() noexcept {
+      if constexpr (std::is_same_v<Dist, std::uint8_t>) {
+        return rows8_;
+      } else {
+        return rows16_;
+      }
+    }
+
     BatchBfsWorkspace bfs_;
-    std::vector<std::uint16_t> apsp_;     // all rows of G − v
-    std::vector<std::uint16_t> base_;     // d_G(v, ·) of the scanned agent
-    std::vector<std::uint8_t> is_nbr_;    // closed neighborhood marks of v
-    std::vector<std::uint16_t> min1_;     // elementwise min over neighbor rows
-    std::vector<std::uint16_t> min2_;     // elementwise second min
-    std::vector<Vertex> argmin_;          // neighbor attaining min1
-    std::vector<std::uint16_t> mrow_;     // M^w: min over N(v)∖{w}
-    std::vector<Vertex> far_;             // far set of the removed edge
+    std::vector<std::uint16_t> base_;   // d_G(v, ·) of the scanned agent
+    std::vector<std::uint8_t> is_nbr_;  // closed neighborhood marks of v
+    std::vector<Vertex> argmin_;        // neighbor attaining min1
+    std::vector<Vertex> far_;           // far set of the removed edge
+    Rows<std::uint8_t> rows8_;
+    Rows<std::uint16_t> rows16_;
   };
 
-  /// Snapshots `g`. Requires n < 65535 (16-bit distances).
-  explicit SwapEngine(const Graph& g) { rebuild(g); }
+  /// Snapshots `g`. Requires n < 65535 (16-bit distances). The width policy
+  /// governs which storage width scans *prefer* (graph/dist_width.hpp);
+  /// results are width-independent.
+  explicit SwapEngine(const Graph& g, WidthPolicy width = WidthPolicy::Auto) {
+    rebuild(g, width);
+  }
 
-  /// Re-snapshots after an accepted move (storage reused).
+  /// Re-snapshots after an accepted move (storage reused, width preference
+  /// re-probed under the current policy).
   void rebuild(const Graph& g);
 
+  /// Re-snapshots and changes the width policy.
+  void rebuild(const Graph& g, WidthPolicy width);
+
   [[nodiscard]] const CsrGraph& snapshot() const noexcept { return csr_; }
+
+  /// Width scans start in: U8 when the policy and the probed diameter bound
+  /// allow it, else U16.
+  [[nodiscard]] DistWidth preferred_width() const noexcept {
+    return prefer_u8_ ? DistWidth::U8 : DistWidth::U16;
+  }
+
+  /// Number of agent scans (since the last rebuild) whose masked sweep
+  /// saturated the u8 cap and were redone at u16.
+  [[nodiscard]] std::uint64_t width_fallbacks() const noexcept {
+    return width_fallbacks_.load(std::memory_order_relaxed);
+  }
 
   /// Usage cost of agent `v` on the snapshot (kInfCost when disconnected).
   [[nodiscard]] std::uint64_t agent_cost(Vertex v, UsageCost model, Scratch& scratch) const;
@@ -124,7 +173,20 @@ class SwapEngine {
                                       bool include_deletions, std::uint64_t* moves_checked,
                                       Scratch& scratch) const;
 
+  /// Width-typed scan body. Returns false — with `out` and the move count
+  /// untouched by the caller — when the masked sweep saturates the width
+  /// (only possible for u8); the dispatcher then redoes the agent at u16.
+  template <typename Dist>
+  [[nodiscard]] bool scan_agent_t(Vertex v, UsageCost model, bool stop_at_first,
+                                  bool include_deletions, std::uint64_t* moves_checked,
+                                  Scratch& scratch, std::optional<Deviation>& out) const;
+
   CsrGraph csr_;
+  WidthPolicy policy_ = WidthPolicy::Auto;
+  bool prefer_u8_ = false;
+  /// Shared across the const certify() path's threads; relaxed is enough
+  /// for a monotone counter.
+  mutable std::atomic<std::uint64_t> width_fallbacks_{0};
   Scratch scratch_;  // for the convenience overloads
 };
 

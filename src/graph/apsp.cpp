@@ -35,4 +35,11 @@ std::uint64_t DistanceMatrix::row_sum(Vertex u) const {
   return sum;
 }
 
+DistWidth DistanceMatrix::recommended_width() const noexcept {
+  for (const Vertex d : data_) {
+    if (d != kInfDist && !fits_u8(d)) return DistWidth::U16;
+  }
+  return DistWidth::U8;
+}
+
 }  // namespace bncg

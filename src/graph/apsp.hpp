@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "graph/bfs.hpp"
+#include "graph/dist_width.hpp"
 #include "graph/graph.hpp"
 
 namespace bncg {
@@ -47,6 +48,15 @@ class DistanceMatrix {
 
   /// Σ_v d(u, v); only meaningful when connected().
   [[nodiscard]] std::uint64_t row_sum(Vertex u) const;
+
+  /// Narrowest capped-infinity storage width whose finite range covers
+  /// every distance in this matrix (graph/dist_width.hpp): U8 when the
+  /// largest finite distance fits the 8-bit cap, U16 otherwise. The exact
+  /// oracle behind the engines' cheap BFS-bound width probes — callers
+  /// that already paid for a full matrix can seed SwapEngine/SearchState
+  /// width policies from it, and the width fuzz suite uses it to engineer
+  /// cap-adjacent instances.
+  [[nodiscard]] DistWidth recommended_width() const noexcept;
 
  private:
   Vertex n_ = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstring>
 #include <type_traits>
 
 namespace bncg {
@@ -13,75 +14,102 @@ struct BatchBfsAccess {
   static std::vector<std::uint64_t>& next(BatchBfsWorkspace& ws) { return ws.next_; }
   static std::vector<std::uint64_t>& visited(BatchBfsWorkspace& ws) { return ws.visited_; }
   static std::vector<Vertex>& queue(BatchBfsWorkspace& ws) { return ws.queue_; }
-  static std::vector<std::uint16_t>& rows16(BatchBfsWorkspace& ws) { return ws.rows16_; }
+  static std::vector<Vertex>& frontier(BatchBfsWorkspace& ws) { return ws.frontier_; }
+  static std::vector<Vertex>& touched(BatchBfsWorkspace& ws) { return ws.touched_; }
+  static std::vector<Vertex>& spare(BatchBfsWorkspace& ws) { return ws.spare_; }
+  static std::vector<std::uint32_t>& stamp(BatchBfsWorkspace& ws) { return ws.stamp_; }
+  template <typename Dist>
+  static std::vector<Dist>& staging(BatchBfsWorkspace& ws) {
+    if constexpr (std::is_same_v<Dist, std::uint8_t>) {
+      return ws.rows8_;
+    } else {
+      return ws.rows16_;
+    }
+  }
 };
 
 namespace {
 
-template <typename Dist>
-constexpr Dist dist_inf() {
-  if constexpr (std::is_same_v<Dist, std::uint16_t>) {
-    return kInfDist16;
-  } else {
-    return kInfDist;
-  }
-}
-
 /// Plain queue BFS over the snapshot (the sparse / tiny-batch fallback).
+/// Writes `inf_value` for unreachable entries and exact distances otherwise;
+/// returns false (matrix row unspecified) when a finite distance would
+/// exceed `max_finite`. Levels are tracked in Vertex width, so the
+/// saturation test itself can never wrap the narrow storage type.
 template <typename Dist>
-BfsResult queue_bfs(const CsrGraph& g, Vertex src, MaskedEdge mask, Dist* dist,
-                    std::vector<Vertex>& queue, Vertex masked_vertex) {
-  constexpr Dist kInf = dist_inf<Dist>();
+[[nodiscard]] bool queue_bfs(const CsrGraph& g, Vertex src, MaskedEdge mask, Dist* dist,
+                             std::vector<Vertex>& queue, Vertex masked_vertex, Dist inf_value,
+                             Dist max_finite, BfsResult& result) {
   const Vertex n = g.num_vertices();
-  std::fill(dist, dist + n, kInf);
+  std::fill(dist, dist + n, inf_value);
   queue.clear();
   queue.reserve(n);
-  if (src == masked_vertex) return {};  // the vertex is absent: all-∞ row
+  result = {};
+  if (src == masked_vertex) return true;  // the vertex is absent: all-∞ row
   dist[src] = 0;
   queue.push_back(src);
 
-  BfsResult result;
   result.reached = 1;
   for (std::size_t head = 0; head < queue.size(); ++head) {
     const Vertex u = queue[head];
-    const Dist du = dist[u];
+    const Vertex du = dist[u];
     result.dist_sum += du;
     result.ecc = std::max<Vertex>(result.ecc, du);
+    const Vertex nd = du + 1;
     for (const Vertex t : g.neighbors(u)) {
-      if (dist[t] != kInf) continue;
+      if (dist[t] != inf_value) continue;
       if (t == masked_vertex) continue;
       if (mask.active() && mask.hides(u, t)) continue;
-      dist[t] = static_cast<Dist>(du + 1);
+      if (nd > max_finite) return false;  // saturated: unrepresentable finite distance
+      dist[t] = static_cast<Dist>(nd);
       queue.push_back(t);
       ++result.reached;
     }
   }
-  return result;
+  return true;
 }
 
-/// Word-parallel level-synchronous BFS: one frontier bit per source.
+/// Word-parallel level-synchronous BFS: one frontier bit per source,
+/// direction-optimizing per level.
 ///
-/// Pull formulation: per level, every vertex gathers the OR of its
-/// neighbors' previous-level frontier words in one streaming sweep over the
-/// CSR arrays — sequential offset/target reads, no frontier list, no
-/// per-edge branches, which measures faster than push-with-worklists on the
-/// dense instances this path is selected for (thin-frontier inputs take the
-/// queue fallback instead). The masked edge costs one recompute for its two
-/// endpoints per level. Distance rows are written once per settled bit;
-/// unreached entries are back-filled at the end, so the common connected
-/// case never pays an O(batch·n) infinity pre-fill.
+/// Fat levels run the **pull** formulation: every unsettled vertex gathers
+/// the OR of its neighbors' previous-level frontier words in one streaming
+/// sweep over the CSR arrays — sequential offset/target reads, no
+/// worklists, no per-edge branches. Thin levels (frontier below n/8
+/// vertices — the first couple of hops from ≤ 64 sources, and the last
+/// stragglers) run a **push** step instead: only the frontier's own edges
+/// are touched, with a level-stamped first-touch scratch so nothing is
+/// zeroed per level. Both steps settle identical bits at identical levels,
+/// so the mode sequence is invisible in the output; the masked edge costs
+/// one extra comparison on whichever side touches it.
+///
+/// Distance rows are written once per settled bit — the settles of one
+/// level sweep u in ascending order, so the writes form ≤ 64 interleaved
+/// sequential streams (a transposed-tile variant was measured slower: the
+/// extra full-matrix transpose pass costs more than the stream writes) —
+/// and unreached entries are back-filled with `inf_value` at the end, so
+/// the common connected case never pays an O(batch·n) infinity pre-fill.
+///
+/// Returns false the moment any bit settles at a level above `max_finite`
+/// (the exact saturation condition — a frontier that dies at max_finite is
+/// not saturation).
 template <typename Dist>
-void bitparallel_batch(const CsrGraph& g, std::span<const Vertex> sources, MaskedEdge mask,
-                       Dist* rows, std::size_t stride, BatchBfsWorkspace& ws,
-                       Vertex masked_vertex) {
-  constexpr Dist kInf = dist_inf<Dist>();
+[[nodiscard]] bool bitparallel_batch(const CsrGraph& g, std::span<const Vertex> sources,
+                                     MaskedEdge mask, Dist* rows, std::size_t stride,
+                                     BatchBfsWorkspace& ws, Vertex masked_vertex, Dist inf_value,
+                                     Dist max_finite) {
   const Vertex n = g.num_vertices();
   auto& cur = BatchBfsAccess::cur(ws);
   auto& next = BatchBfsAccess::next(ws);
   auto& visited = BatchBfsAccess::visited(ws);
+  auto& frontier = BatchBfsAccess::frontier(ws);
+  auto& touched = BatchBfsAccess::touched(ws);
+  auto& spare = BatchBfsAccess::spare(ws);
+  auto& stamp = BatchBfsAccess::stamp(ws);
   cur.assign(n, 0);
   next.resize(n);
   visited.assign(n, 0);
+  stamp.assign(n, 0);
+  frontier.clear();
 
   const std::uint64_t batch_mask =
       sources.size() == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << sources.size()) - 1;
@@ -89,21 +117,65 @@ void bitparallel_batch(const CsrGraph& g, std::span<const Vertex> sources, Maske
   // frontier, and its cur word stays 0, so nothing traverses through it.
   if (masked_vertex < n) {
     visited[masked_vertex] = batch_mask;
-    for (std::size_t i = 0; i < sources.size(); ++i) rows[i * stride + masked_vertex] = kInf;
+    for (std::size_t i = 0; i < sources.size(); ++i) rows[i * stride + masked_vertex] = inf_value;
   }
   for (std::size_t i = 0; i < sources.size(); ++i) {
     const Vertex s = sources[i];
     if (s == masked_vertex) continue;  // absent source: row back-fills to ∞
+    if (cur[s] == 0) frontier.push_back(s);
     visited[s] |= std::uint64_t{1} << i;
     cur[s] |= std::uint64_t{1} << i;
     rows[i * stride + s] = 0;
   }
 
+  // Invariant at each loop top: cur[u] holds the previous level's frontier
+  // word of u (zero elsewhere) and `frontier` lists exactly the u with
+  // cur[u] != 0.
   Vertex level = 0;
   bool active = true;
   while (active) {
     ++level;
     active = false;
+    if (frontier.size() * 8 < n) {
+      // Push step: accumulate frontier words into next[] behind first-touch
+      // stamps (no per-level zeroing), then settle only the touched list.
+      touched.clear();
+      for (const Vertex u : frontier) {
+        const std::uint64_t word = cur[u];
+        for (const Vertex t : g.neighbors(u)) {
+          if (t == masked_vertex) continue;
+          if (mask.active() && mask.hides(u, t)) [[unlikely]]
+            continue;
+          if (stamp[t] != level) {
+            stamp[t] = level;
+            next[t] = word;
+            touched.push_back(t);
+          } else {
+            next[t] |= word;
+          }
+        }
+      }
+      spare.clear();
+      for (const Vertex u : frontier) cur[u] = 0;
+      for (const Vertex t : touched) {
+        const std::uint64_t newly = next[t] & ~visited[t];
+        if (newly == 0) continue;
+        if (level > max_finite) return false;  // saturated settle
+        active = true;
+        visited[t] |= newly;
+        cur[t] = newly;
+        spare.push_back(t);
+        std::uint64_t bits = newly;
+        while (bits != 0) {
+          const int b = std::countr_zero(bits);
+          bits &= bits - 1;
+          rows[static_cast<std::size_t>(b) * stride + t] = static_cast<Dist>(level);
+        }
+      }
+      frontier.swap(spare);
+      continue;
+    }
+    frontier.clear();
     for (Vertex u = 0; u < n; ++u) {
       // Saturated vertices (all sources arrived) can gain nothing; skip the
       // gather — this makes late, mostly-settled levels nearly free.
@@ -123,8 +195,10 @@ void bitparallel_batch(const CsrGraph& g, std::span<const Vertex> sources, Maske
       const std::uint64_t newly = word & ~visited[u];
       next[u] = newly;
       if (newly == 0) continue;
+      if (level > max_finite) return false;  // saturated: this settle is unrepresentable
       active = true;
       visited[u] |= newly;
+      frontier.push_back(u);
       std::uint64_t bits = newly;
       while (bits != 0) {
         const int b = std::countr_zero(bits);
@@ -137,13 +211,15 @@ void bitparallel_batch(const CsrGraph& g, std::span<const Vertex> sources, Maske
 
   // Back-fill unreached entries (no-op on connected graphs).
   for (Vertex u = 0; u < n; ++u) {
+    if (u == masked_vertex) continue;
     std::uint64_t missing = batch_mask & ~visited[u];
     while (missing != 0) {
       const int b = std::countr_zero(missing);
       missing &= missing - 1;
-      rows[static_cast<std::size_t>(b) * stride + u] = kInf;
+      rows[static_cast<std::size_t>(b) * stride + u] = inf_value;
     }
   }
+  return true;
 }
 
 /// Dispatch: word-parallelism pays once the batch is wide and frontiers are
@@ -152,24 +228,30 @@ void bitparallel_batch(const CsrGraph& g, std::span<const Vertex> sources, Maske
 /// queue BFS wins; likewise for tiny batches. Cutoffs measured on random
 /// G(n, m) — see DESIGN.md.
 template <typename Dist>
-void batch_dispatch(const CsrGraph& g, std::span<const Vertex> sources, MaskedEdge mask,
-                    Dist* rows, std::size_t stride, BatchBfsWorkspace& ws,
-                    Vertex masked_vertex = kNoVertex) {
+[[nodiscard]] bool batch_dispatch(const CsrGraph& g, std::span<const Vertex> sources,
+                                  MaskedEdge mask, Dist* rows, std::size_t stride,
+                                  BatchBfsWorkspace& ws, Vertex masked_vertex, Dist inf_value,
+                                  Dist max_finite) {
   const std::size_t n = g.num_vertices();
   const bool sparse = g.num_edges() < n + n / 4;
   if (sources.size() < 8 || sparse) {
+    BfsResult scratch_result;
     for (std::size_t i = 0; i < sources.size(); ++i) {
-      queue_bfs(g, sources[i], mask, rows + i * stride, BatchBfsAccess::queue(ws),
-                masked_vertex);
+      if (!queue_bfs(g, sources[i], mask, rows + i * stride, BatchBfsAccess::queue(ws),
+                     masked_vertex, inf_value, max_finite, scratch_result)) {
+        return false;
+      }
     }
-    return;
+    return true;
   }
-  bitparallel_batch(g, sources, mask, rows, stride, ws, masked_vertex);
+  return bitparallel_batch(g, sources, mask, rows, stride, ws, masked_vertex, inf_value,
+                           max_finite);
 }
 
 template <typename Dist>
-void apsp_impl(const CsrGraph& g, MaskedEdge mask, Dist* rows, BatchBfsWorkspace& ws,
-               Vertex masked_vertex = kNoVertex) {
+[[nodiscard]] bool apsp_impl(const CsrGraph& g, MaskedEdge mask, Dist* rows,
+                             BatchBfsWorkspace& ws, Vertex masked_vertex, Dist inf_value,
+                             Dist max_finite) {
   const Vertex n = g.num_vertices();
   std::vector<Vertex> sources;
   sources.reserve(64);
@@ -177,9 +259,35 @@ void apsp_impl(const CsrGraph& g, MaskedEdge mask, Dist* rows, BatchBfsWorkspace
     const Vertex count = std::min<Vertex>(64, n - base);
     sources.resize(count);
     for (Vertex i = 0; i < count; ++i) sources[i] = base + i;
-    batch_dispatch<Dist>(g, sources, mask, rows + static_cast<std::size_t>(base) * n, n, ws,
-                         masked_vertex);
+    if (!batch_dispatch<Dist>(g, sources, mask, rows + static_cast<std::size_t>(base) * n, n, ws,
+                              masked_vertex, inf_value, max_finite)) {
+      return false;
+    }
   }
+  return true;
+}
+
+template <typename Dist>
+[[nodiscard]] bool apsp_rows_impl(const CsrGraph& g, std::span<const Vertex> sources,
+                                  MaskedEdge mask, Dist* matrix, std::size_t stride,
+                                  BatchBfsWorkspace& ws, Vertex masked_vertex, Dist inf_value,
+                                  Dist max_finite) {
+  const Vertex n = g.num_vertices();
+  auto& staging = BatchBfsAccess::staging<Dist>(ws);
+  staging.resize(std::size_t{64} * n);
+  for (std::size_t base = 0; base < sources.size(); base += 64) {
+    const std::size_t count = std::min<std::size_t>(64, sources.size() - base);
+    const std::span<const Vertex> group = sources.subspan(base, count);
+    if (!batch_dispatch(g, group, mask, staging.data(), n, ws, masked_vertex, inf_value,
+                        max_finite)) {
+      return false;
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      std::memcpy(matrix + static_cast<std::size_t>(group[i]) * stride, staging.data() + i * n,
+                  static_cast<std::size_t>(n) * sizeof(Dist));
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -188,7 +296,11 @@ BfsResult csr_bfs(const CsrGraph& g, Vertex src, MaskedEdge mask, std::uint16_t*
                   BatchBfsWorkspace& ws, Vertex masked_vertex) {
   BNCG_REQUIRE(src < g.num_vertices(), "vertex id out of range");
   BNCG_REQUIRE(g.num_vertices() < kInfDist16, "16-bit traversal requires n < 65535");
-  return queue_bfs(g, src, mask, dist, BatchBfsAccess::queue(ws), masked_vertex);
+  BfsResult result;
+  // Distances < n < 0xFFFF never saturate the full 16-bit range.
+  (void)queue_bfs(g, src, mask, dist, BatchBfsAccess::queue(ws), masked_vertex, kInfDist16,
+                  static_cast<std::uint16_t>(kInfDist16 - 1), result);
+  return result;
 }
 
 void bfs_batch(const CsrGraph& g, std::span<const Vertex> sources, MaskedEdge mask,
@@ -196,42 +308,66 @@ void bfs_batch(const CsrGraph& g, std::span<const Vertex> sources, MaskedEdge ma
                Vertex masked_vertex) {
   BNCG_REQUIRE(sources.size() <= 64, "at most 64 sources per batch");
   BNCG_REQUIRE(g.num_vertices() < kInfDist16, "16-bit traversal requires n < 65535");
-  batch_dispatch(g, sources, mask, rows, stride, ws, masked_vertex);
+  (void)batch_dispatch(g, sources, mask, rows, stride, ws, masked_vertex, kInfDist16,
+                       static_cast<std::uint16_t>(kInfDist16 - 1));
 }
 
 void csr_apsp(const CsrGraph& g, MaskedEdge mask, std::uint16_t* rows, BatchBfsWorkspace& ws,
               Vertex masked_vertex) {
   BNCG_REQUIRE(g.num_vertices() < kInfDist16, "16-bit APSP requires n < 65535");
-  apsp_impl(g, mask, rows, ws, masked_vertex);
+  (void)apsp_impl(g, mask, rows, ws, masked_vertex, kInfDist16,
+                  static_cast<std::uint16_t>(kInfDist16 - 1));
 }
 
 void csr_apsp_rows(const CsrGraph& g, std::span<const Vertex> sources, MaskedEdge mask,
                    std::uint16_t* matrix, std::size_t stride, BatchBfsWorkspace& ws,
                    Vertex masked_vertex, std::uint16_t inf_value) {
   const Vertex n = g.num_vertices();
-  BNCG_REQUIRE(g.num_vertices() < kInfDist16, "16-bit traversal requires n < 65535");
+  BNCG_REQUIRE(n < kInfDist16, "16-bit traversal requires n < 65535");
   BNCG_REQUIRE(inf_value >= n, "inf_value must dominate every finite distance");
-  auto& staging = BatchBfsAccess::rows16(ws);
-  staging.resize(std::size_t{64} * n);
-  for (std::size_t base = 0; base < sources.size(); base += 64) {
-    const std::size_t count = std::min<std::size_t>(64, sources.size() - base);
-    const std::span<const Vertex> group = sources.subspan(base, count);
-    batch_dispatch(g, group, mask, staging.data(), n, ws, masked_vertex);
-    for (std::size_t i = 0; i < count; ++i) {
-      const std::uint16_t* src_row = staging.data() + i * n;
-      std::uint16_t* dst = matrix + static_cast<std::size_t>(group[i]) * stride;
-      // min() maps the traversal's 0xFFFF sentinel onto inf_value and is the
-      // identity on finite distances (all < n ≤ inf_value).
-      for (Vertex x = 0; x < n; ++x) dst[x] = std::min(src_row[x], inf_value);
-    }
-  }
+  // Finite distances are ≤ n − 1 < inf_value, so saturation is impossible:
+  // the capped kernel is exactly this function with an unreachable cap.
+  (void)csr_apsp_rows_capped<std::uint16_t>(g, sources, mask, matrix, stride, ws, masked_vertex,
+                                            inf_value, static_cast<std::uint16_t>(inf_value - 1));
 }
+
+template <typename Dist>
+bool csr_apsp_capped(const CsrGraph& g, MaskedEdge mask, Dist* rows, BatchBfsWorkspace& ws,
+                     Vertex masked_vertex, Dist inf_value, Dist max_finite) {
+  BNCG_REQUIRE(max_finite < inf_value, "max_finite must stay below inf_value");
+  return apsp_impl(g, mask, rows, ws, masked_vertex, inf_value, max_finite);
+}
+
+template <typename Dist>
+bool csr_apsp_rows_capped(const CsrGraph& g, std::span<const Vertex> sources, MaskedEdge mask,
+                          Dist* matrix, std::size_t stride, BatchBfsWorkspace& ws,
+                          Vertex masked_vertex, Dist inf_value, Dist max_finite) {
+  BNCG_REQUIRE(max_finite < inf_value, "max_finite must stay below inf_value");
+  return apsp_rows_impl(g, sources, mask, matrix, stride, ws, masked_vertex, inf_value,
+                        max_finite);
+}
+
+template bool csr_apsp_capped<std::uint8_t>(const CsrGraph&, MaskedEdge, std::uint8_t*,
+                                            BatchBfsWorkspace&, Vertex, std::uint8_t,
+                                            std::uint8_t);
+template bool csr_apsp_capped<std::uint16_t>(const CsrGraph&, MaskedEdge, std::uint16_t*,
+                                             BatchBfsWorkspace&, Vertex, std::uint16_t,
+                                             std::uint16_t);
+template bool csr_apsp_rows_capped<std::uint8_t>(const CsrGraph&, std::span<const Vertex>,
+                                                 MaskedEdge, std::uint8_t*, std::size_t,
+                                                 BatchBfsWorkspace&, Vertex, std::uint8_t,
+                                                 std::uint8_t);
+template bool csr_apsp_rows_capped<std::uint16_t>(const CsrGraph&, std::span<const Vertex>,
+                                                  MaskedEdge, std::uint16_t*, std::size_t,
+                                                  BatchBfsWorkspace&, Vertex, std::uint16_t,
+                                                  std::uint16_t);
 
 bool csr_apsp_wide(const CsrGraph& g, Vertex* rows) {
   const Vertex n = g.num_vertices();
   if (n == 0) return true;
   const std::size_t stride = n;
   const Vertex num_batches = (n + 63) / 64;
+  constexpr Vertex kMaxFiniteWide = kInfDist - 1;  // distances < n: never saturates
 
 #ifdef BNCG_HAS_OPENMP
 #pragma omp parallel
@@ -245,8 +381,9 @@ bool csr_apsp_wide(const CsrGraph& g, Vertex* rows) {
       const Vertex count = std::min<Vertex>(64, n - base);
       sources.resize(count);
       for (Vertex i = 0; i < count; ++i) sources[i] = base + i;
-      batch_dispatch<Vertex>(g, sources, MaskedEdge{}, rows + static_cast<std::size_t>(base) * stride,
-                             stride, ws);
+      (void)batch_dispatch<Vertex>(g, sources, MaskedEdge{},
+                                   rows + static_cast<std::size_t>(base) * stride, stride, ws,
+                                   kNoVertex, kInfDist, kMaxFiniteWide);
     }
   }
 #else
@@ -258,8 +395,9 @@ bool csr_apsp_wide(const CsrGraph& g, Vertex* rows) {
     const Vertex count = std::min<Vertex>(64, n - base);
     sources.resize(count);
     for (Vertex i = 0; i < count; ++i) sources[i] = base + i;
-    batch_dispatch<Vertex>(g, sources, MaskedEdge{}, rows + static_cast<std::size_t>(base) * stride,
-                           stride, ws);
+    (void)batch_dispatch<Vertex>(g, sources, MaskedEdge{},
+                                 rows + static_cast<std::size_t>(base) * stride, stride, ws,
+                                 kNoVertex, kInfDist, kMaxFiniteWide);
   }
 #endif
 

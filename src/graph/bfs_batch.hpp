@@ -19,6 +19,14 @@
 // halves APSP bandwidth; graphs must therefore have n < 65535. The wide
 // (32-bit) entry point `csr_apsp_wide` backs DistanceMatrix without that
 // restriction on its output type.
+//
+// Every kernel is one template family over the distance storage type; the
+// width-adaptive entry points (`csr_apsp_capped`, `csr_apsp_rows_capped`)
+// expose the u8/u16 instantiations with an explicit capped infinity and
+// *saturation detection*: a traversal that would have to write a finite
+// distance above `max_finite` reports failure instead of writing a wrapped
+// or aliased value, which is what lets core/swap_engine fall back per agent
+// and core/search_state promote u8 → u16 mid-run (graph/dist_width.hpp).
 #pragma once
 
 #include <cstdint>
@@ -27,6 +35,7 @@
 
 #include "graph/bfs.hpp"  // BfsResult, kInfDist
 #include "graph/csr.hpp"
+#include "graph/dist_width.hpp"
 
 namespace bncg {
 
@@ -44,7 +53,12 @@ class BatchBfsWorkspace {
   std::vector<std::uint64_t> next_;     // next-level bits per vertex
   std::vector<std::uint64_t> visited_;  // settled bits per vertex
   std::vector<Vertex> queue_;           // queue-BFS fallback
-  std::vector<std::uint16_t> rows16_;   // staging rows for csr_apsp_rows
+  std::vector<std::uint16_t> rows16_;   // staging rows for csr_apsp_rows*
+  std::vector<std::uint8_t> rows8_;     // u8 staging (csr_apsp_rows_capped)
+  std::vector<Vertex> frontier_;        // thin-level push lists (bitparallel)
+  std::vector<Vertex> touched_;
+  std::vector<Vertex> spare_;
+  std::vector<std::uint32_t> stamp_;    // first-touch level stamps (push mode)
 };
 
 /// Single-source queue BFS over the snapshot, skipping `mask` if active and
@@ -89,5 +103,27 @@ bool csr_apsp_wide(const CsrGraph& g, Vertex* rows);
 void csr_apsp_rows(const CsrGraph& g, std::span<const Vertex> sources, MaskedEdge mask,
                    std::uint16_t* matrix, std::size_t stride, BatchBfsWorkspace& ws,
                    Vertex masked_vertex = kNoVertex, std::uint16_t inf_value = kInfDist16);
+
+/// Width-adaptive all-pairs shortest paths with saturation detection: like
+/// `csr_apsp`, but distances are stored as `Dist` with `inf_value` written
+/// for unreachable (and masked) entries. Returns false — with unspecified
+/// matrix contents — as soon as some *finite* distance exceeds `max_finite`,
+/// i.e. the instance does not fit the width's capped-infinity encoding.
+/// Preconditions: max_finite < inf_value. Instantiated for u8 and u16.
+template <typename Dist>
+[[nodiscard]] bool csr_apsp_capped(const CsrGraph& g, MaskedEdge mask, Dist* rows,
+                                   BatchBfsWorkspace& ws, Vertex masked_vertex,
+                                   Dist inf_value, Dist max_finite);
+
+/// Width-adaptive selective row refresh (`csr_apsp_rows` semantics) with the
+/// same saturation contract as `csr_apsp_capped`. On a false return the
+/// matrix rows already refreshed hold unspecified values — callers discard
+/// the whole narrow structure (engine fallback / search-state promotion).
+/// Instantiated for u8 and u16.
+template <typename Dist>
+[[nodiscard]] bool csr_apsp_rows_capped(const CsrGraph& g, std::span<const Vertex> sources,
+                                        MaskedEdge mask, Dist* matrix, std::size_t stride,
+                                        BatchBfsWorkspace& ws, Vertex masked_vertex,
+                                        Dist inf_value, Dist max_finite);
 
 }  // namespace bncg

@@ -1,0 +1,108 @@
+// Differential tests for the sharded certification driver
+// (core/certify_sharded.hpp): under every shard count the full-mode
+// certificate — verdict, witness, tie-breaks, move counts — must be
+// bit-identical to SwapEngine::certify and the bncg::naive certifiers, and
+// the stop_on_violation fast path must agree on the verdict.
+#include "core/certify_sharded.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/equilibrium.hpp"
+#include "core/swap_engine.hpp"
+#include "gen/classic.hpp"
+#include "gen/random.hpp"
+#include "util/rng.hpp"
+
+namespace bncg {
+namespace {
+
+void expect_same_certificate(const EquilibriumCertificate& got,
+                             const EquilibriumCertificate& want, const std::string& context) {
+  ASSERT_EQ(got.is_equilibrium, want.is_equilibrium) << context;
+  EXPECT_EQ(got.moves_checked, want.moves_checked) << context;
+  ASSERT_EQ(got.witness.has_value(), want.witness.has_value()) << context;
+  if (!got.witness) return;
+  EXPECT_EQ(got.witness->swap.v, want.witness->swap.v) << context;
+  EXPECT_EQ(got.witness->swap.remove_w, want.witness->swap.remove_w) << context;
+  EXPECT_EQ(got.witness->swap.add_w, want.witness->swap.add_w) << context;
+  EXPECT_EQ(got.witness->cost_before, want.witness->cost_before) << context;
+  EXPECT_EQ(got.witness->cost_after, want.witness->cost_after) << context;
+  EXPECT_EQ(got.witness->kind, want.witness->kind) << context;
+}
+
+TEST(CertifySharded, MatchesEngineAndNaiveUnderEveryShardCount) {
+  Xoshiro256ss rng(0xC0DE);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Vertex n = 8 + static_cast<Vertex>(rng.below(25));
+    const Graph g = random_connected_gnm(n, n - 1 + rng.below(2 * n), rng);
+    for (const UsageCost model : {UsageCost::Sum, UsageCost::Max}) {
+      const bool deletions = model == UsageCost::Max;
+      const SwapEngine engine(g);
+      const EquilibriumCertificate want = engine.certify(model, deletions);
+      const EquilibriumCertificate naive_want = model == UsageCost::Sum
+                                                    ? naive::certify_sum_equilibrium(g)
+                                                    : naive::certify_max_equilibrium(g);
+      for (const std::size_t shards : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                                       std::size_t{5}, std::size_t{64}}) {
+        ShardedCertifyConfig config;
+        config.shards = shards;
+        const ShardedCertificate got = certify_sharded(g, model, deletions, config);
+        const std::string ctx = "trial " + std::to_string(trial) + " shards " +
+                                std::to_string(shards) +
+                                (model == UsageCost::Sum ? " sum" : " max");
+        expect_same_certificate(got.certificate, want, ctx + " vs engine");
+        expect_same_certificate(got.certificate, naive_want, ctx + " vs naive");
+        EXPECT_EQ(got.agents_scanned, n) << ctx;
+        EXPECT_GE(got.shards_used, 1u) << ctx;
+        if (shards != 0) EXPECT_EQ(got.shards_used, std::min<std::size_t>(shards, n)) << ctx;
+
+        // Verdict-only fast path: deterministic verdict, possibly fewer
+        // agents scanned on violating instances.
+        config.stop_on_violation = true;
+        const ShardedCertificate fast = certify_sharded(g, model, deletions, config);
+        EXPECT_EQ(fast.certificate.is_equilibrium, want.is_equilibrium) << ctx << " stop";
+        EXPECT_EQ(fast.certificate.witness.has_value(), !want.is_equilibrium) << ctx << " stop";
+        if (want.is_equilibrium) {
+          // Equilibria cannot abort early: every agent must have been scanned.
+          EXPECT_EQ(fast.agents_scanned, n) << ctx << " stop";
+        }
+      }
+    }
+  }
+}
+
+TEST(CertifySharded, KnownEquilibriaCertify) {
+  for (const auto& g : {star(12), complete(8)}) {
+    const ShardedCertificate sum = certify_sharded(g, UsageCost::Sum);
+    EXPECT_TRUE(sum.certificate.is_equilibrium);
+  }
+  // Double stars with ≥ 2 leaves per side are max equilibria (Section 2.2).
+  for (const auto& g : {star(12), double_star(3, 3)}) {
+    const ShardedCertificate max_cert =
+        certify_sharded(g, UsageCost::Max, /*include_deletions=*/true);
+    EXPECT_TRUE(max_cert.certificate.is_equilibrium);
+  }
+  const ShardedCertificate cyc =
+      certify_sharded(cycle(9), UsageCost::Max, /*include_deletions=*/true);
+  EXPECT_FALSE(cyc.certificate.is_equilibrium);
+}
+
+TEST(CertifySharded, LargeInstanceSmoke) {
+  // One mid-size instance through the intended large-n configuration (auto
+  // shards, auto width): parity with the engine certificate.
+  Xoshiro256ss rng(0xBEEF);
+  const Graph g = random_connected_gnm(300, 600, rng);
+  for (const UsageCost model : {UsageCost::Sum, UsageCost::Max}) {
+    const bool deletions = model == UsageCost::Max;
+    const SwapEngine engine(g);
+    const ShardedCertificate got = certify_sharded(g, model, deletions);
+    expect_same_certificate(got.certificate, engine.certify(model, deletions),
+                            model == UsageCost::Sum ? "sum" : "max");
+    EXPECT_EQ(got.width, DistWidth::U8);  // G(300, 600) sits far below the cap
+  }
+}
+
+}  // namespace
+}  // namespace bncg

@@ -14,6 +14,7 @@
 //       repeated runs and across evaluation paths (seed reproducibility).
 #include <gtest/gtest.h>
 
+#include "core/certify_sharded.hpp"
 #include "core/dynamics.hpp"
 #include "core/equilibrium.hpp"
 #include "core/search.hpp"
@@ -83,6 +84,46 @@ TEST(PropertyRandom, MaxEquilibriaAreDeletionCritical) {
     ++reached;
   }
   EXPECT_GT(reached, 0);  // the property must actually have been exercised
+}
+
+TEST(PropertyRandom, ShardedCertifyWitnessesRespectDeletionCriticality) {
+  // P2 through the sharded driver: a graph it certifies as a max
+  // equilibrium (deletion clause on) must be deletion-critical, and a
+  // NonCriticalDelete witness it reports is a constructive refutation of
+  // deletion-criticality — check both directions of the implication on the
+  // driver's own output.
+  Xoshiro256ss rng(0x9007);
+  int critical_seen = 0;
+  int witness_seen = 0;
+  // Anchors pin the certifying direction deterministically (stars and
+  // double stars are max equilibria, hence deletion-critical); the random
+  // pool supplies refuting witnesses.
+  std::vector<Graph> pool = {star(10), double_star(3, 4)};
+  for (int trial = 0; trial < 30; ++trial) pool.push_back(random_connected(rng));
+  for (std::size_t trial = 0; trial < pool.size(); ++trial) {
+    const Graph& g = pool[trial];
+    const ShardedCertificate cert =
+        certify_sharded(g, UsageCost::Max, /*include_deletions=*/true);
+    if (cert.certificate.is_equilibrium) {
+      EXPECT_TRUE(is_deletion_critical(g)) << "trial " << trial;
+      ++critical_seen;
+      continue;
+    }
+    ASSERT_TRUE(cert.certificate.witness.has_value()) << "trial " << trial;
+    const Deviation& w = *cert.certificate.witness;
+    if (w.kind != Deviation::Kind::NonCriticalDelete) continue;
+    ++witness_seen;
+    EXPECT_FALSE(is_deletion_critical(g)) << "trial " << trial;
+    // The witness is constructive: deleting {v, remove_w} must not
+    // strictly increase the deleter's local diameter.
+    Graph deleted = g;
+    deleted.remove_edge(w.swap.v, w.swap.remove_w);
+    BfsWorkspace ws;
+    EXPECT_LE(vertex_cost(deleted, w.swap.v, UsageCost::Max, ws), w.cost_before)
+        << "trial " << trial;
+  }
+  // Both directions must actually have been exercised on the seeded pool.
+  EXPECT_GT(critical_seen + witness_seen, 0);
 }
 
 TEST(PropertyRandom, AnnealResultsCertifyOnTheTargetDiameter) {
