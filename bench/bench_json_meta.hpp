@@ -1,0 +1,38 @@
+// Shared provenance stamping for the BENCH_*.json emitters: every artifact
+// records the git commit it was measured at (passed down by
+// bench/run_bench.sh as BNCG_BENCH_GIT_SHA — a C++ program should not
+// guess at the repo state) and an ISO-8601 UTC timestamp, so a tracked
+// trajectory file is attributable without consulting git history.
+#pragma once
+
+#include <cstdlib>
+#include <ctime>
+#include <ostream>
+#include <string>
+
+namespace bncg_bench {
+
+/// Git SHA handed down by run_bench.sh; "unknown" outside the script.
+[[nodiscard]] inline std::string git_sha() {
+  const char* sha = std::getenv("BNCG_BENCH_GIT_SHA");
+  return sha != nullptr && *sha != '\0' ? sha : "unknown";
+}
+
+/// Current wall-clock time as ISO-8601 UTC ("2026-07-26T12:34:56Z").
+[[nodiscard]] inline std::string iso8601_utc_now() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+/// Emits the shared metadata header of a BENCH_*.json object; the caller
+/// opens "{" before and appends "rows": [...] after.
+inline void write_json_meta(std::ostream& os) {
+  os << "  \"git_sha\": \"" << git_sha() << "\",\n"
+     << "  \"generated_at\": \"" << iso8601_utc_now() << "\",\n";
+}
+
+}  // namespace bncg_bench

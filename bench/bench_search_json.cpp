@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json_meta.hpp"
 #include "core/search.hpp"
 #include "gen/random.hpp"
 #include "graph/metrics.hpp"
@@ -154,10 +155,12 @@ int main(int argc, char** argv) {
   }
 
   std::ofstream out(out_path);
-  out << "[\n";
+  out << "{\n";
+  bncg_bench::write_json_meta(out);
+  out << "  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
-    out << "  {\"n\": " << r.n << ", \"model\": \"" << r.model << "\""
+    out << "    {\"n\": " << r.n << ", \"model\": \"" << r.model << "\""
         << ", \"proposals\": " << r.proposals << ", \"evaluated\": " << r.evaluated
         << ", \"accepted\": " << r.accepted << ", \"width\": \"" << r.width << "\""
         << ", \"width_promotions\": " << r.width_promotions
@@ -169,7 +172,7 @@ int main(int argc, char** argv) {
         << ", \"full_proposals_per_sec\": " << r.full_proposals_per_sec()
         << ", \"speedup\": " << r.speedup() << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
   }
-  out << "]\n";
+  out << "  ]\n}\n";
   std::cout << "wrote " << out_path << "\n";
   return 0;
 }

@@ -7,11 +7,15 @@
 //   $ ./certify_constructions [k]
 #include <cstdlib>
 #include <iostream>
+#include <vector>
 
 #include "core/certify_sharded.hpp"
+#include "core/certify_wire.hpp"
 #include "core/equilibrium.hpp"
+#include "core/swap_engine.hpp"
 #include "gen/cayley.hpp"
 #include "gen/paper.hpp"
+#include "graph/io.hpp"
 #include "graph/metrics.hpp"
 #include "util/timer.hpp"
 
@@ -69,6 +73,39 @@ int main(int argc, char** argv) {
     if (sharded.certificate.is_equilibrium != max_eq) {
       std::cerr << "FATAL: sharded certifier disagrees with is_max_equilibrium\n";
       return 1;
+    }
+
+    // The same verdict once more through the cross-process pipeline
+    // (DESIGN.md §11), simulated in-process: three "worker" shards, each
+    // with its own engine, round-tripped through the wire format (binary
+    // and JSON alternating) and merged by the fingerprint-guarded fold —
+    // exactly what tools/bncg_certify + scripts/certify_fanout.sh do
+    // across real processes.
+    {
+      const Vertex n = g.num_vertices();
+      std::vector<ShardResult> shards;
+      for (std::uint32_t i = 0; i < 3; ++i) {
+        const SwapEngine worker_engine(g);  // fresh engine = fresh address space
+        AgentRange range;
+        range.lo = static_cast<Vertex>(i * n / 3);
+        range.hi = static_cast<Vertex>((i + 1) * n / 3);
+        range.shard_index = i;
+        range.shard_count = 3;
+        const ShardResult produced = certify_agent_range(
+            worker_engine, range, UsageCost::Max, /*include_deletions=*/true);
+        shards.push_back(i % 2 == 0 ? shard_from_binary(shard_to_binary(produced))
+                                    : shard_from_json(shard_to_json(produced)));
+      }
+      const ShardedCertificate merged = merge_shard_results(shards);
+      std::cout << "wire fan-out:       "
+                << (merged.certificate.is_equilibrium ? "CERTIFIED" : "REFUTED")
+                << " (3 worker shards, serialized + merged, fingerprint 0x" << std::hex
+                << graph_fingerprint(g) << std::dec << ")\n";
+      if (merged.certificate.is_equilibrium != sharded.certificate.is_equilibrium ||
+          merged.certificate.moves_checked != sharded.certificate.moves_checked) {
+        std::cerr << "FATAL: wire-merged certificate disagrees with certify_sharded\n";
+        return 1;
+      }
     }
 
     // §5: the same graph as a Cayley graph of an Abelian group.

@@ -14,7 +14,7 @@ if ! command -v clang-format >/dev/null 2>&1; then
   exit 0
 fi
 
-mapfile -t files < <(find src tests bench examples -name '*.cpp' -o -name '*.hpp' | sort)
+mapfile -t files < <(find src tests bench examples tools -name '*.cpp' -o -name '*.hpp' | sort)
 
 if [[ "${1:-}" == "--fix" ]]; then
   clang-format -i "${files[@]}"

@@ -6,13 +6,32 @@
 #   scripts/run_tests.sh                 # full tier-1 suite
 #   scripts/run_tests.sh -L property     # just the seeded property harness
 #
-# The build directory defaults to ./build; override with BNCG_BUILD_DIR.
+# Environment knobs (the CI matrix drives these; defaults reproduce the
+# plain local run):
+#   BUILD_TYPE=Release|RelWithDebInfo|Debug   CMake build type
+#   BNCG_SANITIZE=ON|OFF                      ASan+UBSan build (CI Sanitize leg)
+#   BNCG_BUILD_DIR=path                       override the build directory
+#     (default ./build for the plain config, ./build-<type>[-san] otherwise,
+#     so sanitized and plain object files never mix)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-build_dir="${BNCG_BUILD_DIR:-${repo_root}/build}"
+build_type="${BUILD_TYPE:-Release}"
+sanitize="${BNCG_SANITIZE:-OFF}"
 
-cmake -B "${build_dir}" -S "${repo_root}" >/dev/null
+if [ -n "${BNCG_BUILD_DIR:-}" ]; then
+  build_dir="${BNCG_BUILD_DIR}"
+elif [ "${build_type}" = "Release" ] && [ "${sanitize}" = "OFF" ]; then
+  build_dir="${repo_root}/build"
+else
+  suffix="$(echo "${build_type}" | tr '[:upper:]' '[:lower:]')"
+  [ "${sanitize}" = "OFF" ] || suffix="${suffix}-san"
+  build_dir="${repo_root}/build-${suffix}"
+fi
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE="${build_type}" \
+  -DBNCG_SANITIZE="${sanitize}" >/dev/null
 cmake --build "${build_dir}" -j "$(nproc)"
 
 if [ "$#" -gt 0 ]; then

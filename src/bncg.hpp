@@ -47,6 +47,7 @@
 #include "core/equilibrium.hpp"
 #include "core/swap_engine.hpp"
 #include "core/certify_sharded.hpp"
+#include "core/certify_wire.hpp"
 #include "core/search_state.hpp"
 #include "core/dynamics.hpp"
 #include "core/tree_game.hpp"

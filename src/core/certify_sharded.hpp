@@ -29,12 +29,25 @@
 // scans at u8 whenever the instance's diameter bound fits
 // (graph/dist_width.hpp), halving per-shard scratch and combine bandwidth
 // at exactly the scale where this driver matters.
+// Cross-process fan-out rides on the same shape: certify_agent_range runs
+// one shard's scan against any SwapEngine (in this process or a worker on
+// another machine), merge_shard_results folds ShardResults back into the
+// full certificate with the identical shard-index-order / strict-'<' rule,
+// and every ShardResult carries the instance fingerprint + run parameters
+// so results from different graphs or mismatched runs refuse to merge.
+// core/certify_wire.hpp serializes ShardResult; tools/bncg_certify.cpp and
+// scripts/certify_fanout.sh drive the multi-process pipeline (DESIGN.md
+// §11).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <optional>
+#include <vector>
 
 #include "core/equilibrium.hpp"
+#include "core/swap_engine.hpp"
 #include "core/usage_cost.hpp"
 #include "graph/dist_width.hpp"
 #include "graph/graph.hpp"
@@ -65,6 +78,75 @@ struct ShardedCertificate {
   DistWidth width = DistWidth::U16;   ///< width the engine's scans preferred
   std::uint64_t width_fallbacks = 0;  ///< agents redone at u16 after u8 saturation
 };
+
+/// One shard's contiguous agent block within a sharded run. Indices are
+/// merge-order coordinates: merge_shard_results folds shards by ascending
+/// shard_index and requires the ranges to tile [0, n) exactly.
+struct AgentRange {
+  Vertex lo = 0;                  ///< first agent of the shard (inclusive)
+  Vertex hi = 0;                  ///< one past the last agent (exclusive)
+  std::uint32_t shard_index = 0;  ///< position of this shard in merge order
+  std::uint32_t shard_count = 1;  ///< total shards of the run
+};
+
+/// The unit of work a certification shard produces — self-describing, so a
+/// result can cross an address-space (or machine) boundary and still be
+/// merged safely. The identity block pins the instance and run parameters
+/// (merge_shard_results refuses any mismatch); the payload block is exactly
+/// what the in-process task shards fold. Serialized by
+/// core/certify_wire.hpp.
+struct ShardResult {
+  // --- identity: the merge guard ---
+  std::uint64_t fingerprint = 0;  ///< graph_fingerprint(g) of the instance
+  Vertex n = 0;                   ///< vertex count of the instance
+  std::uint64_t m = 0;            ///< edge count of the instance
+  UsageCost model = UsageCost::Sum;
+  bool include_deletions = false;
+  bool stop_on_violation = false;
+  // --- shard coordinates ---
+  std::uint32_t shard_index = 0;
+  std::uint32_t shard_count = 1;
+  Vertex agent_lo = 0;
+  Vertex agent_hi = 0;
+  // --- payload ---
+  std::optional<Deviation> best;  ///< best deviation within [agent_lo, agent_hi)
+  std::uint64_t moves = 0;        ///< candidate moves evaluated by this shard
+  Vertex scanned = 0;             ///< agents scanned (< range size only on abort)
+  // --- telemetry ---
+  DistWidth width = DistWidth::U16;   ///< width the shard's engine preferred
+  std::uint64_t width_fallbacks = 0;  ///< u8 → u16 agent redos within the shard
+};
+
+/// Certifies agents [range.lo, range.hi) of the instance `engine`
+/// snapshots and packages the outcome as a mergeable ShardResult. The
+/// identity block — fingerprint included — is stamped from the engine's
+/// own snapshot, so a shard can never carry one instance's fingerprint
+/// over another instance's payload. This is the worker-side entry point of
+/// the cross-process pipeline and the per-task body of the in-process
+/// driver: agents are scanned in ascending order with the engine's scan
+/// rules, so merging the results of ANY partition of [0, n) reproduces
+/// SwapEngine::certify bit for bit. `scratch` may be shared across
+/// sequential calls; pass null to use a call-local one. `abort`, when
+/// given, is checked before each agent and raised on a violation under
+/// stop_on_violation — the in-process driver shares one flag across all
+/// shards, independent worker processes simply pass null and stop at their
+/// own first violation.
+[[nodiscard]] ShardResult certify_agent_range(const SwapEngine& engine, const AgentRange& range,
+                                              UsageCost model, bool include_deletions = false,
+                                              bool stop_on_violation = false,
+                                              SwapEngine::Scratch* scratch = nullptr,
+                                              std::atomic<bool>* abort = nullptr);
+
+/// Folds shard results into the full certificate. Validates the guard
+/// fields (equal fingerprint/n/m/model/flags on every shard, shard indices
+/// forming 0..k−1 with shard_count == k, ranges tiling [0, n) in index
+/// order, full ranges scanned unless stop_on_violation) and throws
+/// std::invalid_argument on any violation — mismatched instances refuse to
+/// merge. The fold walks shards in shard-index order — which IS agent
+/// order — taking the strictly better cost_after, so the merged witness,
+/// tie-breaks, and moves_checked are bit-identical to SwapEngine::certify
+/// regardless of where or in what order the shards were produced.
+[[nodiscard]] ShardedCertificate merge_shard_results(const std::vector<ShardResult>& shards);
 
 /// Certifies `g` under `model` by sharding the per-agent scan (see header
 /// comment). Without stop_on_violation the certificate — witness,

@@ -96,6 +96,53 @@ std::string to_graph6(const Graph& g) {
   return out;
 }
 
+std::uint64_t fnv1a64(const void* data, std::size_t size) noexcept {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+namespace {
+
+/// Folds `value` into the running FNV state as little-endian bytes, so the
+/// fingerprint is identical across host endiannesses.
+void fnv_append_u64(std::uint64_t& h, std::uint64_t value) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    h ^= static_cast<unsigned char>(value >> (8 * i));
+    h *= 0x100000001b3ull;
+  }
+}
+
+/// Shared over both representations: each keeps adjacencies sorted, so the
+/// canonical edge enumeration — (u, v) with u < v, lexicographic — is a
+/// function of the edge *set* alone and the two overloads hash identical
+/// byte sequences.
+template <typename GraphLike>
+std::uint64_t fingerprint_impl(const GraphLike& g) {
+  const Vertex n = g.num_vertices();
+  std::uint64_t h = fnv1a64("bncg-graph-v1", 13);
+  fnv_append_u64(h, n);
+  fnv_append_u64(h, g.num_edges());
+  for (Vertex u = 0; u < n; ++u) {
+    for (const Vertex v : g.neighbors(u)) {
+      if (v <= u) continue;
+      fnv_append_u64(h, u);
+      fnv_append_u64(h, v);
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t graph_fingerprint(const Graph& g) { return fingerprint_impl(g); }
+
+std::uint64_t graph_fingerprint(const CsrGraph& g) { return fingerprint_impl(g); }
+
 Graph from_graph6(const std::string& g6) {
   std::size_t pos = 0;
   const std::uint64_t n64 = read_g6_size(g6, pos);

@@ -1,11 +1,15 @@
 // Graph serialization: a line-based edge-list format, Graphviz DOT export,
-// and the standard graph6 codec (McKay) for interchange with nauty-family
-// tooling. Round-trip safety is covered by the test suite.
+// the standard graph6 codec (McKay) for interchange with nauty-family
+// tooling, and a structural fingerprint used as the instance guard of the
+// cross-process certification wire format (core/certify_wire.hpp).
+// Round-trip safety is covered by the test suite.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
+#include "graph/csr.hpp"
 #include "graph/graph.hpp"
 
 namespace bncg {
@@ -27,5 +31,19 @@ void write_dot(std::ostream& os, const Graph& g, const std::string& name = "G");
 
 /// graph6 decoding; throws std::invalid_argument on malformed input.
 [[nodiscard]] Graph from_graph6(const std::string& g6);
+
+/// FNV-1a hash of a byte sequence — the checksum primitive of the shard
+/// wire format and of graph_fingerprint below.
+[[nodiscard]] std::uint64_t fnv1a64(const void* data, std::size_t size) noexcept;
+
+/// Structural fingerprint of a graph: 64-bit FNV-1a over n, m, and the
+/// canonical sorted edge list. Equal graphs (same vertex ids, same edge
+/// set) hash equal regardless of edge insertion order; used by the
+/// cross-process certification pipeline to refuse merging shard results
+/// produced from different instances. The CsrGraph overload hashes the
+/// identical byte sequence (both representations keep adjacencies sorted),
+/// so a snapshot fingerprints equal to the graph it was built from.
+[[nodiscard]] std::uint64_t graph_fingerprint(const Graph& g);
+[[nodiscard]] std::uint64_t graph_fingerprint(const CsrGraph& g);
 
 }  // namespace bncg

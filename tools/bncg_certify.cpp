@@ -1,0 +1,321 @@
+// Cross-process certification CLI — the worker/merge pipeline over the
+// sharded certifier (DESIGN.md §11).
+//
+// Modes:
+//   gen      — write a seeded random connected G(n, m) instance as an edge
+//              list, so fan-out runs are reproducible from a seed alone.
+//   worker   — certify agents [lo, hi) of a graph file and write one
+//              serialized ShardResult (binary or JSON wire format).
+//   merge    — fold shard files back into the full certificate. Refuses
+//              mismatched instances/run parameters (fingerprint guard) and
+//              incomplete agent coverage; the fold order is shard-index
+//              order, so the printed certificate is bit-identical to the
+//              single-process certifiers.
+//   certify  — single-process reference: run the in-process sharded
+//              certifier and print the identical certificate block, which
+//              is what scripts/certify_fanout.sh diffs a merged fan-out
+//              against.
+//
+// The certificate block (stdout) is deliberately byte-stable across
+// merge/certify so `diff` is the parity check; telemetry (timings, widths,
+// shard counts) goes to stderr.
+//
+// Exit codes: 0 success (either verdict), 1 runtime failure, 2 usage
+// error, 3 wire/merge guard rejection.
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/certify_sharded.hpp"
+#include "core/certify_wire.hpp"
+#include "core/swap_engine.hpp"
+#include "gen/random.hpp"
+#include "graph/io.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace bncg;
+
+[[noreturn]] void usage(const std::string& detail = "") {
+  if (!detail.empty()) std::cerr << "bncg_certify: " << detail << "\n";
+  std::cerr
+      << "usage:\n"
+         "  bncg_certify gen --n N [--m M] [--seed S] --out FILE\n"
+         "  bncg_certify worker --graph FILE --range LO:HI --shard-index I --shard-count K\n"
+         "               --out FILE [--model sum|max] [--include-deletions]\n"
+         "               [--stop-on-violation] [--width auto|u8|u16] [--format binary|json]\n"
+         "  bncg_certify merge SHARD_FILE...\n"
+         "  bncg_certify certify --graph FILE [--model sum|max] [--include-deletions]\n"
+         "               [--stop-on-violation] [--width auto|u8|u16] [--shards N]\n";
+  std::exit(2);
+}
+
+/// Tiny argv reader: flags are matched exactly, values must follow.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) argv_.emplace_back(argv[i]);
+  }
+
+  [[nodiscard]] bool flag(const std::string& name) {
+    for (std::size_t i = 0; i < argv_.size(); ++i) {
+      if (argv_[i] == name) {
+        consumed_[i] = true;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::optional<std::string> value(const std::string& name) {
+    for (std::size_t i = 0; i < argv_.size(); ++i) {
+      if (argv_[i] == name) {
+        if (i + 1 >= argv_.size()) usage("missing value for " + name);
+        consumed_[i] = consumed_[i + 1] = true;
+        return argv_[i + 1];
+      }
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] std::string required(const std::string& name) {
+    const std::optional<std::string> v = value(name);
+    if (!v) usage("missing required " + name);
+    return *v;
+  }
+
+  /// Everything not consumed by flag()/value() — the positional operands.
+  [[nodiscard]] std::vector<std::string> positionals() const {
+    std::vector<std::string> out;
+    for (std::size_t i = 0; i < argv_.size(); ++i) {
+      if (consumed_.count(i) == 0) out.push_back(argv_[i]);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::string> argv_;
+  std::map<std::size_t, bool> consumed_;
+};
+
+[[nodiscard]] std::uint64_t parse_u64(const std::string& text, const std::string& what) {
+  // Digits only: stoull would silently wrap "-1" to a huge unsigned value
+  // and skip leading whitespace — both are usage errors here.
+  if (text.empty() || text.find_first_not_of("0123456789") != std::string::npos) {
+    usage("bad " + what + ": " + text);
+  }
+  try {
+    return std::stoull(text, nullptr, 10);
+  } catch (const std::exception&) {
+    usage("bad " + what + ": " + text);
+  }
+}
+
+/// 32-bit operands (vertex counts, ranges, shard coordinates) reject
+/// out-of-range input as a usage error instead of silently truncating.
+[[nodiscard]] std::uint32_t parse_u32(const std::string& text, const std::string& what) {
+  const std::uint64_t v = parse_u64(text, what);
+  if (v > 0xFFFFFFFFull) usage(what + " out of range: " + text);
+  return static_cast<std::uint32_t>(v);
+}
+
+[[nodiscard]] UsageCost parse_model(const std::string& text) {
+  if (text == "sum") return UsageCost::Sum;
+  if (text == "max") return UsageCost::Max;
+  usage("bad --model: " + text);
+}
+
+[[nodiscard]] WidthPolicy parse_width(const std::string& text) {
+  if (text == "auto") return WidthPolicy::Auto;
+  if (text == "u8") return WidthPolicy::ForceU8;
+  if (text == "u16") return WidthPolicy::ForceU16;
+  usage("bad --width: " + text);
+}
+
+/// Rejects any argv entry no mode handler asked about — a misspelled flag
+/// must be a usage error, never silently ignored (this tool is a parity
+/// oracle; a dropped --include-deletions would certify the wrong clause).
+void reject_unknown(const Args& args) {
+  const std::vector<std::string> leftover = args.positionals();
+  if (!leftover.empty()) usage("unknown argument: " + leftover.front());
+}
+
+[[nodiscard]] Graph load_graph(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open graph file: " + path);
+  try {
+    return read_edge_list(in);
+  } catch (const std::invalid_argument& e) {
+    // Re-typed so a malformed *graph* file is reported as a runtime
+    // failure (exit 1), keeping exit 3 scoped to wire/merge refusals.
+    throw std::runtime_error("bad graph file " + path + ": " + e.what());
+  }
+}
+
+/// The byte-stable certificate block both `merge` and `certify` print;
+/// scripts/certify_fanout.sh diffs these verbatim.
+void print_certificate(std::uint64_t fingerprint, Vertex n, std::uint64_t m, UsageCost model,
+                       bool include_deletions, bool stop_on_violation,
+                       const ShardedCertificate& cert) {
+  std::ostringstream fp;
+  fp << std::hex << fingerprint;
+  std::cout << "instance n=" << n << " m=" << m << " fingerprint=0x" << fp.str() << "\n"
+            << "run model=" << (model == UsageCost::Sum ? "sum" : "max")
+            << " include_deletions=" << (include_deletions ? 1 : 0)
+            << " stop_on_violation=" << (stop_on_violation ? 1 : 0) << "\n"
+            << "verdict=" << (cert.certificate.is_equilibrium ? "EQUILIBRIUM" : "VIOLATED")
+            << " agents_scanned=" << cert.agents_scanned
+            << " moves_checked=" << cert.certificate.moves_checked << "\n";
+  if (cert.certificate.witness) {
+    const Deviation& w = *cert.certificate.witness;
+    std::cout << "witness agent=" << w.swap.v << " remove=" << w.swap.remove_w
+              << " add=" << w.swap.add_w << " cost_before=" << w.cost_before
+              << " cost_after=" << w.cost_after << " kind="
+              << (w.kind == Deviation::Kind::ImprovingSwap ? "improving-swap"
+                                                           : "non-critical-delete")
+              << "\n";
+  } else {
+    std::cout << "witness none\n";
+  }
+}
+
+int run_gen(Args& args) {
+  const Vertex n = parse_u32(args.required("--n"), "--n");
+  const std::uint64_t m_default = 2ull * n;
+  const std::uint64_t m =
+      args.value("--m") ? parse_u64(*args.value("--m"), "--m") : m_default;
+  const std::uint64_t seed =
+      args.value("--seed") ? parse_u64(*args.value("--seed"), "--seed") : 1;
+  const std::string out_path = args.required("--out");
+  reject_unknown(args);
+
+  Xoshiro256ss rng(seed);
+  const Graph g = random_connected_gnm(n, static_cast<std::size_t>(m), rng);
+  std::ofstream out(out_path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + out_path);
+  write_edge_list(out, g);
+  out.flush();
+  if (!out) throw std::runtime_error("write failed: " + out_path);
+  std::ostringstream fp;
+  fp << std::hex << graph_fingerprint(g);
+  std::cerr << "gen: wrote n=" << g.num_vertices() << " m=" << g.num_edges()
+            << " fingerprint=0x" << fp.str() << " to " << out_path << "\n";
+  return 0;
+}
+
+int run_worker(Args& args) {
+  const std::string graph_path = args.required("--graph");
+  const std::string range_text = args.required("--range");
+  const std::size_t colon = range_text.find(':');
+  if (colon == std::string::npos) usage("--range must be LO:HI");
+  AgentRange range;
+  range.lo = parse_u32(range_text.substr(0, colon), "--range lo");
+  range.hi = parse_u32(range_text.substr(colon + 1), "--range hi");
+  range.shard_index = parse_u32(args.required("--shard-index"), "--shard-index");
+  range.shard_count = parse_u32(args.required("--shard-count"), "--shard-count");
+  const std::string out_path = args.required("--out");
+  const UsageCost model = parse_model(args.value("--model").value_or("sum"));
+  const bool include_deletions = args.flag("--include-deletions");
+  const bool stop_on_violation = args.flag("--stop-on-violation");
+  const WidthPolicy width = parse_width(args.value("--width").value_or("auto"));
+  const std::string format_text = args.value("--format").value_or("binary");
+  ShardWireFormat format;
+  if (format_text == "binary") {
+    format = ShardWireFormat::Binary;
+  } else if (format_text == "json") {
+    format = ShardWireFormat::Json;
+  } else {
+    usage("bad --format: " + format_text);
+  }
+  reject_unknown(args);
+
+  const Graph g = load_graph(graph_path);
+  // A range that does not fit the loaded instance is a usage error (exit
+  // 2), not a guard refusal.
+  if (range.lo > range.hi || range.hi > g.num_vertices()) {
+    usage("--range " + range_text + " does not fit the instance (n=" +
+          std::to_string(g.num_vertices()) + ")");
+  }
+  if (range.shard_index >= range.shard_count) usage("--shard-index must be < --shard-count");
+  Timer timer;
+  const SwapEngine engine(g, width);
+  const ShardResult shard =
+      certify_agent_range(engine, range, model, include_deletions, stop_on_violation);
+  write_shard_file(out_path, shard, format);
+  std::cerr << "worker: shard " << shard.shard_index << "/" << shard.shard_count << " agents ["
+            << shard.agent_lo << ", " << shard.agent_hi << ") scanned=" << shard.scanned
+            << " moves=" << shard.moves << " width=" << dist_width_name(shard.width)
+            << " fallbacks=" << shard.width_fallbacks << " "
+            << (shard.best ? "violation" : "clean") << " " << timer.millis() << " ms -> "
+            << out_path << "\n";
+  return 0;
+}
+
+int run_merge(Args& args) {
+  const std::vector<std::string> files = args.positionals();
+  if (files.empty()) usage("merge needs at least one shard file");
+  std::vector<ShardResult> shards;
+  shards.reserve(files.size());
+  for (const std::string& path : files) shards.push_back(read_shard_file(path));
+  Timer timer;
+  const ShardedCertificate merged = merge_shard_results(shards);
+  const ShardResult& head = shards.front();
+  print_certificate(head.fingerprint, head.n, head.m, head.model, head.include_deletions,
+                    head.stop_on_violation, merged);
+  std::cerr << "merge: " << merged.shards_used << " shards, width=" << dist_width_name(merged.width)
+            << " fallbacks=" << merged.width_fallbacks << " " << timer.millis() << " ms\n";
+  return 0;
+}
+
+int run_certify(Args& args) {
+  const std::string graph_path = args.required("--graph");
+  const UsageCost model = parse_model(args.value("--model").value_or("sum"));
+  ShardedCertifyConfig config;
+  config.stop_on_violation = args.flag("--stop-on-violation");
+  config.width = parse_width(args.value("--width").value_or("auto"));
+  if (args.value("--shards")) {
+    config.shards = static_cast<std::size_t>(parse_u64(*args.value("--shards"), "--shards"));
+  }
+  const bool include_deletions = args.flag("--include-deletions");
+  reject_unknown(args);
+
+  const Graph g = load_graph(graph_path);
+  Timer timer;
+  const ShardedCertificate cert = certify_sharded(g, model, include_deletions, config);
+  print_certificate(graph_fingerprint(g), g.num_vertices(), g.num_edges(), model,
+                    include_deletions, config.stop_on_violation, cert);
+  std::cerr << "certify: " << cert.shards_used << " shards, width=" << dist_width_name(cert.width)
+            << " fallbacks=" << cert.width_fallbacks << " " << timer.millis() << " ms\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string mode = argv[1];
+  Args args(argc, argv, 2);
+  try {
+    if (mode == "gen") return run_gen(args);
+    if (mode == "worker") return run_worker(args);
+    if (mode == "merge") return run_merge(args);
+    if (mode == "certify") return run_certify(args);
+    usage("unknown mode: " + mode);
+  } catch (const std::invalid_argument& e) {
+    // Wire decode / merge guard rejections — the "refuse to merge" path.
+    std::cerr << "bncg_certify: refused: " << e.what() << "\n";
+    return 3;
+  } catch (const std::exception& e) {
+    std::cerr << "bncg_certify: error: " << e.what() << "\n";
+    return 1;
+  }
+}
