@@ -66,7 +66,12 @@ fi
 [ -x "$bin" ] || { echo "certify_fanout: not executable: $bin" >&2; exit 2; }
 
 work_dir="$(mktemp -d "${TMPDIR:-/tmp}/bncg_fanout.XXXXXX")"
+pids=()
 cleanup() {
+  # Never leave orphaned worker processes, whatever the exit path.
+  for pid in "${pids[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
   if [ "$keep_dir" -eq 1 ]; then
     echo "certify_fanout: scratch kept at $work_dir" >&2
   else
@@ -74,6 +79,7 @@ cleanup() {
   fi
 }
 trap cleanup EXIT
+trap 'trap - INT TERM; cleanup; exit 130' INT TERM
 
 graph="$work_dir/instance.edges"
 if ! "$bin" gen --n "$n" --m "$m" --seed "$seed" --out "$graph" 2>"$work_dir/gen.log"; then
@@ -101,20 +107,36 @@ for model in $model_list; do
       --out "$shard" 2>>"$work_dir/${model}.worker.log" &
     pids+=($!)
   done
+  # Wait for EVERY worker before judging the batch: a single early failure
+  # must not leave the other workers running as orphans, and every
+  # nonzero exit must surface (not only the first one observed).
+  failed=0
   for pid in "${pids[@]}"; do
     if ! wait "$pid"; then
       echo "certify_fanout: worker process $pid failed (model $model)" >&2
-      cat "$work_dir/${model}.worker.log" >&2 || true
-      exit 1
+      failed=1
     fi
   done
+  pids=()
+  if [ "$failed" -ne 0 ]; then
+    cat "$work_dir/${model}.worker.log" >&2 || true
+    exit 1
+  fi
 
   # Merge the shard files, then diff against the single-process verdict.
   # shellcheck disable=SC2086
-  "$bin" merge "${shard_files[@]}" \
-    >"$work_dir/${model}.merged" 2>>"$work_dir/${model}.worker.log"
-  "$bin" certify --graph "$graph" --model "$model" $deletions_flag \
-    >"$work_dir/${model}.single" 2>>"$work_dir/${model}.worker.log"
+  if ! "$bin" merge "${shard_files[@]}" \
+      >"$work_dir/${model}.merged" 2>>"$work_dir/${model}.worker.log"; then
+    echo "certify_fanout: merge refused the shard set (model $model)" >&2
+    cat "$work_dir/${model}.worker.log" >&2 || true
+    exit 1
+  fi
+  if ! "$bin" certify --graph "$graph" --model "$model" $deletions_flag \
+      >"$work_dir/${model}.single" 2>>"$work_dir/${model}.worker.log"; then
+    echo "certify_fanout: single-process certify failed (model $model)" >&2
+    cat "$work_dir/${model}.worker.log" >&2 || true
+    exit 1
+  fi
 
   if ! diff -u "$work_dir/${model}.single" "$work_dir/${model}.merged"; then
     echo "certify_fanout: MISMATCH between fan-out merge and single-process certify" \

@@ -13,6 +13,9 @@
 #   BNCG_BUILD_DIR=path                       override the build directory
 #     (default ./build for the plain config, ./build-<type>[-san] otherwise,
 #     so sanitized and plain object files never mix)
+#   BNCG_CTEST_TIMEOUT=seconds                global per-test ceiling (default
+#     600) — a backstop under the per-test TIMEOUT properties so a hung test
+#     can never wedge the suite
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -34,8 +37,11 @@ cmake -B "${build_dir}" -S "${repo_root}" \
   -DBNCG_SANITIZE="${sanitize}" >/dev/null
 cmake --build "${build_dir}" -j "$(nproc)"
 
+ctest_timeout="${BNCG_CTEST_TIMEOUT:-600}"
 if [ "$#" -gt 0 ]; then
-  ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" "$@"
+  ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" \
+    --timeout "${ctest_timeout}" "$@"
 else
-  ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" -L tier1
+  ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" \
+    --timeout "${ctest_timeout}" -L tier1
 fi

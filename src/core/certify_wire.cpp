@@ -1,5 +1,9 @@
 #include "core/certify_wire.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <charconv>
 #include <cstdio>
 #include <fstream>
@@ -538,11 +542,31 @@ void write_shard_file(const std::string& path, const ShardResult& shard,
                       ShardWireFormat format) {
   const std::string payload =
       format == ShardWireFormat::Binary ? shard_to_binary(shard) : shard_to_json(shard);
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("shard wire: cannot open for writing: " + path);
-  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
-  out.flush();
-  if (!out) throw std::runtime_error("shard wire: write failed: " + path);
+  // Crash-safe: write <path>.tmp, fsync, rename(2) into place. A worker
+  // killed mid-write leaves at most a stale .tmp — never a truncated file
+  // at the path a merge will read.
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) throw std::runtime_error("shard wire: cannot open for writing: " + tmp);
+  std::size_t written = 0;
+  while (written < payload.size()) {
+    const ssize_t rc = ::write(fd, payload.data() + written, payload.size() - written);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      throw std::runtime_error("shard wire: write failed: " + tmp);
+    }
+    written += static_cast<std::size_t>(rc);
+  }
+  if (::fsync(fd) < 0 || ::close(fd) < 0) {
+    ::unlink(tmp.c_str());
+    throw std::runtime_error("shard wire: fsync/close failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    throw std::runtime_error("shard wire: rename failed: " + path);
+  }
 }
 
 ShardResult read_shard_file(const std::string& path) {

@@ -60,8 +60,9 @@ enum class ShardWireFormat : std::uint8_t { Binary, Json };
 /// Auto-detecting decode: binary when the magic leads, JSON otherwise.
 [[nodiscard]] ShardResult shard_from_bytes(std::string_view bytes);
 
-/// Writes `shard` to `path` in the requested format (atomic enough for the
-/// fan-out harness: plain create/truncate). Throws std::runtime_error on
+/// Writes `shard` to `path` in the requested format, crash-safely:
+/// `<path>.tmp` + fsync + rename(2), so a worker killed mid-write leaves
+/// no truncated file for a merge to trip on. Throws std::runtime_error on
 /// I/O failure.
 void write_shard_file(const std::string& path, const ShardResult& shard,
                       ShardWireFormat format = ShardWireFormat::Binary);

@@ -1,0 +1,485 @@
+#include "svc/dispatcher.hpp"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/certify_wire.hpp"
+#include "graph/io.hpp"
+#include "svc/journal.hpp"
+#include "svc/net.hpp"
+#include "svc/protocol.hpp"
+#include "util/error.hpp"
+
+namespace bncg::svc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kNoConn = static_cast<std::size_t>(-1);
+constexpr std::size_t kNoRange = static_cast<std::size_t>(-1);
+constexpr int kIdlePollMs = 10000;
+
+struct RangeState {
+  enum class St { Pending, Leased, Completed, Quarantined };
+  AgentRange range;
+  St st = St::Pending;
+  std::uint32_t failures = 0;
+  std::uint32_t grants = 0;
+  Clock::time_point eligible_at{};    // backoff gate while Pending
+  std::size_t lease_conn = kNoConn;   // current holder while Leased
+  Clock::time_point lease_deadline{};
+};
+
+struct Conn {
+  enum class St { AwaitHello, Idle, Working, Closed };
+  Socket sock;
+  std::string inbuf;
+  St st = St::AwaitHello;
+  std::size_t range = kNoRange;  // assignment while Working
+};
+
+class Dispatcher {
+ public:
+  Dispatcher(const Graph& g, const ServeConfig& config, std::ostream* log)
+      : g_(g), config_(config), log_(log) {}
+
+  ServeOutcome run() {
+    prepare();
+    if (completed_count_ == ranges_.size()) {
+      say("serve: journal already covers every range — no workers needed");
+      return finish();
+    }
+    Listener listener(config_.address);
+    say("serve: listening on " + listener.address() + " (" +
+        std::to_string(ranges_.size()) + " ranges, lease " + std::to_string(config_.lease_ms) +
+        " ms, retry budget " + std::to_string(config_.max_retries) + ")");
+    while (completed_count_ < ranges_.size()) {
+      if (!progress_possible()) return finish();
+      assign_work();
+      wait_for_events(listener);
+      expire_leases();
+    }
+    return finish();
+  }
+
+ private:
+  void say(const std::string& line) {
+    if (log_ != nullptr) *log_ << line << "\n";
+  }
+
+  /// Fixes the canonical range split, opens/creates the journal, and
+  /// recovers completed ranges on --resume.
+  void prepare() {
+    const Vertex n = g_.num_vertices();
+    BNCG_REQUIRE(n >= 1, "serve: empty instance");
+    fingerprint_ = graph_fingerprint(g_);
+
+    std::size_t shards = config_.shards != 0 ? config_.shards : std::min<std::size_t>(n, 16);
+    shards = std::min<std::size_t>(shards, n);
+
+    if (!config_.journal_dir.empty() && config_.resume) {
+      journal_ = std::make_unique<ShardJournal>(ShardJournal::open(config_.journal_dir));
+      const JournalHeader& h = journal_->header();
+      BNCG_REQUIRE(h.fingerprint == fingerprint_ && h.n == n && h.m == g_.num_edges(),
+                   "serve: journal belongs to a different instance");
+      BNCG_REQUIRE(h.model == config_.model &&
+                       h.include_deletions == config_.include_deletions &&
+                       h.stop_on_violation == config_.stop_on_violation,
+                   "serve: journal belongs to a different run configuration");
+      // The journal's split is authoritative: ranges must match the
+      // records byte for byte, so a --shards override is ignored on
+      // resume.
+      if (shards != h.shard_count) {
+        say("serve: journal pins shard count " + std::to_string(h.shard_count));
+        shards = h.shard_count;
+      }
+    }
+
+    ranges_.resize(shards);
+    completed_.assign(shards, std::nullopt);
+    for (std::size_t i = 0; i < shards; ++i) {
+      RangeState& r = ranges_[i];
+      r.range.lo = static_cast<Vertex>(i * n / shards);
+      r.range.hi = static_cast<Vertex>((i + 1) * n / shards);
+      r.range.shard_index = static_cast<std::uint32_t>(i);
+      r.range.shard_count = static_cast<std::uint32_t>(shards);
+    }
+
+    if (journal_ != nullptr) {
+      for (const ShardResult& rec : journal_->recovered()) {
+        const std::size_t i = rec.shard_index;
+        const RangeState& r = ranges_[i];
+        // A record whose coordinates disagree with the canonical split is
+        // treated like corruption: recompute instead of trusting it.
+        if (rec.agent_lo != r.range.lo || rec.agent_hi != r.range.hi) continue;
+        if (completed_[i]) continue;
+        completed_[i] = rec;
+        ranges_[i].st = RangeState::St::Completed;
+        ++completed_count_;
+        ++stats_.resumed_ranges;
+      }
+      say("serve: journal resumed=" + std::to_string(stats_.resumed_ranges) + "/" +
+          std::to_string(shards) + " ranges (skipped_corrupt=" +
+          std::to_string(journal_->skipped_corrupt()) + ")");
+    } else if (!config_.journal_dir.empty()) {
+      JournalHeader h;
+      h.fingerprint = fingerprint_;
+      h.n = n;
+      h.m = g_.num_edges();
+      h.model = config_.model;
+      h.include_deletions = config_.include_deletions;
+      h.stop_on_violation = config_.stop_on_violation;
+      h.shard_count = static_cast<std::uint32_t>(shards);
+      journal_ = std::make_unique<ShardJournal>(ShardJournal::create(config_.journal_dir, h));
+      say("serve: journaling to " + config_.journal_dir);
+    }
+  }
+
+  /// True while any unfinished range can still complete: a lease is
+  /// outstanding or a range still has retry budget. When false, every
+  /// unfinished range is quarantined — time to refuse.
+  [[nodiscard]] bool progress_possible() const {
+    for (const RangeState& r : ranges_) {
+      if (r.st == RangeState::St::Pending || r.st == RangeState::St::Leased) return true;
+    }
+    return false;
+  }
+
+  void assign_work() {
+    const Clock::time_point now = Clock::now();
+    for (std::size_t c = 0; c < conns_.size(); ++c) {
+      if (conns_[c]->st != Conn::St::Idle) continue;
+      const std::size_t idx = pick_range(now);
+      if (idx == kNoRange) return;  // nothing dispatchable right now
+      grant_lease(c, idx, now);
+    }
+  }
+
+  [[nodiscard]] std::size_t pick_range(Clock::time_point now) const {
+    for (std::size_t i = 0; i < ranges_.size(); ++i) {
+      const RangeState& r = ranges_[i];
+      if (r.st == RangeState::St::Pending && r.eligible_at <= now) return i;
+    }
+    return kNoRange;
+  }
+
+  void grant_lease(std::size_t conn_id, std::size_t idx, Clock::time_point now) {
+    Conn& conn = *conns_[conn_id];
+    RangeState& r = ranges_[idx];
+    LeaseBody lease;
+    lease.range = r.range;
+    lease.lease_ms = config_.lease_ms;
+    try {
+      conn.sock.send_frame(make_lease(lease));
+    } catch (const TransportError&) {
+      close_conn(conn_id);  // peer vanished before the lease landed
+      return;
+    }
+    r.st = RangeState::St::Leased;
+    r.lease_conn = conn_id;
+    r.lease_deadline = now + std::chrono::milliseconds(config_.lease_ms);
+    ++r.grants;
+    ++stats_.leases_granted;
+    if (r.grants > 1) ++stats_.redispatches;
+    conn.st = Conn::St::Working;
+    conn.range = idx;
+  }
+
+  /// Poll timeout: the earliest lease deadline or backoff expiry (the
+  /// latter only matters when an idle worker is waiting for it).
+  [[nodiscard]] int poll_timeout_ms() const {
+    const Clock::time_point now = Clock::now();
+    bool any_idle = false;
+    for (const auto& conn : conns_) any_idle |= conn->st == Conn::St::Idle;
+    Clock::time_point wake = now + std::chrono::milliseconds(kIdlePollMs);
+    for (const RangeState& r : ranges_) {
+      if (r.st == RangeState::St::Leased) wake = std::min(wake, r.lease_deadline);
+      if (r.st == RangeState::St::Pending && any_idle) wake = std::min(wake, r.eligible_at);
+    }
+    const auto delta = std::chrono::duration_cast<std::chrono::milliseconds>(wake - now).count();
+    return static_cast<int>(std::clamp<long long>(delta, 0, kIdlePollMs)) + 1;
+  }
+
+  void wait_for_events(Listener& listener) {
+    std::vector<pollfd> fds;
+    std::vector<std::size_t> owners;  // conn index per pollfd past the listener
+    fds.push_back({listener.fd(), POLLIN, 0});
+    for (std::size_t c = 0; c < conns_.size(); ++c) {
+      if (conns_[c]->st == Conn::St::Closed) continue;
+      fds.push_back({conns_[c]->sock.fd(), POLLIN, 0});
+      owners.push_back(c);
+    }
+    const int rc = ::poll(fds.data(), fds.size(), poll_timeout_ms());
+    if (rc < 0) {
+      if (errno == EINTR) return;
+      throw TransportError("serve: poll failed");
+    }
+    if (fds[0].revents != 0) accept_new(listener);
+    for (std::size_t k = 1; k < fds.size(); ++k) {
+      if (fds[k].revents != 0) service_conn(owners[k - 1]);
+    }
+  }
+
+  void accept_new(Listener& listener) {
+    while (true) {
+      Socket sock = listener.accept_connection();
+      if (!sock.valid()) return;
+      sock.set_nonblocking(true);
+      auto conn = std::make_unique<Conn>();
+      conn->sock = std::move(sock);
+      conns_.push_back(std::move(conn));
+      ++stats_.workers_connected;
+    }
+  }
+
+  void service_conn(std::size_t conn_id) {
+    Conn& conn = *conns_[conn_id];
+    if (conn.st == Conn::St::Closed) return;
+    Socket::ReadStatus status = Socket::ReadStatus::WouldBlock;
+    do {
+      status = conn.sock.read_some(conn.inbuf);
+    } while (status == Socket::ReadStatus::Data);
+    try {
+      while (std::optional<Frame> frame = try_decode_frame(conn.inbuf)) {
+        handle_frame(conn_id, *frame);
+        if (conns_[conn_id]->st == Conn::St::Closed) return;
+      }
+    } catch (const std::invalid_argument& e) {
+      corrupt_strike(conn_id, e.what());
+      return;
+    }
+    if (status == Socket::ReadStatus::Closed) handle_close(conn_id);
+  }
+
+  void handle_frame(std::size_t conn_id, const Frame& frame) {
+    Conn& conn = *conns_[conn_id];
+    switch (frame.type) {
+      case FrameType::Hello: {
+        BNCG_REQUIRE(conn.st == Conn::St::AwaitHello, "serve: unexpected hello");
+        const HelloBody hello = parse_hello(frame);
+        std::string refuse;
+        if (hello.protocol_version != kSvcProtocolVersion) {
+          refuse = "protocol version mismatch";
+        } else if (hello.fingerprint != fingerprint_ || hello.n != g_.num_vertices() ||
+                   hello.m != g_.num_edges()) {
+          refuse = "instance fingerprint mismatch — worker loaded a different graph";
+        }
+        if (!refuse.empty()) {
+          ++stats_.handshakes_refused;
+          say("serve: refusing worker: " + refuse);
+          try {
+            conn.sock.send_frame(make_refuse(refuse));
+          } catch (const TransportError&) {
+          }
+          close_conn(conn_id);
+          return;
+        }
+        WelcomeBody welcome;
+        welcome.model = config_.model;
+        welcome.include_deletions = config_.include_deletions;
+        welcome.stop_on_violation = config_.stop_on_violation;
+        welcome.shard_count = static_cast<std::uint32_t>(ranges_.size());
+        try {
+          conn.sock.send_frame(make_welcome(welcome));
+        } catch (const TransportError&) {
+          close_conn(conn_id);
+          return;
+        }
+        conn.st = Conn::St::Idle;
+        return;
+      }
+      case FrameType::Result: {
+        BNCG_REQUIRE(conn.st == Conn::St::Working || conn.st == Conn::St::Idle,
+                     "serve: result before handshake");
+        accept_result(conn_id, frame.payload);
+        return;
+      }
+      default:
+        BNCG_REQUIRE(false, "serve: unexpected frame type from worker");
+    }
+  }
+
+  /// Validates a decoded result against the run and the canonical split;
+  /// any disagreement is indistinguishable from corruption and strikes.
+  void accept_result(std::size_t conn_id, std::string_view payload) {
+    const ShardResult r = shard_from_bytes(payload);  // throws on corruption
+    BNCG_REQUIRE(r.fingerprint == fingerprint_ && r.n == g_.num_vertices() &&
+                     r.m == g_.num_edges(),
+                 "serve: result for a different instance");
+    BNCG_REQUIRE(r.model == config_.model && r.include_deletions == config_.include_deletions &&
+                     r.stop_on_violation == config_.stop_on_violation,
+                 "serve: result for a different run configuration");
+    BNCG_REQUIRE(r.shard_count == ranges_.size() && r.shard_index < ranges_.size(),
+                 "serve: result shard coordinates out of range");
+    const std::size_t idx = r.shard_index;
+    RangeState& range = ranges_[idx];
+    BNCG_REQUIRE(r.agent_lo == range.range.lo && r.agent_hi == range.range.hi,
+                 "serve: result range disagrees with the canonical split");
+    BNCG_REQUIRE(r.scanned == r.agent_hi - r.agent_lo ||
+                     (config_.stop_on_violation && r.best.has_value()),
+                 "serve: incomplete scan in a result");
+
+    Conn& conn = *conns_[conn_id];
+    if (completed_[idx]) {
+      // Duplicate (double-send or a straggler finishing a re-dispatched
+      // range someone else already delivered): first valid result won.
+      ++stats_.duplicate_results;
+      if (conn.st == Conn::St::Working && conn.range == idx) release_conn_work(conn);
+      return;
+    }
+    completed_[idx] = r;
+    ++completed_count_;
+    range.st = RangeState::St::Completed;
+    range.lease_conn = kNoConn;
+    if (journal_ != nullptr) {
+      journal_->record(r);
+      ++stats_.journaled_ranges;
+    }
+    if (conn.st == Conn::St::Working && conn.range == idx) release_conn_work(conn);
+    say("serve: range " + std::to_string(idx) + " [" + std::to_string(r.agent_lo) + ", " +
+        std::to_string(r.agent_hi) + ") completed (" + std::to_string(completed_count_) + "/" +
+        std::to_string(ranges_.size()) + ")");
+  }
+
+  void release_conn_work(Conn& conn) {
+    conn.st = Conn::St::Idle;
+    conn.range = kNoRange;
+  }
+
+  void corrupt_strike(std::size_t conn_id, const std::string& why) {
+    ++stats_.corrupt_results;
+    say("serve: corrupt data from worker (" + why + ") — dropping connection");
+    fail_active_lease(conn_id);
+    close_conn(conn_id);
+  }
+
+  void handle_close(std::size_t conn_id) {
+    if (conns_[conn_id]->st == Conn::St::Working) {
+      ++stats_.disconnects;
+      say("serve: worker disconnected mid-lease");
+    }
+    fail_active_lease(conn_id);
+    close_conn(conn_id);
+  }
+
+  /// Charges the failure to the range ONLY when this connection still
+  /// holds its current lease; a stale holder (lease already expired and
+  /// possibly re-granted) was charged at expiry.
+  void fail_active_lease(std::size_t conn_id) {
+    const Conn& conn = *conns_[conn_id];
+    if (conn.st != Conn::St::Working || conn.range == kNoRange) return;
+    RangeState& r = ranges_[conn.range];
+    if (r.st == RangeState::St::Leased && r.lease_conn == conn_id) fail_once(conn.range);
+  }
+
+  void expire_leases() {
+    const Clock::time_point now = Clock::now();
+    for (std::size_t i = 0; i < ranges_.size(); ++i) {
+      RangeState& r = ranges_[i];
+      if (r.st == RangeState::St::Leased && r.lease_deadline <= now) {
+        ++stats_.expired_leases;
+        say("serve: lease on range " + std::to_string(i) +
+            " expired — eligible for re-dispatch");
+        fail_once(i);
+        // The straggler's connection stays open: its late result is still
+        // welcome (first valid result wins).
+      }
+    }
+  }
+
+  void fail_once(std::size_t idx) {
+    RangeState& r = ranges_[idx];
+    r.lease_conn = kNoConn;
+    ++r.failures;
+    if (r.failures > config_.max_retries) {
+      r.st = RangeState::St::Quarantined;
+      say("serve: range " + std::to_string(idx) + " quarantined after " +
+          std::to_string(r.failures) + " failures");
+      return;
+    }
+    const std::uint32_t shift = std::min<std::uint32_t>(r.failures - 1, 6);
+    r.st = RangeState::St::Pending;
+    r.eligible_at =
+        Clock::now() + std::chrono::milliseconds(config_.backoff_ms << shift);
+  }
+
+  void close_conn(std::size_t conn_id) {
+    Conn& conn = *conns_[conn_id];
+    conn.sock.close_fd();
+    conn.inbuf.clear();
+    conn.st = Conn::St::Closed;
+    conn.range = kNoRange;
+  }
+
+  ServeOutcome finish() {
+    const Frame done = make_done();
+    for (std::size_t c = 0; c < conns_.size(); ++c) {
+      if (conns_[c]->st == Conn::St::Closed) continue;
+      try {
+        conns_[c]->sock.send_frame(done);
+      } catch (const TransportError&) {
+      }
+      close_conn(c);
+    }
+    ServeOutcome out;
+    out.stats = stats_;
+    if (completed_count_ == ranges_.size()) {
+      std::vector<ShardResult> shards;
+      shards.reserve(ranges_.size());
+      for (const std::optional<ShardResult>& r : completed_) shards.push_back(*r);
+      out.certificate = merge_shard_results(shards);
+      out.complete = true;
+    } else {
+      for (const RangeState& r : ranges_) {
+        if (r.st == RangeState::St::Completed) continue;
+        out.quarantined.push_back({r.range, r.failures});
+        out.agents_uncovered += r.range.hi - r.range.lo;
+      }
+    }
+    say("serve: done complete=" + std::to_string(out.complete ? 1 : 0) +
+        " ranges=" + std::to_string(ranges_.size()) +
+        " resumed=" + std::to_string(stats_.resumed_ranges) +
+        " leases=" + std::to_string(stats_.leases_granted) +
+        " redispatches=" + std::to_string(stats_.redispatches) +
+        " expired=" + std::to_string(stats_.expired_leases) +
+        " disconnects=" + std::to_string(stats_.disconnects) +
+        " corrupt=" + std::to_string(stats_.corrupt_results) +
+        " duplicates=" + std::to_string(stats_.duplicate_results) +
+        " refused_handshakes=" + std::to_string(stats_.handshakes_refused) +
+        " journaled=" + std::to_string(stats_.journaled_ranges));
+    return out;
+  }
+
+  const Graph& g_;
+  const ServeConfig& config_;
+  std::ostream* log_;
+
+  std::uint64_t fingerprint_ = 0;
+  std::vector<RangeState> ranges_;
+  std::vector<std::optional<ShardResult>> completed_;
+  std::size_t completed_count_ = 0;
+  std::vector<std::unique_ptr<Conn>> conns_;
+  std::unique_ptr<ShardJournal> journal_;
+  ServeStats stats_;
+};
+
+}  // namespace
+
+ServeOutcome serve_certification(const Graph& g, const ServeConfig& config, std::ostream* log) {
+  BNCG_REQUIRE(!config.address.empty(), "serve: missing listen address");
+  BNCG_REQUIRE(config.lease_ms >= 1, "serve: lease must be positive");
+  BNCG_REQUIRE(config.backoff_ms >= 1, "serve: backoff must be positive");
+  BNCG_REQUIRE(config.resume == false || !config.journal_dir.empty(),
+               "serve: --resume requires a journal directory");
+  Dispatcher dispatcher(g, config, log);
+  return dispatcher.run();
+}
+
+}  // namespace bncg::svc

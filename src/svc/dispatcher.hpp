@@ -1,0 +1,104 @@
+// Fault-tolerant certification dispatcher (DESIGN.md §12).
+//
+// serve_certification turns one certification run into a long-lived
+// socket service: agent ranges become *leases with deadlines* handed to
+// connected workers, results stream back as checksummed certify_wire
+// frames, and the deterministic merge_shard_results fold stays the single
+// source of truth for the verdict. The robustness contract:
+//
+//  * a worker that disconnects, times out past its lease, or returns a
+//    corrupt frame costs the *range* one attempt — the range is
+//    re-dispatched to other workers after exponential backoff, and the
+//    first valid result wins (late straggler results are accepted while
+//    the range is open, deduplicated once it is complete);
+//  * a range whose attempts exceed the retry budget is quarantined; when
+//    every unfinished range is quarantined and no lease is still
+//    outstanding, the run degrades to a partial-coverage refusal —
+//    the certificate is withheld, never wrong (exit code 2 in the CLI);
+//  * every completed range is journaled crash-safely (svc/journal.hpp), so
+//    a killed dispatcher resumes with --resume recomputing nothing.
+//
+// Determinism: ranges are fixed up front as the canonical i·n/K split, the
+// per-range ShardResult payload is a pure function of the instance, and
+// the final fold is shard-index order — so the served certificate is
+// byte-identical to single-process `certify` no matter which workers
+// computed which ranges, in what order, after how many failures.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/certify_sharded.hpp"
+#include "core/usage_cost.hpp"
+#include "graph/graph.hpp"
+
+namespace bncg::svc {
+
+struct ServeConfig {
+  /// Listen address ("unix:/path" or "tcp:host:port"; tcp port 0 lets the
+  /// kernel choose — the resolved address is logged).
+  std::string address;
+  /// Number of agent ranges (leases); 0 = auto: min(n, 16).
+  std::size_t shards = 0;
+  UsageCost model = UsageCost::Sum;
+  bool include_deletions = false;
+  bool stop_on_violation = false;
+  /// Lease deadline: a range not delivered within this window is
+  /// re-dispatched to other workers (the original holder may still
+  /// deliver late — first valid result wins).
+  std::uint64_t lease_ms = 5000;
+  /// Re-dispatch budget per range: a range failing more than max_retries
+  /// times (disconnect, expiry, corruption) is quarantined.
+  std::uint32_t max_retries = 3;
+  /// Exponential backoff base: the k-th failure of a range delays its
+  /// re-dispatch by backoff_ms · 2^(k−1), capped at 64·backoff_ms.
+  std::uint64_t backoff_ms = 50;
+  /// Journal directory ("" = no journal). With resume=false the directory
+  /// must not already hold a session.
+  std::string journal_dir;
+  /// Reopen journal_dir and skip every range it already certified.
+  bool resume = false;
+};
+
+/// Telemetry of one serve run (stderr-reported by the CLI; asserted by the
+/// fault-injection harness).
+struct ServeStats {
+  std::size_t workers_connected = 0;
+  std::size_t handshakes_refused = 0;
+  std::size_t leases_granted = 0;
+  std::size_t redispatches = 0;  ///< leases granted beyond a range's first
+  std::size_t expired_leases = 0;
+  std::size_t disconnects = 0;      ///< workers lost while holding a lease
+  std::size_t corrupt_results = 0;  ///< frame- or shard-level corruption strikes
+  std::size_t duplicate_results = 0;
+  std::size_t resumed_ranges = 0;  ///< completed ranges recovered from the journal
+  std::size_t journaled_ranges = 0;
+};
+
+/// A quarantined range in a refusal outcome.
+struct QuarantinedRange {
+  AgentRange range;
+  std::uint32_t failures = 0;
+};
+
+struct ServeOutcome {
+  /// True when every range completed; `certificate` is then the merged
+  /// fold, byte-for-byte the single-process result.
+  bool complete = false;
+  std::optional<ShardedCertificate> certificate;
+  std::vector<QuarantinedRange> quarantined;
+  Vertex agents_uncovered = 0;
+  ServeStats stats;
+};
+
+/// Runs the dispatcher to completion or refusal. Blocks; single-threaded
+/// poll loop. Throws std::invalid_argument on configuration/journal guard
+/// violations and TransportError on listener failure. `log` (nullable)
+/// receives one-line progress telemetry.
+[[nodiscard]] ServeOutcome serve_certification(const Graph& g, const ServeConfig& config,
+                                               std::ostream* log = nullptr);
+
+}  // namespace bncg::svc

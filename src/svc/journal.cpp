@@ -1,0 +1,175 @@
+#include "svc/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/certify_wire.hpp"
+#include "graph/io.hpp"
+#include "svc/net.hpp"
+#include "util/error.hpp"
+
+namespace bncg::svc {
+
+namespace {
+
+constexpr const char* kSessionFile = "session.bin";
+
+/// Writes `bytes` to `path` via temp + fsync + rename so a crash at any
+/// point leaves either the complete file or nothing at the final path.
+void atomic_write(const std::string& dir, const std::string& name, std::string_view bytes) {
+  const std::string path = dir + "/" + name;
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) {
+    throw std::runtime_error("journal: cannot open " + tmp + ": " + std::strerror(errno));
+  }
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t rc = ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      const int saved = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      throw std::runtime_error("journal: write failed: " + tmp + ": " + std::strerror(saved));
+    }
+    written += static_cast<std::size_t>(rc);
+  }
+  if (::fsync(fd) < 0 || ::close(fd) < 0) {
+    ::unlink(tmp.c_str());
+    throw std::runtime_error("journal: fsync/close failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    throw std::runtime_error("journal: rename failed: " + path);
+  }
+  // Make the rename itself durable: fsync the directory entry.
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+}
+
+[[nodiscard]] std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("journal: cannot read " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in && !in.eof()) throw std::runtime_error("journal: read failed: " + path);
+  return buffer.str();
+}
+
+[[nodiscard]] std::string encode_header(const JournalHeader& h) {
+  std::string body;
+  put_u32(body, kJournalVersion);
+  put_u64(body, h.fingerprint);
+  put_u32(body, h.n);
+  put_u64(body, h.m);
+  put_u8(body, h.model == UsageCost::Sum ? 0 : 1);
+  put_u8(body, h.include_deletions ? 1 : 0);
+  put_u8(body, h.stop_on_violation ? 1 : 0);
+  put_u32(body, h.shard_count);
+  std::string out(kJournalMagic);
+  out += body;
+  put_u64(out, fnv1a64(body.data(), body.size()));
+  return out;
+}
+
+[[nodiscard]] JournalHeader decode_header(std::string_view bytes) {
+  BNCG_REQUIRE(bytes.size() >= kJournalMagic.size() + 8, "journal session: truncated");
+  BNCG_REQUIRE(bytes.substr(0, kJournalMagic.size()) == kJournalMagic,
+               "journal session: bad magic");
+  const std::string_view body =
+      bytes.substr(kJournalMagic.size(), bytes.size() - kJournalMagic.size() - 8);
+  PayloadReader tail(bytes.substr(bytes.size() - 8));
+  BNCG_REQUIRE(fnv1a64(body.data(), body.size()) == tail.u64(),
+               "journal session: checksum mismatch");
+  PayloadReader in(body);
+  BNCG_REQUIRE(in.u32() == kJournalVersion, "journal session: unsupported version");
+  JournalHeader h;
+  h.fingerprint = in.u64();
+  h.n = in.u32();
+  h.m = in.u64();
+  const std::uint8_t model = in.u8();
+  BNCG_REQUIRE(model <= 1, "journal session: bad model byte");
+  h.model = model == 0 ? UsageCost::Sum : UsageCost::Max;
+  h.include_deletions = in.u8() != 0;
+  h.stop_on_violation = in.u8() != 0;
+  h.shard_count = in.u32();
+  BNCG_REQUIRE(h.shard_count >= 1, "journal session: zero shard count");
+  in.expect_end();
+  return h;
+}
+
+/// A recovered record must belong to this session; anything else is
+/// treated exactly like corruption (skip and recompute the range).
+[[nodiscard]] bool record_matches(const JournalHeader& h, const ShardResult& r) {
+  return r.fingerprint == h.fingerprint && r.n == h.n && r.m == h.m && r.model == h.model &&
+         r.include_deletions == h.include_deletions &&
+         r.stop_on_violation == h.stop_on_violation && r.shard_count == h.shard_count &&
+         r.shard_index < h.shard_count;
+}
+
+}  // namespace
+
+std::string ShardJournal::record_name(std::uint32_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "range_%06u.shard", index);
+  return buf;
+}
+
+ShardJournal ShardJournal::create(const std::string& dir, const JournalHeader& header) {
+  BNCG_REQUIRE(header.shard_count >= 1, "journal: zero shard count");
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) throw std::runtime_error("journal: cannot create " + dir + ": " + ec.message());
+  BNCG_REQUIRE(!std::filesystem::exists(dir + "/" + kSessionFile),
+               "journal: " + dir + " already holds a session — resume or remove it");
+  ShardJournal j;
+  j.dir_ = dir;
+  j.header_ = header;
+  j.has_record_.assign(header.shard_count, false);
+  atomic_write(dir, kSessionFile, encode_header(header));
+  return j;
+}
+
+ShardJournal ShardJournal::open(const std::string& dir) {
+  ShardJournal j;
+  j.dir_ = dir;
+  j.header_ = decode_header(read_file(dir + "/" + kSessionFile));
+  j.has_record_.assign(j.header_.shard_count, false);
+  for (std::uint32_t index = 0; index < j.header_.shard_count; ++index) {
+    const std::string path = dir + "/" + record_name(index);
+    if (!std::filesystem::exists(path)) continue;
+    try {
+      ShardResult r = read_shard_file(path);
+      if (!record_matches(j.header_, r) || r.shard_index != index) {
+        ++j.skipped_corrupt_;
+        continue;
+      }
+      j.has_record_[index] = true;
+      j.recovered_.push_back(std::move(r));
+    } catch (const std::invalid_argument&) {
+      ++j.skipped_corrupt_;  // damaged record → recompute that range
+    }
+  }
+  return j;
+}
+
+void ShardJournal::record(const ShardResult& shard) {
+  BNCG_REQUIRE(record_matches(header_, shard), "journal: record does not match the session");
+  if (has_record_[shard.shard_index]) return;  // append-only, first result wins
+  atomic_write(dir_, record_name(shard.shard_index), shard_to_binary(shard));
+  has_record_[shard.shard_index] = true;
+}
+
+}  // namespace bncg::svc

@@ -1,0 +1,117 @@
+#include "svc/protocol.hpp"
+
+#include "util/error.hpp"
+
+namespace bncg::svc {
+
+namespace {
+
+void require_type(const Frame& frame, FrameType want, const char* what) {
+  BNCG_REQUIRE(frame.type == want, what);
+}
+
+}  // namespace
+
+Frame make_hello(const HelloBody& body) {
+  Frame f;
+  f.type = FrameType::Hello;
+  put_u32(f.payload, body.protocol_version);
+  put_u64(f.payload, body.fingerprint);
+  put_u32(f.payload, body.n);
+  put_u64(f.payload, body.m);
+  return f;
+}
+
+Frame make_welcome(const WelcomeBody& body) {
+  Frame f;
+  f.type = FrameType::Welcome;
+  put_u8(f.payload, body.model == UsageCost::Sum ? 0 : 1);
+  put_u8(f.payload, body.include_deletions ? 1 : 0);
+  put_u8(f.payload, body.stop_on_violation ? 1 : 0);
+  put_u32(f.payload, body.shard_count);
+  return f;
+}
+
+Frame make_refuse(const std::string& reason) {
+  Frame f;
+  f.type = FrameType::Refuse;
+  put_bytes(f.payload, reason);
+  return f;
+}
+
+Frame make_lease(const LeaseBody& body) {
+  Frame f;
+  f.type = FrameType::Lease;
+  put_u32(f.payload, body.range.lo);
+  put_u32(f.payload, body.range.hi);
+  put_u32(f.payload, body.range.shard_index);
+  put_u32(f.payload, body.range.shard_count);
+  put_u64(f.payload, body.lease_ms);
+  return f;
+}
+
+Frame make_result(std::string shard_wire_bytes) {
+  Frame f;
+  f.type = FrameType::Result;
+  f.payload = std::move(shard_wire_bytes);
+  return f;
+}
+
+Frame make_done() {
+  Frame f;
+  f.type = FrameType::Done;
+  return f;
+}
+
+HelloBody parse_hello(const Frame& frame) {
+  require_type(frame, FrameType::Hello, "svc protocol: expected hello");
+  PayloadReader in(frame.payload);
+  HelloBody body;
+  body.protocol_version = in.u32();
+  body.fingerprint = in.u64();
+  body.n = in.u32();
+  body.m = in.u64();
+  in.expect_end();
+  return body;
+}
+
+WelcomeBody parse_welcome(const Frame& frame) {
+  require_type(frame, FrameType::Welcome, "svc protocol: expected welcome");
+  PayloadReader in(frame.payload);
+  WelcomeBody body;
+  const std::uint8_t model = in.u8();
+  BNCG_REQUIRE(model <= 1, "svc protocol: bad model byte");
+  body.model = model == 0 ? UsageCost::Sum : UsageCost::Max;
+  body.include_deletions = in.u8() != 0;
+  body.stop_on_violation = in.u8() != 0;
+  body.shard_count = in.u32();
+  BNCG_REQUIRE(body.shard_count >= 1, "svc protocol: zero shard count");
+  in.expect_end();
+  return body;
+}
+
+std::string parse_refuse(const Frame& frame) {
+  require_type(frame, FrameType::Refuse, "svc protocol: expected refuse");
+  PayloadReader in(frame.payload);
+  std::string reason = in.bytes();
+  in.expect_end();
+  return reason;
+}
+
+LeaseBody parse_lease(const Frame& frame) {
+  require_type(frame, FrameType::Lease, "svc protocol: expected lease");
+  PayloadReader in(frame.payload);
+  LeaseBody body;
+  body.range.lo = in.u32();
+  body.range.hi = in.u32();
+  body.range.shard_index = in.u32();
+  body.range.shard_count = in.u32();
+  body.lease_ms = in.u64();
+  in.expect_end();
+  BNCG_REQUIRE(body.range.lo <= body.range.hi, "svc protocol: bad lease range");
+  BNCG_REQUIRE(body.range.shard_index < body.range.shard_count,
+               "svc protocol: bad lease shard index");
+  return body;
+}
+
+}  // namespace bncg::svc

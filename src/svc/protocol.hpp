@@ -1,0 +1,58 @@
+// Message bodies of the dispatcher/worker protocol (DESIGN.md §12).
+//
+// One struct + encode/decode pair per frame type, layered on svc/net's
+// checksummed framing. Decoders throw std::invalid_argument on any
+// malformed body — same contract as certify_wire — so a corrupt payload
+// that somehow survives the frame checksum still cannot smuggle bad
+// fields into the dispatcher or a worker.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/certify_sharded.hpp"
+#include "core/usage_cost.hpp"
+#include "svc/net.hpp"
+
+namespace bncg::svc {
+
+/// Worker → dispatcher greeting: protocol version plus the identity of
+/// the instance the worker loaded. The dispatcher refuses a Hello whose
+/// fingerprint/n/m disagree with its own instance — the wire format's
+/// fingerprint guard promoted to a connect-time session handshake.
+struct HelloBody {
+  std::uint32_t protocol_version = kSvcProtocolVersion;
+  std::uint64_t fingerprint = 0;
+  Vertex n = 0;
+  std::uint64_t m = 0;
+};
+
+/// Dispatcher → worker run configuration (the worker takes model and
+/// flags from the service, never from its own command line).
+struct WelcomeBody {
+  UsageCost model = UsageCost::Sum;
+  bool include_deletions = false;
+  bool stop_on_violation = false;
+  std::uint32_t shard_count = 1;
+};
+
+/// Dispatcher → worker work assignment: one agent range plus the lease
+/// deadline the dispatcher will enforce.
+struct LeaseBody {
+  AgentRange range;
+  std::uint64_t lease_ms = 0;
+};
+
+[[nodiscard]] Frame make_hello(const HelloBody& body);
+[[nodiscard]] Frame make_welcome(const WelcomeBody& body);
+[[nodiscard]] Frame make_refuse(const std::string& reason);
+[[nodiscard]] Frame make_lease(const LeaseBody& body);
+[[nodiscard]] Frame make_result(std::string shard_wire_bytes);
+[[nodiscard]] Frame make_done();
+
+[[nodiscard]] HelloBody parse_hello(const Frame& frame);
+[[nodiscard]] WelcomeBody parse_welcome(const Frame& frame);
+[[nodiscard]] std::string parse_refuse(const Frame& frame);
+[[nodiscard]] LeaseBody parse_lease(const Frame& frame);
+
+}  // namespace bncg::svc

@@ -1,0 +1,71 @@
+// Connected certification worker + deterministic fault injection
+// (DESIGN.md §12).
+//
+// run_connect_worker dials a dispatcher (svc/dispatcher.hpp), handshakes
+// with the instance fingerprint it loaded (refused at connect time when it
+// does not match the served instance), then loops: receive a lease,
+// certify the range with the exact same certify_agent_range scan the
+// in-process and file-based pipelines use, stream the wire-encoded
+// ShardResult back. Run configuration (model, deletion clause,
+// stop-on-violation) comes from the dispatcher's Welcome — a connected
+// worker can never certify the wrong clause.
+//
+// ChaosConfig turns the same loop into a seeded fault injector (the
+// `bncg_certify chaos-worker` mode): crash mid-range, hang past the
+// lease, flip one bit in a result (at the frame or the shard layer),
+// double-send, or just run slow. Every behavior is deterministic given
+// the seed, so the fault-injection harness (scripts/certify_chaos.sh,
+// tests/test_svc_dispatcher.cpp) asserts exact outcomes, not luck.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "graph/dist_width.hpp"
+#include "graph/graph.hpp"
+
+namespace bncg::svc {
+
+struct ChaosConfig {
+  enum class Mode {
+    None,
+    Crash,       ///< scan half of the first lease, then _Exit without a word
+    Hang,        ///< sleep past the first lease's deadline, then deliver late
+    Corrupt,     ///< flip one seeded bit in the first result, then behave
+    CorruptAll,  ///< flip one seeded bit in every result
+    Duplicate,   ///< send every result frame twice
+    Slow,        ///< sleep delay_ms before every lease (benign straggler)
+  };
+  Mode mode = Mode::None;
+  std::uint64_t seed = 1;
+  std::uint64_t delay_ms = 150;  ///< Slow mode's per-lease delay
+};
+
+struct ConnectConfig {
+  std::string address;
+  WidthPolicy width = WidthPolicy::Auto;
+  /// Bounded connect retry: 1 + connect_retries attempts with exponential
+  /// backoff starting at connect_backoff_ms; exhaustion throws
+  /// TransportError (CLI exit 4).
+  std::uint32_t connect_retries = 5;
+  std::uint64_t connect_backoff_ms = 100;
+  ChaosConfig chaos;
+};
+
+struct WorkerReport {
+  bool refused = false;        ///< dispatcher refused the handshake (CLI exit 3)
+  std::string refuse_reason;
+  std::size_t leases_completed = 0;
+  std::uint64_t agents_scanned = 0;
+};
+
+/// Runs the connected-worker loop until the dispatcher says Done (clean
+/// return) or refuses the handshake (report.refused). Throws
+/// TransportError when the dispatcher is unreachable after bounded
+/// retries or vanishes mid-session. Crash chaos _Exits the process —
+/// never use it in-process.
+[[nodiscard]] WorkerReport run_connect_worker(const Graph& g, const ConnectConfig& config,
+                                              std::ostream* log = nullptr);
+
+}  // namespace bncg::svc

@@ -1,0 +1,374 @@
+// Fault-tolerant dispatcher (svc/dispatcher.hpp) end to end, with
+// in-process worker threads over unix-domain sockets: served certificates
+// must be byte-identical to the single-process certifiers under every
+// injected fault (disconnects, expired leases, corruption, duplicates),
+// degradation must be a refusal rather than a wrong verdict, and the
+// crash-safe journal must make --resume recompute nothing. Crash chaos
+// (std::_Exit) is exercised by scripts/certify_chaos.sh, which owns real
+// processes; everything else injects faults in-process here.
+#include "svc/dispatcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/certify_sharded.hpp"
+#include "core/swap_engine.hpp"
+#include "gen/random.hpp"
+#include "graph/io.hpp"
+#include "svc/journal.hpp"
+#include "svc/net.hpp"
+#include "svc/protocol.hpp"
+#include "svc/worker.hpp"
+#include "util/rng.hpp"
+
+namespace bncg::svc {
+namespace {
+
+namespace fs = std::filesystem;
+
+void expect_same_certificate(const EquilibriumCertificate& got,
+                             const EquilibriumCertificate& want, const std::string& context) {
+  ASSERT_EQ(got.is_equilibrium, want.is_equilibrium) << context;
+  EXPECT_EQ(got.moves_checked, want.moves_checked) << context;
+  ASSERT_EQ(got.witness.has_value(), want.witness.has_value()) << context;
+  if (!got.witness) return;
+  EXPECT_EQ(got.witness->swap.v, want.witness->swap.v) << context;
+  EXPECT_EQ(got.witness->swap.remove_w, want.witness->swap.remove_w) << context;
+  EXPECT_EQ(got.witness->swap.add_w, want.witness->swap.add_w) << context;
+  EXPECT_EQ(got.witness->cost_before, want.witness->cost_before) << context;
+  EXPECT_EQ(got.witness->cost_after, want.witness->cost_after) << context;
+  EXPECT_EQ(got.witness->kind, want.witness->kind) << context;
+}
+
+void nap() { std::this_thread::sleep_for(std::chrono::milliseconds(25)); }
+
+class SvcDispatcherTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() / "bncg_svc_dispatcher_test").string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    Xoshiro256ss rng(0xD15);
+    g_ = random_connected_gnm(48, 120, rng);
+  }
+
+  void TearDown() override {
+    join_workers();
+    fs::remove_all(dir_);
+  }
+
+  /// Stops retry loops and joins every worker thread (serve has returned
+  /// by the time callers use this, so nothing is left to talk to).
+  void join_workers() {
+    stop_.store(true);
+    for (std::thread& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+    threads_.clear();
+    stop_.store(false);
+  }
+
+  [[nodiscard]] std::string socket_address(const std::string& name) const {
+    return "unix:" + dir_ + "/" + name + ".sock";
+  }
+
+  /// Launches run_connect_worker on a background thread, reconnecting
+  /// through TransportError until the session ends cleanly (Done/Refuse)
+  /// or the test stops it. `gate`, when given, delays the first connect
+  /// until another thread raises it — used to sequence faults
+  /// deterministically. The final report lands in `*report_out`.
+  void spawn_worker(const Graph& g, ConnectConfig config,
+                    const std::atomic<bool>* gate = nullptr,
+                    std::optional<WorkerReport>* report_out = nullptr) {
+    config.connect_retries = 0;
+    threads_.emplace_back([this, &g, config, gate, report_out] {
+      while (gate != nullptr && !gate->load() && !stop_.load()) nap();
+      while (!stop_.load()) {
+        try {
+          const WorkerReport report = run_connect_worker(g, config);
+          if (report_out != nullptr) *report_out = report;
+          return;
+        } catch (const TransportError&) {
+          nap();
+        }
+      }
+    });
+  }
+
+  /// A protocol-fluent saboteur: handshakes, takes one lease, raises
+  /// `got_lease`, and disconnects without delivering anything.
+  void spawn_lease_dropper(const std::string& address, std::atomic<bool>& got_lease) {
+    threads_.emplace_back([this, address, &got_lease] {
+      Socket sock;
+      while (!sock.valid() && !stop_.load()) {
+        try {
+          sock = connect_to(address);
+        } catch (const TransportError&) {
+          nap();
+        }
+      }
+      if (!sock.valid()) return;
+      try {
+        HelloBody hello;
+        hello.fingerprint = graph_fingerprint(g_);
+        hello.n = g_.num_vertices();
+        hello.m = g_.num_edges();
+        sock.send_frame(make_hello(hello));
+        if (sock.recv_frame().type != FrameType::Welcome) return;
+        if (sock.recv_frame().type != FrameType::Lease) return;
+      } catch (const TransportError&) {
+        return;
+      }
+      got_lease.store(true);
+      // Destructor closes the socket: the accepted lease dies with it.
+    });
+  }
+
+  [[nodiscard]] ServeOutcome serve(const ServeConfig& config) {
+    return serve_certification(g_, config, nullptr);
+  }
+
+  void expect_parity(const ServeOutcome& outcome, UsageCost model, bool deletions,
+                     const std::string& context) {
+    ASSERT_TRUE(outcome.complete) << context;
+    ASSERT_TRUE(outcome.certificate.has_value()) << context;
+    const SwapEngine engine(g_);
+    expect_same_certificate(outcome.certificate->certificate, engine.certify(model, deletions),
+                            context);
+    EXPECT_EQ(outcome.certificate->agents_scanned, g_.num_vertices()) << context;
+  }
+
+  std::string dir_;
+  Graph g_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> stop_{false};
+};
+
+TEST_F(SvcDispatcherTest, HonestWorkersReproduceTheCertificate) {
+  ServeConfig config;
+  config.address = socket_address("honest");
+  config.shards = 6;
+  config.model = UsageCost::Max;
+  config.include_deletions = true;
+  spawn_worker(g_, {.address = config.address});
+  spawn_worker(g_, {.address = config.address});
+  const ServeOutcome outcome = serve(config);
+  expect_parity(outcome, UsageCost::Max, true, "two honest workers");
+  EXPECT_EQ(outcome.stats.redispatches, 0u);
+  EXPECT_EQ(outcome.stats.corrupt_results, 0u);
+  EXPECT_GE(outcome.stats.workers_connected, 1u);  // one may arrive post-finish
+  EXPECT_EQ(outcome.stats.leases_granted, 6u);
+}
+
+TEST_F(SvcDispatcherTest, WrongInstanceWorkerRefusedAtHandshake) {
+  Xoshiro256ss rng(0xBAD);
+  const Graph wrong = random_connected_gnm(48, 120, rng);
+  ASSERT_NE(graph_fingerprint(wrong), graph_fingerprint(g_));
+  ServeConfig config;
+  config.address = socket_address("refuse");
+  config.shards = 3;
+
+  // The honest worker starts only after the wrong-instance worker has
+  // been refused, so the refusal can never race the run's completion.
+  std::optional<WorkerReport> wrong_report;
+  std::atomic<bool> refused{false};
+  threads_.emplace_back([&, this] {
+    ConnectConfig worker;
+    worker.address = config.address;
+    worker.connect_retries = 0;
+    while (!stop_.load()) {
+      try {
+        wrong_report = run_connect_worker(wrong, worker);
+        break;
+      } catch (const TransportError&) {
+        nap();
+      }
+    }
+    refused.store(true);
+  });
+  spawn_worker(g_, {.address = config.address}, &refused);
+
+  const ServeOutcome outcome = serve(config);
+  expect_parity(outcome, UsageCost::Sum, false, "refusal then honest completion");
+  join_workers();
+  ASSERT_TRUE(wrong_report.has_value());
+  EXPECT_TRUE(wrong_report->refused);
+  EXPECT_NE(wrong_report->refuse_reason.find("fingerprint"), std::string::npos);
+  EXPECT_EQ(wrong_report->leases_completed, 0u);
+  EXPECT_EQ(outcome.stats.handshakes_refused, 1u);
+}
+
+TEST_F(SvcDispatcherTest, DisconnectMidLeaseIsRedispatched) {
+  ServeConfig config;
+  config.address = socket_address("drop");
+  config.shards = 4;
+  config.backoff_ms = 10;
+  std::atomic<bool> dropped{false};
+  spawn_lease_dropper(config.address, dropped);
+  spawn_worker(g_, {.address = config.address}, &dropped);
+  const ServeOutcome outcome = serve(config);
+  expect_parity(outcome, UsageCost::Sum, false, "disconnect re-dispatch");
+  EXPECT_GE(outcome.stats.disconnects, 1u);
+  EXPECT_GE(outcome.stats.redispatches, 1u);
+  EXPECT_GE(outcome.stats.leases_granted, 5u);
+}
+
+TEST_F(SvcDispatcherTest, ExpiredLeaseIsStolenByHonestWorker) {
+  ServeConfig config;
+  config.address = socket_address("hang");
+  config.shards = 4;
+  config.lease_ms = 400;  // the hang worker sleeps ~850 ms past its grant
+  config.backoff_ms = 10;
+  ConnectConfig hanging;
+  hanging.address = config.address;
+  hanging.chaos.mode = ChaosConfig::Mode::Hang;
+  spawn_worker(g_, hanging);
+  // The honest worker is slowed so the hang worker reliably wins a lease
+  // before the honest one drains every range.
+  ConnectConfig slowed;
+  slowed.address = config.address;
+  slowed.chaos.mode = ChaosConfig::Mode::Slow;
+  slowed.chaos.delay_ms = 100;
+  spawn_worker(g_, slowed);
+  const ServeOutcome outcome = serve(config);
+  expect_parity(outcome, UsageCost::Sum, false, "straggler work stealing");
+  EXPECT_GE(outcome.stats.expired_leases, 1u);
+  EXPECT_GE(outcome.stats.redispatches, 1u);
+}
+
+TEST_F(SvcDispatcherTest, CorruptionExhaustsRetriesIntoRefusalNeverAWrongVerdict) {
+  ServeConfig config;
+  config.address = socket_address("corrupt");
+  config.shards = 1;
+  config.max_retries = 0;  // first strike quarantines
+  ConnectConfig corrupting;
+  corrupting.address = config.address;
+  corrupting.chaos.mode = ChaosConfig::Mode::CorruptAll;
+  corrupting.chaos.seed = 7;
+  spawn_worker(g_, corrupting);
+  const ServeOutcome outcome = serve(config);
+  EXPECT_FALSE(outcome.complete);
+  EXPECT_FALSE(outcome.certificate.has_value());
+  ASSERT_EQ(outcome.quarantined.size(), 1u);
+  EXPECT_EQ(outcome.quarantined.front().failures, 1u);
+  EXPECT_EQ(outcome.agents_uncovered, g_.num_vertices());
+  EXPECT_GE(outcome.stats.corrupt_results, 1u);
+}
+
+TEST_F(SvcDispatcherTest, DuplicateResultsAreCountedNotDoubleFolded) {
+  ServeConfig config;
+  config.address = socket_address("dup");
+  config.shards = 5;
+  ConnectConfig duplicating;
+  duplicating.address = config.address;
+  duplicating.chaos.mode = ChaosConfig::Mode::Duplicate;
+  spawn_worker(g_, duplicating);
+  const ServeOutcome outcome = serve(config);
+  expect_parity(outcome, UsageCost::Sum, false, "double-sent results");
+  // The final range's duplicate may race the dispatcher's own shutdown;
+  // every earlier one must have been seen and ignored.
+  EXPECT_GE(outcome.stats.duplicate_results, 4u);
+  EXPECT_EQ(outcome.stats.corrupt_results, 0u);
+}
+
+TEST_F(SvcDispatcherTest, JournalResumeRecomputesNothingAlreadyCertified) {
+  ServeConfig config;
+  config.address = socket_address("journal");
+  config.shards = 5;
+  config.journal_dir = dir_ + "/journal";
+
+  // Seed the journal exactly as a killed dispatcher would have left it:
+  // a valid session plus two completed ranges.
+  {
+    JournalHeader header;
+    header.fingerprint = graph_fingerprint(g_);
+    header.n = g_.num_vertices();
+    header.m = g_.num_edges();
+    header.shard_count = 5;
+    ShardJournal journal = ShardJournal::create(config.journal_dir, header);
+    const SwapEngine engine(g_);
+    for (const std::uint32_t idx : {0u, 3u}) {
+      AgentRange range;
+      range.shard_index = idx;
+      range.shard_count = 5;
+      range.lo = static_cast<Vertex>(idx * g_.num_vertices() / 5);
+      range.hi = static_cast<Vertex>((idx + 1) * g_.num_vertices() / 5);
+      journal.record(certify_agent_range(engine, range, UsageCost::Sum, false, false));
+    }
+  }
+
+  config.resume = true;
+  spawn_worker(g_, {.address = config.address});
+  const ServeOutcome outcome = serve(config);
+  expect_parity(outcome, UsageCost::Sum, false, "partial resume");
+  EXPECT_EQ(outcome.stats.resumed_ranges, 2u);
+  EXPECT_EQ(outcome.stats.leases_granted, 3u);  // only the missing ranges
+  EXPECT_EQ(outcome.stats.journaled_ranges, 3u);
+
+  // Second resume: the journal now covers everything — the dispatcher
+  // must finish without granting a single lease (and without a listener:
+  // no worker is even spawned).
+  const ServeOutcome replay = serve(config);
+  expect_parity(replay, UsageCost::Sum, false, "full resume");
+  EXPECT_EQ(replay.stats.resumed_ranges, 5u);
+  EXPECT_EQ(replay.stats.leases_granted, 0u);
+}
+
+TEST_F(SvcDispatcherTest, ResumeRefusesForeignJournal) {
+  Xoshiro256ss rng(0xFEED);
+  const Graph other = random_connected_gnm(48, 120, rng);
+  ASSERT_NE(graph_fingerprint(other), graph_fingerprint(g_));
+  JournalHeader header;
+  header.fingerprint = graph_fingerprint(other);
+  header.n = other.num_vertices();
+  header.m = other.num_edges();
+  header.shard_count = 2;
+  { (void)ShardJournal::create(dir_ + "/foreign", header); }
+
+  ServeConfig config;
+  config.address = socket_address("foreign");
+  config.journal_dir = dir_ + "/foreign";
+  config.resume = true;
+  EXPECT_THROW((void)serve(config), std::invalid_argument);
+
+  // Same instance but a different run configuration is refused too.
+  JournalHeader mine;
+  mine.fingerprint = graph_fingerprint(g_);
+  mine.n = g_.num_vertices();
+  mine.m = g_.num_edges();
+  mine.model = UsageCost::Max;
+  mine.shard_count = 2;
+  { (void)ShardJournal::create(dir_ + "/othermodel", mine); }
+  config.journal_dir = dir_ + "/othermodel";
+  EXPECT_THROW((void)serve(config), std::invalid_argument);
+}
+
+TEST_F(SvcDispatcherTest, ResumePinsTheJournalShardCount) {
+  ServeConfig config;
+  config.address = socket_address("pin");
+  config.shards = 4;
+  config.journal_dir = dir_ + "/pin";
+  spawn_worker(g_, {.address = config.address});
+  const ServeOutcome first = serve(config);
+  expect_parity(first, UsageCost::Sum, false, "journaled run");
+  join_workers();
+
+  // Re-serve with a different --shards: the journal's split must win, and
+  // with all 4 ranges recovered no worker is needed at all.
+  config.shards = 9;
+  config.resume = true;
+  const ServeOutcome resumed = serve(config);
+  expect_parity(resumed, UsageCost::Sum, false, "resume with shard override");
+  EXPECT_EQ(resumed.stats.resumed_ranges, 4u);
+  EXPECT_EQ(resumed.certificate->shards_used, 4u);
+}
+
+}  // namespace
+}  // namespace bncg::svc

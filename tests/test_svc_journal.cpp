@@ -1,0 +1,145 @@
+// Crash-safe shard journal (svc/journal.hpp): create/record/open recovery,
+// append-only idempotence, corruption degradation (damaged records are
+// skipped and counted, never fatal), and the session guards — a journal
+// can never be silently overwritten nor resumed against the wrong
+// instance or run configuration.
+#include "svc/journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "core/certify_sharded.hpp"
+#include "core/certify_wire.hpp"
+#include "core/swap_engine.hpp"
+#include "gen/random.hpp"
+#include "graph/io.hpp"
+#include "util/rng.hpp"
+
+namespace bncg::svc {
+namespace {
+
+namespace fs = std::filesystem;
+
+class SvcJournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() / "bncg_svc_journal_test").string();
+    fs::remove_all(dir_);
+    Xoshiro256ss rng(0x10DE);
+    g_ = random_connected_gnm(24, 60, rng);
+    header_.fingerprint = graph_fingerprint(g_);
+    header_.n = g_.num_vertices();
+    header_.m = g_.num_edges();
+    header_.model = UsageCost::Sum;
+    header_.shard_count = 4;
+  }
+
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] ShardResult make_shard(std::uint32_t index) const {
+    const SwapEngine engine(g_);
+    AgentRange range;
+    range.shard_index = index;
+    range.shard_count = header_.shard_count;
+    range.lo = static_cast<Vertex>(index * header_.n / header_.shard_count);
+    range.hi = static_cast<Vertex>((index + 1) * header_.n / header_.shard_count);
+    return certify_agent_range(engine, range, header_.model, header_.include_deletions,
+                               header_.stop_on_violation);
+  }
+
+  std::string dir_;
+  Graph g_;
+  JournalHeader header_;
+};
+
+TEST_F(SvcJournalTest, CreateRecordOpenRoundTrip) {
+  {
+    ShardJournal journal = ShardJournal::create(dir_, header_);
+    journal.record(make_shard(1));
+    journal.record(make_shard(3));
+  }
+  ShardJournal reopened = ShardJournal::open(dir_);
+  EXPECT_EQ(reopened.header().fingerprint, header_.fingerprint);
+  EXPECT_EQ(reopened.header().shard_count, header_.shard_count);
+  ASSERT_EQ(reopened.recovered().size(), 2u);
+  EXPECT_EQ(reopened.skipped_corrupt(), 0u);
+  // Recovered records carry the full payload, not just coordinates.
+  const ShardResult want = make_shard(1);
+  const ShardResult& got = reopened.recovered().front();
+  EXPECT_EQ(got.shard_index, 1u);
+  EXPECT_EQ(got.scanned, want.scanned);
+  EXPECT_EQ(got.moves, want.moves);
+  EXPECT_EQ(shard_to_binary(got), shard_to_binary(want));
+}
+
+TEST_F(SvcJournalTest, RecordIsIdempotentPerIndex) {
+  ShardJournal journal = ShardJournal::create(dir_, header_);
+  journal.record(make_shard(2));
+  const fs::path record = fs::path(dir_) / ShardJournal::record_name(2);
+  const auto first_write = fs::last_write_time(record);
+  journal.record(make_shard(2));  // duplicate: must not rewrite the file
+  EXPECT_EQ(fs::last_write_time(record), first_write);
+  EXPECT_EQ(ShardJournal::open(dir_).recovered().size(), 1u);
+}
+
+TEST_F(SvcJournalTest, CreateRefusesExistingSession) {
+  { (void)ShardJournal::create(dir_, header_); }
+  EXPECT_THROW((void)ShardJournal::create(dir_, header_), std::invalid_argument);
+}
+
+TEST_F(SvcJournalTest, OpenMissingDirectoryOrSessionThrowsRuntime) {
+  EXPECT_THROW((void)ShardJournal::open(dir_ + "-nope"), std::runtime_error);
+  fs::create_directories(dir_);  // directory without a session record
+  EXPECT_THROW((void)ShardJournal::open(dir_), std::runtime_error);
+}
+
+TEST_F(SvcJournalTest, CorruptSessionRecordRefusedOnOpen) {
+  { (void)ShardJournal::create(dir_, header_); }
+  const fs::path session = fs::path(dir_) / "session.bin";
+  std::string bytes;
+  {
+    std::ifstream in(session, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  }
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x10);
+  {
+    std::ofstream out(session, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_THROW((void)ShardJournal::open(dir_), std::invalid_argument);
+}
+
+TEST_F(SvcJournalTest, DamagedRecordSkippedAndCounted) {
+  {
+    ShardJournal journal = ShardJournal::create(dir_, header_);
+    journal.record(make_shard(0));
+    journal.record(make_shard(1));
+  }
+  // Truncate one record (external damage — a crash cannot do this, the
+  // rename is atomic).
+  const fs::path victim = fs::path(dir_) / ShardJournal::record_name(0);
+  fs::resize_file(victim, fs::file_size(victim) / 2);
+  ShardJournal reopened = ShardJournal::open(dir_);
+  ASSERT_EQ(reopened.recovered().size(), 1u);
+  EXPECT_EQ(reopened.recovered().front().shard_index, 1u);
+  EXPECT_EQ(reopened.skipped_corrupt(), 1u);
+}
+
+TEST_F(SvcJournalTest, NoTempFilesSurviveNormalOperation) {
+  {
+    ShardJournal journal = ShardJournal::create(dir_, header_);
+    for (std::uint32_t i = 0; i < header_.shard_count; ++i) journal.record(make_shard(i));
+  }
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir_)) {
+    EXPECT_EQ(entry.path().extension(), entry.path().filename() == "session.bin"
+                                            ? fs::path(".bin")
+                                            : fs::path(".shard"))
+        << entry.path();
+  }
+}
+
+}  // namespace
+}  // namespace bncg::svc

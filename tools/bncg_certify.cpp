@@ -1,27 +1,48 @@
 // Cross-process certification CLI — the worker/merge pipeline over the
-// sharded certifier (DESIGN.md §11).
+// sharded certifier (DESIGN.md §11) and the fault-tolerant certification
+// service (DESIGN.md §12).
 //
 // Modes:
-//   gen      — write a seeded random connected G(n, m) instance as an edge
-//              list, so fan-out runs are reproducible from a seed alone.
-//   worker   — certify agents [lo, hi) of a graph file and write one
-//              serialized ShardResult (binary or JSON wire format).
-//   merge    — fold shard files back into the full certificate. Refuses
-//              mismatched instances/run parameters (fingerprint guard) and
-//              incomplete agent coverage; the fold order is shard-index
-//              order, so the printed certificate is bit-identical to the
-//              single-process certifiers.
-//   certify  — single-process reference: run the in-process sharded
-//              certifier and print the identical certificate block, which
-//              is what scripts/certify_fanout.sh diffs a merged fan-out
-//              against.
+//   gen          — write a seeded random connected G(n, m) instance as an
+//                  edge list, so fan-out runs are reproducible from a seed
+//                  alone.
+//   worker       — file mode: certify agents [lo, hi) of a graph file and
+//                  write one serialized ShardResult (binary or JSON wire
+//                  format, crash-safe tmp+rename). With --connect, dial a
+//                  dispatcher instead: handshake with the instance
+//                  fingerprint, receive leases, stream results back.
+//   chaos-worker — a connected worker with seeded fault injection (crash
+//                  mid-range, hang past the lease, bit-flipped frames,
+//                  double-sends, slow) for the fault-injection harness.
+//   serve        — long-lived dispatcher: leases agent ranges to connected
+//                  workers with deadlines, re-dispatches stragglers,
+//                  quarantines ranges that exhaust their retry budget
+//                  (refusing rather than guessing), journals completed
+//                  ranges crash-safely, and folds the final certificate
+//                  through the same merge_shard_results as everything
+//                  else. --resume continues a killed run from the journal.
+//   merge        — fold shard files back into the full certificate.
+//                  Refuses mismatched instances/run parameters
+//                  (fingerprint guard) and incomplete agent coverage; the
+//                  fold order is shard-index order, so the printed
+//                  certificate is bit-identical to the single-process
+//                  certifiers.
+//   certify      — single-process reference: run the in-process sharded
+//                  certifier and print the identical certificate block,
+//                  which is what scripts/certify_fanout.sh and
+//                  scripts/certify_chaos.sh diff a merged/served run
+//                  against.
 //
 // The certificate block (stdout) is deliberately byte-stable across
-// merge/certify so `diff` is the parity check; telemetry (timings, widths,
-// shard counts) goes to stderr.
+// serve/merge/certify so `diff` is the parity check; telemetry (timings,
+// widths, shard counts, dispatcher stats) goes to stderr.
 //
-// Exit codes: 0 success (either verdict), 1 runtime failure, 2 usage
-// error, 3 wire/merge guard rejection.
+// Exit codes (tested by scripts/certify_exit_codes.sh):
+//   0  certificate emitted (either verdict)
+//   1  usage or environment error (bad flags, unreadable files)
+//   2  coverage refusal: serve quarantined ranges and withheld the verdict
+//   3  wire/merge/handshake guard refusal (corrupt or mismatched data)
+//   4  transport failure after bounded retries
 #include <atomic>
 #include <cstdint>
 #include <cstdlib>
@@ -38,6 +59,9 @@
 #include "core/swap_engine.hpp"
 #include "gen/random.hpp"
 #include "graph/io.hpp"
+#include "svc/dispatcher.hpp"
+#include "svc/net.hpp"
+#include "svc/worker.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -45,18 +69,32 @@ namespace {
 
 using namespace bncg;
 
-[[noreturn]] void usage(const std::string& detail = "") {
+[[noreturn]] void usage(const std::string& detail = "", int exit_code = 1) {
   if (!detail.empty()) std::cerr << "bncg_certify: " << detail << "\n";
-  std::cerr
+  (exit_code == 0 ? std::cout : std::cerr)
       << "usage:\n"
          "  bncg_certify gen --n N [--m M] [--seed S] --out FILE\n"
          "  bncg_certify worker --graph FILE --range LO:HI --shard-index I --shard-count K\n"
          "               --out FILE [--model sum|max] [--include-deletions]\n"
          "               [--stop-on-violation] [--width auto|u8|u16] [--format binary|json]\n"
+         "  bncg_certify worker --graph FILE --connect ADDR [--width auto|u8|u16]\n"
+         "               [--connect-retries N] [--connect-backoff-ms N]\n"
+         "  bncg_certify chaos-worker --graph FILE --connect ADDR\n"
+         "               --chaos crash|hang|corrupt|corrupt-all|duplicate|slow\n"
+         "               [--chaos-seed S] [--chaos-delay-ms N] [--width auto|u8|u16]\n"
+         "               [--connect-retries N] [--connect-backoff-ms N]\n"
+         "  bncg_certify serve --graph FILE --listen ADDR [--shards K] [--model sum|max]\n"
+         "               [--include-deletions] [--stop-on-violation] [--lease-ms N]\n"
+         "               [--max-retries N] [--backoff-ms N] [--journal DIR] [--resume]\n"
          "  bncg_certify merge SHARD_FILE...\n"
          "  bncg_certify certify --graph FILE [--model sum|max] [--include-deletions]\n"
-         "               [--stop-on-violation] [--width auto|u8|u16] [--shards N]\n";
-  std::exit(2);
+         "               [--stop-on-violation] [--width auto|u8|u16] [--shards N]\n"
+         "addresses: unix:/path/to.sock or tcp:HOST:PORT (IPv4 literal)\n"
+         "exit codes: 0 certificate emitted (either verdict); 1 usage or\n"
+         "  environment error; 2 coverage refusal (serve quarantined ranges and\n"
+         "  withheld the verdict); 3 wire/merge/handshake guard refusal;\n"
+         "  4 transport failure after bounded retries\n";
+  std::exit(exit_code);
 }
 
 /// Tiny argv reader: flags are matched exactly, values must follow.
@@ -141,6 +179,16 @@ class Args {
   usage("bad --width: " + text);
 }
 
+[[nodiscard]] svc::ChaosConfig::Mode parse_chaos(const std::string& text) {
+  if (text == "crash") return svc::ChaosConfig::Mode::Crash;
+  if (text == "hang") return svc::ChaosConfig::Mode::Hang;
+  if (text == "corrupt") return svc::ChaosConfig::Mode::Corrupt;
+  if (text == "corrupt-all") return svc::ChaosConfig::Mode::CorruptAll;
+  if (text == "duplicate") return svc::ChaosConfig::Mode::Duplicate;
+  if (text == "slow") return svc::ChaosConfig::Mode::Slow;
+  usage("bad --chaos: " + text);
+}
+
 /// Rejects any argv entry no mode handler asked about — a misspelled flag
 /// must be a usage error, never silently ignored (this tool is a parity
 /// oracle; a dropped --include-deletions would certify the wrong clause).
@@ -155,14 +203,15 @@ void reject_unknown(const Args& args) {
   try {
     return read_edge_list(in);
   } catch (const std::invalid_argument& e) {
-    // Re-typed so a malformed *graph* file is reported as a runtime
+    // Re-typed so a malformed *graph* file is reported as an environment
     // failure (exit 1), keeping exit 3 scoped to wire/merge refusals.
     throw std::runtime_error("bad graph file " + path + ": " + e.what());
   }
 }
 
-/// The byte-stable certificate block both `merge` and `certify` print;
-/// scripts/certify_fanout.sh diffs these verbatim.
+/// The byte-stable certificate block `serve`, `merge`, and `certify` all
+/// print; scripts/certify_fanout.sh and scripts/certify_chaos.sh diff
+/// these verbatim.
 void print_certificate(std::uint64_t fingerprint, Vertex n, std::uint64_t m, UsageCost model,
                        bool include_deletions, bool stop_on_violation,
                        const ShardedCertificate& cert) {
@@ -212,7 +261,38 @@ int run_gen(Args& args) {
   return 0;
 }
 
+/// Shared by `worker --connect` and `chaos-worker`.
+int run_connected(Args& args, svc::ChaosConfig chaos) {
+  svc::ConnectConfig config;
+  config.address = args.required("--connect");
+  const std::string graph_path = args.required("--graph");
+  config.width = parse_width(args.value("--width").value_or("auto"));
+  if (args.value("--connect-retries")) {
+    config.connect_retries = parse_u32(*args.value("--connect-retries"), "--connect-retries");
+  }
+  if (args.value("--connect-backoff-ms")) {
+    config.connect_backoff_ms =
+        parse_u64(*args.value("--connect-backoff-ms"), "--connect-backoff-ms");
+  }
+  config.chaos = chaos;
+  reject_unknown(args);
+
+  const Graph g = load_graph(graph_path);
+  Timer timer;
+  const svc::WorkerReport report = svc::run_connect_worker(g, config, &std::cerr);
+  if (report.refused) {
+    // Same taxonomy slot as a wire-guard rejection: the dispatcher judged
+    // this worker's instance/protocol wrong.
+    throw std::invalid_argument("dispatcher refused handshake: " + report.refuse_reason);
+  }
+  std::cerr << "worker: connected session done — leases=" << report.leases_completed
+            << " agents=" << report.agents_scanned << " " << timer.millis() << " ms\n";
+  return 0;
+}
+
 int run_worker(Args& args) {
+  if (args.value("--connect")) return run_connected(args, svc::ChaosConfig{});
+
   const std::string graph_path = args.required("--graph");
   const std::string range_text = args.required("--range");
   const std::size_t colon = range_text.find(':');
@@ -240,7 +320,7 @@ int run_worker(Args& args) {
 
   const Graph g = load_graph(graph_path);
   // A range that does not fit the loaded instance is a usage error (exit
-  // 2), not a guard refusal.
+  // 1), not a guard refusal.
   if (range.lo > range.hi || range.hi > g.num_vertices()) {
     usage("--range " + range_text + " does not fit the instance (n=" +
           std::to_string(g.num_vertices()) + ")");
@@ -257,6 +337,58 @@ int run_worker(Args& args) {
             << " fallbacks=" << shard.width_fallbacks << " "
             << (shard.best ? "violation" : "clean") << " " << timer.millis() << " ms -> "
             << out_path << "\n";
+  return 0;
+}
+
+int run_chaos_worker(Args& args) {
+  svc::ChaosConfig chaos;
+  chaos.mode = parse_chaos(args.required("--chaos"));
+  if (args.value("--chaos-seed")) {
+    chaos.seed = parse_u64(*args.value("--chaos-seed"), "--chaos-seed");
+  }
+  if (args.value("--chaos-delay-ms")) {
+    chaos.delay_ms = parse_u64(*args.value("--chaos-delay-ms"), "--chaos-delay-ms");
+  }
+  return run_connected(args, chaos);
+}
+
+int run_serve(Args& args) {
+  const std::string graph_path = args.required("--graph");
+  svc::ServeConfig config;
+  config.address = args.required("--listen");
+  config.model = parse_model(args.value("--model").value_or("sum"));
+  config.include_deletions = args.flag("--include-deletions");
+  config.stop_on_violation = args.flag("--stop-on-violation");
+  if (args.value("--shards")) {
+    config.shards = static_cast<std::size_t>(parse_u64(*args.value("--shards"), "--shards"));
+  }
+  if (args.value("--lease-ms")) {
+    config.lease_ms = parse_u64(*args.value("--lease-ms"), "--lease-ms");
+  }
+  if (args.value("--max-retries")) {
+    config.max_retries = parse_u32(*args.value("--max-retries"), "--max-retries");
+  }
+  if (args.value("--backoff-ms")) {
+    config.backoff_ms = parse_u64(*args.value("--backoff-ms"), "--backoff-ms");
+  }
+  if (args.value("--journal")) config.journal_dir = *args.value("--journal");
+  config.resume = args.flag("--resume");
+  reject_unknown(args);
+
+  const Graph g = load_graph(graph_path);
+  Timer timer;
+  const svc::ServeOutcome outcome = svc::serve_certification(g, config, &std::cerr);
+  if (!outcome.complete) {
+    std::cerr << "bncg_certify: serve refused: " << outcome.quarantined.size()
+              << " range(s) quarantined, " << outcome.agents_uncovered
+              << " agents uncovered — certificate withheld"
+              << (config.journal_dir.empty() ? "" : "; completed ranges are journaled, rerun with --resume")
+              << "\n";
+    return 2;
+  }
+  print_certificate(graph_fingerprint(g), g.num_vertices(), g.num_edges(), config.model,
+                    config.include_deletions, config.stop_on_violation, *outcome.certificate);
+  std::cerr << "serve: certificate complete in " << timer.millis() << " ms\n";
   return 0;
 }
 
@@ -303,15 +435,23 @@ int run_certify(Args& args) {
 int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string mode = argv[1];
+  if (mode == "--help" || mode == "-h" || mode == "help") usage("", 0);
   Args args(argc, argv, 2);
   try {
     if (mode == "gen") return run_gen(args);
     if (mode == "worker") return run_worker(args);
+    if (mode == "chaos-worker") return run_chaos_worker(args);
+    if (mode == "serve") return run_serve(args);
     if (mode == "merge") return run_merge(args);
     if (mode == "certify") return run_certify(args);
     usage("unknown mode: " + mode);
+  } catch (const svc::TransportError& e) {
+    // Socket-level failure that survived the bounded retry budget.
+    std::cerr << "bncg_certify: transport failure: " << e.what() << "\n";
+    return 4;
   } catch (const std::invalid_argument& e) {
-    // Wire decode / merge guard rejections — the "refuse to merge" path.
+    // Wire decode / merge guard / handshake rejections — the "refuse to
+    // trust this data" path.
     std::cerr << "bncg_certify: refused: " << e.what() << "\n";
     return 3;
   } catch (const std::exception& e) {
