@@ -18,6 +18,14 @@
 // count) before a row is written. Plain std::chrono harness (no
 // google-benchmark) so the output format is fully under our control.
 //
+// A second "kernels" section microbenchmarks the dispatched SIMD kernels
+// (util/simd.hpp) directly: each scan-table / combine / addition kernel is
+// timed at n = 1024 once with the dispatch pinned to scalar and once at the
+// startup-active level (cpuid-capped, BNCG_SIMD-overridable), on the same
+// inputs and with identical fixed repetition counts, so the per-call ratio
+// is a pure ISA effect. Output checksums are asserted equal across the two
+// levels — the exactness contract, enforced even inside the bench.
+//
 // Usage: bench_engine_json [output.json] [max_n]
 #include <chrono>
 #include <cstdint>
@@ -31,8 +39,10 @@
 #include "core/equilibrium.hpp"
 #include "core/swap_engine.hpp"
 #include "gen/random.hpp"
+#include "graph/dist_width.hpp"
 #include "graph/metrics.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 
 namespace {
 
@@ -142,6 +152,159 @@ Row measure(Vertex n, std::size_t m, UsageCost model, bool measure_naive) {
   return row;
 }
 
+// ---------------------------------------------------------------------------
+// Kernel microbenchmarks: scalar vs the startup-active dispatch level.
+
+struct KernelRow {
+  std::string width;   // "u8" / "u16"
+  std::string kernel;  // simd::Kernels member name
+  std::uint32_t n = 0;
+  double scalar_seconds = 0.0;  // seconds per call, dispatch pinned to scalar
+  double simd_seconds = 0.0;    // seconds per call at the startup-active level
+
+  [[nodiscard]] double speedup() const { return scalar_seconds / simd_seconds; }
+};
+
+template <typename Fn>
+double time_calls(Fn&& fn, std::uint64_t reps) {
+  const auto start = Clock::now();
+  for (std::uint64_t i = 0; i < reps; ++i) fn();
+  return std::chrono::duration<double>(Clock::now() - start).count() /
+         static_cast<double>(reps);
+}
+
+/// Times the named kernel workload once per dispatch level on identical
+/// state (reset() restores mutable inputs, checksum() folds the outputs) and
+/// asserts the two levels produced bit-identical results before recording
+/// the row. `active` is the level the process started at — comparing
+/// against it (not the hardware max) keeps BNCG_SIMD=scalar runs honest.
+template <typename Reset, typename Run, typename Checksum>
+void bench_kernel(std::vector<KernelRow>& rows, const char* width, const char* name,
+                  std::uint32_t n, std::uint64_t reps, SimdLevel active, Reset&& reset,
+                  Run&& run, Checksum&& checksum) {
+  KernelRow row;
+  row.width = width;
+  row.kernel = name;
+  row.n = n;
+
+  simd_set_level(SimdLevel::Scalar);
+  reset();
+  row.scalar_seconds = time_calls(run, reps);
+  const std::uint64_t scalar_sum = checksum();
+
+  simd_set_level(active);
+  reset();
+  row.simd_seconds = time_calls(run, reps);
+  const std::uint64_t simd_sum = checksum();
+
+  if (scalar_sum != simd_sum) {
+    std::cerr << "FATAL: kernel " << width << "/" << name
+              << " diverged between scalar and " << simd_level_name(active) << "\n";
+    std::exit(1);
+  }
+  rows.push_back(row);
+}
+
+template <typename Dist>
+void measure_kernels(std::vector<KernelRow>& rows, SimdLevel active) {
+  constexpr std::uint32_t n = 1024;
+  constexpr Dist inf = kSearchInfFor<Dist>;
+  const char* width = sizeof(Dist) == 1 ? "u8" : "u16";
+  const simd::Kernels<Dist>& kern = simd::kernels<Dist>();
+  Xoshiro256ss rng(0xC0DE ^ sizeof(Dist));
+
+  const auto rand_row = [&](AlignedVec<Dist>& row) {
+    row.resize(n);
+    for (Dist& d : row) {
+      // Mostly small finite distances with an infinite sprinkle, the shape
+      // the engines actually stream.
+      d = rng.below(16) == 0 ? inf : static_cast<Dist>(rng.below(kMaxFiniteFor<Dist>));
+    }
+  };
+
+  constexpr std::size_t kFolds = 8;  // neighbor rows per scan_min_update call
+  std::vector<AlignedVec<Dist>> nbr(kFolds);
+  for (auto& row : nbr) rand_row(row);
+  AlignedVec<Dist> m, c, ru, rv, src;
+  rand_row(m);
+  rand_row(c);
+  rand_row(ru);
+  rand_row(rv);
+  rand_row(src);
+
+  AlignedVec<Dist> min1(n), min2(n), dst(n);
+  AlignedVec<std::uint32_t> argmin(n), r1(n);
+  const auto fold_u64 = [](const auto& v) {
+    std::uint64_t sum = 0;
+    for (const auto x : v) sum = sum * 1315423911u + static_cast<std::uint64_t>(x);
+    return sum;
+  };
+
+  // scan_min_update: reset tables, fold kFolds neighbor rows per call.
+  bench_kernel(
+      rows, width, "scan_min_update", n, 4000, active,
+      [&] {
+        min1.assign(n, inf);
+        min2.assign(n, inf);
+        argmin.assign(n, kNoVertex);
+      },
+      [&] {
+        min1.assign(n, inf);
+        min2.assign(n, inf);
+        argmin.assign(n, kNoVertex);
+        for (std::size_t z = 0; z < kFolds; ++z) {
+          kern.scan_min_update(min1.data(), min2.data(), argmin.data(), nbr[z].data(),
+                               static_cast<std::uint32_t>(z), n);
+        }
+      },
+      [&] { return fold_u64(min1) ^ fold_u64(min2) ^ fold_u64(argmin); });
+
+  // select_mrow: materialize M^w from the tables just built, w cycling.
+  std::uint32_t w = 0;
+  bench_kernel(
+      rows, width, "select_mrow", n, 20000, active, [&] { w = 0; },
+      [&] {
+        kern.select_mrow(dst.data(), min1.data(), min2.data(), argmin.data(), w, n);
+        w = (w + 1) % kFolds;
+      },
+      [&] { return fold_u64(dst); });
+
+  // r1_add: accumulate one row's relief contribution per call (u32
+  // wraparound is deterministic, so the accumulated table checksums).
+  bench_kernel(
+      rows, width, "r1_add", n, 20000, active, [&] { r1.assign(n, 0); },
+      [&] { kern.r1_add(r1.data(), static_cast<Dist>(3), src.data(), n); },
+      [&] { return fold_u64(r1); });
+
+  std::uint64_t acc = 0;
+  bench_kernel(
+      rows, width, "combine_sum", n, 20000, active, [&] { acc = 0; },
+      [&] { acc += kern.combine_sum(m.data(), c.data(), n, inf); },
+      [&] { return acc; });
+
+  bench_kernel(
+      rows, width, "combine_max", n, 20000, active, [&] { acc = 0; },
+      [&] { acc += kern.combine_max(m.data(), c.data(), n, inf); },
+      [&] { return acc; });
+
+  bench_kernel(
+      rows, width, "addition_row", n, 20000, active, [&] { dst.assign(n, 0); },
+      [&] {
+        kern.addition_row(src.data(), dst.data(), ru.data(), rv.data(), static_cast<Dist>(2),
+                          static_cast<Dist>(3), n, inf);
+      },
+      [&] { return fold_u64(dst); });
+}
+
+std::vector<KernelRow> measure_all_kernels() {
+  const SimdLevel active = simd_active_level();
+  std::vector<KernelRow> rows;
+  measure_kernels<std::uint8_t>(rows, active);
+  measure_kernels<std::uint16_t>(rows, active);
+  simd_set_level(active);  // restore the startup dispatch for any later code
+  return rows;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -184,6 +347,13 @@ int main(int argc, char** argv) {
     }
   }
 
+  const std::vector<KernelRow> kernel_rows = measure_all_kernels();
+  for (const KernelRow& k : kernel_rows) {
+    std::cout << "kernel " << k.width << "/" << k.kernel << " n=" << k.n
+              << " scalar=" << k.scalar_seconds * 1e9 << "ns simd=" << k.simd_seconds * 1e9
+              << "ns speedup=" << k.speedup() << "x\n";
+  }
+
   std::ofstream out(out_path);
   out << "{\n";
   bncg_bench::write_json_meta(out);
@@ -209,6 +379,16 @@ int main(int argc, char** argv) {
       out << ", \"naive_skipped\": true";
     }
     out << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"kernels\": [\n";
+  for (std::size_t i = 0; i < kernel_rows.size(); ++i) {
+    const KernelRow& k = kernel_rows[i];
+    out << "    {\"width\": \"" << k.width << "\", \"kernel\": \"" << k.kernel << "\""
+        << ", \"n\": " << k.n << ", \"scalar_seconds_per_call\": " << k.scalar_seconds
+        << ", \"simd_seconds_per_call\": " << k.simd_seconds
+        << ", \"speedup\": " << k.speedup() << "}"
+        << (i + 1 < kernel_rows.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
   std::cout << "wrote " << out_path << "\n";

@@ -10,6 +10,9 @@
 #include <ostream>
 #include <string>
 
+#include "util/simd.hpp"
+#include "util/thread_pool.hpp"
+
 namespace bncg_bench {
 
 /// Git SHA handed down by run_bench.sh; "unknown" outside the script.
@@ -29,10 +32,18 @@ namespace bncg_bench {
 }
 
 /// Emits the shared metadata header of a BENCH_*.json object; the caller
-/// opens "{" before and appends "rows": [...] after.
+/// opens "{" before and appends "rows": [...] after. Besides the git/time
+/// provenance, the header records the execution configuration the numbers
+/// were measured under: the process thread-pool width (BNCG_THREADS or
+/// hardware_concurrency) and the SIMD dispatch level actually active
+/// (cpuid-capped, overridable via BNCG_SIMD) — a trajectory point is only
+/// comparable to another at the same threads/simd_level.
 inline void write_json_meta(std::ostream& os) {
   os << "  \"git_sha\": \"" << git_sha() << "\",\n"
-     << "  \"generated_at\": \"" << iso8601_utc_now() << "\",\n";
+     << "  \"generated_at\": \"" << iso8601_utc_now() << "\",\n"
+     << "  \"threads\": " << bncg::ThreadPool::global().size() << ",\n"
+     << "  \"simd_level\": \"" << bncg::simd_level_name(bncg::simd_active_level())
+     << "\",\n";
 }
 
 }  // namespace bncg_bench

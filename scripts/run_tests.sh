@@ -16,6 +16,10 @@
 #   BNCG_CTEST_TIMEOUT=seconds                global per-test ceiling (default
 #     600) — a backstop under the per-test TIMEOUT properties so a hung test
 #     can never wedge the suite
+#   BNCG_SIMD=scalar|avx2|avx512|auto         runtime SIMD dispatch cap,
+#     inherited by every test binary (CI's Scalar leg sets scalar)
+#   BNCG_THREADS=N                            process thread-pool width
+#     (default hardware_concurrency)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"

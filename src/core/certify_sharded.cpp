@@ -7,10 +7,7 @@
 
 #include "core/swap_engine.hpp"
 #include "graph/io.hpp"
-
-#ifdef BNCG_HAS_OPENMP
-#include <omp.h>
-#endif
+#include "util/thread_pool.hpp"
 
 namespace bncg {
 
@@ -151,11 +148,8 @@ ShardedCertificate certify_sharded(const Graph& g, UsageCost model, bool include
   }
   SwapEngine engine(g, config.width);
 
-#ifdef BNCG_HAS_OPENMP
-  const std::size_t threads = static_cast<std::size_t>(omp_get_max_threads());
-#else
-  const std::size_t threads = 1;
-#endif
+  ThreadPool& pool = ThreadPool::global();
+  const std::size_t threads = pool.size();
   const std::size_t shards =
       std::min<std::size_t>(n, config.shards != 0 ? config.shards : std::max<std::size_t>(1, 4 * threads));
 
@@ -175,31 +169,15 @@ ShardedCertificate certify_sharded(const Graph& g, UsageCost model, bool include
   }
 
   std::atomic<bool> abort{false};
-  // One scratch per thread, not per shard: the n×n matrix is the dominant
-  // allocation and tied tasks never migrate mid-execution, so indexing by
-  // the executing thread is race-free.
+  // One scratch per pool lane, not per shard: the n×n matrix is the dominant
+  // allocation and a claimed shard runs on one lane start to finish, so
+  // indexing by the executing lane is race-free.
   std::vector<SwapEngine::Scratch> scratch(threads);
 
-  const auto run_shard = [&](std::size_t shard) {
-#ifdef BNCG_HAS_OPENMP
-    SwapEngine::Scratch& s = scratch[static_cast<std::size_t>(omp_get_thread_num())];
-#else
-    SwapEngine::Scratch& s = scratch[0];
-#endif
-    scan_range(engine, model, include_deletions, config.stop_on_violation, s, &abort,
-               results[shard]);
-  };
-
-#ifdef BNCG_HAS_OPENMP
-#pragma omp parallel
-#pragma omp single nowait
-  {
-#pragma omp taskloop grainsize(1)
-    for (std::size_t shard = 0; shard < shards; ++shard) run_shard(shard);
-  }
-#else
-  for (std::size_t shard = 0; shard < shards; ++shard) run_shard(shard);
-#endif
+  pool.parallel_for(shards, /*grain=*/1, [&](std::uint64_t shard, unsigned tid) {
+    scan_range(engine, model, include_deletions, config.stop_on_violation, scratch[tid], &abort,
+               results[static_cast<std::size_t>(shard)]);
+  });
 
   out = merge_shard_results(results);
   // The engine counter is the exact fallback total; per-shard attribution

@@ -1,6 +1,6 @@
 // Sharded certification — the large-n driver over the swap engine.
 //
-// SwapEngine::certify parallelizes one flat `omp for` over agents, which is
+// SwapEngine::certify parallelizes one flat pool loop over agents, which is
 // the right shape while every thread's n×n scratch fits in cache-adjacent
 // memory and the per-agent cost is uniform. Past n ≈ 4096 neither holds:
 // agent costs spread out (degree skew makes some masked APSPs several times

@@ -5,6 +5,7 @@
 #include "core/swap_engine.hpp"
 #include "graph/apsp.hpp"
 #include "graph/metrics.hpp"
+#include "util/thread_pool.hpp"
 
 namespace bncg {
 
@@ -100,7 +101,8 @@ std::optional<Deviation> max_deviation_impl(const Graph& g, Vertex v, BfsWorkspa
 /// Generic parallel certifier: runs `scan(vertex)` for every vertex, keeping
 /// the deviation with the smallest post-move cost. Per-agent results are
 /// folded serially so the witness tie-break (earliest agent among equal
-/// cost_after) is deterministic under any OpenMP thread count.
+/// cost_after) is deterministic under any lane count; per-lane move counts
+/// (padded — they're bumped per candidate) sum commutatively.
 template <typename ScanFn>
 EquilibriumCertificate certify_impl(const Graph& g, ScanFn scan) {
   const Vertex n = g.num_vertices();
@@ -108,24 +110,18 @@ EquilibriumCertificate certify_impl(const Graph& g, ScanFn scan) {
   std::uint64_t moves = 0;
   std::vector<std::optional<Deviation>> per_agent(n);
 
-#ifdef BNCG_HAS_OPENMP
-#pragma omp parallel
+  ThreadPool& pool = ThreadPool::global();
+  struct alignas(64) LaneCount {
+    std::uint64_t moves = 0;
+  };
+  std::vector<LaneCount> lane_moves(pool.size());
   {
-    BfsWorkspace ws;
-    std::uint64_t local_moves = 0;
-#pragma omp for schedule(dynamic, 1)
-    for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
-      per_agent[static_cast<std::size_t>(v)] = scan(static_cast<Vertex>(v), ws, local_moves);
-    }
-#pragma omp critical
-    moves += local_moves;
+    std::vector<BfsWorkspace> ws(pool.size());
+    pool.parallel_for(n, 1, [&](std::uint64_t v, unsigned tid) {
+      per_agent[v] = scan(static_cast<Vertex>(v), ws[tid], lane_moves[tid].moves);
+    });
   }
-#else
-  BfsWorkspace ws;
-  for (Vertex v = 0; v < n; ++v) {
-    per_agent[v] = scan(v, ws, moves);
-  }
-#endif
+  for (const LaneCount& lane : lane_moves) moves += lane.moves;
 
   std::optional<Deviation> best;
   for (Vertex v = 0; v < n; ++v) {

@@ -2,6 +2,7 @@
 
 #include "core/swap_engine.hpp"
 #include "graph/bfs.hpp"
+#include "util/thread_pool.hpp"
 
 #include <algorithm>
 #include <atomic>
@@ -9,45 +10,17 @@
 #include <cstring>
 #include <numeric>
 
-#ifdef BNCG_HAS_OPENMP
-#include <omp.h>
-#endif
-
 namespace bncg {
 
 namespace {
 
-/// Post-swap sum cost on a capped-infinity matrix: (n−1) + Σ_y min(m_y, c_y)
-/// with any capped term meaning some vertex became unreachable. Mirrors the
-/// engine's combine_sum bit for bit on finite values.
-template <typename Dist>
-std::uint64_t combine_sum_capped(const Dist* m, const Dist* c, Vertex n, Dist inf) {
-  std::uint32_t sum = 0;
-  Dist worst = 0;
-  for (Vertex y = 0; y < n; ++y) {
-    const Dist t = std::min(m[y], c[y]);
-    sum += t;
-    worst = std::max(worst, t);
-  }
-  if (worst >= inf) return kInfCost;
-  return sum + (n - 1);
-}
-
-/// Post-swap max cost: 1 + max_y min(m_y, c_y).
-template <typename Dist>
-std::uint64_t combine_max_capped(const Dist* m, const Dist* c, Vertex n, Dist inf) {
-  Dist worst = 0;
-  for (Vertex y = 0; y < n; ++y) worst = std::max(worst, std::min(m[y], c[y]));
-  return worst >= inf ? kInfCost : std::uint64_t{1} + worst;
-}
-
-/// Post-deletion max cost: 1 + max_y m_y.
-template <typename Dist>
-std::uint64_t deletion_ecc_capped(const Dist* m, Vertex n, Dist inf) {
-  Dist worst = 0;
-  for (Vertex y = 0; y < n; ++y) worst = std::max(worst, m[y]);
-  return worst >= inf ? kInfCost : std::uint64_t{1} + worst;
-}
+// The capped combine/deletion reductions, the scan-table min folds, the
+// addition-identity row stream, and the far/dirty-row filters live in the
+// runtime-dispatched kernel tables of util/simd.hpp; the scalar references
+// in util/simd.cpp preserve these loops' exact wrap and strict-'<' tie-break
+// semantics. Kernels report "unreachable" as simd::kInfCostResult:
+static_assert(simd::kInfCostResult == kInfCost,
+              "kernel infinite-cost sentinel must match core's kInfCost");
 
 /// Exact saturation pre-check for adding edge {u, v} on a capped-infinity
 /// matrix (`row_u`/`row_v` are the pre-update endpoint rows). Distances can
@@ -67,12 +40,7 @@ template <typename Dist>
   if (row_u[v] < inf) return false;  // same component: distances only shrink
   Dist ecc_u = 0;
   Dist ecc_v = 0;
-  for (Vertex y = 0; y < n; ++y) {
-    const Dist du = row_u[y];
-    const Dist dv = row_v[y];
-    ecc_u = std::max(ecc_u, du >= inf ? Dist{0} : du);
-    ecc_v = std::max(ecc_v, dv >= inf ? Dist{0} : dv);
-  }
+  simd::kernels<Dist>().finite_max2(row_u, row_v, n, inf, &ecc_u, &ecc_v);
   return std::uint32_t{ecc_u} + 1 + ecc_v > kMaxFiniteFor<Dist>;
 }
 
@@ -90,28 +58,17 @@ void addition_row(const Dist* src_row, Dist* dst_row, const Dist* ru, const Dist
                   Vertex v, Vertex n, Dist inf) {
   const Dist au = static_cast<Dist>(src_row[u] + 1);
   const Dist av = static_cast<Dist>(src_row[v] + 1);
-  for (Vertex y = 0; y < n; ++y) {
-    const Dist t1 = static_cast<Dist>(au + rv[y]);
-    const Dist t2 = static_cast<Dist>(av + ru[y]);
-    const Dist nd = std::min(src_row[y], std::min(t1, t2));
-    dst_row[y] = std::min(nd, inf);
-  }
+  simd::kernels<Dist>().addition_row(src_row, dst_row, ru, rv, au, av, n, inf);
 }
 
-/// Row-level no-op test for adding edge {u, v}: if |d(x,u) − d(x,v)| ≤ 1,
-/// no pair (x, y) gains a shortcut — d(x,u)+1+d(v,y) ≥ d(x,v)+d(v,y) ≥ d(x,y)
-/// by the triangle inequality (and symmetrically) — so row x is unchanged
-/// and a plain copy replaces the formula pass. In small-diameter graphs this
-/// covers most rows. Sound on capped values because the largest finite
-/// distance is kInf − 2: a capped ∞ differs from every finite value by ≥ 2,
-/// so the test can never conflate "unreachable" with "one hop closer".
-template <typename Dist>
-bool addition_leaves_row(const Dist* src_row, Vertex u, Vertex v) {
-  const Dist du = src_row[u];
-  const Dist dv = src_row[v];
-  const Dist diff = du > dv ? du - dv : dv - du;
-  return diff <= 1;
-}
+// Row-level no-op test for adding edge {u, v} (the collect_absdiff_gt1 call
+// sites): if |d(x,u) − d(x,v)| ≤ 1, no pair (x, y) gains a shortcut —
+// d(x,u)+1+d(v,y) ≥ d(x,v)+d(v,y) ≥ d(x,y) by the triangle inequality (and
+// symmetrically) — so row x is unchanged and only rows with diff > 1 need
+// the formula pass. In small-diameter graphs that is few of them. Sound on
+// capped values because the largest finite distance is kInf − 2: a capped ∞
+// differs from every finite value by ≥ 2, so the test can never conflate
+// "unreachable" with "one hop closer".
 
 /// Dirty-row test for removing edge {u, v}: a shortest path from x crossing
 /// u→v reaches u shortest-ly (prefixes of shortest paths are shortest), so
@@ -121,13 +78,8 @@ bool addition_leaves_row(const Dist* src_row, Vertex u, Vertex v) {
 template <typename Dist>
 void collect_dirty_rows(const Dist* row_u, const Dist* row_v, Vertex n,
                         std::vector<Vertex>& out) {
-  out.clear();
-  for (Vertex x = 0; x < n; ++x) {
-    const Dist du = row_u[x];
-    const Dist dv = row_v[x];
-    const Dist diff = du > dv ? du - dv : dv - du;
-    if (diff == 1) out.push_back(x);
-  }
+  out.resize(n);
+  out.resize(simd::kernels<Dist>().collect_absdiff_eq1(row_u, row_v, n, out.data()));
 }
 
 /// Removes row x's contribution from the R1 relief bound (no-op when r1 is
@@ -137,9 +89,7 @@ void collect_dirty_rows(const Dist* row_u, const Dist* row_v, Vertex n,
 template <typename Dist>
 void table_sub_row(std::uint32_t* r1, Dist min1x, const Dist* row, Vertex n) {
   if (r1 == nullptr) return;
-  for (Vertex y = 0; y < n; ++y) {
-    r1[y] -= static_cast<std::uint32_t>(min1x > row[y] ? min1x - row[y] : 0);
-  }
+  simd::kernels<Dist>().r1_sub(r1, min1x, row, n);
 }
 
 /// Refolds coordinate x's neighbor minima from the row's new content and
@@ -164,9 +114,7 @@ void table_add_row(Dist* min1, Dist* min2, Vertex* argmin, std::uint32_t* r1, Ve
   min2[x] = m2;
   argmin[x] = am;
   if (r1 == nullptr) return;
-  for (Vertex y = 0; y < n; ++y) {
-    r1[y] += static_cast<std::uint32_t>(m1 > row[y] ? m1 - row[y] : 0);
-  }
+  simd::kernels<Dist>().r1_add(r1, m1, row, n);
 }
 
 /// Thresholds above this are effectively infinite: the R1 prune comparison
@@ -231,6 +179,7 @@ bool SearchStateImpl<Dist>::connected() const noexcept {
 template <typename Dist>
 void SearchStateImpl<Dist>::refresh_shape(std::size_t slab) {
   const Vertex n = n_;
+  const simd::Kernels<Dist>& kern = simd::kernels<Dist>();
   const Dist* rows = full_[slab].data();
   std::uint32_t* rowsum = rowsum_[slab].data();
   Dist* rowmax = rowmax_[slab].data();
@@ -240,10 +189,7 @@ void SearchStateImpl<Dist>::refresh_shape(std::size_t slab) {
     const Dist* row = rows + static_cast<std::size_t>(a) * n;
     std::uint32_t sum = 0;
     Dist mx = 0;
-    for (Vertex y = 0; y < n; ++y) {
-      sum += row[y];
-      mx = std::max(mx, row[y]);
-    }
+    kern.row_sum_max(row, n, &sum, &mx);
     rowsum[a] = sum;
     rowmax[a] = mx;
     if (mx >= kInf) disconnected = true;
@@ -317,10 +263,9 @@ void SearchStateImpl<Dist>::ensure_agent_current(Vertex a, Scratch& s) {
       const Dist* ru = s.row_u.data();
       const Dist* rv = s.row_v.data();
       if (addition_saturates(ru, rv, t.v, n, kInf)) throw WidthSaturated{};
-      for (Vertex x = 0; x < n; ++x) {
-        const Dist du = ru[x];
-        const Dist dv = rv[x];
-        if ((du > dv ? du - dv : dv - du) <= 1) continue;
+      s.sources.resize(n);
+      s.sources.resize(simd::kernels<Dist>().collect_absdiff_gt1(ru, rv, n, s.sources.data()));
+      for (const Vertex x : s.sources) {
         Dist* row = rows + static_cast<std::size_t>(x) * n;
         if (tables_live) table_sub_row(r1, min1[x], row, n);
         addition_row(row, row, ru, rv, t.u, t.v, n, kInf);
@@ -427,14 +372,16 @@ void SearchStateImpl<Dist>::update_full_matrix_addition(Vertex u, Vertex v, std:
   s.row_v.assign(src + static_cast<std::size_t>(v) * n_,
                  src + static_cast<std::size_t>(v) * n_ + n_);
   if (addition_saturates(s.row_u.data(), s.row_v.data(), v, n, kInf)) throw WidthSaturated{};
-  for (Vertex x = 0; x < n; ++x) {
-    const Dist* srow = src + static_cast<std::size_t>(x) * n;
-    Dist* drow = dst + static_cast<std::size_t>(x) * n;
-    if (addition_leaves_row(srow, u, v)) {
-      std::memcpy(drow, srow, static_cast<std::size_t>(n) * sizeof(Dist));
-    } else {
-      addition_row(srow, drow, s.row_u.data(), s.row_v.data(), u, v, n, kInf);
-    }
+  // One bulk copy, then rewrite only the changed rows (|d(x,u) − d(x,v)| > 1,
+  // read off the stashed endpoint rows by symmetry — addition_leaves_row's
+  // test, batched): the formula pass reads the intact source row anyway.
+  std::memcpy(dst, src, static_cast<std::size_t>(n) * n * sizeof(Dist));
+  s.sources.resize(n);
+  s.sources.resize(simd::kernels<Dist>().collect_absdiff_gt1(s.row_u.data(), s.row_v.data(), n,
+                                                             s.sources.data()));
+  for (const Vertex x : s.sources) {
+    addition_row(src + static_cast<std::size_t>(x) * n, dst + static_cast<std::size_t>(x) * n,
+                 s.row_u.data(), s.row_v.data(), u, v, n, kInf);
   }
 }
 
@@ -511,14 +458,11 @@ void SearchStateImpl<Dist>::stream_addition(Vertex a, Vertex u, Vertex v, Scratc
   Dist* min2 = s.min2.data();
   Vertex* argmin = s.argmin.data();
   std::uint32_t* r1 = want_r1 ? s.r1.data() : nullptr;
-  for (Vertex x = 0; x < n; ++x) {
-    const Dist du = ru[x];
-    const Dist dv = rv[x];
+  for (Vertex x = 0; x < n; ++x) rowptr[x] = src + static_cast<std::size_t>(x) * n;
+  s.sources.resize(n);
+  s.sources.resize(simd::kernels<Dist>().collect_absdiff_gt1(ru, rv, n, s.sources.data()));
+  for (const Vertex x : s.sources) {
     const Dist* srow = src + static_cast<std::size_t>(x) * n;
-    if ((du > dv ? du - dv : dv - du) <= 1) {
-      rowptr[x] = srow;
-      continue;
-    }
     Dist* drow = scratch_rows + static_cast<std::size_t>(x) * n;
     table_sub_row(r1, min1[x], srow, n);
     addition_row(srow, drow, ru, rv, u, v, n, kInf);
@@ -527,45 +471,37 @@ void SearchStateImpl<Dist>::stream_addition(Vertex a, Vertex u, Vertex v, Scratc
   }
 }
 
-/// Builds min1/min2/argmin (coordinate-wise neighbor minima, via the row
-/// symmetry of the masked matrices) and optionally the R1 relief bound from
-/// the per-row sources in scratch.rowptr.
+/// Builds min1/min2/argmin (coordinate-wise neighbor minima) and optionally
+/// the R1 relief bound from the per-row sources in scratch.rowptr.
+///
+/// The fold runs row-major over the NEIGHBOR rows instead of gathering the
+/// neighbor columns of every row x: the virtual matrix M[x][y] = rowptr[x][y]
+/// is exactly symmetric (cached rows and delta-streamed proposal rows alike
+/// are rows of one masked distance matrix — the no-op row tests are exact,
+/// so clean rows equal their proposal counterparts), hence
+///   min_{z ∈ nbrs} M[x][z] = min_{z ∈ nbrs} M[z][x]
+/// and folding neighbor z's row elementwise into (min1, min2, argmin) visits
+/// the same values in the same z order as the gather — every strict-'<'
+/// argmin tie-break is preserved bit for bit. The payoff: unit-stride
+/// streams the SIMD scan_min_update kernel eats, instead of deg gathers per
+/// row (and no manual prefetch).
 template <typename Dist>
 void SearchStateImpl<Dist>::scan_tables(Scratch& s, bool want_r1) {
   const Vertex n = n_;
+  const simd::Kernels<Dist>& kern = simd::kernels<Dist>();
   s.min1.assign(n, kInf);
   s.min2.assign(n, kInf);
   s.argmin.assign(n, kNoVertex);
   if (want_r1) s.r1.assign(n, 0);
-  Dist* min1 = s.min1.data();
-  Dist* min2 = s.min2.data();
-  Vertex* argmin = s.argmin.data();
-  std::uint32_t* r1 = want_r1 ? s.r1.data() : nullptr;
-  const Vertex* nbrs = s.nbrs.data();
-  const std::size_t deg = s.nbrs.size();
-  const Dist* const* rowptr = s.rowptr.data();
-  constexpr Vertex kPrefetchStep = 64 / sizeof(Dist);  // one cache line
-  for (Vertex x = 0; x < n; ++x) {
-    const Dist* row = rowptr[x];
-    if (x + 2 < n) {
-      const Dist* next = rowptr[x + 2];
-      for (Vertex off = 0; off < n; off += kPrefetchStep) __builtin_prefetch(next + off);
-    }
-    for (std::size_t i = 0; i < deg; ++i) {
-      const Dist val = row[nbrs[i]];
-      if (val < min1[x]) {
-        min2[x] = min1[x];
-        min1[x] = val;
-        argmin[x] = nbrs[i];
-      } else if (val < min2[x]) {
-        min2[x] = val;
-      }
-    }
-    if (want_r1) {
-      const Dist m1 = min1[x];
-      for (Vertex y = 0; y < n; ++y) {
-        r1[y] += static_cast<std::uint32_t>(m1 > row[y] ? m1 - row[y] : 0);
-      }
+  for (const Vertex z : s.nbrs) {
+    kern.scan_min_update(s.min1.data(), s.min2.data(), s.argmin.data(), s.rowptr[z], z, n);
+  }
+  if (want_r1) {
+    // Second pass once min1 is final — the gather form also read min1[x]
+    // only after x's full neighbor fold.
+    std::uint32_t* r1 = s.r1.data();
+    for (Vertex x = 0; x < n; ++x) {
+      kern.r1_add(r1, s.min1[x], s.rowptr[x], n);
     }
   }
 }
@@ -618,12 +554,14 @@ typename SearchStateImpl<Dist>::ScanResult SearchStateImpl<Dist>::scan_agent(
   ++s.stats.agents_scanned;
   if (s.nbrs.empty()) return result;
   const Vertex n = n_;
+  const simd::Kernels<Dist>& kern = simd::kernels<Dist>();
   const Dist* const* rowptr = s.rowptr.data();
 
   s.is_nbr.assign(n, 0);
   s.is_nbr[a] = 1;
   for (const Vertex w : s.nbrs) s.is_nbr[w] = 1;
   s.mrow.resize(n);
+  s.far.resize(n);
 
   // Sum-model prune, valid for EVERY removed edge w at once: with
   // base = Σ_{y≠a} min1_y and R1[w2] = Σ_y max(0, min1_y − c_{w2,y}),
@@ -662,11 +600,11 @@ typename SearchStateImpl<Dist>::ScanResult SearchStateImpl<Dist>::scan_agent(
 
   for (const Vertex w : s.nbrs) {
     Dist* m = s.mrow.data();
-    for (Vertex y = 0; y < n; ++y) m[y] = s.argmin[y] == w ? s.min2[y] : s.min1[y];
+    kern.select_mrow(m, s.min1.data(), s.min2.data(), s.argmin.data(), w, n);
     m[a] = 0;
 
     if (model_ == UsageCost::Max && include_deletions) {
-      const std::uint64_t del_cost = deletion_ecc_capped(m, n, kInf);
+      const std::uint64_t del_cost = kern.deletion_ecc(m, n, kInf);
       if (del_cost <= old_cost) {
         const Deviation dev{{a, w, w}, old_cost, del_cost, Deviation::Kind::NonCriticalDelete};
         result.found = true;
@@ -691,7 +629,7 @@ typename SearchStateImpl<Dist>::ScanResult SearchStateImpl<Dist>::scan_agent(
           continue;
         }
         ++s.stats.candidates_combined;
-        const std::uint64_t new_cost = combine_sum_capped(m, rowptr[w2], n, kInf);
+        const std::uint64_t new_cost = kern.combine_sum(m, rowptr[w2], n, kInf);
         if (new_cost >= old_cost) continue;
         result.found = true;
         if (new_cost < best_cost) best_cost = new_cost;
@@ -732,20 +670,17 @@ typename SearchStateImpl<Dist>::ScanResult SearchStateImpl<Dist>::scan_agent(
                                    ? std::int32_t{kInf} - 1
                                    : static_cast<std::int32_t>(max_threshold) - 2;
       if (w == s.nbrs.front()) {
-        s.far.clear();
         const std::int32_t cap0 = old_cost == kInfCost
                                       ? std::int32_t{kInf} - 1
                                       : static_cast<std::int32_t>(old_cost) - 2;
-        for (Vertex y = 0; y < n; ++y) {
-          if (y != a && s.min1[y] > cap0) s.far.push_back(y);
-        }
+        const std::uint32_t far1 = kern.collect_above(s.min1.data(), n, cap0, a, s.far.data());
         s.cands.clear();
         for (Vertex w2 = 0; w2 < n; ++w2) {
           if (s.is_nbr[w2] != 0) continue;
           const Dist* c = rowptr[w2];
           bool viable = true;
-          for (const Vertex y : s.far) {
-            if (c[y] > cap0) {
+          for (std::uint32_t i = 0; i < far1; ++i) {
+            if (c[s.far[i]] > cap0) {
               viable = false;
               break;
             }
@@ -757,15 +692,12 @@ typename SearchStateImpl<Dist>::ScanResult SearchStateImpl<Dist>::scan_agent(
           s.cands.push_back(w2);
         }
       }
-      s.far.clear();
-      for (Vertex y = 0; y < n; ++y) {
-        if (y != a && m[y] > cap) s.far.push_back(y);
-      }
+      const std::uint32_t far_count = kern.collect_above(m, n, cap, a, s.far.data());
       for (const Vertex w2 : s.cands) {
         const Dist* c = rowptr[w2];
         bool improves = true;
-        for (const Vertex y : s.far) {
-          if (c[y] > cap) {
+        for (std::uint32_t i = 0; i < far_count; ++i) {
+          if (c[s.far[i]] > cap) {
             improves = false;
             break;
           }
@@ -775,7 +707,7 @@ typename SearchStateImpl<Dist>::ScanResult SearchStateImpl<Dist>::scan_agent(
           continue;
         }
         ++s.stats.candidates_combined;
-        const std::uint64_t new_cost = combine_max_capped(m, c, n, kInf);
+        const std::uint64_t new_cost = kern.combine_max(m, c, n, kInf);
         if (new_cost >= max_threshold && mode != ScanMode::First) {
           // The far test ran against a stale (looser) cap from before a
           // best-update in this same w-iteration; the exact cost settles it.
@@ -856,37 +788,42 @@ std::uint64_t SearchStateImpl<Dist>::evaluate_pass(bool staged) {
     return unrest_contribution(r, old_cost);
   };
 
-#ifdef BNCG_HAS_OPENMP
-  if (parallel_) {
+  ThreadPool& pool = ThreadPool::global();
+  if (parallel_ && pool.size() > 1) {
+    // One persistent Scratch per pool lane (warm across passes — the n×n
+    // proposal slab and BFS workspace survive), one unrest accumulator per
+    // lane padded to its own cache line. Lane subtotals and lane stats fold
+    // serially in lane order after the drain, replacing the old
+    // omp-critical merge: unrest contributions are a commutative sum, so
+    // the pass total is lane-count- and schedule-invariant either way, and
+    // the serial fold makes the stats order deterministic too.
+    //
     // A saturating refresh inside the region (u8 only) must not unwind
-    // through the OpenMP runtime: park the signal in a flag, drain the
-    // remaining iterations, and rethrow it after the region — the facade
-    // discards this whole state on promotion, so the half-updated caches
-    // left behind are never read.
-    std::atomic<bool> saturated{false};
-#pragma omp parallel
-    {
-      Scratch local;
+    // through the pool: park the signal in a flag, drain the remaining
+    // iterations, and rethrow it after the pass — the facade discards this
+    // whole state on promotion, so the half-updated caches left behind are
+    // never read.
+    if (scratch_.size() < pool.size()) scratch_.resize(pool.size());
+    struct alignas(64) LaneUnrest {
       std::uint64_t sub = 0;
-#pragma omp for schedule(dynamic, 4)
-      for (std::int64_t a = 0; a < static_cast<std::int64_t>(n_); ++a) {
-        if (saturated.load(std::memory_order_relaxed)) continue;
-        try {
-          sub += evaluate_agent(static_cast<Vertex>(a), local);
-        } catch (const WidthSaturated&) {
-          saturated.store(true, std::memory_order_relaxed);
-        }
+    };
+    std::vector<LaneUnrest> lane(pool.size());
+    std::atomic<bool> saturated{false};
+    pool.parallel_for(n_, /*grain=*/4, [&](std::uint64_t a, unsigned tid) {
+      if (saturated.load(std::memory_order_relaxed)) return;
+      try {
+        lane[tid].sub += evaluate_agent(static_cast<Vertex>(a), scratch_[tid]);
+      } catch (const WidthSaturated&) {
+        saturated.store(true, std::memory_order_relaxed);
       }
-#pragma omp critical
-      {
-        total += sub;
-        merge_stats(local);
-      }
+    });
+    for (std::size_t t = 0; t < pool.size(); ++t) {
+      total += lane[t].sub;
+      merge_stats(scratch_[t]);
     }
     if (saturated.load(std::memory_order_relaxed)) throw WidthSaturated{};
     return total;
   }
-#endif
   for (Vertex a = 0; a < n_; ++a) total += evaluate_agent(a, scratch_[0]);
   merge_stats(scratch_[0]);
   return total;

@@ -78,6 +78,7 @@
 #include "graph/csr.hpp"
 #include "graph/dist_width.hpp"
 #include "graph/graph.hpp"
+#include "util/simd.hpp"
 
 namespace bncg {
 
@@ -176,20 +177,22 @@ class SearchStateImpl {
     std::shared_ptr<const CsrGraph> before;
   };
 
-  /// Per-thread scan scratch (mirrors SwapEngine::Scratch) plus per-thread
-  /// stat counters merged after each pass (keeps parallel passes race-free).
+  /// Per-lane scan scratch (mirrors SwapEngine::Scratch) plus per-lane stat
+  /// counters merged after each pass (keeps parallel passes race-free). The
+  /// SIMD-streamed arrays use 64-byte-aligned storage. Lane scratch lives in
+  /// the persistent scratch_ member — allocated once, warm across passes.
   struct Scratch {
     BatchBfsWorkspace bfs;
-    std::vector<Dist> proposal_rows;    // staged-toggle matrix (n×n)
+    AlignedVec<Dist> proposal_rows;     // staged-toggle matrix (n×n)
     std::vector<const Dist*> rowptr;    // per-row source (cache/scratch)
     std::vector<Vertex> cands;          // static candidate survivors
-    std::vector<Dist> row_u, row_v;     // stashed toggle-endpoint rows
-    std::vector<Dist> min1, min2;       // elementwise neighbor minima
-    std::vector<Vertex> argmin;
-    std::vector<Dist> mrow;             // M^w: min over N(a)∖{w}
-    std::vector<std::uint32_t> r1;      // sum-model relief bound
+    AlignedVec<Dist> row_u, row_v;      // stashed toggle-endpoint rows
+    AlignedVec<Dist> min1, min2;        // elementwise neighbor minima
+    AlignedVec<Vertex> argmin;
+    AlignedVec<Dist> mrow;              // M^w: min over N(a)∖{w}
+    AlignedVec<std::uint32_t> r1;       // sum-model relief bound
     std::vector<std::uint8_t> is_nbr;
-    std::vector<Vertex> far;            // max-model far set
+    AlignedVec<Vertex> far;             // max-model far set (n slots)
     std::vector<Vertex> sources;        // dirty rows to refresh
     std::vector<Vertex> nbrs;           // proposal-adjusted neighbor list
     SearchStats stats;
@@ -282,8 +285,8 @@ class SearchStateImpl {
   // matrices live in ONE slab updated lazily through the journal —
   // evaluation materializes proposal matrices into per-thread scratch
   // instead of a shadow slab, halving both memory and DRAM write traffic.
-  std::vector<Dist> full_[2];  // n×n full-graph distances
-  std::vector<Dist> agents_;   // n slabs of n×n masked distances
+  AlignedVec<Dist> full_[2];  // n×n full-graph distances
+  AlignedVec<Dist> agents_;   // n slabs of n×n masked distances
   std::size_t fcur_ = 0;
 
   // Persistent per-agent scan tables (n entries per agent): coordinate-wise
@@ -296,9 +299,9 @@ class SearchStateImpl {
   // the journal version the current set matches (kUnbuilt = must rebuild);
   // it may run ahead of version_[a] right after a commit, in which case the
   // matrix catches up through the journal without touching the tables.
-  std::vector<Dist> tmin1_[2], tmin2_[2];
-  std::vector<Vertex> targmin_[2];
-  std::vector<std::uint32_t> tr1_[2];
+  AlignedVec<Dist> tmin1_[2], tmin2_[2];
+  AlignedVec<Vertex> targmin_[2];
+  AlignedVec<std::uint32_t> tr1_[2];
   std::size_t tcur_ = 0;
   std::vector<std::uint64_t> table_version_;
 
@@ -341,8 +344,8 @@ extern template class SearchStateImpl<std::uint16_t>;
 /// saturate — callers never observe the width except through width() and
 /// stats().promotions; every value, witness, and trajectory is identical
 /// across widths. Not thread-safe; internal passes parallelize over agents
-/// under OpenMP when `parallel` is set (results are deterministic either
-/// way).
+/// on the process thread pool when `parallel` is set (results are
+/// deterministic either way — per-agent outputs fold serially).
 class SearchState {
  public:
   /// Snapshots `g` (connected or not); see SearchStateImpl's constructor

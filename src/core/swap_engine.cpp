@@ -3,9 +3,16 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "util/thread_pool.hpp"
+
 namespace bncg {
 
 namespace {
+
+// The SIMD kernels signal "unreachable somewhere" with their own constant so
+// util/ never depends on core/; it must stay bit-identical to kInfCost for
+// the cost comparisons below to read kernel results directly.
+static_assert(simd::kInfCostResult == kInfCost);
 
 /// Infinity sentinel of the engine's per-width matrices. u16 keeps the full
 /// 0xFFFF traversal sentinel (the historical engine encoding); u8 uses the
@@ -29,38 +36,10 @@ constexpr Dist engine_max_finite() {
   }
 }
 
-/// Post-swap sum cost: (n−1) + Σ_u min(m_u, c_u), where m = M^w (min over
-/// kept neighbor rows, with m_v = 0) and c = d_{G−v}(w₂,·). Any term at the
-/// ∞ sentinel means some vertex became unreachable. The accumulator fits
-/// 32 bits: every term is ≤ 2¹⁶−1 and n < 65535.
-template <typename Dist>
-std::uint64_t combine_sum(const Dist* m, const Dist* c, Vertex n, Dist inf) {
-  std::uint32_t sum = 0;
-  Dist worst = 0;
-  for (Vertex u = 0; u < n; ++u) {
-    const Dist t = std::min(m[u], c[u]);
-    sum += t;
-    worst = std::max(worst, t);
-  }
-  if (worst >= inf) return kInfCost;
-  return sum + (n - 1);
-}
-
-/// Post-swap max cost: 1 + max_u min(m_u, c_u) — the max-model analogue.
-template <typename Dist>
-std::uint64_t combine_max(const Dist* m, const Dist* c, Vertex n, Dist inf) {
-  Dist worst = 0;
-  for (Vertex u = 0; u < n; ++u) worst = std::max(worst, std::min(m[u], c[u]));
-  return worst >= inf ? kInfCost : std::uint64_t{1} + worst;
-}
-
-/// Post-deletion max cost: 1 + max_u M^w_u (m_v = 0; n ≥ 2 here).
-template <typename Dist>
-std::uint64_t deletion_ecc(const Dist* m, Vertex n, Dist inf) {
-  Dist worst = 0;
-  for (Vertex u = 0; u < n; ++u) worst = std::max(worst, m[u]);
-  return worst >= inf ? kInfCost : std::uint64_t{1} + worst;
-}
+// The combine reductions ((n−1) + Σ_u min(m_u, c_u), 1 + max_u min(m_u, c_u),
+// 1 + max_u m_u) and the scan-table maintenance loops now live in
+// util/simd.hpp as runtime-dispatched kernels; simd::kernels<Dist>() below
+// replaces the former local templates with bit-identical semantics.
 
 }  // namespace
 
@@ -116,6 +95,7 @@ bool SwapEngine::scan_agent_t(Vertex v, UsageCost model, bool stop_at_first,
                               bool include_deletions, std::uint64_t* moves_checked,
                               Scratch& s, std::optional<Deviation>& out) const {
   constexpr Dist kInf = engine_inf<Dist>();
+  const simd::Kernels<Dist>& kern = simd::kernels<Dist>();
   const Vertex n = csr_.num_vertices();
   BNCG_REQUIRE(v < n, "vertex id out of range");
   const std::uint64_t old_cost = agent_cost(v, model, s);
@@ -147,33 +127,25 @@ bool SwapEngine::scan_agent_t(Vertex v, UsageCost model, bool stop_at_first,
   rows.min2.assign(n, kInf);
   s.argmin_.assign(n, kNoVertex);
   for (const Vertex z : nbrs) {
-    const Dist* cz = rows.apsp.data() + static_cast<std::size_t>(z) * n;
-    for (Vertex u = 0; u < n; ++u) {
-      const Dist val = cz[u];
-      if (val < rows.min1[u]) {
-        rows.min2[u] = rows.min1[u];
-        rows.min1[u] = val;
-        s.argmin_[u] = z;
-      } else if (val < rows.min2[u]) {
-        rows.min2[u] = val;
-      }
-    }
+    kern.scan_min_update(rows.min1.data(), rows.min2.data(), s.argmin_.data(),
+                         rows.apsp.data() + static_cast<std::size_t>(z) * n, z, n);
   }
   rows.mrow.resize(n);
+  s.far_.resize(n);
 
   std::optional<Deviation> best;
   for (const Vertex w : nbrs) {
     // M^w_u = min_{z ∈ N(v)∖{w}} d_{G−v}(z, u); the v entry is pinned to 0
     // so whole-row combines need no special case for u = v.
     Dist* m = rows.mrow.data();
-    for (Vertex u = 0; u < n; ++u) m[u] = s.argmin_[u] == w ? rows.min2[u] : rows.min1[u];
+    kern.select_mrow(m, rows.min1.data(), rows.min2.data(), s.argmin_.data(), w, n);
     m[v] = 0;
 
     if (model == UsageCost::Max && include_deletions) {
       // Deletion clause: removing {v, w} must *strictly* increase v's local
       // diameter; 1 + M^w is exactly the post-deletion distance profile.
       if (moves_checked != nullptr) ++*moves_checked;
-      const std::uint64_t del_cost = deletion_ecc(m, n, kInf);
+      const std::uint64_t del_cost = kern.deletion_ecc(m, n, kInf);
       if (del_cost <= old_cost) {
         const Deviation dev{{v, w, w}, old_cost, del_cost, Deviation::Kind::NonCriticalDelete};
         if (!best || dev.cost_after < best->cost_after) best = dev;
@@ -189,7 +161,7 @@ bool SwapEngine::scan_agent_t(Vertex v, UsageCost model, bool stop_at_first,
         if (s.is_nbr_[w2] != 0) continue;
         if (moves_checked != nullptr) ++*moves_checked;
         const std::uint64_t new_cost =
-            combine_sum(m, rows.apsp.data() + static_cast<std::size_t>(w2) * n, n, kInf);
+            kern.combine_sum(m, rows.apsp.data() + static_cast<std::size_t>(w2) * n, n, kInf);
         if (new_cost >= old_cost) continue;
         if (!best || new_cost < best->cost_after) {
           best = Deviation{{v, w, w2}, old_cost, new_cost, Deviation::Kind::ImprovingSwap};
@@ -207,23 +179,20 @@ bool SwapEngine::scan_agent_t(Vertex v, UsageCost model, bool stop_at_first,
       // improvement impossible and the far test rejects everything.
       const std::int32_t cap =
           old_cost == kInfCost ? std::int32_t{kInf} - 1 : static_cast<std::int32_t>(old_cost) - 2;
-      s.far_.clear();
-      for (Vertex u = 0; u < n; ++u) {
-        if (u != v && m[u] > cap) s.far_.push_back(u);
-      }
+      const std::uint32_t far_count = kern.collect_above(m, n, cap, /*skip=*/v, s.far_.data());
       for (Vertex w2 = 0; w2 < n; ++w2) {
         if (s.is_nbr_[w2] != 0) continue;
         if (moves_checked != nullptr) ++*moves_checked;
         const Dist* c = rows.apsp.data() + static_cast<std::size_t>(w2) * n;
         bool improves = true;
-        for (const Vertex u : s.far_) {
-          if (c[u] > cap) {
+        for (std::uint32_t i = 0; i < far_count; ++i) {
+          if (c[s.far_[i]] > cap) {
             improves = false;
             break;
           }
         }
         if (!improves) continue;
-        const std::uint64_t new_cost = combine_max(m, c, n, kInf);
+        const std::uint64_t new_cost = kern.combine_max(m, c, n, kInf);
         if (!best || new_cost < best->cost_after ||
             (best->kind == Deviation::Kind::NonCriticalDelete &&
              new_cost <= best->cost_after)) {
@@ -291,29 +260,24 @@ EquilibriumCertificate SwapEngine::certify(UsageCost model, bool include_deletio
 
   // Per-agent results land in a vector and are folded serially afterwards,
   // so the witness tie-break (earliest agent among equal cost_after) matches
-  // the serial naive certifiers under any OpenMP thread count — the parallel
-  // reduction used to pick among ties in thread-arrival order.
+  // the serial naive certifiers under any lane count — a parallel reduction
+  // would pick among ties in thread-arrival order. Move counts are per-lane
+  // slots (cache-line padded: they are bumped per candidate) summed in lane
+  // order; sums commute, so the fold order is cosmetic there.
   std::vector<std::optional<Deviation>> per_agent(n);
-
-#ifdef BNCG_HAS_OPENMP
-#pragma omp parallel
+  ThreadPool& pool = ThreadPool::global();
+  struct alignas(64) LaneCount {
+    std::uint64_t moves = 0;
+  };
+  std::vector<LaneCount> lane_moves(pool.size());
   {
-    Scratch scratch;
-    std::uint64_t local_moves = 0;
-#pragma omp for schedule(dynamic, 1)
-    for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
-      per_agent[static_cast<std::size_t>(v)] =
-          best_deviation(static_cast<Vertex>(v), model, scratch, include_deletions, &local_moves);
-    }
-#pragma omp critical
-    moves += local_moves;
+    std::vector<Scratch> scratch(pool.size());
+    pool.parallel_for(n, 1, [&](std::uint64_t v, unsigned tid) {
+      per_agent[v] = best_deviation(static_cast<Vertex>(v), model, scratch[tid],
+                                    include_deletions, &lane_moves[tid].moves);
+    });
   }
-#else
-  Scratch scratch;
-  for (Vertex v = 0; v < n; ++v) {
-    per_agent[v] = best_deviation(v, model, scratch, include_deletions, &moves);
-  }
-#endif
+  for (const LaneCount& lane : lane_moves) moves += lane.moves;
 
   std::optional<Deviation> best;
   for (Vertex v = 0; v < n; ++v) {

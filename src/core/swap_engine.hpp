@@ -54,6 +54,7 @@
 #include "graph/csr.hpp"
 #include "graph/dist_width.hpp"
 #include "graph/graph.hpp"
+#include "util/simd.hpp"
 
 namespace bncg {
 
@@ -88,13 +89,14 @@ class SwapEngine {
     friend class SwapEngine;
 
    private:
-    /// Width-typed row buffers of one scan.
+    /// Width-typed row buffers of one scan. 64-byte-aligned storage: these
+    /// are exactly the arrays the SIMD scan kernels stream over.
     template <typename Dist>
     struct Rows {
-      std::vector<Dist> apsp;  // all rows of G − v
-      std::vector<Dist> min1;  // elementwise min over neighbor rows
-      std::vector<Dist> min2;  // elementwise second min
-      std::vector<Dist> mrow;  // M^w: min over N(v)∖{w}
+      AlignedVec<Dist> apsp;  // all rows of G − v
+      AlignedVec<Dist> min1;  // elementwise min over neighbor rows
+      AlignedVec<Dist> min2;  // elementwise second min
+      AlignedVec<Dist> mrow;  // M^w: min over N(v)∖{w}
     };
     template <typename Dist>
     [[nodiscard]] Rows<Dist>& rows() noexcept {
@@ -108,8 +110,8 @@ class SwapEngine {
     BatchBfsWorkspace bfs_;
     std::vector<std::uint16_t> base_;   // d_G(v, ·) of the scanned agent
     std::vector<std::uint8_t> is_nbr_;  // closed neighborhood marks of v
-    std::vector<Vertex> argmin_;        // neighbor attaining min1
-    std::vector<Vertex> far_;           // far set of the removed edge
+    AlignedVec<Vertex> argmin_;         // neighbor attaining min1
+    AlignedVec<Vertex> far_;            // far set of the removed edge (n slots)
     Rows<std::uint8_t> rows8_;
     Rows<std::uint16_t> rows16_;
   };
@@ -159,7 +161,8 @@ class SwapEngine {
 
   /// Exhaustive certificate over all agents (sum: swap stability; max: swap
   /// stability plus the strict-deletion clause when include_deletions).
-  /// Parallel over agents under OpenMP, one Scratch per thread.
+  /// Parallel over agents on the process thread pool, one Scratch per lane;
+  /// per-agent results fold serially so witnesses are thread-count-invariant.
   [[nodiscard]] EquilibriumCertificate certify(UsageCost model, bool include_deletions) const;
 
   /// Convenience overloads owning a scratch (single-threaded callers).

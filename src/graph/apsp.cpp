@@ -11,7 +11,7 @@ DistanceMatrix::DistanceMatrix(const Graph& g)
     : n_(g.num_vertices()), data_(static_cast<std::size_t>(n_) * n_, kInfDist) {
   // One CSR snapshot + batched bit-parallel BFS (64 sources per sweep)
   // replaces the former n independent pointer-chasing traversals; the
-  // batches are OpenMP-parallel inside csr_apsp_wide.
+  // batches run in parallel on the thread pool inside csr_apsp_wide.
   const CsrGraph csr(g);
   connected_ = csr_apsp_wide(csr, data_.data());
 }

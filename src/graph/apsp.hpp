@@ -2,8 +2,8 @@
 //
 // The distance matrix backs the analysis modules (metrics, distance
 // uniformity) where every pairwise distance is needed at once. Storage is a
-// flat n×n array of 32-bit distances; computation is OpenMP-parallel over
-// sources with one BfsWorkspace per thread.
+// flat 64-byte-aligned n×n array of 32-bit distances; computation runs on
+// the process thread pool with one workspace per lane.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +13,7 @@
 #include "graph/bfs.hpp"
 #include "graph/dist_width.hpp"
 #include "graph/graph.hpp"
+#include "util/simd.hpp"
 
 namespace bncg {
 
@@ -21,8 +22,8 @@ class DistanceMatrix {
  public:
   DistanceMatrix() = default;
 
-  /// Computes all-pairs distances of `g` (n BFS runs, parallel when OpenMP
-  /// is enabled).
+  /// Computes all-pairs distances of `g` (n BFS runs, parallel over the
+  /// process thread pool).
   explicit DistanceMatrix(const Graph& g);
 
   /// Number of vertices the matrix covers.
@@ -61,7 +62,7 @@ class DistanceMatrix {
  private:
   Vertex n_ = 0;
   bool connected_ = true;
-  std::vector<Vertex> data_;
+  AlignedVec<Vertex> data_;
 };
 
 }  // namespace bncg

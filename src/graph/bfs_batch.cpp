@@ -1,5 +1,8 @@
 #include "graph/bfs_batch.hpp"
 
+#include "util/simd.hpp"
+#include "util/thread_pool.hpp"
+
 #include <algorithm>
 #include <bit>
 #include <cstring>
@@ -176,6 +179,7 @@ template <typename Dist>
       continue;
     }
     frontier.clear();
+    const simd::WordKernels& wk = simd::words();
     for (Vertex u = 0; u < n; ++u) {
       // Saturated vertices (all sources arrived) can gain nothing; skip the
       // gather — this makes late, mostly-settled levels nearly free.
@@ -190,7 +194,8 @@ template <typename Dist>
           if (t != other) word |= cur[t];
         }
       } else {
-        for (const Vertex t : g.neighbors(u)) word |= cur[t];
+        const auto nbrs = g.neighbors(u);
+        word = wk.or_gather(cur.data(), nbrs.data(), nbrs.size());
       }
       const std::uint64_t newly = word & ~visited[u];
       next[u] = newly;
@@ -369,37 +374,19 @@ bool csr_apsp_wide(const CsrGraph& g, Vertex* rows) {
   const Vertex num_batches = (n + 63) / 64;
   constexpr Vertex kMaxFiniteWide = kInfDist - 1;  // distances < n: never saturates
 
-#ifdef BNCG_HAS_OPENMP
-#pragma omp parallel
-  {
-    BatchBfsWorkspace ws;
-    std::vector<Vertex> sources;
-    sources.reserve(64);
-#pragma omp for schedule(dynamic, 1)
-    for (std::int64_t b = 0; b < static_cast<std::int64_t>(num_batches); ++b) {
-      const Vertex base = static_cast<Vertex>(b) * 64;
-      const Vertex count = std::min<Vertex>(64, n - base);
-      sources.resize(count);
-      for (Vertex i = 0; i < count; ++i) sources[i] = base + i;
-      (void)batch_dispatch<Vertex>(g, sources, MaskedEdge{},
-                                   rows + static_cast<std::size_t>(base) * stride, stride, ws,
-                                   kNoVertex, kInfDist, kMaxFiniteWide);
-    }
-  }
-#else
-  BatchBfsWorkspace ws;
-  std::vector<Vertex> sources;
-  sources.reserve(64);
-  for (Vertex b = 0; b < num_batches; ++b) {
-    const Vertex base = b * 64;
+  // One 64-source batch per pool task, one workspace per lane (batches write
+  // disjoint row blocks, so lanes never touch the same output bytes).
+  ThreadPool& pool = ThreadPool::global();
+  std::vector<BatchBfsWorkspace> ws(pool.size());
+  pool.parallel_for(num_batches, /*grain=*/1, [&](std::uint64_t b, unsigned tid) {
+    const Vertex base = static_cast<Vertex>(b) * 64;
     const Vertex count = std::min<Vertex>(64, n - base);
-    sources.resize(count);
+    std::vector<Vertex> sources(count);
     for (Vertex i = 0; i < count; ++i) sources[i] = base + i;
     (void)batch_dispatch<Vertex>(g, sources, MaskedEdge{},
-                                 rows + static_cast<std::size_t>(base) * stride, stride, ws,
+                                 rows + static_cast<std::size_t>(base) * stride, stride, ws[tid],
                                  kNoVertex, kInfDist, kMaxFiniteWide);
-  }
-#endif
+  });
 
   const std::size_t total = static_cast<std::size_t>(n) * n;
   for (std::size_t i = 0; i < total; ++i) {

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "graph/bfs.hpp"
+#include "util/thread_pool.hpp"
 
 namespace bncg {
 
@@ -44,27 +45,28 @@ DistanceStats distance_stats(const DistanceMatrix& dm) {
 Vertex diameter(const Graph& g) {
   const Vertex n = g.num_vertices();
   if (n == 0) return 0;
+  // Per-lane max/disconnected slots folded serially after the drain (the
+  // reductions are commutative, so the fold order is cosmetic — the serial
+  // fold just keeps the pattern uniform with the certifiers).
+  ThreadPool& pool = ThreadPool::global();
+  struct alignas(64) Lane {
+    BfsWorkspace ws;
+    Vertex diam = 0;
+    bool disconnected = false;
+  };
+  std::vector<Lane> lanes(pool.size());
+  pool.parallel_for(n, /*grain=*/8, [&](std::uint64_t v, unsigned tid) {
+    Lane& lane = lanes[tid];
+    const BfsResult r = bfs(g, static_cast<Vertex>(v), lane.ws);
+    lane.disconnected = lane.disconnected || !r.spans(n);
+    lane.diam = std::max(lane.diam, r.ecc);
+  });
   Vertex diam = 0;
   bool disconnected = false;
-#ifdef BNCG_HAS_OPENMP
-#pragma omp parallel reduction(max : diam) reduction(|| : disconnected)
-  {
-    BfsWorkspace ws;
-#pragma omp for schedule(dynamic, 8)
-    for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
-      const BfsResult r = bfs(g, static_cast<Vertex>(v), ws);
-      disconnected = disconnected || !r.spans(n);
-      diam = std::max(diam, r.ecc);
-    }
+  for (const Lane& lane : lanes) {
+    disconnected = disconnected || lane.disconnected;
+    diam = std::max(diam, lane.diam);
   }
-#else
-  BfsWorkspace ws;
-  for (Vertex v = 0; v < n; ++v) {
-    const BfsResult r = bfs(g, v, ws);
-    disconnected = disconnected || !r.spans(n);
-    diam = std::max(diam, r.ecc);
-  }
-#endif
   return disconnected ? kInfDist : diam;
 }
 
@@ -107,23 +109,12 @@ Vertex girth(const Graph& g) {
 std::vector<Vertex> eccentricities(const Graph& g) {
   const Vertex n = g.num_vertices();
   std::vector<Vertex> ecc(n, 0);
-#ifdef BNCG_HAS_OPENMP
-#pragma omp parallel
-  {
-    BfsWorkspace ws;
-#pragma omp for schedule(dynamic, 8)
-    for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
-      const BfsResult r = bfs(g, static_cast<Vertex>(v), ws);
-      ecc[static_cast<std::size_t>(v)] = r.spans(n) ? r.ecc : kInfDist;
-    }
-  }
-#else
-  BfsWorkspace ws;
-  for (Vertex v = 0; v < n; ++v) {
-    const BfsResult r = bfs(g, v, ws);
-    ecc[v] = r.spans(n) ? r.ecc : kInfDist;
-  }
-#endif
+  ThreadPool& pool = ThreadPool::global();
+  std::vector<BfsWorkspace> ws(pool.size());
+  pool.parallel_for(n, /*grain=*/8, [&](std::uint64_t v, unsigned tid) {
+    const BfsResult r = bfs(g, static_cast<Vertex>(v), ws[tid]);
+    ecc[static_cast<std::size_t>(v)] = r.spans(n) ? r.ecc : kInfDist;
+  });
   return ecc;
 }
 

@@ -1,0 +1,17 @@
+// Internal wiring between the dispatch core (simd.cpp) and the per-ISA
+// translation units (simd_avx2.cpp / simd_avx512.cpp). Not installed into
+// any public surface — include only from src/util/simd*.cpp.
+#pragma once
+
+#include "util/simd.hpp"
+
+namespace bncg::simd::detail {
+
+/// Overwrites the table entries this ISA implements and returns true, or —
+/// when the translation unit was compiled without the ISA (non-x86 target,
+/// compiler without the flag) — touches nothing and returns false. The
+/// false return is what caps simd_max_level() below the CPU's capability.
+bool fill_avx2(Kernels<std::uint8_t>& k8, Kernels<std::uint16_t>& k16, WordKernels& kw);
+bool fill_avx512(Kernels<std::uint8_t>& k8, Kernels<std::uint16_t>& k16, WordKernels& kw);
+
+}  // namespace bncg::simd::detail
