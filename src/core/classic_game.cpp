@@ -62,7 +62,7 @@ double ClassicGame::social_cost() const {
   return total;
 }
 
-std::optional<ClassicMove> ClassicGame::best_deviation(Vertex v, BfsWorkspace& ws) const {
+std::optional<ClassicMove> ClassicGame::best_deviation_naive(Vertex v, BfsWorkspace& ws) const {
   graph_.check_vertex(v);
   // Work on a scratch copy; moves are evaluated by direct mutation + BFS.
   Graph work = graph_;
@@ -114,6 +114,128 @@ std::optional<ClassicMove> ClassicGame::best_deviation(Vertex v, BfsWorkspace& w
   return best;
 }
 
+std::optional<ClassicMove> ClassicGame::best_deviation_engine(const SwapEngine& engine,
+                                                              SwapEngine::Scratch& scratch,
+                                                              Vertex v) const {
+  graph_.check_vertex(v);
+  const Vertex n = graph_.num_vertices();
+  std::vector<std::uint8_t> owned(n, 0);
+  for (const Vertex w : graph_.neighbors(v)) {
+    owned[w] = owner_.at(key(v, w)) == v ? 1 : 0;
+  }
+  // The engine hands back pure-integer usages in the naive enumeration
+  // order; the α arithmetic below is character-for-character the naive
+  // path's double pipeline, so gains and tie-breaks match bit for bit.
+  const auto& candidates = engine.alpha_scan(v, owned, scratch);
+  const auto as_usage = [](std::uint64_t usage) {
+    return usage == kInfCost ? kHugeCost : static_cast<double>(usage);
+  };
+  const double old_usage = as_usage(engine.agent_cost(v, UsageCost::Sum, scratch));
+  const double old_cost = alpha_ * edges_bought(v) + old_usage;
+
+  std::optional<ClassicMove> best;
+  const auto consider = [&](ClassicMove move, double new_cost) {
+    const double gain = old_cost - new_cost;
+    if (gain <= 1e-9) return;
+    move.gain = gain;
+    if (!best || move.gain > best->gain) best = move;
+  };
+  for (const AlphaCandidate& c : candidates) {
+    switch (c.kind) {
+      case AlphaCandidate::Kind::Add:
+        consider({ClassicMove::Type::Add, v, c.w, 0, 0.0},
+                 alpha_ * (edges_bought(v) + 1) + as_usage(c.usage));
+        break;
+      case AlphaCandidate::Kind::Delete:
+        consider({ClassicMove::Type::Delete, v, c.w, 0, 0.0},
+                 alpha_ * (edges_bought(v) - 1) + as_usage(c.usage));
+        break;
+      case AlphaCandidate::Kind::Swap:
+        consider({ClassicMove::Type::Swap, v, c.w, c.w2, 0.0},
+                 alpha_ * edges_bought(v) + as_usage(c.usage));
+        break;
+    }
+  }
+  return best;
+}
+
+std::optional<ClassicMove> ClassicGame::best_deviation(Vertex v, BfsWorkspace& ws) const {
+  if (!swap_engine_enabled(graph_)) return best_deviation_naive(v, ws);
+  SwapEngine engine(graph_);
+  SwapEngine::Scratch scratch;
+  return best_deviation_engine(engine, scratch, v);
+}
+
+AlphaInterval ClassicGame::alpha_equilibrium_interval_naive() const {
+  AlphaInterval interval;
+  BfsWorkspace ws;
+  Graph work = graph_;
+  const Vertex n = work.num_vertices();
+  const auto usage = [&](Vertex from) -> double {
+    const BfsResult r = bfs(work, from, ws);
+    return r.spans(n) ? static_cast<double>(r.dist_sum) : kHugeCost;
+  };
+  for (Vertex v = 0; v < n; ++v) {
+    const double old_usage = usage(v);
+    // Same enumeration as best_deviation_naive; only the α-free usage
+    // differences are harvested (add: α must cover the usage drop; delete:
+    // α must not exceed the usage rise; swap: improves independent of α).
+    for (Vertex w = 0; w < n; ++w) {
+      if (w == v || work.has_edge(v, w)) continue;
+      work.add_edge(v, w);
+      interval.lo = std::max(interval.lo, old_usage - usage(v));
+      work.remove_edge(v, w);
+    }
+    const std::vector<Vertex> nbrs(work.neighbors(v).begin(), work.neighbors(v).end());
+    for (const Vertex w : nbrs) {
+      if (owner_.at(key(v, w)) != v) continue;
+      work.remove_edge(v, w);
+      interval.hi = std::min(interval.hi, usage(v) - old_usage);
+      for (Vertex w2 = 0; w2 < n; ++w2) {
+        if (w2 == v || w2 == w || work.has_edge(v, w2)) continue;
+        work.add_edge(v, w2);
+        if (old_usage - usage(v) > 1e-9) interval.swap_blocked = true;
+        work.remove_edge(v, w2);
+      }
+      work.add_edge(v, w);
+    }
+  }
+  return interval;
+}
+
+AlphaInterval ClassicGame::alpha_equilibrium_interval() const {
+  if (!swap_engine_enabled(graph_)) return alpha_equilibrium_interval_naive();
+  AlphaInterval interval;
+  const SwapEngine engine(graph_);
+  SwapEngine::Scratch scratch;
+  const Vertex n = graph_.num_vertices();
+  const auto as_usage = [](std::uint64_t usage) {
+    return usage == kInfCost ? kHugeCost : static_cast<double>(usage);
+  };
+  std::vector<std::uint8_t> owned(n, 0);
+  for (Vertex v = 0; v < n; ++v) {
+    std::fill(owned.begin(), owned.end(), 0);
+    for (const Vertex w : graph_.neighbors(v)) {
+      owned[w] = owner_.at(key(v, w)) == v ? 1 : 0;
+    }
+    const double old_usage = as_usage(engine.agent_cost(v, UsageCost::Sum, scratch));
+    for (const AlphaCandidate& c : engine.alpha_scan(v, owned, scratch)) {
+      switch (c.kind) {
+        case AlphaCandidate::Kind::Add:
+          interval.lo = std::max(interval.lo, old_usage - as_usage(c.usage));
+          break;
+        case AlphaCandidate::Kind::Delete:
+          interval.hi = std::min(interval.hi, as_usage(c.usage) - old_usage);
+          break;
+        case AlphaCandidate::Kind::Swap:
+          if (old_usage - as_usage(c.usage) > 1e-9) interval.swap_blocked = true;
+          break;
+      }
+    }
+  }
+  return interval;
+}
+
 void ClassicGame::apply(const ClassicMove& move) {
   switch (move.type) {
     case ClassicMove::Type::Add:
@@ -136,9 +258,18 @@ void ClassicGame::apply(const ClassicMove& move) {
 }
 
 bool ClassicGame::is_greedy_equilibrium() const {
-  BfsWorkspace ws;
+  if (!swap_engine_enabled(graph_)) {
+    BfsWorkspace ws;
+    for (Vertex v = 0; v < graph_.num_vertices(); ++v) {
+      if (best_deviation_naive(v, ws)) return false;
+    }
+    return true;
+  }
+  // One snapshot serves every agent — the graph is const here.
+  const SwapEngine engine(graph_);
+  SwapEngine::Scratch scratch;
   for (Vertex v = 0; v < graph_.num_vertices(); ++v) {
-    if (best_deviation(v, ws)) return false;
+    if (best_deviation_engine(engine, scratch, v)) return false;
   }
   return true;
 }
@@ -147,13 +278,19 @@ ClassicGame::RunResult ClassicGame::run_best_response(std::uint64_t max_moves) {
   RunResult result;
   BfsWorkspace ws;
   const Vertex n = graph_.num_vertices();
+  const bool engine_path = swap_engine_enabled(graph_);
+  std::optional<SwapEngine> engine;
+  SwapEngine::Scratch scratch;
+  if (engine_path) engine.emplace(graph_);
   for (;;) {
     bool any_move = false;
     for (Vertex v = 0; v < n; ++v) {
       if (result.moves >= max_moves) break;
-      const auto move = best_deviation(v, ws);
+      const auto move =
+          engine_path ? best_deviation_engine(*engine, scratch, v) : best_deviation_naive(v, ws);
       if (!move) continue;
       apply(*move);
+      if (engine_path) engine->rebuild(graph_);  // snapshots are immutable
       ++result.moves;
       any_move = true;
     }

@@ -19,15 +19,34 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "core/swap_engine.hpp"
 #include "core/usage_cost.hpp"
 #include "graph/graph.hpp"
 #include "util/rng.hpp"
 
 namespace bncg {
+
+/// The α values at which the current ownership state is a greedy
+/// equilibrium, as a closed interval [lo, hi] (possibly empty) of the
+/// α-axis: adds force α ≥ lo (below that some agent profitably buys an
+/// edge), deletes force α ≤ hi, and swaps — α-independent — can rule out
+/// every α at once. Thresholds are raw usage differences; membership applies
+/// the same 1e-9 strictness margin as best_deviation, so contains(α) ⟺
+/// is_greedy_equilibrium() at that α.
+struct AlphaInterval {
+  double lo = 0.0;
+  double hi = std::numeric_limits<double>::infinity();
+  bool swap_blocked = false;
+  [[nodiscard]] bool contains(double alpha) const noexcept {
+    return !swap_blocked && lo - alpha <= 1e-9 && alpha - hi <= 1e-9;
+  }
+  [[nodiscard]] bool empty() const noexcept { return swap_blocked || lo - hi > 1e-9; }
+};
 
 /// A deviation in the α-game.
 struct ClassicMove {
@@ -67,8 +86,28 @@ class ClassicGame {
   [[nodiscard]] double social_cost() const;
 
   /// Best greedy deviation (add/delete/swap) for agent `v`; nullopt when
-  /// none improves strictly.
+  /// none improves strictly. Routed: SwapEngine-backed (one masked APSP per
+  /// agent instead of one BFS per candidate) when swap_engine_enabled(),
+  /// else the naive scan — identical moves, gains, and tie-breaks either way
+  /// (differential suite: tests/test_classic_game_engine.cpp).
   [[nodiscard]] std::optional<ClassicMove> best_deviation(Vertex v, BfsWorkspace& ws) const;
+
+  /// The brute-force oracle: direct mutation + one BFS per candidate move.
+  [[nodiscard]] std::optional<ClassicMove> best_deviation_naive(Vertex v, BfsWorkspace& ws) const;
+
+  /// Engine-backed scan against a caller-provided snapshot of graph() —
+  /// callers that loop agents (is_greedy_equilibrium, run_best_response)
+  /// build the engine once per graph version instead of once per agent.
+  [[nodiscard]] std::optional<ClassicMove> best_deviation_engine(const SwapEngine& engine,
+                                                                 SwapEngine::Scratch& scratch,
+                                                                 Vertex v) const;
+
+  /// The α-interval of the current state (routed like best_deviation), and
+  /// its naive BFS twin for differential testing. Engine and naive compute
+  /// identical usage integers, so the interval endpoints are bit-identical
+  /// doubles.
+  [[nodiscard]] AlphaInterval alpha_equilibrium_interval() const;
+  [[nodiscard]] AlphaInterval alpha_equilibrium_interval_naive() const;
 
   /// Applies a move (must be legal for the current state).
   void apply(const ClassicMove& move);

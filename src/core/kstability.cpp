@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "core/swap_engine.hpp"
+
 namespace bncg {
 
 namespace {
@@ -68,6 +70,14 @@ bool cover_search(Vertex universe, const std::vector<std::vector<std::uint64_t>>
 
 }  // namespace
 
+std::optional<std::vector<std::size_t>> cover_select(
+    Vertex universe, const std::vector<std::vector<std::uint64_t>>& sets, Vertex budget) {
+  std::vector<std::uint64_t> covered(words_for(universe), 0);
+  std::vector<std::size_t> selection;
+  if (!cover_search(universe, sets, covered, budget, selection)) return std::nullopt;
+  return selection;
+}
+
 std::optional<Vertex> min_cover_size(Vertex universe,
                                      const std::vector<std::vector<std::uint64_t>>& candidates,
                                      Vertex depth_cap) {
@@ -132,13 +142,40 @@ KStabilityReport insertion_stability_at(const DistanceMatrix& dm, Vertex v, Vert
   return report;
 }
 
+Vertex max_tolerated_insertions(const DistanceMatrix& dm, Vertex v, Vertex k_max) {
+  for (Vertex k = 1; k <= k_max; ++k) {
+    if (!insertion_stability_at(dm, v, k).stable) return k - 1;
+  }
+  return k_max;
+}
+
+// ------------------------------------------------------------ naive oracles
+//
+// The original full-recompute decision procedures, now the BNCG_FORCE_NAIVE
+// tier: each call pays fresh all-pairs BFS (one DistanceMatrix per decision;
+// one per deletion subset for swaps). The engine paths below must reproduce
+// these byte for byte — same far-set order, same mask conditions, same
+// dedup, same cover_search — so verdicts AND witnesses agree.
+
+namespace naive {
+
+KStabilityReport insertion_stability_at(const Graph& g, Vertex v, Vertex k) {
+  const DistanceMatrix dm(g);
+  return bncg::insertion_stability_at(dm, v, k);
+}
+
 KStabilityReport insertion_stability(const Graph& g, Vertex k) {
   const DistanceMatrix dm(g);
   for (Vertex v = 0; v < g.num_vertices(); ++v) {
-    KStabilityReport report = insertion_stability_at(dm, v, k);
+    KStabilityReport report = bncg::insertion_stability_at(dm, v, k);
     if (!report.stable) return report;
   }
   return {};
+}
+
+Vertex max_tolerated_insertions(const Graph& g, Vertex v, Vertex k_max) {
+  const DistanceMatrix dm(g);
+  return bncg::max_tolerated_insertions(dm, v, k_max);
 }
 
 KStabilityReport swap_stability_at(const Graph& g, Vertex v, Vertex k) {
@@ -210,11 +247,34 @@ KStabilityReport swap_stability_at(const Graph& g, Vertex v, Vertex k) {
   return report;
 }
 
-Vertex max_tolerated_insertions(const DistanceMatrix& dm, Vertex v, Vertex k_max) {
-  for (Vertex k = 1; k <= k_max; ++k) {
-    if (!insertion_stability_at(dm, v, k).stable) return k - 1;
-  }
-  return k_max;
+}  // namespace naive
+
+// ------------------------------------------------------- routed entry points
+
+KStabilityReport insertion_stability_at(const Graph& g, Vertex v, Vertex k) {
+  if (!swap_engine_enabled(g)) return naive::insertion_stability_at(g, v, k);
+  SwapEngine engine(g);
+  SwapEngine::Scratch scratch;
+  return engine.insertion_stability_at(v, k, scratch);
+}
+
+KStabilityReport insertion_stability(const Graph& g, Vertex k) {
+  if (!swap_engine_enabled(g)) return naive::insertion_stability(g, k);
+  return SwapEngine(g).insertion_stability(k);
+}
+
+Vertex max_tolerated_insertions(const Graph& g, Vertex v, Vertex k_max) {
+  if (!swap_engine_enabled(g)) return naive::max_tolerated_insertions(g, v, k_max);
+  SwapEngine engine(g);
+  SwapEngine::Scratch scratch;
+  return engine.max_tolerated_insertions(v, k_max, scratch);
+}
+
+KStabilityReport swap_stability_at(const Graph& g, Vertex v, Vertex k) {
+  if (!swap_engine_enabled(g)) return naive::swap_stability_at(g, v, k);
+  SwapEngine engine(g);
+  SwapEngine::Scratch scratch;
+  return engine.swap_stability_at(v, k, scratch);
 }
 
 }  // namespace bncg

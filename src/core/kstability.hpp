@@ -42,7 +42,15 @@ struct KStabilityReport {
 [[nodiscard]] KStabilityReport insertion_stability_at(const DistanceMatrix& dm, Vertex v,
                                                       Vertex k);
 
-/// Checks every vertex; exact. O(n) cover instances.
+/// Graph-level single-agent form, routed through the SwapEngine k-insertion
+/// evaluator when swap_engine_enabled(g) (bit-identical verdict AND witness
+/// to the naive oracle — DESIGN.md §14), else bncg::naive::.
+[[nodiscard]] KStabilityReport insertion_stability_at(const Graph& g, Vertex v, Vertex k);
+
+/// Checks every vertex; exact. O(n) cover instances. Routed: the engine path
+/// shares one batched APSP across all agents and parallelizes the per-agent
+/// cover instances (serial fold — the witness is the earliest unstable
+/// agent, identical to the naive sequential sweep at any thread count).
 [[nodiscard]] KStabilityReport insertion_stability(const Graph& g, Vertex k);
 
 /// Largest k in [0, k_max] such that vertex `v` cannot improve with ≤ k
@@ -50,12 +58,24 @@ struct KStabilityReport {
 /// graphs, one call characterizes the whole graph.
 [[nodiscard]] Vertex max_tolerated_insertions(const DistanceMatrix& dm, Vertex v, Vertex k_max);
 
+/// Graph-level routed form of max_tolerated_insertions: the engine builds
+/// the agent's cover instance once and re-solves it at each budget.
+[[nodiscard]] Vertex max_tolerated_insertions(const Graph& g, Vertex v, Vertex k_max);
+
 /// Exact minimum set cover: the smallest number of candidate sets covering
 /// the universe {0,…,universe−1}, or nullopt when not coverable at all.
 /// Candidates are bitsets (universe bits, little-endian words). Exposed for
 /// tests; branch-and-bound with most-constrained-element branching.
 [[nodiscard]] std::optional<Vertex> min_cover_size(
     Vertex universe, const std::vector<std::vector<std::uint64_t>>& candidates, Vertex depth_cap);
+
+/// One exact cover decision at a fixed budget: the selected candidate
+/// indices (≤ budget of them) covering {0,…,universe−1}, or nullopt when no
+/// such selection exists. This is THE cover solver both the naive oracles
+/// and the SwapEngine k-move paths call, so selections — and therefore
+/// witness_endpoints — are identical by construction on identical instances.
+[[nodiscard]] std::optional<std::vector<std::size_t>> cover_select(
+    Vertex universe, const std::vector<std::vector<std::uint64_t>>& sets, Vertex budget);
 
 /// Stability under ≤ k simultaneous edge *swaps* at one vertex — the form
 /// Theorem 12's statement actually mentions ("insertion (or swapping) of up
@@ -67,5 +87,20 @@ struct KStabilityReport {
 /// constant-degree constructions) and solving the induced cover instance in
 /// each deleted graph. Moves that disconnect v are never improving (+∞).
 [[nodiscard]] KStabilityReport swap_stability_at(const Graph& g, Vertex v, Vertex k);
+
+/// Brute-force oracles: the original full-recompute implementations (one
+/// DistanceMatrix per decision, one per deletion subset for swaps). The
+/// routed entry points above fall back to these when BNCG_FORCE_NAIVE is
+/// set or n exceeds the engine auto-enable cap; the differential suite
+/// tests/test_kstability_engine.cpp holds the engine to byte-identical
+/// reports against them.
+namespace naive {
+
+[[nodiscard]] KStabilityReport insertion_stability_at(const Graph& g, Vertex v, Vertex k);
+[[nodiscard]] KStabilityReport insertion_stability(const Graph& g, Vertex k);
+[[nodiscard]] Vertex max_tolerated_insertions(const Graph& g, Vertex v, Vertex k_max);
+[[nodiscard]] KStabilityReport swap_stability_at(const Graph& g, Vertex v, Vertex k);
+
+}  // namespace naive
 
 }  // namespace bncg

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "core/dynamics.hpp"
+#include "core/equilibrium.hpp"
+#include "core/kstability.hpp"
 #include "graph/metrics.hpp"
 
 namespace bncg {
@@ -38,6 +40,27 @@ double social_cost_ratio(const Graph& g, UsageCost model) {
 double diameter_poa_proxy(const Graph& g) {
   const Vertex d = diameter(g);
   return d == kInfDist ? 1e18 : static_cast<double>(d);
+}
+
+Vertex equilibrium_k_tolerance(const Graph& g, Vertex k_max) {
+  // min_v max_tolerated_insertions(v), but as whole-graph sweeps per budget:
+  // the engine path then shares one batched APSP across all agents and
+  // bails at the first budget some agent beats.
+  for (Vertex k = 1; k <= k_max; ++k) {
+    if (!insertion_stability(g, k).stable) return k - 1;
+  }
+  return k_max;
+}
+
+PoaReport poa_report(const Graph& g, Vertex k_max) {
+  PoaReport report;
+  report.sum_ratio = social_cost_ratio(g, UsageCost::Sum);
+  report.max_ratio = social_cost_ratio(g, UsageCost::Max);
+  report.diameter_proxy = diameter_poa_proxy(g);
+  report.sum_swap_stable = certify_sum_equilibrium(g).is_equilibrium;
+  report.max_swap_stable = certify_max_equilibrium(g).is_equilibrium;
+  report.k_tolerance = equilibrium_k_tolerance(g, k_max);
+  return report;
 }
 
 }  // namespace bncg

@@ -37,4 +37,24 @@ namespace bncg {
 /// diameter alongside the cost ratio.
 [[nodiscard]] double diameter_poa_proxy(const Graph& g);
 
+/// Largest k in [0, k_max] that EVERY agent tolerates: the graph is k-stable
+/// under simultaneous insertions but some agent improves with k+1 (unless
+/// k == k_max). This is Theorem 12's computational-power axis; routed
+/// through the SwapEngine k-insertion sweep (core/kstability), so it is the
+/// first equilibrium observable feasible at engine speed for PoA atlases.
+/// Requires a connected graph.
+[[nodiscard]] Vertex equilibrium_k_tolerance(const Graph& g, Vertex k_max);
+
+/// One-call bundle of the equilibrium observables the benches and the future
+/// atlas pipeline report, every verdict routed through the delta engines.
+struct PoaReport {
+  double sum_ratio = 1.0;        ///< social_cost_ratio(g, Sum)
+  double max_ratio = 1.0;        ///< social_cost_ratio(g, Max)
+  double diameter_proxy = 0.0;   ///< diameter_poa_proxy(g)
+  bool sum_swap_stable = false;  ///< certify_sum_equilibrium(g)
+  bool max_swap_stable = false;  ///< certify_max_equilibrium(g)
+  Vertex k_tolerance = 0;        ///< equilibrium_k_tolerance(g, k_max)
+};
+[[nodiscard]] PoaReport poa_report(const Graph& g, Vertex k_max);
+
 }  // namespace bncg

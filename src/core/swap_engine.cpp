@@ -1,7 +1,9 @@
 #include "core/swap_engine.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstdlib>
+#include <map>
 
 #include "util/thread_pool.hpp"
 
@@ -40,6 +42,81 @@ constexpr Dist engine_max_finite() {
 // 1 + max_u m_u) and the scan-table maintenance loops now live in
 // util/simd.hpp as runtime-dispatched kernels; simd::kernels<Dist>() below
 // replaces the former local templates with bit-identical semantics.
+
+constexpr std::size_t words_for(std::uint32_t bits) {
+  return (static_cast<std::size_t>(bits) + 63) / 64;
+}
+
+/// Coverage masks of one cover instance, scored from cached symmetric
+/// all-pairs rows: candidate w covers far element idx iff
+/// rows[far[idx]][w] < cap (i.e. d(w, far[idx]) + 2 ≤ ecc with
+/// cap = ecc − 1). One collect_below per far vertex builds the masks
+/// column-sparse; the w-ascending harvest then reproduces the oracle's set
+/// order, empty-mask skipping, and (for insertions) its first-label dedup —
+/// so cover_select sees byte-identical instances. The via-v path a real
+/// insertion also offers can be ignored here: for far x it is ≥ ecc + 1
+/// long, which never meets the ≤ ecc − 2 cover condition (DESIGN.md §14),
+/// which is why masked and full-graph rows agree on every mask bit.
+///
+/// `budget` is the counting bound: `budget` sets cover at most
+/// budget · max|set| far vertices, so when far_count exceeds that product no
+/// cover exists and the harvest/dedup phase (the dominant cost on instances
+/// like stars, where every candidate set is a singleton but the far sphere is
+/// n − 2) is skipped entirely, leaving `sets` empty. The bound changes no
+/// verdict — uncoverable means stable, and stable carries no witness — and
+/// max|set| is read straight off the wmask popcounts, so triggering it costs
+/// one word scan. The largest set size is always reported via `max_set_out`
+/// so callers probing several k values can reapply the bound per k.
+template <typename Dist>
+void build_cover_sets(const Dist* rows, Vertex n, Vertex v, const Vertex* far,
+                      std::uint32_t far_count, std::int32_t cap, bool dedup,
+                      std::uint64_t budget, std::uint32_t* max_set_out,
+                      AlignedVec<Vertex>& hits, std::vector<std::uint64_t>& wmask,
+                      std::vector<std::vector<std::uint64_t>>& sets, std::vector<Vertex>& labels) {
+  const simd::Kernels<Dist>& kern = simd::kernels<Dist>();
+  const std::size_t words = words_for(far_count);
+  wmask.assign(static_cast<std::size_t>(n) * words, 0);
+  hits.resize(n);
+  for (std::uint32_t idx = 0; idx < far_count; ++idx) {
+    const Dist* row = rows + static_cast<std::size_t>(far[idx]) * n;
+    const std::uint32_t count = kern.collect_below(row, n, cap, /*skip=*/v, hits.data());
+    for (std::uint32_t i = 0; i < count; ++i) {
+      wmask[static_cast<std::size_t>(hits[i]) * words + idx / 64] |= std::uint64_t{1}
+                                                                    << (idx % 64);
+    }
+  }
+  std::uint32_t max_set = 0;
+  for (Vertex w = 0; w < n; ++w) {
+    if (w == v) continue;
+    const std::uint64_t* src = wmask.data() + static_cast<std::size_t>(w) * words;
+    std::uint32_t size = 0;
+    for (std::size_t j = 0; j < words; ++j) {
+      size += static_cast<std::uint32_t>(std::popcount(src[j]));
+    }
+    max_set = std::max(max_set, size);
+  }
+  if (max_set_out != nullptr) *max_set_out = max_set;
+  sets.clear();
+  labels.clear();
+  if (std::uint64_t{far_count} > budget * std::uint64_t{max_set}) return;
+  std::map<std::vector<std::uint64_t>, bool> seen;
+  std::vector<std::uint64_t> mask(words);
+  for (Vertex w = 0; w < n; ++w) {
+    if (w == v) continue;
+    const std::uint64_t* src = wmask.data() + static_cast<std::size_t>(w) * words;
+    bool nonempty = false;
+    for (std::size_t j = 0; j < words; ++j) {
+      mask[j] = src[j];
+      nonempty |= src[j] != 0;
+    }
+    if (!nonempty) continue;
+    if (dedup) {
+      if (auto [it, inserted] = seen.emplace(mask, true); !inserted) continue;
+    }
+    sets.push_back(mask);
+    labels.push_back(w);
+  }
+}
 
 }  // namespace
 
@@ -289,6 +366,313 @@ EquilibriumCertificate SwapEngine::certify(UsageCost model, bool include_deletio
   cert.witness = best;
   cert.is_equilibrium = !best.has_value();
   return cert;
+}
+
+// --------------------------------------------------- k-move deviation paths
+
+template <typename Dist>
+bool SwapEngine::full_apsp_t(Scratch& s) const {
+  const Vertex n = csr_.num_vertices();
+  auto& rows = s.rows<Dist>();
+  rows.apsp.resize(static_cast<std::size_t>(n) * n);
+  return csr_apsp_capped<Dist>(csr_, MaskedEdge{}, rows.apsp.data(), s.bfs_,
+                               /*masked_vertex=*/kNoVertex, engine_inf<Dist>(),
+                               engine_max_finite<Dist>());
+}
+
+template <typename Dist>
+void SwapEngine::insertion_report_t(const Dist* apsp, Vertex v, Vertex k_lo, Vertex k_hi,
+                                    Scratch& s, KStabilityReport& out, Vertex* tolerated) const {
+  constexpr Dist kInf = engine_inf<Dist>();
+  const simd::Kernels<Dist>& kern = simd::kernels<Dist>();
+  const Vertex n = csr_.num_vertices();
+  out = KStabilityReport{};
+  out.witness_vertex = v;
+  if (tolerated != nullptr) *tolerated = k_hi;
+
+  const Dist* row_v = apsp + static_cast<std::size_t>(v) * n;
+  std::uint32_t row_sum = 0;
+  Dist ecc = 0;
+  kern.row_sum_max(row_v, n, &row_sum, &ecc);
+  BNCG_REQUIRE(ecc < kInf, "k-stability analysis requires a connected graph");
+  if (ecc <= 1 || k_hi == 0) return;
+
+  // Far sphere: ecc is the row max, so "above ecc − 1" is exactly "== ecc".
+  s.far_.resize(n);
+  const std::int32_t cap = static_cast<std::int32_t>(ecc) - 1;
+  const std::uint32_t far_count = kern.collect_above(row_v, n, cap, /*skip=*/v, s.far_.data());
+
+  // The counting bound (see build_cover_sets) is probed at the largest k in
+  // the requested range: when even k_hi sets cannot cover the far sphere the
+  // harvest is skipped and every k below inherits the verdict via the same
+  // bound in the per-k loop. The naive oracle deliberately keeps the plain
+  // search, so the suites certify the bound changes no verdict.
+  std::vector<std::vector<std::uint64_t>> sets;
+  std::vector<Vertex> labels;
+  std::uint32_t max_set = 0;
+  build_cover_sets(apsp, n, v, s.far_.data(), far_count, cap, /*dedup=*/true,
+                   /*budget=*/k_hi, &max_set, s.hits_, s.masks_, sets, labels);
+
+  for (Vertex k = std::max<Vertex>(k_lo, 1); k <= k_hi; ++k) {
+    if (std::uint64_t{far_count} > std::uint64_t{k} * max_set) continue;
+    if (const auto selection = cover_select(far_count, sets, k)) {
+      out.stable = false;
+      for (const std::size_t c : *selection) out.witness_endpoints.push_back(labels[c]);
+      if (tolerated != nullptr) *tolerated = k - 1;
+      return;
+    }
+  }
+}
+
+KStabilityReport SwapEngine::insertion_stability_at(Vertex v, Vertex k, Scratch& s) const {
+  BNCG_REQUIRE(v < csr_.num_vertices(), "vertex id out of range");
+  KStabilityReport out;
+  if (prefer_u8_) {
+    if (full_apsp_t<std::uint8_t>(s)) {
+      insertion_report_t<std::uint8_t>(s.rows8_.apsp.data(), v, k, k, s, out, nullptr);
+      return out;
+    }
+    width_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  }
+  (void)full_apsp_t<std::uint16_t>(s);  // u16 distances cannot saturate (n < 65535)
+  insertion_report_t<std::uint16_t>(s.rows16_.apsp.data(), v, k, k, s, out, nullptr);
+  return out;
+}
+
+Vertex SwapEngine::max_tolerated_insertions(Vertex v, Vertex k_max, Scratch& s) const {
+  BNCG_REQUIRE(v < csr_.num_vertices(), "vertex id out of range");
+  KStabilityReport out;
+  Vertex tolerated = k_max;
+  if (prefer_u8_) {
+    if (full_apsp_t<std::uint8_t>(s)) {
+      insertion_report_t<std::uint8_t>(s.rows8_.apsp.data(), v, 1, k_max, s, out, &tolerated);
+      return tolerated;
+    }
+    width_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  }
+  (void)full_apsp_t<std::uint16_t>(s);
+  insertion_report_t<std::uint16_t>(s.rows16_.apsp.data(), v, 1, k_max, s, out, &tolerated);
+  return tolerated;
+}
+
+template <typename Dist>
+KStabilityReport SwapEngine::insertion_sweep_t(const Dist* apsp, Vertex k) const {
+  const Vertex n = csr_.num_vertices();
+
+  // Per-agent instances are independent given the shared rows; results land
+  // in per-agent slots and fold serially, so the reported witness is the
+  // EARLIEST unstable agent — the naive sequential sweep's answer — at every
+  // thread count. The atomic cutoff only ever skips agents strictly above
+  // the current minimum unstable id, which cannot be the answer, so the
+  // early exit is a pure work saver with no observable effect.
+  std::vector<KStabilityReport> per_agent(n);
+  std::vector<std::uint8_t> unstable(n, 0);
+  std::atomic<Vertex> first_bad{n};
+  ThreadPool& pool = ThreadPool::global();
+  {
+    std::vector<Scratch> scratch(pool.size());
+    pool.parallel_for(n, 1, [&](std::uint64_t vi, unsigned tid) {
+      const Vertex v = static_cast<Vertex>(vi);
+      if (v > first_bad.load(std::memory_order_relaxed)) return;
+      KStabilityReport report;
+      insertion_report_t<Dist>(apsp, v, k, k, scratch[tid], report, nullptr);
+      if (report.stable) return;
+      per_agent[v] = std::move(report);
+      unstable[v] = 1;
+      Vertex current = first_bad.load(std::memory_order_relaxed);
+      while (v < current &&
+             !first_bad.compare_exchange_weak(current, v, std::memory_order_relaxed)) {
+      }
+    });
+  }
+  for (Vertex v = 0; v < n; ++v) {
+    if (unstable[v] != 0) return per_agent[v];
+  }
+  return {};
+}
+
+KStabilityReport SwapEngine::insertion_stability(Vertex k) const {
+  const Vertex n = csr_.num_vertices();
+  if (n == 0) return {};
+  // The whole sweep shares one *unmasked* batched APSP: the insertion cover
+  // condition reads full-graph rows only (see build_cover_sets), so no
+  // per-agent traversal survives. Connectivity is checked up front on row 0
+  // (spanning from one vertex spans from all) so the per-agent REQUIRE never
+  // fires inside the pool.
+  BatchBfsWorkspace bfs;
+  if (prefer_u8_) {
+    AlignedVec<std::uint8_t> apsp(static_cast<std::size_t>(n) * n);
+    if (csr_apsp_capped<std::uint8_t>(csr_, MaskedEdge{}, apsp.data(), bfs, kNoVertex,
+                                      engine_inf<std::uint8_t>(),
+                                      engine_max_finite<std::uint8_t>())) {
+      BNCG_REQUIRE(*std::max_element(apsp.begin(), apsp.begin() + n) < engine_inf<std::uint8_t>(),
+                   "k-stability analysis requires a connected graph");
+      return insertion_sweep_t<std::uint8_t>(apsp.data(), k);
+    }
+    width_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  }
+  AlignedVec<std::uint16_t> apsp(static_cast<std::size_t>(n) * n);
+  (void)csr_apsp_capped<std::uint16_t>(csr_, MaskedEdge{}, apsp.data(), bfs, kNoVertex,
+                                       engine_inf<std::uint16_t>(),
+                                       engine_max_finite<std::uint16_t>());
+  BNCG_REQUIRE(*std::max_element(apsp.begin(), apsp.begin() + n) < engine_inf<std::uint16_t>(),
+               "k-stability analysis requires a connected graph");
+  return insertion_sweep_t<std::uint16_t>(apsp.data(), k);
+}
+
+template <typename Dist>
+bool SwapEngine::swap_stability_t(Vertex v, Vertex k, std::uint64_t old_ecc, Scratch& s,
+                                  KStabilityReport& out) const {
+  constexpr Dist kInf = engine_inf<Dist>();
+  const simd::Kernels<Dist>& kern = simd::kernels<Dist>();
+  const Vertex n = csr_.num_vertices();
+  out = KStabilityReport{};
+  out.witness_vertex = v;
+
+  // The far filter must see the inf sentinel as "far" (deletions can push
+  // vertices out of v's component entirely, matching the oracle's kInfDist
+  // inclusion); that reading needs old_ecc − 1 to stay below the sentinel.
+  if (static_cast<std::int32_t>(old_ecc) - 1 > static_cast<std::int32_t>(engine_max_finite<Dist>())) {
+    return false;
+  }
+
+  const auto nbrs = csr_.neighbors(v);
+  const Vertex deg = static_cast<Vertex>(nbrs.size());
+  BNCG_REQUIRE(deg < 32, "swap-stability subset enumeration requires deg(v) < 32");
+
+  // One masked APSP of G − v serves every deletion subset D: (G − D) − v is
+  // G − v, so each subset only changes WHICH neighbor rows fold into v's
+  // post-deletion profile, never the rows themselves.
+  auto& rows = s.rows<Dist>();
+  rows.apsp.resize(static_cast<std::size_t>(n) * n);
+  if (!csr_apsp_capped<Dist>(csr_, MaskedEdge{}, rows.apsp.data(), s.bfs_,
+                             /*masked_vertex=*/v, kInf, engine_max_finite<Dist>())) {
+    return false;
+  }
+  rows.arow.resize(n);
+  s.far_.resize(n);
+
+  const Vertex j_max = std::min<Vertex>(k, deg);
+  std::vector<std::vector<std::uint64_t>> sets;
+  std::vector<Vertex> labels;
+  const std::int32_t cover_cap = static_cast<std::int32_t>(old_ecc) - 1;
+  for (Vertex j = 1; j <= j_max; ++j) {
+    for (std::uint32_t mask = 0; mask < (1u << deg); ++mask) {
+      if (static_cast<Vertex>(__builtin_popcount(mask)) != j) continue;
+      // KD = min over KEPT neighbor rows, folded in ascending endpoint order
+      // (DESIGN.md §14); 1 + KD is v's distance profile in G − D, so the far
+      // set is everything 1 + KD pushes to ≥ old_ecc — collect_above at
+      // old_ecc − 2, with empty-fold ∞ entries passing the filter.
+      Dist* kd = rows.arow.data();
+      std::fill(kd, kd + n, kInf);
+      for (Vertex i = 0; i < deg; ++i) {
+        if ((mask & (1u << i)) != 0) continue;
+        kern.min_fold(kd, rows.apsp.data() + static_cast<std::size_t>(nbrs[i]) * n, n);
+      }
+      const std::uint32_t far_count = kern.collect_above(
+          kd, n, static_cast<std::int32_t>(old_ecc) - 2, /*skip=*/v, s.far_.data());
+      build_cover_sets(rows.apsp.data(), n, v, s.far_.data(), far_count, cover_cap,
+                       /*dedup=*/false, /*budget=*/j, nullptr, s.hits_, s.masks_, sets, labels);
+      if (const auto selection = cover_select(far_count, sets, j)) {
+        out.stable = false;
+        for (Vertex i = 0; i < deg; ++i) {
+          if ((mask & (1u << i)) != 0) out.witness_deletions.push_back(nbrs[i]);
+        }
+        for (const std::size_t c : *selection) out.witness_endpoints.push_back(labels[c]);
+        return true;
+      }
+    }
+  }
+  return true;
+}
+
+KStabilityReport SwapEngine::swap_stability_at(Vertex v, Vertex k, Scratch& s) const {
+  BNCG_REQUIRE(v < csr_.num_vertices(), "vertex id out of range");
+  const std::uint64_t old_ecc = agent_cost(v, UsageCost::Max, s);
+  BNCG_REQUIRE(old_ecc != kInfCost, "swap-stability analysis requires a connected graph");
+  KStabilityReport out;
+  out.witness_vertex = v;
+  if (old_ecc <= 1 || k == 0) return out;
+  if (prefer_u8_) {
+    if (swap_stability_t<std::uint8_t>(v, k, old_ecc, s, out)) return out;
+    width_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  }
+  (void)swap_stability_t<std::uint16_t>(v, k, old_ecc, s, out);
+  return out;
+}
+
+template <typename Dist>
+bool SwapEngine::alpha_scan_t(Vertex v, const std::vector<std::uint8_t>& owned,
+                              Scratch& s) const {
+  constexpr Dist kInf = engine_inf<Dist>();
+  const simd::Kernels<Dist>& kern = simd::kernels<Dist>();
+  const Vertex n = csr_.num_vertices();
+  s.alpha_.clear();
+
+  const auto nbrs = csr_.neighbors(v);
+  s.is_nbr_.assign(n, 0);
+  s.is_nbr_[v] = 1;
+  for (const Vertex w : nbrs) s.is_nbr_[w] = 1;
+
+  // Unlike the basic-game scan, the α-game has ADD moves, so even an
+  // isolated agent runs the masked APSP: an added edge v–w gives the profile
+  // 1 + min(min1, c_w) (the source-removal identity over N(v) ∪ {w}).
+  auto& rows = s.rows<Dist>();
+  rows.apsp.resize(static_cast<std::size_t>(n) * n);
+  if (!csr_apsp_capped<Dist>(csr_, MaskedEdge{}, rows.apsp.data(), s.bfs_,
+                             /*masked_vertex=*/v, kInf, engine_max_finite<Dist>())) {
+    return false;
+  }
+  rows.min1.assign(n, kInf);
+  rows.min2.assign(n, kInf);
+  s.argmin_.assign(n, kNoVertex);
+  for (const Vertex z : nbrs) {
+    kern.scan_min_update(rows.min1.data(), rows.min2.data(), s.argmin_.data(),
+                         rows.apsp.data() + static_cast<std::size_t>(z) * n, z, n);
+  }
+  rows.arow.resize(n);
+  rows.mrow.resize(n);
+
+  // Adds, ascending endpoint (the naive loop order).
+  Dist* add_profile = rows.arow.data();
+  std::copy(rows.min1.begin(), rows.min1.end(), add_profile);
+  add_profile[v] = 0;
+  for (Vertex w = 0; w < n; ++w) {
+    if (s.is_nbr_[w] != 0) continue;
+    const std::uint64_t usage = kern.combine_sum(
+        add_profile, rows.apsp.data() + static_cast<std::size_t>(w) * n, n, kInf);
+    s.alpha_.push_back({AlphaCandidate::Kind::Add, w, 0, usage});
+  }
+
+  // Deletes then swaps, per owned neighbor in ascending (sorted) order.
+  for (const Vertex w : nbrs) {
+    if (owned[w] == 0) continue;
+    Dist* m = rows.mrow.data();
+    kern.select_mrow(m, rows.min1.data(), rows.min2.data(), s.argmin_.data(), w, n);
+    m[v] = 0;
+    // Post-deletion profile is 1 + M^w; combine_sum(m, m) = (n−1) + Σ M^w.
+    s.alpha_.push_back({AlphaCandidate::Kind::Delete, w, 0, kern.combine_sum(m, m, n, kInf)});
+    for (Vertex w2 = 0; w2 < n; ++w2) {
+      if (s.is_nbr_[w2] != 0) continue;
+      const std::uint64_t usage =
+          kern.combine_sum(m, rows.apsp.data() + static_cast<std::size_t>(w2) * n, n, kInf);
+      s.alpha_.push_back({AlphaCandidate::Kind::Swap, w, w2, usage});
+    }
+  }
+  return true;
+}
+
+const std::vector<AlphaCandidate>& SwapEngine::alpha_scan(Vertex v,
+                                                          const std::vector<std::uint8_t>& owned,
+                                                          Scratch& s) const {
+  BNCG_REQUIRE(v < csr_.num_vertices(), "vertex id out of range");
+  BNCG_REQUIRE(owned.size() >= csr_.num_vertices(), "owned flags must cover every vertex");
+  if (prefer_u8_) {
+    if (alpha_scan_t<std::uint8_t>(v, owned, s)) return s.alpha_;
+    width_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  }
+  (void)alpha_scan_t<std::uint16_t>(v, owned, s);
+  return s.alpha_;
 }
 
 }  // namespace bncg

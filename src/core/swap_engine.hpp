@@ -49,6 +49,7 @@
 #include <vector>
 
 #include "core/equilibrium.hpp"
+#include "core/kstability.hpp"
 #include "core/usage_cost.hpp"
 #include "graph/bfs_batch.hpp"
 #include "graph/csr.hpp"
@@ -76,6 +77,21 @@ inline constexpr Vertex kSwapEngineAutoMaxVertices = 4096;
 /// n within the auto-enable cap and BNCG_FORCE_NAIVE is not set.
 [[nodiscard]] bool swap_engine_enabled(const Graph& g);
 
+/// One α-game usage evaluation from SwapEngine::alpha_scan, emitted in
+/// exactly the order ClassicGame's naive scan enumerates moves (adds by
+/// ascending endpoint, then per owned neighbor: the deletion, then swaps by
+/// ascending target). `usage` is the post-move Σ_u d'(v,u) — kInfCost when
+/// the move disconnects v. The α-dependent cost and gain arithmetic stays in
+/// ClassicGame so both paths share one double-precision pipeline and the
+/// engine remains pure integer.
+struct AlphaCandidate {
+  enum class Kind : std::uint8_t { Add, Delete, Swap };
+  Kind kind = Kind::Add;
+  Vertex w = 0;   ///< added endpoint (Add) or removed neighbor (Delete/Swap)
+  Vertex w2 = 0;  ///< swap target (Swap only)
+  std::uint64_t usage = 0;
+};
+
 /// Delta-evaluating swap scanner over an immutable CSR snapshot.
 class SwapEngine {
  public:
@@ -97,6 +113,7 @@ class SwapEngine {
       AlignedVec<Dist> min1;  // elementwise min over neighbor rows
       AlignedVec<Dist> min2;  // elementwise second min
       AlignedVec<Dist> mrow;  // M^w: min over N(v)∖{w}
+      AlignedVec<Dist> arow;  // pinned add-profile / k-way min-fold target
     };
     template <typename Dist>
     [[nodiscard]] Rows<Dist>& rows() noexcept {
@@ -112,6 +129,9 @@ class SwapEngine {
     std::vector<std::uint8_t> is_nbr_;  // closed neighborhood marks of v
     AlignedVec<Vertex> argmin_;         // neighbor attaining min1
     AlignedVec<Vertex> far_;            // far set of the removed edge (n slots)
+    AlignedVec<Vertex> hits_;           // collect_below output (cover masks)
+    std::vector<std::uint64_t> masks_;  // flat per-candidate coverage bitsets
+    std::vector<AlphaCandidate> alpha_;  // buffered α-scan candidates
     Rows<std::uint8_t> rows8_;
     Rows<std::uint16_t> rows16_;
   };
@@ -171,6 +191,41 @@ class SwapEngine {
   [[nodiscard]] std::optional<Deviation> first_deviation(Vertex v, UsageCost model,
                                                          bool include_deletions = false);
 
+  // ------------------------------------------------ k-move deviation paths
+  //
+  // The k-insertion identity d'(v,x) = min(d(v,x), 1 + min_i d(w_i,x)) makes
+  // the "does some ≤ k-insertion lower ecc(v)" question a set-cover instance
+  // whose candidate masks the engine scores directly from rows it already
+  // holds (collect_below over the symmetric APSP rows — DESIGN.md §14); the
+  // k-swap variant folds kept-neighbor rows of the one masked APSP of G − v
+  // with the k-way min-fold kernel, since (G − D) − v = G − v for every
+  // deletion subset D at v. All results — verdicts AND witnesses — are
+  // byte-identical to the bncg::naive oracles in core/kstability.
+
+  /// Engine form of naive::insertion_stability_at (one agent, budget k).
+  [[nodiscard]] KStabilityReport insertion_stability_at(Vertex v, Vertex k, Scratch& scratch) const;
+
+  /// Engine form of naive::insertion_stability: one shared batched APSP,
+  /// per-agent cover instances in parallel, serial fold (+ a monotone
+  /// first-unstable cutoff) so the witness is the earliest unstable agent at
+  /// every thread count — exactly the naive sequential sweep's answer.
+  [[nodiscard]] KStabilityReport insertion_stability(Vertex k) const;
+
+  /// Engine form of naive::max_tolerated_insertions: the cover instance is
+  /// budget-independent, so it is built once and re-solved per k.
+  [[nodiscard]] Vertex max_tolerated_insertions(Vertex v, Vertex k_max, Scratch& scratch) const;
+
+  /// Engine form of naive::swap_stability_at. Requires deg(v) < 32 (the
+  /// subset enumeration is a 32-bit mask, as in the oracle).
+  [[nodiscard]] KStabilityReport swap_stability_at(Vertex v, Vertex k, Scratch& scratch) const;
+
+  /// α-game usage sweep for agent v: every add/delete/swap usage from one
+  /// masked APSP, in the naive ClassicGame enumeration order. `owned[w]`
+  /// must say whether edge v–w is bought by v (deletes/swaps enumerate owned
+  /// neighbors only). The returned reference aliases `scratch`.
+  [[nodiscard]] const std::vector<AlphaCandidate>& alpha_scan(
+      Vertex v, const std::vector<std::uint8_t>& owned, Scratch& scratch) const;
+
  private:
   std::optional<Deviation> scan_agent(Vertex v, UsageCost model, bool stop_at_first,
                                       bool include_deletions, std::uint64_t* moves_checked,
@@ -183,6 +238,30 @@ class SwapEngine {
   [[nodiscard]] bool scan_agent_t(Vertex v, UsageCost model, bool stop_at_first,
                                   bool include_deletions, std::uint64_t* moves_checked,
                                   Scratch& scratch, std::optional<Deviation>& out) const;
+
+  /// Unmasked capped APSP of the snapshot into scratch (shared by the
+  /// insertion paths, which need full-graph rows). False on u8 saturation.
+  template <typename Dist>
+  [[nodiscard]] bool full_apsp_t(Scratch& scratch) const;
+
+  /// Far set + dedup'd coverage sets of agent v over symmetric full-graph
+  /// rows, then cover_select at each budget in [k_lo, k_hi]; fills `out`
+  /// with the verdict at the first coverable budget (stable otherwise) and,
+  /// when `tolerated` is non-null, the max_tolerated_insertions answer.
+  template <typename Dist>
+  void insertion_report_t(const Dist* apsp, Vertex v, Vertex k_lo, Vertex k_hi, Scratch& scratch,
+                          KStabilityReport& out, Vertex* tolerated) const;
+
+  template <typename Dist>
+  [[nodiscard]] KStabilityReport insertion_sweep_t(const Dist* apsp, Vertex k) const;
+
+  template <typename Dist>
+  [[nodiscard]] bool swap_stability_t(Vertex v, Vertex k, std::uint64_t old_ecc, Scratch& scratch,
+                                      KStabilityReport& out) const;
+
+  template <typename Dist>
+  [[nodiscard]] bool alpha_scan_t(Vertex v, const std::vector<std::uint8_t>& owned,
+                                  Scratch& scratch) const;
 
   CsrGraph csr_;
   WidthPolicy policy_ = WidthPolicy::Auto;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/swap_engine.hpp"  // force_naive_requested
 #include "graph/bfs.hpp"
 #include "graph/metrics.hpp"
 #include "graph/subgraph.hpp"
@@ -75,6 +76,8 @@ Vertex tree_one_median(const Graph& tree) {
   return static_cast<Vertex>(std::min_element(sums.begin(), sums.end()) - sums.begin());
 }
 
+namespace naive {
+
 std::optional<TreeMove> best_tree_deviation(const Graph& tree, Vertex v) {
   require_tree(tree);
   tree.check_vertex(v);
@@ -116,15 +119,109 @@ std::optional<TreeMove> best_tree_deviation(const Graph& tree, Vertex v) {
   return best;
 }
 
+}  // namespace naive
+
+std::optional<TreeMove> best_tree_deviation(const Graph& tree, Vertex v) {
+  TreeGameScratch scratch;
+  return best_tree_deviation(tree, v, scratch);
+}
+
+std::optional<TreeMove> best_tree_deviation(const Graph& tree, Vertex v,
+                                            TreeGameScratch& s) {
+  if (force_naive_requested()) return naive::best_tree_deviation(tree, v);
+  tree.check_vertex(v);
+  const Vertex n = tree.num_vertices();
+  // Tree validation is folded into the work the sweep does anyway: the O(1)
+  // edge count here, connectivity from the rooting BFS below (a connected
+  // graph on n − 1 edges is a tree) — the one-shot overload's is_tree BFS
+  // would double this function's cost on repeated sweeps.
+  BNCG_REQUIRE(n == 0 || tree.num_edges() == static_cast<std::size_t>(n) - 1,
+               "tree-game functions require a tree");
+  std::optional<TreeMove> best;
+  const auto nbrs = tree.neighbors(v);
+  if (nbrs.empty()) return best;
+
+  // One rooting at v covers every detachable subtree at once: rooted there,
+  // the component of neighbor a in T − va is exactly a's subtree, and the
+  // within-component distance sums come from the standard two passes —
+  // post-order size/down, then a rerooting pre-order sweep confined to each
+  // component (the oracle pays a BFS, a sort, and an induced-subgraph build
+  // per neighbor for the same numbers). The rooting marks visited vertices
+  // through the parent array itself (v is temporarily self-parented), so one
+  // sweep with a reused scratch touches no allocator at all.
+  s.order.clear();
+  s.order.reserve(n);
+  s.parent.assign(n, kInfDist);
+  s.parent[v] = v;
+  s.order.push_back(v);
+  for (std::size_t head = 0; head < s.order.size(); ++head) {
+    const Vertex u = s.order[head];
+    for (const Vertex w : tree.neighbors(u)) {
+      if (s.parent[w] != kInfDist) continue;
+      s.parent[w] = u;
+      s.order.push_back(w);
+    }
+  }
+  s.parent[v] = kInfDist;
+  BNCG_REQUIRE(s.order.size() == static_cast<std::size_t>(n),
+               "tree-game functions require a tree");
+
+  s.size.assign(n, 1);
+  s.down.assign(n, 0);
+  for (std::size_t i = s.order.size(); i-- > 1;) {
+    const Vertex x = s.order[i];
+    const Vertex p = s.parent[x];
+    s.size[p] += s.size[x];
+    s.down[p] += s.down[x] + s.size[x];
+  }
+
+  // croot[x] = the neighbor of v whose component holds x; sums[x] = Σ
+  // distances from x within that component. Pre-order guarantees parents are
+  // finished first.
+  s.croot.assign(n, kInfDist);
+  s.sums.assign(n, 0);
+  for (std::size_t i = 1; i < s.order.size(); ++i) {
+    const Vertex x = s.order[i];
+    const Vertex p = s.parent[x];
+    if (p == v) {
+      s.croot[x] = x;
+      s.sums[x] = s.down[x];
+    } else {
+      s.croot[x] = s.croot[p];
+      const std::uint64_t comp = s.size[s.croot[x]];
+      s.sums[x] = s.sums[p] - s.size[x] + (comp - s.size[x]);
+    }
+  }
+
+  // Per-component 1-median, lowest id on ties: an ascending-id sweep with a
+  // strict < keeps the first minimizer, matching the oracle's min_element
+  // over the sorted component.
+  s.median.assign(n, kInfDist);
+  for (Vertex x = 0; x < n; ++x) {
+    if (x == v) continue;
+    const Vertex a = s.croot[x];
+    if (s.median[a] == kInfDist || s.sums[x] < s.sums[s.median[a]]) s.median[a] = x;
+  }
+  for (const Vertex a : nbrs) {
+    const Vertex m = s.median[a];
+    if (s.sums[m] < s.sums[a]) {
+      const std::uint64_t gain = s.sums[a] - s.sums[m];
+      if (!best || gain > best->gain) best = TreeMove{v, a, m, gain};
+    }
+  }
+  return best;
+}
+
 TreeDynamicsResult run_tree_dynamics(Graph tree, std::uint64_t max_moves) {
   require_tree(tree);
   TreeDynamicsResult result;
   result.tree = std::move(tree);
   const Vertex n = result.tree.num_vertices();
+  TreeGameScratch scratch;
   for (;;) {
     bool any_move = false;
     for (Vertex v = 0; v < n && result.moves < max_moves; ++v) {
-      const auto move = best_tree_deviation(result.tree, v);
+      const auto move = best_tree_deviation(result.tree, v, scratch);
       if (!move) continue;
       result.tree.remove_edge(move->v, move->old_neighbor);
       result.tree.add_edge(move->v, move->new_neighbor);

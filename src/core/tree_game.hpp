@@ -36,9 +36,32 @@ struct TreeMove {
   std::uint64_t gain = 0;   ///< strict decrease of v's distance sum
 };
 
+/// Reusable buffers for best_tree_deviation sweeps. The one-shot overload
+/// pays ~8 size-n allocations per call, which dominates its O(n) arithmetic
+/// on repeated certification sweeps; threading one scratch through a sweep
+/// (as run_tree_dynamics and bench_engine_json do) amortizes them to zero.
+/// A default-constructed scratch fits any tree — buffers grow on demand.
+struct TreeGameScratch {
+  std::vector<Vertex> order, parent, croot, median;
+  std::vector<std::uint64_t> size, down, sums;
+};
+
 /// Best improving tree swap for agent v, or nullopt when v is stable.
-/// O(deg(v) · n) total. Precondition: tree.
+/// Routed: a single-rooting O(n) rerooting sweep (all of v's detachable
+/// subtrees share one rooted pass, no BFS, no induced subgraphs) unless
+/// BNCG_FORCE_NAIVE routes to the oracle below. Identical moves, gains, and
+/// tie-breaks (tests/test_tree_game_engine.cpp). Precondition: tree.
 [[nodiscard]] std::optional<TreeMove> best_tree_deviation(const Graph& tree, Vertex v);
+
+/// Scratch-reusing variant for sweeps over many agents or dynamics steps.
+[[nodiscard]] std::optional<TreeMove> best_tree_deviation(const Graph& tree, Vertex v,
+                                                          TreeGameScratch& scratch);
+
+namespace naive {
+/// The oracle: per-neighbor component BFS + induced subgraph + two-pass
+/// sums — O(deg(v) · n) with allocation-heavy constants.
+[[nodiscard]] std::optional<TreeMove> best_tree_deviation(const Graph& tree, Vertex v);
+}  // namespace naive
 
 /// Outcome of the specialized tree dynamics.
 struct TreeDynamicsResult {

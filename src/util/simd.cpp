@@ -133,6 +133,21 @@ std::uint32_t collect_above_scalar(const Dist* vals, std::uint32_t n, std::int32
 }
 
 template <typename Dist>
+std::uint32_t collect_below_scalar(const Dist* vals, std::uint32_t n, std::int32_t cap,
+                                   std::uint32_t skip, std::uint32_t* out) {
+  std::uint32_t count = 0;
+  for (std::uint32_t y = 0; y < n; ++y) {
+    if (y != skip && static_cast<std::int32_t>(vals[y]) < cap) out[count++] = y;
+  }
+  return count;
+}
+
+template <typename Dist>
+void min_fold_scalar(Dist* dst, const Dist* row, std::uint32_t n) {
+  for (std::uint32_t y = 0; y < n; ++y) dst[y] = std::min(dst[y], row[y]);
+}
+
+template <typename Dist>
 std::uint32_t collect_absdiff_eq1_scalar(const Dist* ru, const Dist* rv, std::uint32_t n,
                                          std::uint32_t* out) {
   std::uint32_t count = 0;
@@ -176,6 +191,8 @@ void fill_scalar(Kernels<Dist>& k) {
   k.row_sum_max = &row_sum_max_scalar<Dist>;
   k.finite_max2 = &finite_max2_scalar<Dist>;
   k.collect_above = &collect_above_scalar<Dist>;
+  k.collect_below = &collect_below_scalar<Dist>;
+  k.min_fold = &min_fold_scalar<Dist>;
   k.collect_absdiff_eq1 = &collect_absdiff_eq1_scalar<Dist>;
   k.collect_absdiff_gt1 = &collect_absdiff_gt1_scalar<Dist>;
 }

@@ -155,6 +155,18 @@ struct Kernels {
   /// hold n entries.
   std::uint32_t (*collect_above)(const Dist* vals, std::uint32_t n, std::int32_t cap,
                                  std::uint32_t skip, std::uint32_t* out);
+  /// Cover-candidate filter (the dual of collect_above): appends (ascending)
+  /// every y with y != skip and int32(vals[y]) < cap to out, returns the
+  /// count. Scanning a far vertex's distance row with cap = ecc − 1 yields
+  /// exactly the endpoints whose insertion would relieve that vertex.
+  std::uint32_t (*collect_below)(const Dist* vals, std::uint32_t n, std::int32_t cap,
+                                 std::uint32_t skip, std::uint32_t* out);
+  /// dst[y] = min(dst[y], row[y]) — one leg of the k-way min fold behind the
+  /// k-move deviation identity d'(v,x) = 1 + min_i d_{G−v}(w_i, x). Callers
+  /// fold rows in ascending endpoint order (DESIGN.md §14); the fold is
+  /// order-independent in value but the documented order is the contract the
+  /// witness tie-break proofs lean on.
+  void (*min_fold)(Dist* dst, const Dist* row, std::uint32_t n);
   /// Dirty-row filter (removal): every y with |ru[y] − rv[y]| == 1.
   std::uint32_t (*collect_absdiff_eq1)(const Dist* ru, const Dist* rv, std::uint32_t n,
                                        std::uint32_t* out);

@@ -283,6 +283,45 @@ u32 collect_above_u8(const u8* vals, u32 n, std::int32_t cap, u32 skip, u32* out
   return count;
 }
 
+u32 collect_below_u8(const u8* vals, u32 n, std::int32_t cap, u32 skip, u32* out) {
+  u32 count = 0;
+  if (cap <= 0) return 0;  // u8 values are never negative
+  if (cap > 0xFF) {
+    for (u32 y = 0; y < n; ++y) {
+      out[count] = y;
+      count += static_cast<u32>(y != skip);
+    }
+    return count;
+  }
+  // v < cap ⇔ v <= cap−1 ⇔ max(v, cap−1) == cap−1.
+  const __m256i capv = _mm256_set1_epi8(static_cast<char>(static_cast<u8>(cap - 1)));
+  u32 y = 0;
+  for (; y + 32 <= n; y += 32) {
+    const __m256i v = loadu(vals + y);
+    u32 bits =
+        static_cast<u32>(_mm256_movemask_epi8(_mm256_cmpeq_epi8(_mm256_max_epu8(v, capv), capv)));
+    while (bits != 0) {
+      const int b = std::countr_zero(bits);
+      bits &= bits - 1;
+      const u32 idx = y + static_cast<u32>(b);
+      out[count] = idx;
+      count += static_cast<u32>(idx != skip);
+    }
+  }
+  for (; y < n; ++y) {
+    if (y != skip && static_cast<std::int32_t>(vals[y]) < cap) out[count++] = y;
+  }
+  return count;
+}
+
+void min_fold_u8(u8* dst, const u8* row, u32 n) {
+  u32 y = 0;
+  for (; y + 32 <= n; y += 32) {
+    storeu(dst + y, _mm256_min_epu8(loadu(dst + y), loadu(row + y)));
+  }
+  for (; y < n; ++y) dst[y] = std::min(dst[y], row[y]);
+}
+
 u32 collect_absdiff_eq1_u8(const u8* ru, const u8* rv, u32 n, u32* out) {
   const __m256i one = _mm256_set1_epi8(1);
   u32 count = 0;
@@ -539,6 +578,45 @@ u32 collect_above_u16(const u16* vals, u32 n, std::int32_t cap, u32 skip, u32* o
   return count;
 }
 
+u32 collect_below_u16(const u16* vals, u32 n, std::int32_t cap, u32 skip, u32* out) {
+  u32 count = 0;
+  if (cap <= 0) return 0;
+  if (cap > 0xFFFF) {
+    for (u32 y = 0; y < n; ++y) {
+      out[count] = y;
+      count += static_cast<u32>(y != skip);
+    }
+    return count;
+  }
+  const __m256i capv = _mm256_set1_epi16(static_cast<short>(static_cast<u16>(cap - 1)));
+  u32 y = 0;
+  for (; y + 16 <= n; y += 16) {
+    const __m256i v = loadu(vals + y);
+    u32 bits = static_cast<u32>(_mm256_movemask_epi8(
+                   _mm256_cmpeq_epi16(_mm256_max_epu16(v, capv), capv))) &
+               0x55555555u;
+    while (bits != 0) {
+      const int b = std::countr_zero(bits);
+      bits &= bits - 1;
+      const u32 idx = y + static_cast<u32>(b >> 1);
+      out[count] = idx;
+      count += static_cast<u32>(idx != skip);
+    }
+  }
+  for (; y < n; ++y) {
+    if (y != skip && static_cast<std::int32_t>(vals[y]) < cap) out[count++] = y;
+  }
+  return count;
+}
+
+void min_fold_u16(u16* dst, const u16* row, u32 n) {
+  u32 y = 0;
+  for (; y + 16 <= n; y += 16) {
+    storeu(dst + y, _mm256_min_epu16(loadu(dst + y), loadu(row + y)));
+  }
+  for (; y < n; ++y) dst[y] = std::min(dst[y], row[y]);
+}
+
 u32 collect_absdiff_eq1_u16(const u16* ru, const u16* rv, u32 n, u32* out) {
   const __m256i one = _mm256_set1_epi16(1);
   u32 count = 0;
@@ -619,6 +697,8 @@ bool fill_avx2(Kernels<u8>& k8, Kernels<u16>& k16, WordKernels& kw) {
   k8.row_sum_max = &row_sum_max_u8;
   k8.finite_max2 = &finite_max2_u8;
   k8.collect_above = &collect_above_u8;
+  k8.collect_below = &collect_below_u8;
+  k8.min_fold = &min_fold_u8;
   k8.collect_absdiff_eq1 = &collect_absdiff_eq1_u8;
   k8.collect_absdiff_gt1 = &collect_absdiff_gt1_u8;
 
@@ -633,6 +713,8 @@ bool fill_avx2(Kernels<u8>& k8, Kernels<u16>& k16, WordKernels& kw) {
   k16.row_sum_max = &row_sum_max_u16;
   k16.finite_max2 = &finite_max2_u16;
   k16.collect_above = &collect_above_u16;
+  k16.collect_below = &collect_below_u16;
+  k16.min_fold = &min_fold_u16;
   k16.collect_absdiff_eq1 = &collect_absdiff_eq1_u16;
   k16.collect_absdiff_gt1 = &collect_absdiff_gt1_u16;
 

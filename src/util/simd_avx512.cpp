@@ -259,6 +259,42 @@ u32 collect_above_u8(const u8* vals, u32 n, std::int32_t cap, u32 skip, u32* out
   return count;
 }
 
+u32 collect_below_u8(const u8* vals, u32 n, std::int32_t cap, u32 skip, u32* out) {
+  u32 count = 0;
+  if (cap <= 0) return 0;
+  if (cap > 0xFF) {
+    for (u32 y = 0; y < n; ++y) {
+      out[count] = y;
+      count += static_cast<u32>(y != skip);
+    }
+    return count;
+  }
+  const __m512i capv = _mm512_set1_epi8(static_cast<char>(static_cast<u8>(cap)));
+  u32 y = 0;
+  for (; y + 64 <= n; y += 64) {
+    u64 bits = _mm512_cmplt_epu8_mask(loadu(vals + y), capv);
+    while (bits != 0) {
+      const int b = std::countr_zero(bits);
+      bits &= bits - 1;
+      const u32 idx = y + static_cast<u32>(b);
+      out[count] = idx;
+      count += static_cast<u32>(idx != skip);
+    }
+  }
+  for (; y < n; ++y) {
+    if (y != skip && static_cast<std::int32_t>(vals[y]) < cap) out[count++] = y;
+  }
+  return count;
+}
+
+void min_fold_u8(u8* dst, const u8* row, u32 n) {
+  u32 y = 0;
+  for (; y + 64 <= n; y += 64) {
+    storeu(dst + y, _mm512_min_epu8(loadu(dst + y), loadu(row + y)));
+  }
+  for (; y < n; ++y) dst[y] = std::min(dst[y], row[y]);
+}
+
 u32 collect_absdiff_eq1_u8(const u8* ru, const u8* rv, u32 n, u32* out) {
   const __m512i one = _mm512_set1_epi8(1);
   u32 count = 0;
@@ -499,6 +535,42 @@ u32 collect_above_u16(const u16* vals, u32 n, std::int32_t cap, u32 skip, u32* o
   return count;
 }
 
+u32 collect_below_u16(const u16* vals, u32 n, std::int32_t cap, u32 skip, u32* out) {
+  u32 count = 0;
+  if (cap <= 0) return 0;
+  if (cap > 0xFFFF) {
+    for (u32 y = 0; y < n; ++y) {
+      out[count] = y;
+      count += static_cast<u32>(y != skip);
+    }
+    return count;
+  }
+  const __m512i capv = _mm512_set1_epi16(static_cast<short>(static_cast<u16>(cap)));
+  u32 y = 0;
+  for (; y + 32 <= n; y += 32) {
+    u32 bits = _mm512_cmplt_epu16_mask(loadu(vals + y), capv);
+    while (bits != 0) {
+      const int b = std::countr_zero(bits);
+      bits &= bits - 1;
+      const u32 idx = y + static_cast<u32>(b);
+      out[count] = idx;
+      count += static_cast<u32>(idx != skip);
+    }
+  }
+  for (; y < n; ++y) {
+    if (y != skip && static_cast<std::int32_t>(vals[y]) < cap) out[count++] = y;
+  }
+  return count;
+}
+
+void min_fold_u16(u16* dst, const u16* row, u32 n) {
+  u32 y = 0;
+  for (; y + 32 <= n; y += 32) {
+    storeu(dst + y, _mm512_min_epu16(loadu(dst + y), loadu(row + y)));
+  }
+  for (; y < n; ++y) dst[y] = std::min(dst[y], row[y]);
+}
+
 u32 collect_absdiff_eq1_u16(const u16* ru, const u16* rv, u32 n, u32* out) {
   const __m512i one = _mm512_set1_epi16(1);
   u32 count = 0;
@@ -575,6 +647,8 @@ bool fill_avx512(Kernels<u8>& k8, Kernels<u16>& k16, WordKernels& kw) {
   k8.row_sum_max = &row_sum_max_u8;
   k8.finite_max2 = &finite_max2_u8;
   k8.collect_above = &collect_above_u8;
+  k8.collect_below = &collect_below_u8;
+  k8.min_fold = &min_fold_u8;
   k8.collect_absdiff_eq1 = &collect_absdiff_eq1_u8;
   k8.collect_absdiff_gt1 = &collect_absdiff_gt1_u8;
 
@@ -589,6 +663,8 @@ bool fill_avx512(Kernels<u8>& k8, Kernels<u16>& k16, WordKernels& kw) {
   k16.row_sum_max = &row_sum_max_u16;
   k16.finite_max2 = &finite_max2_u16;
   k16.collect_above = &collect_above_u16;
+  k16.collect_below = &collect_below_u16;
+  k16.min_fold = &min_fold_u16;
   k16.collect_absdiff_eq1 = &collect_absdiff_eq1_u16;
   k16.collect_absdiff_gt1 = &collect_absdiff_gt1_u16;
 

@@ -11,12 +11,22 @@
 //   P3  an anneal result, when non-nullopt, certifies and sits exactly on
 //       the configured diameter;
 //   P4  identical AnnealConfigs give identical trajectories — across
-//       repeated runs and across evaluation paths (seed reproducibility).
+//       repeated runs and across evaluation paths (seed reproducibility);
+//   P5  k-move monotonicity: k-stability (insertion and swap) implies
+//       (k−1)-stability, and max_tolerated_insertions is exactly the
+//       threshold of the per-k verdicts;
+//   P6  the k = 1 boundary: swap-stability is 1-move consistent with the
+//       basic-game certifiers, and 1-insertion verdicts match the
+//       insertion-stability predicate;
+//   P7  every max swap equilibrium survives 1-swap-deviation scrutiny at
+//       every agent — the k-move analogue of deletion-criticality on the
+//       Theorem 12 axis.
 #include <gtest/gtest.h>
 
 #include "core/certify_sharded.hpp"
 #include "core/dynamics.hpp"
 #include "core/equilibrium.hpp"
+#include "core/kstability.hpp"
 #include "core/search.hpp"
 #include "core/search_state.hpp"
 #include "gen/classic.hpp"
@@ -198,6 +208,78 @@ TEST(PropertyRandom, DynamicsEquilibriaHaveZeroUnrest) {
     } else {
       EXPECT_EQ(max_unrest(r.graph), 0u) << "trial " << trial;
     }
+  }
+}
+
+TEST(PropertyRandom, KStabilityIsDownwardMonotone) {
+  // P5: a k-move deviation neighborhood contains every (k−1)-move one, so
+  // instability at k−1 forces instability at k — equivalently, k-stable ⟹
+  // (k−1)-stable — for both the insertion and the swap variant. And
+  // max_tolerated_insertions must be exactly the step where the per-k
+  // verdict flips.
+  Xoshiro256ss rng(0x9008);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Graph g = random_connected(rng);
+    bool prev_insert_stable = true;
+    for (Vertex k = 1; k <= 3; ++k) {
+      const bool stable = insertion_stability(g, k).stable;
+      if (k > 1 && stable) {
+        EXPECT_TRUE(prev_insert_stable) << "trial " << trial << " k=" << k;
+      }
+      prev_insert_stable = stable;
+    }
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      const Vertex tolerated = max_tolerated_insertions(g, v, 3);
+      for (Vertex k = 1; k <= 3; ++k) {
+        EXPECT_EQ(insertion_stability_at(g, v, k).stable, k <= tolerated)
+            << "trial " << trial << " v=" << v << " k=" << k;
+      }
+      const bool swap1 = swap_stability_at(g, v, 1).stable;
+      if (swap_stability_at(g, v, 2).stable) {
+        EXPECT_TRUE(swap1) << "trial " << trial << " v=" << v;
+      }
+    }
+  }
+}
+
+TEST(PropertyRandom, OneMoveBoundaryMatchesBasicGameCertifiers) {
+  // P6: at k = 1 the k-move machinery must collapse onto the basic game's
+  // own predicates — insertion_stability(g, 1) ⟺ is_insertion_stable(g).
+  Xoshiro256ss rng(0x9009);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Graph g = random_connected(rng);
+    EXPECT_EQ(insertion_stability(g, 1).stable, is_insertion_stable(g)) << "trial " << trial;
+  }
+  EXPECT_EQ(insertion_stability(star(10), 1).stable, is_insertion_stable(star(10)));
+  EXPECT_EQ(insertion_stability(cycle(9), 1).stable, is_insertion_stable(cycle(9)));
+}
+
+TEST(PropertyRandom, MaxEquilibriaSurviveOneSwapDeviations) {
+  // P7: Theorem 12's computational-power axis at k = 1 — a max swap
+  // equilibrium must leave no agent with an improving single
+  // delete-and-reinsert deviation (the k-move analogue of the
+  // deletion-criticality property P2 certifies).
+  Xoshiro256ss rng(0x900A);
+  int reached = 0;
+  for (int trial = 0; trial < 15 && reached < 6; ++trial) {
+    DynamicsConfig config;
+    config.cost = UsageCost::Max;
+    config.allow_neutral_deletions = true;
+    config.max_moves = 20'000;
+    config.seed = rng();
+    const DynamicsResult r = run_dynamics(random_connected(rng), config);
+    if (!r.converged) continue;
+    ASSERT_TRUE(is_max_equilibrium(r.graph)) << "trial " << trial;
+    for (Vertex v = 0; v < r.graph.num_vertices(); ++v) {
+      EXPECT_TRUE(swap_stability_at(r.graph, v, 1).stable)
+          << "trial " << trial << " v=" << v;
+    }
+    ++reached;
+  }
+  EXPECT_GT(reached, 0);  // the property must actually have been exercised
+  // Anchor: the star is a max equilibrium and 1-swap stable everywhere.
+  for (Vertex v = 0; v < 10; ++v) {
+    EXPECT_TRUE(swap_stability_at(star(10), v, 1).stable);
   }
 }
 

@@ -202,12 +202,14 @@ void fuzz_kernels_width(std::uint64_t seed) {
                                    static_cast<std::int32_t>(inf)};
       const std::uint32_t skip = static_cast<std::uint32_t>(rng.below(n + 1));  // may be == n
       for (const std::int32_t cap : caps) {
-        std::vector<std::uint32_t> want_above, want_eq1, want_gt1;
+        std::vector<std::uint32_t> want_above, want_below, want_eq1, want_gt1;
         for_each_level(
             [&] {
               const auto& k = simd::kernels<Dist>();
               want_above.resize(n);
               want_above.resize(k.collect_above(m, n, cap, skip, want_above.data()));
+              want_below.resize(n);
+              want_below.resize(k.collect_below(m, n, cap, skip, want_below.data()));
               want_eq1.resize(n);
               want_eq1.resize(k.collect_absdiff_eq1(m, c, n, want_eq1.data()));
               want_gt1.resize(n);
@@ -223,6 +225,16 @@ void fuzz_kernels_width(std::uint64_t seed) {
                                                                            out.data()));
               EXPECT_EQ(got, want_above) << lctx;
               got.assign(out.begin(),
+                         out.begin() + k.collect_below(m, n, cap, skip, out.data()));
+              EXPECT_EQ(got, want_below) << lctx;
+              // {> cap} from collect_above and {< cap+1} = {≤ cap} from
+              // collect_below partition {0..n−1} \ {skip}.
+              got.assign(out.begin(),
+                         out.begin() + k.collect_below(m, n, cap + 1, skip, out.data()));
+              EXPECT_EQ(want_above.size() + got.size(),
+                        static_cast<std::size_t>(n) - (skip < n ? 1 : 0))
+                  << lctx;
+              got.assign(out.begin(),
                          out.begin() + k.collect_absdiff_eq1(m, c, n, out.data()));
               EXPECT_EQ(got, want_eq1) << lctx;
               got.assign(out.begin(),
@@ -230,6 +242,23 @@ void fuzz_kernels_width(std::uint64_t seed) {
               EXPECT_EQ(got, want_gt1) << lctx;
             });
       }
+
+      // --- k-way min fold ---------------------------------------------------
+      const auto fold_src = rand_row<Dist>(rng, n, inf, all_inf);
+      const auto fold_base = rand_row<Dist>(rng, n, inf, false);
+      std::vector<Dist> want_fold;
+      for_each_level(
+          [&] {
+            const auto& k = simd::kernels<Dist>();
+            want_fold = fold_base;
+            k.min_fold(want_fold.data(), fold_src.data(), n);
+          },
+          [&](SimdLevel level) {
+            const auto& k = simd::kernels<Dist>();
+            std::vector<Dist> dst = fold_base;
+            k.min_fold(dst.data(), fold_src.data(), n);
+            EXPECT_EQ(dst, want_fold) << ctx << " level=" << simd_level_name(level);
+          });
     }
   }
 }

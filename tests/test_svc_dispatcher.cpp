@@ -9,6 +9,7 @@
 #include "svc/dispatcher.hpp"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
@@ -52,7 +53,15 @@ void nap() { std::this_thread::sleep_for(std::chrono::milliseconds(25)); }
 class SvcDispatcherTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = (fs::temp_directory_path() / "bncg_svc_dispatcher_test").string();
+    // Unique per process: ctest -j runs each TEST_F as its own process, and
+    // a shared directory makes SetUp's remove_all race a sibling's
+    // socket/journal files at the same path. The pid suffix stays short on
+    // purpose — this directory holds unix-domain sockets, whose sun_path
+    // limit punishes long prefixes. In-process tests run sequentially and
+    // TearDown removes the directory, so the pid alone disambiguates.
+    dir_ = (fs::temp_directory_path() /
+            ("bncg_svc_dispatcher_" + std::to_string(static_cast<long>(::getpid()))))
+               .string();
     fs::remove_all(dir_);
     fs::create_directories(dir_);
     Xoshiro256ss rng(0xD15);

@@ -6,6 +6,7 @@
 #include "svc/journal.hpp"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <fstream>
@@ -26,7 +27,13 @@ namespace fs = std::filesystem;
 class SvcJournalTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = (fs::temp_directory_path() / "bncg_svc_journal_test").string();
+    // Unique per process: ctest -j runs each TEST_F as its own process, and
+    // a shared directory makes SetUp's remove_all race a sibling's rename
+    // into the same path. In-process tests run sequentially and TearDown
+    // removes the directory, so the pid alone disambiguates.
+    dir_ = (fs::temp_directory_path() /
+            ("bncg_svc_journal_" + std::to_string(static_cast<long>(::getpid()))))
+               .string();
     fs::remove_all(dir_);
     Xoshiro256ss rng(0x10DE);
     g_ = random_connected_gnm(24, 60, rng);

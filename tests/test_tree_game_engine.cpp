@@ -1,0 +1,134 @@
+// Differential suite for the tree-game fast path (DESIGN.md §14): the
+// single-rooting O(n) rerooting sweep behind best_tree_deviation must
+// return exactly what the component-BFS + induced-subgraph oracle
+// (bncg::naive::best_tree_deviation) returns — same presence, same
+// (v, old_neighbor, new_neighbor, gain), including the lowest-id 1-median
+// tie-break and the first-neighbor tie-break on equal gains — over 200+
+// random trees, every agent. The fast path is pure scalar integer code (no
+// SIMD kernels, no thread pool), but the suite still runs under both
+// dispatch extremes and both BNCG_THREADS settings (the
+// tree_game_engine_threads{1,4} CTest entries) so the oracle-parity matrix
+// in DESIGN.md §14 is certified uniformly across all three engines.
+#include "core/tree_game.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "gen/classic.hpp"
+#include "gen/random.hpp"
+#include "graph/metrics.hpp"
+#include "util/rng.hpp"
+#include "util/simd.hpp"
+
+namespace bncg {
+namespace {
+
+struct LevelGuard {
+  SimdLevel saved = simd_active_level();
+  ~LevelGuard() { simd_set_level(saved); }
+};
+
+/// Tree pool: uniform random trees plus the shapes with extreme tie-break
+/// exposure (paths — every internal subtree is a path with a unique median;
+/// stars and double stars — many equal-sum ties; caterpillar-ish spiders).
+Graph tree_instance(int trial, Xoshiro256ss& rng) {
+  switch (trial % 5) {
+    case 0:
+      return random_tree(4 + static_cast<Vertex>(rng.below(30)), rng);
+    case 1:
+      return path(4 + static_cast<Vertex>(rng.below(20)));
+    case 2:
+      return star(4 + static_cast<Vertex>(rng.below(20)));
+    case 3:
+      return double_star(2 + static_cast<Vertex>(rng.below(8)),
+                         2 + static_cast<Vertex>(rng.below(8)));
+    default:
+      return random_tree(16 + static_cast<Vertex>(rng.below(48)), rng);
+  }
+}
+
+void expect_same_move(const std::optional<TreeMove>& got, const std::optional<TreeMove>& want,
+                      const std::string& context) {
+  ASSERT_EQ(got.has_value(), want.has_value()) << context;
+  if (!want) return;
+  EXPECT_EQ(got->v, want->v) << context;
+  EXPECT_EQ(got->old_neighbor, want->old_neighbor) << context;
+  EXPECT_EQ(got->new_neighbor, want->new_neighbor) << context;
+  EXPECT_EQ(got->gain, want->gain) << context;
+}
+
+TEST(TreeGameEngine, BestDeviationParity) {
+  // 2 SIMD extremes × 110 trees × every agent against the oracle. The gain
+  // is also revalidated against the ground-truth distance sums of the
+  // post-move tree, so both implementations are checked for meaning, not
+  // just for agreeing with each other.
+  LevelGuard guard;
+  for (const SimdLevel level : {SimdLevel::Scalar, simd_max_level()}) {
+    ASSERT_EQ(simd_set_level(level), level);
+    Xoshiro256ss rng(0x7EE5);
+    for (int trial = 0; trial < 110; ++trial) {
+      const Graph tree = tree_instance(trial, rng);
+      const std::vector<std::uint64_t> before = tree_distance_sums(tree);
+      for (Vertex v = 0; v < tree.num_vertices(); ++v) {
+        const std::string ctx = std::string(simd_level_name(level)) + " trial " +
+                                std::to_string(trial) + " v=" + std::to_string(v);
+        const auto want = naive::best_tree_deviation(tree, v);
+        const auto got = best_tree_deviation(tree, v);
+        expect_same_move(got, want, ctx);
+        if (!got) continue;
+        Graph moved = tree;
+        moved.remove_edge(got->v, got->old_neighbor);
+        moved.add_edge(got->v, got->new_neighbor);
+        ASSERT_TRUE(is_tree(moved)) << ctx;
+        const std::vector<std::uint64_t> after = tree_distance_sums(moved);
+        EXPECT_EQ(before[v] - after[v], got->gain) << ctx;
+      }
+    }
+  }
+}
+
+TEST(TreeGameEngine, DynamicsReachStarsAndMatchOracleTrajectories) {
+  // run_tree_dynamics uses the fast path internally; replay the same
+  // round-robin schedule with the oracle and demand identical trajectories,
+  // then confirm the Theorem 1 endpoint: fixed points have diameter ≤ 2.
+  Xoshiro256ss rng(0x0DD5);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Graph start = tree_instance(trial, rng);
+    const TreeDynamicsResult fast = run_tree_dynamics(start, 10'000);
+
+    Graph slow = start;
+    std::uint64_t moves = 0;
+    for (bool any_move = true; any_move;) {
+      any_move = false;
+      for (Vertex v = 0; v < slow.num_vertices(); ++v) {
+        const auto move = naive::best_tree_deviation(slow, v);
+        if (!move) continue;
+        slow.remove_edge(move->v, move->old_neighbor);
+        slow.add_edge(move->v, move->new_neighbor);
+        ++moves;
+        any_move = true;
+      }
+    }
+    const std::string ctx = "trial " + std::to_string(trial);
+    EXPECT_TRUE(fast.converged) << ctx;
+    EXPECT_EQ(fast.moves, moves) << ctx;
+    EXPECT_EQ(fast.tree.edges(), slow.edges()) << ctx;
+    EXPECT_LE(diameter(fast.tree), 2u) << ctx;
+  }
+}
+
+TEST(TreeGameEngine, StableAgentsEverywhereOnStars) {
+  // Stars are the Theorem 1 fixed points: no agent — center or leaf — may
+  // report a deviation from either implementation.
+  for (Vertex n = 2; n <= 40; ++n) {
+    const Graph g = star(n);
+    for (Vertex v = 0; v < n; ++v) {
+      EXPECT_FALSE(best_tree_deviation(g, v).has_value()) << "n=" << n << " v=" << v;
+      EXPECT_FALSE(naive::best_tree_deviation(g, v).has_value()) << "n=" << n << " v=" << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bncg
