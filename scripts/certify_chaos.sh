@@ -21,8 +21,16 @@
 #                tmp+rename write left NO final shard file behind and that
 #                merge refuses the missing shard nonzero without printing
 #                any verdict.
+#   sessions     one dispatcher multiplexing two jobs over two instances
+#                while crash/hang/corrupt/duplicate chaos workers interleave
+#                with healthy ones on both; asserts both session
+#                certificates diff clean against single-process certify.
+#                A second pass pins a corrupt-all worker on session 2 with a
+#                zero retry budget: session 2 must refuse (exit 2) while
+#                session 1's certificate stays byte-identical — quarantine
+#                never poisons a sibling.
 #
-# Usage: scripts/certify_chaos.sh --scenario mixed|resume|worker-kill [options]
+# Usage: scripts/certify_chaos.sh --scenario mixed|resume|worker-kill|sessions [options]
 #   --bin PATH       bncg_certify binary (default: $BNCG_CERTIFY_BIN, else
 #                    build it into ${BNCG_BUILD_DIR:-<repo>/build})
 #   --n N            vertices (scenario-specific default)
@@ -74,8 +82,8 @@ while [ "$#" -gt 0 ]; do
   esac
 done
 case "$scenario" in
-  mixed|resume|worker-kill) ;;
-  *) echo "certify_chaos: --scenario must be mixed, resume, or worker-kill" >&2; exit 2 ;;
+  mixed|resume|worker-kill|sessions) ;;
+  *) echo "certify_chaos: --scenario must be mixed, resume, worker-kill, or sessions" >&2; exit 2 ;;
 esac
 
 if [ -z "$bin" ]; then
@@ -91,6 +99,11 @@ pids=()
 cleanup() {
   for pid in "${pids[@]:-}"; do
     kill -KILL "$pid" 2>/dev/null || true
+    # Session spool directories are removed by the dispatcher's own sink
+    # destructors on a clean exit; a SIGKILL'd dispatcher (the resume
+    # scenario's whole point, or a timeout) cannot, so the trap sweeps the
+    # pid-keyed spool of every process this script started.
+    rm -rf "${TMPDIR:-/tmp}/bncg_spool_${pid}"
   done
   for pid in "${pids[@]:-}"; do
     wait "$pid" 2>/dev/null || true  # reap, silencing job-kill notices
@@ -130,29 +143,32 @@ expect_parity() {  # $1 = served certificate file, $2 = context
 }
 
 launch_chaos_workers() {  # background chaos/healthy pool against $sock
+  # Optional argument: the graph the pool loads (default: the scenario's
+  # single instance) — the sessions scenario runs one pool per instance.
+  local target="${1:-$graph}"
   local i
   for (( i = 0; i < crash; i++ )); do
-    timeout 240 "$bin" chaos-worker --graph "$graph" --connect "$sock" \
+    timeout 240 "$bin" chaos-worker --graph "$target" --connect "$sock" \
       --chaos crash --chaos-seed $(( seed + i )) 2>>"$work_dir/chaos.log" &
     pids+=($!)
   done
   for (( i = 0; i < hang; i++ )); do
-    timeout 240 "$bin" chaos-worker --graph "$graph" --connect "$sock" \
+    timeout 240 "$bin" chaos-worker --graph "$target" --connect "$sock" \
       --chaos hang --chaos-seed $(( seed + 100 + i )) 2>>"$work_dir/chaos.log" &
     pids+=($!)
   done
   for (( i = 0; i < corrupt; i++ )); do
-    timeout 240 "$bin" chaos-worker --graph "$graph" --connect "$sock" \
+    timeout 240 "$bin" chaos-worker --graph "$target" --connect "$sock" \
       --chaos corrupt --chaos-seed $(( seed + 200 + i )) 2>>"$work_dir/chaos.log" &
     pids+=($!)
   done
   for (( i = 0; i < duplicate; i++ )); do
-    timeout 240 "$bin" chaos-worker --graph "$graph" --connect "$sock" \
+    timeout 240 "$bin" chaos-worker --graph "$target" --connect "$sock" \
       --chaos duplicate --chaos-seed $(( seed + 300 + i )) 2>>"$work_dir/chaos.log" &
     pids+=($!)
   done
   for (( i = 0; i < healthy; i++ )); do
-    timeout 240 "$bin" worker --graph "$graph" --connect "$sock" \
+    timeout 240 "$bin" worker --graph "$target" --connect "$sock" \
       2>>"$work_dir/healthy.log" &
     pids+=($!)
   done
@@ -306,9 +322,96 @@ scenario_worker_kill() {
   echo "certify_chaos: worker-kill OK — no partial shard file, merge refused (exit $merge_rc)"
 }
 
+scenario_sessions() {
+  n="${n:-96}"
+  m="${m:-$(( 2 * n ))}"
+  shards="${shards:-6}"
+  local graph_a="$work_dir/a.edges"
+  local graph_b="$work_dir/b.edges"
+  "$bin" gen --n "$n" --m "$m" --seed "$seed" --out "$graph_a" 2>/dev/null
+  "$bin" gen --n "$n" --m "$m" --seed "$(( seed + 1 ))" --out "$graph_b" 2>/dev/null
+  "$bin" certify --graph "$graph_a" >"$work_dir/ref_a.txt" 2>/dev/null
+  "$bin" certify --graph "$graph_b" --model max >"$work_dir/ref_b.txt" 2>/dev/null
+
+  # Pass 1: one dispatcher, two sessions (different instances AND run
+  # configs), a full chaos pool interleaved on EACH — both certificates
+  # must come out byte-identical to single-process certify.
+  timeout 240 "$bin" serve --listen "$sock" \
+    --jobs "$graph_a" --jobs "$graph_b,model=max" --shards "$shards" \
+    --lease-ms "$lease_ms" --backoff-ms 20 --certs-dir "$work_dir/certs1" \
+    >"$work_dir/served1.txt" 2>"$work_dir/serve1.log" &
+  local serve_pid=$!
+  pids+=("$serve_pid")
+  sleep 0.3
+  launch_chaos_workers "$graph_a"
+  launch_chaos_workers "$graph_b"
+
+  local serve_rc=0
+  wait "$serve_pid" || serve_rc=$?
+  if [ "$serve_rc" -ne 0 ]; then
+    echo "certify_chaos: sessions serve exited $serve_rc (want 0) under chaos" >&2
+    cat "$work_dir/serve1.log" >&2 || true
+    exit 1
+  fi
+  expect_parity_file() {  # $1 = reference, $2 = served cert, $3 = context
+    if ! diff -u "$1" "$2"; then
+      echo "certify_chaos: MISMATCH between served and single-process certificate ($3)" >&2
+      exit 1
+    fi
+  }
+  expect_parity_file "$work_dir/ref_a.txt" "$work_dir/certs1/session_1.cert" "session 1, chaos"
+  expect_parity_file "$work_dir/ref_b.txt" "$work_dir/certs1/session_2.cert" "session 2, chaos"
+  grep -q "sessions_completed=2 sessions_refused=0" "$work_dir/serve1.log" || {
+    echo "certify_chaos: missing two-session completion stats in serve log" >&2
+    cat "$work_dir/serve1.log" >&2 || true
+    exit 1
+  }
+  echo "certify_chaos: sessions pass 1 OK — both certificates byte-identical under chaos"
+
+  # Pass 2: quarantine isolation. Session 2 gets ONLY a corrupt-all worker
+  # and a zero retry budget (its single range quarantines on the first
+  # strike); session 1 gets honest workers. The dispatcher must refuse
+  # session 2 (exit 2, no certificate file) while session 1's certificate
+  # stays byte-identical — a poisoned sibling never leaks.
+  local sock2="unix:$work_dir/isolate.sock"
+  timeout 240 "$bin" serve --listen "$sock2" \
+    --jobs "$graph_a" --jobs "$graph_b,model=max,shards=1" --shards "$shards" \
+    --max-retries 0 --lease-ms "$lease_ms" --backoff-ms 20 \
+    --certs-dir "$work_dir/certs2" \
+    >"$work_dir/served2.txt" 2>"$work_dir/serve2.log" &
+  serve_pid=$!
+  pids+=("$serve_pid")
+  sleep 0.3
+  local i
+  for (( i = 0; i < healthy; i++ )); do
+    timeout 240 "$bin" worker --graph "$graph_a" --connect "$sock2" \
+      2>>"$work_dir/healthy.log" &
+    pids+=($!)
+  done
+  timeout 240 "$bin" chaos-worker --graph "$graph_b" --connect "$sock2" \
+    --chaos corrupt-all --chaos-seed "$seed" 2>>"$work_dir/chaos.log" &
+  pids+=($!)
+
+  serve_rc=0
+  wait "$serve_pid" || serve_rc=$?
+  if [ "$serve_rc" -ne 2 ]; then
+    echo "certify_chaos: isolation serve exited $serve_rc (want 2: one session refused)" >&2
+    cat "$work_dir/serve2.log" >&2 || true
+    exit 1
+  fi
+  if [ -e "$work_dir/certs2/session_2.cert" ]; then
+    echo "certify_chaos: refused session 2 still wrote a certificate (must withhold)" >&2
+    exit 1
+  fi
+  expect_parity_file "$work_dir/ref_a.txt" "$work_dir/certs2/session_1.cert" \
+    "session 1, sibling quarantined"
+  echo "certify_chaos: sessions pass 2 OK — quarantine stayed inside its own session"
+}
+
 case "$scenario" in
   mixed) scenario_mixed ;;
   resume) scenario_resume ;;
   worker-kill) scenario_worker_kill ;;
+  sessions) scenario_sessions ;;
 esac
 echo "certify_chaos: OK"

@@ -75,6 +75,33 @@ expect_rc 1 "unknown flag" "$bin" certify --graph "$graph" --frobnicate
 expect_rc 1 "missing required flag" "$bin" certify
 expect_rc 1 "unreadable graph file" "$bin" certify --graph "$work_dir/no-such-file"
 expect_rc 1 "no mode at all" "$bin"
+# The service modes obey the same taxonomy: a bad invocation is a one-line
+# usage diagnostic and exit 1, never 0, a throw, or a late guard refusal.
+expect_rc 1 "serve with an unknown flag" \
+  "$bin" serve --graph "$graph" --listen "unix:$work_dir/x.sock" --frobnicate
+expect_rc 1 "serve with a missing flag value" \
+  "$bin" serve --graph "$graph" --listen
+expect_rc 1 "serve with a zero lease" \
+  "$bin" serve --graph "$graph" --listen "unix:$work_dir/x.sock" --lease-ms 0
+expect_rc 1 "serve with a zero backoff" \
+  "$bin" serve --graph "$graph" --listen "unix:$work_dir/x.sock" --backoff-ms 0
+expect_rc 1 "serve --jobs with a bad spec key" \
+  "$bin" serve --listen "unix:$work_dir/x.sock" --jobs "$graph,frobnicate"
+expect_rc 1 "serve --jobs mode without jobs or submissions" \
+  "$bin" serve --listen "unix:$work_dir/x.sock" --accept-submissions 0 --certs-dir "$work_dir/c"
+expect_rc 1 "submit without a graph" "$bin" submit --connect "unix:$work_dir/x.sock"
+expect_rc 1 "submit with an unknown flag" \
+  "$bin" submit --connect "unix:$work_dir/x.sock" --graph "$graph" --frobnicate
+expect_rc 1 "status without a dispatcher address" "$bin" status
+expect_rc 1 "status with an unknown flag" \
+  "$bin" status --connect "unix:$work_dir/x.sock" --frobnicate
+usage_line_count="$("$bin" certify --graph "$graph" --frobnicate 2>&1 >/dev/null | head -1 | grep -c '^bncg_certify: ' || true)"
+if [ "$usage_line_count" -ne 1 ]; then
+  echo "certify_exit_codes: FAIL usage error lacks the one-line stderr diagnostic" >&2
+  failures=$(( failures + 1 ))
+else
+  echo "certify_exit_codes: OK   usage errors lead with a one-line diagnostic"
+fi
 
 # --- exit 3: wire/merge/handshake guard refusals ----------------------------
 other="$work_dir/other.edges"
@@ -136,10 +163,37 @@ else
   echo "certify_exit_codes: OK   exit 2 — coverage refusal withheld the certificate"
 fi
 
+# --- exit 0 again: the session control clients against a live dispatcher ----
+sock3="unix:$work_dir/mux.sock"
+"$bin" serve --listen "$sock3" --accept-submissions 1 --lease-ms 8000 \
+  --certs-dir "$work_dir/mux-certs" >"$work_dir/mux.txt" 2>"$work_dir/mux.log" &
+serve_pid=$!
+pids+=("$serve_pid")
+sleep 0.3
+expect_rc 0 "submit to a live dispatcher" \
+  "$bin" submit --connect "$sock3" --graph "$graph"
+expect_rc 0 "status of a live dispatcher" \
+  "$bin" status --connect "$sock3"
+"$bin" worker --graph "$graph" --connect "$sock3" 2>>"$work_dir/cmd.log" || true
+serve_rc=0
+wait "$serve_pid" || serve_rc=$?
+if [ "$serve_rc" -ne 0 ]; then
+  echo "certify_exit_codes: FAIL session serve exited $serve_rc (want 0)" >&2
+  failures=$(( failures + 1 ))
+else
+  echo "certify_exit_codes: OK   exit 0 — submitted session served to completion"
+fi
+
 # --- exit 4: transport failure after bounded retries ------------------------
 expect_rc 4 "worker connecting to a dead address" \
   "$bin" worker --graph "$graph" --connect "unix:$work_dir/nobody-home.sock" \
     --connect-retries 1 --connect-backoff-ms 10
+expect_rc 4 "submit to a dead address" \
+  "$bin" submit --graph "$graph" --connect "unix:$work_dir/nobody-home.sock" \
+    --connect-retries 1 --connect-backoff-ms 10
+expect_rc 4 "status of a dead address" \
+  "$bin" status --connect "unix:$work_dir/nobody-home.sock" \
+    --connect-retries 0 --connect-backoff-ms 10
 
 # --- the taxonomy must be documented in --help ------------------------------
 "$bin" --help >"$work_dir/help.txt" 2>&1 || true

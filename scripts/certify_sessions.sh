@@ -1,0 +1,151 @@
+#!/usr/bin/env bash
+# Two-session fan-out smoke of the session-multiplexed dispatcher
+# (DESIGN.md §15): ONE `bncg_certify serve` process queues two jobs over
+# two different instances (the second with a different usage model), a
+# pool of workers per instance drains both concurrently, and each
+# session's certificate must diff byte-for-byte against single-process
+# `certify` of that instance. A `submit`ted third job plus a `status`
+# probe exercise the control-client path against the same dispatcher.
+#
+# Usage: scripts/certify_sessions.sh [options]
+#   --bin PATH       bncg_certify binary (default: $BNCG_CERTIFY_BIN, else
+#                    build it into ${BNCG_BUILD_DIR:-<repo>/build})
+#   --n N            vertices per instance (default 96)
+#   --m M            edges per instance (default 2n)
+#   --seed S         first instance seed (default 21; the second uses S+1)
+#   --workers N      connected workers per instance (default 3)
+#   --shards K       ranges per session (default 6)
+#   --lease-ms MS    lease deadline (default 20000 — sanitizer-proof)
+#   --keep-dir       keep the scratch directory (prints its path)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+bin="${BNCG_CERTIFY_BIN:-}"
+n=96
+m=""
+seed=21
+workers=3
+shards=6
+lease_ms=20000
+keep_dir=0
+while [ "$#" -gt 0 ]; do
+  case "$1" in
+    --bin) bin="$2"; shift 2 ;;
+    --n) n="$2"; shift 2 ;;
+    --m) m="$2"; shift 2 ;;
+    --seed) seed="$2"; shift 2 ;;
+    --workers) workers="$2"; shift 2 ;;
+    --shards) shards="$2"; shift 2 ;;
+    --lease-ms) lease_ms="$2"; shift 2 ;;
+    --keep-dir) keep_dir=1; shift ;;
+    *) echo "certify_sessions: unknown option: $1" >&2; exit 2 ;;
+  esac
+done
+m="${m:-$(( 2 * n ))}"
+
+if [ -z "$bin" ]; then
+  build_dir="${BNCG_BUILD_DIR:-${repo_root}/build}"
+  cmake -B "$build_dir" -S "$repo_root" >/dev/null
+  cmake --build "$build_dir" --target bncg_certify -j "$(nproc)" >/dev/null
+  bin="${build_dir}/bncg_certify"
+fi
+[ -x "$bin" ] || { echo "certify_sessions: not executable: $bin" >&2; exit 2; }
+
+work_dir="$(mktemp -d "${TMPDIR:-/tmp}/bncg_sessions.XXXXXX")"
+pids=()
+cleanup() {
+  for pid in "${pids[@]:-}"; do
+    kill -KILL "$pid" 2>/dev/null || true
+    # A SIGKILL'd dispatcher cannot remove its spool sinks itself.
+    rm -rf "${TMPDIR:-/tmp}/bncg_spool_${pid}"
+  done
+  for pid in "${pids[@]:-}"; do
+    wait "$pid" 2>/dev/null || true
+  done
+  if [ "$keep_dir" -eq 1 ]; then
+    echo "certify_sessions: scratch kept at $work_dir" >&2
+  else
+    rm -rf "$work_dir"
+  fi
+}
+trap cleanup EXIT
+trap 'trap - INT TERM; cleanup; exit 130' INT TERM
+
+sock="unix:$work_dir/serve.sock"
+graph_a="$work_dir/a.edges"
+graph_b="$work_dir/b.edges"
+"$bin" gen --n "$n" --m "$m" --seed "$seed" --out "$graph_a" 2>/dev/null
+"$bin" gen --n "$n" --m "$m" --seed "$(( seed + 1 ))" --out "$graph_b" 2>/dev/null
+
+# Single-process references: session 1 certifies A under sum, session 2
+# certifies B under max — distinct run configs through one dispatcher.
+"$bin" certify --graph "$graph_a" >"$work_dir/ref_a.txt" 2>/dev/null
+"$bin" certify --graph "$graph_b" --model max >"$work_dir/ref_b.txt" 2>/dev/null
+"$bin" certify --graph "$graph_a" --model max >"$work_dir/ref_a_max.txt" 2>/dev/null
+
+timeout 240 "$bin" serve --listen "$sock" \
+  --jobs "$graph_a" --jobs "$graph_b,model=max" --accept-submissions 1 \
+  --shards "$shards" --lease-ms "$lease_ms" --backoff-ms 20 \
+  --certs-dir "$work_dir/certs" \
+  >"$work_dir/served.txt" 2>"$work_dir/serve.log" &
+serve_pid=$!
+pids+=("$serve_pid")
+sleep 0.3
+
+# The control-client path: submit a third job (A again, under max) to the
+# live dispatcher, resubmit it to check idempotence, and probe status.
+"$bin" submit --connect "$sock" --graph "$graph_a" --model max \
+  >"$work_dir/submit.out" 2>>"$work_dir/client.log"
+grep -q "session=3 already_queued=0" "$work_dir/submit.out" || {
+  echo "certify_sessions: unexpected submit reply:" >&2
+  cat "$work_dir/submit.out" >&2
+  exit 1
+}
+"$bin" submit --connect "$sock" --graph "$graph_a" --model max \
+  >"$work_dir/resubmit.out" 2>>"$work_dir/client.log"
+grep -q "session=3 already_queued=1" "$work_dir/resubmit.out" || {
+  echo "certify_sessions: resubmit was not idempotent:" >&2
+  cat "$work_dir/resubmit.out" >&2
+  exit 1
+}
+"$bin" status --connect "$sock" >"$work_dir/status.out" 2>>"$work_dir/client.log"
+[ "$(wc -l <"$work_dir/status.out")" -eq 3 ] || {
+  echo "certify_sessions: status did not list 3 sessions:" >&2
+  cat "$work_dir/status.out" >&2
+  exit 1
+}
+
+for (( i = 0; i < workers; i++ )); do
+  timeout 240 "$bin" worker --graph "$graph_a" --connect "$sock" \
+    2>>"$work_dir/workers_a.log" &
+  pids+=($!)
+  timeout 240 "$bin" worker --graph "$graph_b" --connect "$sock" \
+    2>>"$work_dir/workers_b.log" &
+  pids+=($!)
+done
+
+serve_rc=0
+wait "$serve_pid" || serve_rc=$?
+if [ "$serve_rc" -ne 0 ]; then
+  echo "certify_sessions: serve exited $serve_rc (want 0)" >&2
+  cat "$work_dir/serve.log" >&2 || true
+  exit 1
+fi
+
+expect_parity() {  # $1 = reference, $2 = session cert, $3 = context
+  if ! diff -u "$1" "$2"; then
+    echo "certify_sessions: MISMATCH between served and single-process certificate ($3)" >&2
+    exit 1
+  fi
+}
+expect_parity "$work_dir/ref_a.txt" "$work_dir/certs/session_1.cert" "session 1 (A, sum)"
+expect_parity "$work_dir/ref_b.txt" "$work_dir/certs/session_2.cert" "session 2 (B, max)"
+expect_parity "$work_dir/ref_a_max.txt" "$work_dir/certs/session_3.cert" "session 3 (A, max)"
+
+grep -q "sessions_completed=3 sessions_refused=0" "$work_dir/serve.log" || {
+  echo "certify_sessions: missing session stats in serve log" >&2
+  cat "$work_dir/serve.log" >&2
+  exit 1
+}
+echo "certify_sessions: OK — 3 sessions certified by one dispatcher, all byte-identical"

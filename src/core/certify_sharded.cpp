@@ -81,61 +81,74 @@ ShardResult certify_agent_range(const SwapEngine& engine, const AgentRange& rang
   return r;
 }
 
+void ShardFold::add(const ShardResult& r) {
+  if (folded_ == 0) {
+    head_ = r;
+    head_.best.reset();  // identity block only; the payload lives in the fold
+    BNCG_REQUIRE(r.shard_count >= 1, "merge: zero shard count");
+  } else {
+    BNCG_REQUIRE(r.fingerprint == head_.fingerprint && r.n == head_.n && r.m == head_.m,
+                 "merge: shard results come from different instances");
+    BNCG_REQUIRE(r.model == head_.model && r.include_deletions == head_.include_deletions &&
+                     r.stop_on_violation == head_.stop_on_violation,
+                 "merge: shard results come from different run configurations");
+    BNCG_REQUIRE(r.shard_count == head_.shard_count,
+                 "merge: shard_count disagrees with shard set");
+  }
+  BNCG_REQUIRE(r.shard_index == folded_, "merge: duplicate or missing shard index");
+  BNCG_REQUIRE(r.agent_lo == expect_lo_ && r.agent_lo <= r.agent_hi && r.agent_hi <= r.n,
+               "merge: shard ranges do not tile the agent set");
+  BNCG_REQUIRE(r.scanned <= r.agent_hi - r.agent_lo, "merge: scanned exceeds the shard range");
+  BNCG_REQUIRE(r.stop_on_violation || r.scanned == r.agent_hi - r.agent_lo,
+               "merge: incomplete shard in full (non-stop_on_violation) mode");
+  BNCG_REQUIRE(!r.best || (r.best->swap.v >= r.agent_lo && r.best->swap.v < r.agent_hi),
+               "merge: witness agent outside the shard range");
+  expect_lo_ = r.agent_hi;
+
+  // Serial fold in shard (= agent) order with a strict '<': the earliest
+  // agent wins among equal cost_after, matching SwapEngine::certify and the
+  // naive certifiers bit for bit.
+  if (folded_ == 0) out_.width = DistWidth::U8;
+  out_.certificate.moves_checked += r.moves;
+  out_.agents_scanned += r.scanned;
+  out_.width_fallbacks += r.width_fallbacks;
+  if (r.width == DistWidth::U16) out_.width = DistWidth::U16;
+  if (r.best && (!best_ || r.best->cost_after < best_->cost_after)) best_ = r.best;
+  ++folded_;
+}
+
+ShardedCertificate ShardFold::finish() const {
+  BNCG_REQUIRE(folded_ >= 1, "merge: no shard results");
+  BNCG_REQUIRE(folded_ == head_.shard_count, "merge: shard_count disagrees with shard set");
+  BNCG_REQUIRE(expect_lo_ == head_.n, "merge: shard ranges do not cover every agent");
+  ShardedCertificate out = out_;
+  out.shards_used = folded_;
+  out.certificate.witness = best_;
+  out.certificate.is_equilibrium = !best_.has_value();
+  // No shard stops early without a reason: a shard aborts only on its own
+  // violation or (in-process) a sibling's, so a clean verdict must rest on
+  // every agent having actually been scanned — a partial, witness-free
+  // shard set cannot certify an equilibrium even under stop_on_violation.
+  BNCG_REQUIRE(best_.has_value() || out.agents_scanned == head_.n,
+               "merge: no violation found but not every agent was scanned");
+  return out;
+}
+
 ShardedCertificate merge_shard_results(const std::vector<ShardResult>& shards) {
   BNCG_REQUIRE(!shards.empty(), "merge: no shard results");
 
-  // Re-establish merge order (workers may hand shards back in any order).
+  // Re-establish merge order (workers may hand shards back in any order),
+  // then stream through the one true fold.
   std::vector<const ShardResult*> ordered(shards.size());
   for (std::size_t i = 0; i < shards.size(); ++i) ordered[i] = &shards[i];
   std::sort(ordered.begin(), ordered.end(), [](const ShardResult* a, const ShardResult* b) {
     return a->shard_index < b->shard_index;
   });
-
-  const ShardResult& head = *ordered.front();
-  Vertex expect_lo = 0;
-  for (std::size_t i = 0; i < ordered.size(); ++i) {
-    const ShardResult& r = *ordered[i];
-    BNCG_REQUIRE(r.fingerprint == head.fingerprint && r.n == head.n && r.m == head.m,
-                 "merge: shard results come from different instances");
-    BNCG_REQUIRE(r.model == head.model && r.include_deletions == head.include_deletions &&
-                     r.stop_on_violation == head.stop_on_violation,
-                 "merge: shard results come from different run configurations");
-    BNCG_REQUIRE(r.shard_count == shards.size(), "merge: shard_count disagrees with shard set");
-    BNCG_REQUIRE(r.shard_index == i, "merge: duplicate or missing shard index");
-    BNCG_REQUIRE(r.agent_lo == expect_lo && r.agent_lo <= r.agent_hi && r.agent_hi <= r.n,
-                 "merge: shard ranges do not tile the agent set");
-    BNCG_REQUIRE(r.scanned <= r.agent_hi - r.agent_lo, "merge: scanned exceeds the shard range");
-    BNCG_REQUIRE(r.stop_on_violation || r.scanned == r.agent_hi - r.agent_lo,
-                 "merge: incomplete shard in full (non-stop_on_violation) mode");
-    BNCG_REQUIRE(!r.best || (r.best->swap.v >= r.agent_lo && r.best->swap.v < r.agent_hi),
-                 "merge: witness agent outside the shard range");
-    expect_lo = r.agent_hi;
-  }
-  BNCG_REQUIRE(expect_lo == head.n, "merge: shard ranges do not cover every agent");
-
-  // Serial fold in shard (= agent) order with a strict '<': the earliest
-  // agent wins among equal cost_after, matching SwapEngine::certify and the
-  // naive certifiers bit for bit.
-  ShardedCertificate out;
-  out.shards_used = ordered.size();
-  out.width = DistWidth::U8;
-  std::optional<Deviation> best;
-  for (const ShardResult* r : ordered) {
-    out.certificate.moves_checked += r->moves;
-    out.agents_scanned += r->scanned;
-    out.width_fallbacks += r->width_fallbacks;
-    if (r->width == DistWidth::U16) out.width = DistWidth::U16;
-    if (r->best && (!best || r->best->cost_after < best->cost_after)) best = r->best;
-  }
-  out.certificate.witness = best;
-  out.certificate.is_equilibrium = !best.has_value();
-  // No shard stops early without a reason: a shard aborts only on its own
-  // violation or (in-process) a sibling's, so a clean verdict must rest on
-  // every agent having actually been scanned — a partial, witness-free
-  // shard set cannot certify an equilibrium even under stop_on_violation.
-  BNCG_REQUIRE(best.has_value() || out.agents_scanned == head.n,
-               "merge: no violation found but not every agent was scanned");
-  return out;
+  BNCG_REQUIRE(ordered.front()->shard_count == shards.size(),
+               "merge: shard_count disagrees with shard set");
+  ShardFold fold;
+  for (const ShardResult* r : ordered) fold.add(*r);
+  return fold.finish();
 }
 
 ShardedCertificate certify_sharded(const Graph& g, UsageCost model, bool include_deletions,

@@ -137,6 +137,36 @@ struct ShardResult {
                                               SwapEngine::Scratch* scratch = nullptr,
                                               std::atomic<bool>* abort = nullptr);
 
+/// Incremental twin of merge_shard_results — THE single fold
+/// implementation (merge_shard_results routes through it). Shards must
+/// arrive in ascending shard-index order, one at a time; each add()
+/// validates the guard fields against the first shard (equal
+/// fingerprint/n/m/model/flags, index == number folded so far, ranges
+/// tiling [0, n) in order, full ranges scanned unless stop_on_violation)
+/// and throws std::invalid_argument on any violation. Because the fold is
+/// a strict-'<' running minimum over one Deviation plus three counters,
+/// a caller can stream shards from disk one file at a time and never hold
+/// more than one ShardResult in memory — the streaming witness sink of
+/// the certification service (svc/sink.hpp) is exactly that loop.
+class ShardFold {
+ public:
+  /// Folds the next shard (index must equal folded()).
+  void add(const ShardResult& shard);
+  /// Number of shards folded so far.
+  [[nodiscard]] std::size_t folded() const noexcept { return folded_; }
+  /// Validates full coverage (folded() == shard_count, ranges reached n)
+  /// and returns the merged certificate. Throws std::invalid_argument on
+  /// an empty or incomplete fold.
+  [[nodiscard]] ShardedCertificate finish() const;
+
+ private:
+  std::size_t folded_ = 0;
+  ShardResult head_;  // identity block of the first shard (payload unused)
+  Vertex expect_lo_ = 0;
+  ShardedCertificate out_;
+  std::optional<Deviation> best_;
+};
+
 /// Folds shard results into the full certificate. Validates the guard
 /// fields (equal fingerprint/n/m/model/flags on every shard, shard indices
 /// forming 0..k−1 with shard_count == k, ranges tiling [0, n) in index

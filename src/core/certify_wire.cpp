@@ -538,19 +538,16 @@ ShardResult shard_from_bytes(std::string_view bytes) {
   return shard_from_json(bytes);
 }
 
-void write_shard_file(const std::string& path, const ShardResult& shard,
-                      ShardWireFormat format) {
-  const std::string payload =
-      format == ShardWireFormat::Binary ? shard_to_binary(shard) : shard_to_json(shard);
-  // Crash-safe: write <path>.tmp, fsync, rename(2) into place. A worker
-  // killed mid-write leaves at most a stale .tmp — never a truncated file
-  // at the path a merge will read.
+void write_file_atomic(const std::string& path, std::string_view bytes) {
+  // Crash-safe: write <path>.tmp, fsync, rename(2) into place, fsync the
+  // directory entry. A process killed mid-write leaves at most a stale
+  // .tmp — never a truncated file at the path a reader will trust.
   const std::string tmp = path + ".tmp";
   const int fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
   if (fd < 0) throw std::runtime_error("shard wire: cannot open for writing: " + tmp);
   std::size_t written = 0;
-  while (written < payload.size()) {
-    const ssize_t rc = ::write(fd, payload.data() + written, payload.size() - written);
+  while (written < bytes.size()) {
+    const ssize_t rc = ::write(fd, bytes.data() + written, bytes.size() - written);
     if (rc < 0) {
       if (errno == EINTR) continue;
       ::close(fd);
@@ -567,6 +564,20 @@ void write_shard_file(const std::string& path, const ShardResult& shard,
     ::unlink(tmp.c_str());
     throw std::runtime_error("shard wire: rename failed: " + path);
   }
+  // Make the rename itself durable: fsync the containing directory.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+}
+
+void write_shard_file(const std::string& path, const ShardResult& shard,
+                      ShardWireFormat format) {
+  write_file_atomic(path, format == ShardWireFormat::Binary ? shard_to_binary(shard)
+                                                            : shard_to_json(shard));
 }
 
 ShardResult read_shard_file(const std::string& path) {

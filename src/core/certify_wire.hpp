@@ -60,10 +60,17 @@ enum class ShardWireFormat : std::uint8_t { Binary, Json };
 /// Auto-detecting decode: binary when the magic leads, JSON otherwise.
 [[nodiscard]] ShardResult shard_from_bytes(std::string_view bytes);
 
-/// Writes `shard` to `path` in the requested format, crash-safely:
-/// `<path>.tmp` + fsync + rename(2), so a worker killed mid-write leaves
-/// no truncated file for a merge to trip on. Throws std::runtime_error on
-/// I/O failure.
+/// Writes `bytes` to `path` crash-safely: `<path>.tmp` + fsync +
+/// rename(2) + directory fsync, so a process killed at ANY instant leaves
+/// either the complete file or nothing at the final path — never a
+/// truncated one. Shared by write_shard_file, the service's shard journal
+/// (svc/journal.hpp), and the streaming witness sink (svc/sink.hpp).
+/// Throws std::runtime_error on I/O failure.
+void write_file_atomic(const std::string& path, std::string_view bytes);
+
+/// Writes `shard` to `path` in the requested format, crash-safely (via
+/// write_file_atomic), so a worker killed mid-write leaves no truncated
+/// file for a merge to trip on. Throws std::runtime_error on I/O failure.
 void write_shard_file(const std::string& path, const ShardResult& shard,
                       ShardWireFormat format = ShardWireFormat::Binary);
 

@@ -1,11 +1,7 @@
 #include "svc/journal.hpp"
 
-#include <fcntl.h>
-#include <unistd.h>
-
-#include <cerrno>
+#include <algorithm>
 #include <cstdio>
-#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -21,43 +17,6 @@ namespace bncg::svc {
 namespace {
 
 constexpr const char* kSessionFile = "session.bin";
-
-/// Writes `bytes` to `path` via temp + fsync + rename so a crash at any
-/// point leaves either the complete file or nothing at the final path.
-void atomic_write(const std::string& dir, const std::string& name, std::string_view bytes) {
-  const std::string path = dir + "/" + name;
-  const std::string tmp = path + ".tmp";
-  const int fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
-  if (fd < 0) {
-    throw std::runtime_error("journal: cannot open " + tmp + ": " + std::strerror(errno));
-  }
-  std::size_t written = 0;
-  while (written < bytes.size()) {
-    const ssize_t rc = ::write(fd, bytes.data() + written, bytes.size() - written);
-    if (rc < 0) {
-      if (errno == EINTR) continue;
-      const int saved = errno;
-      ::close(fd);
-      ::unlink(tmp.c_str());
-      throw std::runtime_error("journal: write failed: " + tmp + ": " + std::strerror(saved));
-    }
-    written += static_cast<std::size_t>(rc);
-  }
-  if (::fsync(fd) < 0 || ::close(fd) < 0) {
-    ::unlink(tmp.c_str());
-    throw std::runtime_error("journal: fsync/close failed: " + tmp);
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    ::unlink(tmp.c_str());
-    throw std::runtime_error("journal: rename failed: " + path);
-  }
-  // Make the rename itself durable: fsync the directory entry.
-  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (dir_fd >= 0) {
-    ::fsync(dir_fd);
-    ::close(dir_fd);
-  }
-}
 
 [[nodiscard]] std::string read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -110,13 +69,19 @@ void atomic_write(const std::string& dir, const std::string& name, std::string_v
   return h;
 }
 
-/// A recovered record must belong to this session; anything else is
-/// treated exactly like corruption (skip and recompute the range).
+/// A recovered record must belong to this session AND sit exactly on the
+/// canonical i·n/K split the dispatcher leases; anything else is treated
+/// exactly like corruption (skip and recompute the range). The coordinate
+/// clause is what lets the streaming sink fold records straight from disk:
+/// every file the journal admits is, by construction, mergeable.
 [[nodiscard]] bool record_matches(const JournalHeader& h, const ShardResult& r) {
   return r.fingerprint == h.fingerprint && r.n == h.n && r.m == h.m && r.model == h.model &&
          r.include_deletions == h.include_deletions &&
          r.stop_on_violation == h.stop_on_violation && r.shard_count == h.shard_count &&
-         r.shard_index < h.shard_count;
+         r.shard_index < h.shard_count &&
+         r.agent_lo == static_cast<Vertex>(std::uint64_t{r.shard_index} * h.n / h.shard_count) &&
+         r.agent_hi ==
+             static_cast<Vertex>((std::uint64_t{r.shard_index} + 1) * h.n / h.shard_count);
 }
 
 }  // namespace
@@ -138,11 +103,11 @@ ShardJournal ShardJournal::create(const std::string& dir, const JournalHeader& h
   j.dir_ = dir;
   j.header_ = header;
   j.has_record_.assign(header.shard_count, false);
-  atomic_write(dir, kSessionFile, encode_header(header));
+  write_file_atomic(dir + "/" + kSessionFile, encode_header(header));
   return j;
 }
 
-ShardJournal ShardJournal::open(const std::string& dir) {
+ShardJournal ShardJournal::open(const std::string& dir, bool keep_records) {
   ShardJournal j;
   j.dir_ = dir;
   j.header_ = decode_header(read_file(dir + "/" + kSessionFile));
@@ -157,7 +122,7 @@ ShardJournal ShardJournal::open(const std::string& dir) {
         continue;
       }
       j.has_record_[index] = true;
-      j.recovered_.push_back(std::move(r));
+      if (keep_records) j.recovered_.push_back(std::move(r));
     } catch (const std::invalid_argument&) {
       ++j.skipped_corrupt_;  // damaged record → recompute that range
     }
@@ -168,8 +133,39 @@ ShardJournal ShardJournal::open(const std::string& dir) {
 void ShardJournal::record(const ShardResult& shard) {
   BNCG_REQUIRE(record_matches(header_, shard), "journal: record does not match the session");
   if (has_record_[shard.shard_index]) return;  // append-only, first result wins
-  atomic_write(dir_, record_name(shard.shard_index), shard_to_binary(shard));
+  write_file_atomic(dir_ + "/" + record_name(shard.shard_index), shard_to_binary(shard));
   has_record_[shard.shard_index] = true;
+}
+
+std::string ShardJournal::session_dir_name(const JournalHeader& h) {
+  // The key hashes exactly the fields record_matches compares, so "same
+  // directory" and "mergeable records" coincide by construction.
+  std::string body;
+  put_u64(body, h.fingerprint);
+  put_u32(body, h.n);
+  put_u64(body, h.m);
+  put_u8(body, h.model == UsageCost::Sum ? 0 : 1);
+  put_u8(body, h.include_deletions ? 1 : 0);
+  put_u8(body, h.stop_on_violation ? 1 : 0);
+  put_u32(body, h.shard_count);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "session_%016llx",
+                static_cast<unsigned long long>(fnv1a64(body.data(), body.size())));
+  return buf;
+}
+
+std::vector<std::string> ShardJournal::list_session_dirs(const std::string& root) {
+  std::vector<std::string> dirs;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(root, ec)) {
+    if (!entry.is_directory()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("session_", 0) != 0) continue;
+    if (!std::filesystem::exists(entry.path() / kSessionFile)) continue;
+    dirs.push_back(entry.path().string());
+  }
+  std::sort(dirs.begin(), dirs.end());
+  return dirs;
 }
 
 }  // namespace bncg::svc

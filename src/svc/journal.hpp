@@ -58,7 +58,11 @@ class ShardJournal {
   /// the directory or session record is missing, std::invalid_argument
   /// when the session record is corrupt. Records that fail to decode or
   /// disagree with the header are skipped and counted, not fatal.
-  [[nodiscard]] static ShardJournal open(const std::string& dir);
+  /// `keep_records == false` validates and indexes the records (has_record,
+  /// skipped_corrupt) but discards the decoded payloads — recovered() stays
+  /// empty and peak memory stays O(one shard); the streaming witness sink
+  /// (svc/sink.hpp) re-reads records one at a time from disk instead.
+  [[nodiscard]] static ShardJournal open(const std::string& dir, bool keep_records = true);
 
   /// Atomically appends one completed range (temp file + fsync +
   /// rename). No-op when the range already has a record. Throws
@@ -70,8 +74,36 @@ class ShardJournal {
   [[nodiscard]] std::size_t skipped_corrupt() const noexcept { return skipped_corrupt_; }
   [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
 
+  /// Whether shard `index` already has a durable record.
+  [[nodiscard]] bool has_record(std::uint32_t index) const {
+    return index < has_record_.size() && has_record_[index];
+  }
+  /// Number of shards with durable records.
+  [[nodiscard]] std::uint32_t records() const noexcept {
+    std::uint32_t count = 0;
+    for (const bool has : has_record_) count += has ? 1 : 0;
+    return count;
+  }
+  /// Full path of the record file of shard `index`.
+  [[nodiscard]] std::string record_path(std::uint32_t index) const {
+    return dir_ + "/" + record_name(index);
+  }
+
   /// Name of the record file of shard `index` ("range_000042.shard").
   [[nodiscard]] static std::string record_name(std::uint32_t index);
+
+  /// Deterministic per-session directory name derived from the header's
+  /// identity block ("session_<16-hex>"). Two submissions of the same
+  /// instance + run configuration map to the SAME directory — which is
+  /// exactly the idempotence the multi-session dispatcher wants — while
+  /// any difference in fingerprint/n/m/model/flags/shard_count yields a
+  /// different name, so sibling sessions can never share a journal.
+  [[nodiscard]] static std::string session_dir_name(const JournalHeader& header);
+
+  /// Subdirectories of `root` that look like session journals (name
+  /// starts with "session_" and a session.bin exists inside), sorted by
+  /// name for deterministic resume order. Missing root → empty list.
+  [[nodiscard]] static std::vector<std::string> list_session_dirs(const std::string& root);
 
  private:
   ShardJournal() = default;

@@ -158,7 +158,7 @@ std::optional<Frame> try_decode_frame(std::string& buffer) {
   BNCG_REQUIRE(header.u32() == kFrameMagic, "svc frame: bad magic");
   const std::uint8_t type_byte = header.u8();
   BNCG_REQUIRE(type_byte >= static_cast<std::uint8_t>(FrameType::Hello) &&
-                   type_byte <= static_cast<std::uint8_t>(FrameType::Done),
+                   type_byte <= static_cast<std::uint8_t>(FrameType::JobStatus),
                "svc frame: unknown type");
   const std::uint32_t length = header.u32();
   BNCG_REQUIRE(length <= kMaxFramePayload, "svc frame: length out of range");

@@ -26,9 +26,11 @@
 
 namespace bncg::svc {
 
-/// Version of the dispatcher/worker frame protocol. Hellos carrying any
-/// other version are refused at handshake.
-inline constexpr std::uint32_t kSvcProtocolVersion = 1;
+/// Version of the dispatcher/worker frame protocol. Hellos (and Submit /
+/// JobStatus control requests) carrying any other version are refused.
+/// v2 added session multiplexing: Submit/Accepted/JobStatus frames,
+/// session ids in Hello/Welcome/Lease, and per-lease run configuration.
+inline constexpr std::uint32_t kSvcProtocolVersion = 2;
 
 /// Leading magic of every frame ("BNCG", little-endian).
 inline constexpr std::uint32_t kFrameMagic = 0x47434E42u;
@@ -45,11 +47,16 @@ class TransportError : public std::runtime_error {
 };
 
 /// Frame types of the dispatch protocol. Handshake: worker sends Hello
-/// (protocol version + instance fingerprint/n/m), dispatcher answers
-/// Welcome (run configuration) or Refuse (reason). Work: Lease
-/// (dispatcher → worker, one agent range), Result (worker → dispatcher,
-/// one certify_wire-encoded ShardResult), Done (dispatcher → worker, no
-/// more work, disconnect cleanly).
+/// (protocol version + instance fingerprint/n/m + optional session pin),
+/// dispatcher answers Welcome (session adoption + default run
+/// configuration), Refuse (reason), or JobStatus (parked: no queued job
+/// matches yet — a later Welcome adopts the worker when one arrives).
+/// Work: Lease (dispatcher → worker, one agent range plus that session's
+/// run configuration), Result (worker → dispatcher, one
+/// certify_wire-encoded ShardResult), Done (dispatcher → worker, no more
+/// work, disconnect cleanly). Control clients (no Hello): Submit
+/// (client → dispatcher, queue one job) answered by Accepted (session
+/// id), and a JobStatus query answered by a JobStatus report.
 enum class FrameType : std::uint8_t {
   Hello = 1,
   Welcome = 2,
@@ -57,6 +64,9 @@ enum class FrameType : std::uint8_t {
   Lease = 4,
   Result = 5,
   Done = 6,
+  Submit = 7,
+  Accepted = 8,
+  JobStatus = 9,
 };
 
 struct Frame {

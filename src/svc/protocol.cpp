@@ -10,6 +10,53 @@ void require_type(const Frame& frame, FrameType want, const char* what) {
   BNCG_REQUIRE(frame.type == want, what);
 }
 
+void put_model(std::string& out, UsageCost model) {
+  put_u8(out, model == UsageCost::Sum ? 0 : 1);
+}
+
+[[nodiscard]] UsageCost read_model(PayloadReader& in) {
+  const std::uint8_t model = in.u8();
+  BNCG_REQUIRE(model <= 1, "svc protocol: bad model byte");
+  return model == 0 ? UsageCost::Sum : UsageCost::Max;
+}
+
+void put_summary(std::string& out, const JobSummary& job) {
+  put_u64(out, job.session_id);
+  put_u64(out, job.fingerprint);
+  put_u32(out, job.n);
+  put_u64(out, job.m);
+  put_model(out, job.model);
+  put_u8(out, job.include_deletions ? 1 : 0);
+  put_u8(out, job.stop_on_violation ? 1 : 0);
+  put_u32(out, job.shard_count);
+  put_u32(out, job.completed_ranges);
+  put_u32(out, job.quarantined_ranges);
+  put_u8(out, static_cast<std::uint8_t>(job.state));
+}
+
+[[nodiscard]] JobSummary read_summary(PayloadReader& in) {
+  JobSummary job;
+  job.session_id = in.u64();
+  job.fingerprint = in.u64();
+  job.n = in.u32();
+  job.m = in.u64();
+  job.model = read_model(in);
+  job.include_deletions = in.u8() != 0;
+  job.stop_on_violation = in.u8() != 0;
+  job.shard_count = in.u32();
+  job.completed_ranges = in.u32();
+  job.quarantined_ranges = in.u32();
+  const std::uint8_t state = in.u8();
+  BNCG_REQUIRE(state <= static_cast<std::uint8_t>(JobSummary::State::Refused),
+               "svc protocol: bad session state byte");
+  job.state = static_cast<JobSummary::State>(state);
+  BNCG_REQUIRE(job.shard_count >= 1, "svc protocol: zero shard count in summary");
+  BNCG_REQUIRE(job.completed_ranges <= job.shard_count &&
+                   job.quarantined_ranges <= job.shard_count,
+               "svc protocol: summary range counts exceed the shard count");
+  return job;
+}
+
 }  // namespace
 
 Frame make_hello(const HelloBody& body) {
@@ -19,16 +66,18 @@ Frame make_hello(const HelloBody& body) {
   put_u64(f.payload, body.fingerprint);
   put_u32(f.payload, body.n);
   put_u64(f.payload, body.m);
+  put_u64(f.payload, body.session_id);
   return f;
 }
 
 Frame make_welcome(const WelcomeBody& body) {
   Frame f;
   f.type = FrameType::Welcome;
-  put_u8(f.payload, body.model == UsageCost::Sum ? 0 : 1);
+  put_model(f.payload, body.model);
   put_u8(f.payload, body.include_deletions ? 1 : 0);
   put_u8(f.payload, body.stop_on_violation ? 1 : 0);
   put_u32(f.payload, body.shard_count);
+  put_u64(f.payload, body.session_id);
   return f;
 }
 
@@ -47,6 +96,10 @@ Frame make_lease(const LeaseBody& body) {
   put_u32(f.payload, body.range.shard_index);
   put_u32(f.payload, body.range.shard_count);
   put_u64(f.payload, body.lease_ms);
+  put_u64(f.payload, body.session_id);
+  put_model(f.payload, body.model);
+  put_u8(f.payload, body.include_deletions ? 1 : 0);
+  put_u8(f.payload, body.stop_on_violation ? 1 : 0);
   return f;
 }
 
@@ -63,6 +116,46 @@ Frame make_done() {
   return f;
 }
 
+Frame make_submit(const SubmitBody& body) {
+  Frame f;
+  f.type = FrameType::Submit;
+  put_u32(f.payload, body.protocol_version);
+  put_u64(f.payload, body.fingerprint);
+  put_u32(f.payload, body.n);
+  put_u64(f.payload, body.m);
+  put_model(f.payload, body.model);
+  put_u8(f.payload, body.include_deletions ? 1 : 0);
+  put_u8(f.payload, body.stop_on_violation ? 1 : 0);
+  put_u32(f.payload, body.shard_count);
+  return f;
+}
+
+Frame make_accepted(const AcceptedBody& body) {
+  Frame f;
+  f.type = FrameType::Accepted;
+  put_u64(f.payload, body.session_id);
+  put_u8(f.payload, body.already_queued ? 1 : 0);
+  return f;
+}
+
+Frame make_job_query() {
+  Frame f;
+  f.type = FrameType::JobStatus;
+  put_u32(f.payload, kSvcProtocolVersion);
+  put_u8(f.payload, 0);
+  return f;
+}
+
+Frame make_job_status(const std::vector<JobSummary>& jobs) {
+  Frame f;
+  f.type = FrameType::JobStatus;
+  put_u32(f.payload, kSvcProtocolVersion);
+  put_u8(f.payload, 1);
+  put_u32(f.payload, static_cast<std::uint32_t>(jobs.size()));
+  for (const JobSummary& job : jobs) put_summary(f.payload, job);
+  return f;
+}
+
 HelloBody parse_hello(const Frame& frame) {
   require_type(frame, FrameType::Hello, "svc protocol: expected hello");
   PayloadReader in(frame.payload);
@@ -71,6 +164,7 @@ HelloBody parse_hello(const Frame& frame) {
   body.fingerprint = in.u64();
   body.n = in.u32();
   body.m = in.u64();
+  body.session_id = in.u64();
   in.expect_end();
   return body;
 }
@@ -79,12 +173,11 @@ WelcomeBody parse_welcome(const Frame& frame) {
   require_type(frame, FrameType::Welcome, "svc protocol: expected welcome");
   PayloadReader in(frame.payload);
   WelcomeBody body;
-  const std::uint8_t model = in.u8();
-  BNCG_REQUIRE(model <= 1, "svc protocol: bad model byte");
-  body.model = model == 0 ? UsageCost::Sum : UsageCost::Max;
+  body.model = read_model(in);
   body.include_deletions = in.u8() != 0;
   body.stop_on_violation = in.u8() != 0;
   body.shard_count = in.u32();
+  body.session_id = in.u64();
   BNCG_REQUIRE(body.shard_count >= 1, "svc protocol: zero shard count");
   in.expect_end();
   return body;
@@ -107,10 +200,62 @@ LeaseBody parse_lease(const Frame& frame) {
   body.range.shard_index = in.u32();
   body.range.shard_count = in.u32();
   body.lease_ms = in.u64();
+  body.session_id = in.u64();
+  body.model = read_model(in);
+  body.include_deletions = in.u8() != 0;
+  body.stop_on_violation = in.u8() != 0;
   in.expect_end();
   BNCG_REQUIRE(body.range.lo <= body.range.hi, "svc protocol: bad lease range");
   BNCG_REQUIRE(body.range.shard_index < body.range.shard_count,
                "svc protocol: bad lease shard index");
+  return body;
+}
+
+SubmitBody parse_submit(const Frame& frame) {
+  require_type(frame, FrameType::Submit, "svc protocol: expected submit");
+  PayloadReader in(frame.payload);
+  SubmitBody body;
+  body.protocol_version = in.u32();
+  body.fingerprint = in.u64();
+  body.n = in.u32();
+  body.m = in.u64();
+  body.model = read_model(in);
+  body.include_deletions = in.u8() != 0;
+  body.stop_on_violation = in.u8() != 0;
+  body.shard_count = in.u32();
+  in.expect_end();
+  BNCG_REQUIRE(body.n >= 1, "svc protocol: submit of an empty instance");
+  return body;
+}
+
+AcceptedBody parse_accepted(const Frame& frame) {
+  require_type(frame, FrameType::Accepted, "svc protocol: expected accepted");
+  PayloadReader in(frame.payload);
+  AcceptedBody body;
+  body.session_id = in.u64();
+  body.already_queued = in.u8() != 0;
+  in.expect_end();
+  return body;
+}
+
+JobStatusBody parse_job_status(const Frame& frame) {
+  require_type(frame, FrameType::JobStatus, "svc protocol: expected job status");
+  PayloadReader in(frame.payload);
+  JobStatusBody body;
+  body.protocol_version = in.u32();
+  const std::uint8_t kind = in.u8();
+  BNCG_REQUIRE(kind <= 1, "svc protocol: bad job status kind");
+  body.report = kind == 1;
+  if (body.report) {
+    const std::uint32_t count = in.u32();
+    // A corrupted count must not make the receiver try to materialize
+    // gigabytes; each summary is ≥ 40 bytes, so the frame length already
+    // bounds an honest count.
+    BNCG_REQUIRE(count <= kMaxFramePayload / 40, "svc protocol: job count out of range");
+    body.jobs.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) body.jobs.push_back(read_summary(in));
+  }
+  in.expect_end();
   return body;
 }
 

@@ -1,14 +1,27 @@
-// Message bodies of the dispatcher/worker protocol (DESIGN.md §12).
+// Message bodies of the dispatcher/worker protocol (DESIGN.md §12, §15).
 //
 // One struct + encode/decode pair per frame type, layered on svc/net's
 // checksummed framing. Decoders throw std::invalid_argument on any
 // malformed body — same contract as certify_wire — so a corrupt payload
 // that somehow survives the frame checksum still cannot smuggle bad
 // fields into the dispatcher or a worker.
+//
+// Session multiplexing (protocol v2): the dispatcher owns a QUEUE of jobs
+// (sessions), each pinning one instance identity plus one run
+// configuration. A worker's Hello is routed to whichever sessions its
+// loaded fingerprint matches; every Lease carries its session's id AND run
+// configuration, so one worker can serve sibling sessions over the same
+// instance (say, a sum job and a max job) without reconnecting — the
+// Welcome's configuration is only the adopting session's default. Control
+// clients never Hello: Submit queues a job (answered by Accepted),
+// a JobStatus query is answered by a JobStatus report, and a worker whose
+// fingerprint matches no queued job is parked with a JobStatus report
+// instead of refused while submissions are still open.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/certify_sharded.hpp"
 #include "core/usage_cost.hpp"
@@ -18,29 +31,91 @@ namespace bncg::svc {
 
 /// Worker → dispatcher greeting: protocol version plus the identity of
 /// the instance the worker loaded. The dispatcher refuses a Hello whose
-/// fingerprint/n/m disagree with its own instance — the wire format's
-/// fingerprint guard promoted to a connect-time session handshake.
+/// fingerprint/n/m match no queued job once submissions are closed — the
+/// wire format's fingerprint guard promoted to a connect-time session
+/// handshake. `session_id` 0 routes by fingerprint (any matching
+/// session); nonzero pins one session and is refused when it is unknown
+/// or its identity disagrees with the worker's instance.
 struct HelloBody {
   std::uint32_t protocol_version = kSvcProtocolVersion;
   std::uint64_t fingerprint = 0;
   Vertex n = 0;
   std::uint64_t m = 0;
+  std::uint64_t session_id = 0;
 };
 
-/// Dispatcher → worker run configuration (the worker takes model and
-/// flags from the service, never from its own command line).
+/// Dispatcher → worker session adoption: the id of the session whose
+/// fingerprint matched, plus that session's run configuration (the worker
+/// takes model and flags from the service, never from its own command
+/// line). Leases repeat the configuration per range — the Welcome copy is
+/// the adopting session's default, kept so a v1-shaped single-session
+/// worker flow still reads naturally.
 struct WelcomeBody {
   UsageCost model = UsageCost::Sum;
   bool include_deletions = false;
   bool stop_on_violation = false;
   std::uint32_t shard_count = 1;
+  std::uint64_t session_id = 0;
 };
 
-/// Dispatcher → worker work assignment: one agent range plus the lease
-/// deadline the dispatcher will enforce.
+/// Dispatcher → worker work assignment: one agent range, the lease
+/// deadline the dispatcher will enforce, and the owning session's id and
+/// run configuration (authoritative for THIS range — sibling sessions
+/// over one instance may differ in model or flags).
 struct LeaseBody {
   AgentRange range;
   std::uint64_t lease_ms = 0;
+  std::uint64_t session_id = 0;
+  UsageCost model = UsageCost::Sum;
+  bool include_deletions = false;
+  bool stop_on_violation = false;
+};
+
+/// Control client → dispatcher: queue one certification job. The identity
+/// block is the submitting client's own fingerprint of the instance its
+/// workers will load; `shard_count` 0 lets the dispatcher pick its
+/// default split. Submitting a job identical to a queued/completed one is
+/// idempotent: Accepted returns the existing session.
+struct SubmitBody {
+  std::uint32_t protocol_version = kSvcProtocolVersion;
+  std::uint64_t fingerprint = 0;
+  Vertex n = 0;
+  std::uint64_t m = 0;
+  UsageCost model = UsageCost::Sum;
+  bool include_deletions = false;
+  bool stop_on_violation = false;
+  std::uint32_t shard_count = 0;
+};
+
+/// Dispatcher → control client: the session id a Submit landed on.
+struct AcceptedBody {
+  std::uint64_t session_id = 0;
+  bool already_queued = false;  ///< idempotent resubmit of a known job
+};
+
+/// One session's public state in a JobStatus report.
+struct JobSummary {
+  std::uint64_t session_id = 0;
+  std::uint64_t fingerprint = 0;
+  Vertex n = 0;
+  std::uint64_t m = 0;
+  UsageCost model = UsageCost::Sum;
+  bool include_deletions = false;
+  bool stop_on_violation = false;
+  std::uint32_t shard_count = 1;
+  std::uint32_t completed_ranges = 0;
+  std::uint32_t quarantined_ranges = 0;
+  enum class State : std::uint8_t { Active = 0, Complete = 1, Refused = 2 };
+  State state = State::Active;
+};
+
+/// JobStatus payload. As a request (control client → dispatcher) the
+/// report flag is clear and `jobs` is empty; as a report (dispatcher →
+/// client, or dispatcher → parked worker) it lists every session.
+struct JobStatusBody {
+  std::uint32_t protocol_version = kSvcProtocolVersion;
+  bool report = false;
+  std::vector<JobSummary> jobs;
 };
 
 [[nodiscard]] Frame make_hello(const HelloBody& body);
@@ -49,10 +124,17 @@ struct LeaseBody {
 [[nodiscard]] Frame make_lease(const LeaseBody& body);
 [[nodiscard]] Frame make_result(std::string shard_wire_bytes);
 [[nodiscard]] Frame make_done();
+[[nodiscard]] Frame make_submit(const SubmitBody& body);
+[[nodiscard]] Frame make_accepted(const AcceptedBody& body);
+[[nodiscard]] Frame make_job_query();
+[[nodiscard]] Frame make_job_status(const std::vector<JobSummary>& jobs);
 
 [[nodiscard]] HelloBody parse_hello(const Frame& frame);
 [[nodiscard]] WelcomeBody parse_welcome(const Frame& frame);
 [[nodiscard]] std::string parse_refuse(const Frame& frame);
 [[nodiscard]] LeaseBody parse_lease(const Frame& frame);
+[[nodiscard]] SubmitBody parse_submit(const Frame& frame);
+[[nodiscard]] AcceptedBody parse_accepted(const Frame& frame);
+[[nodiscard]] JobStatusBody parse_job_status(const Frame& frame);
 
 }  // namespace bncg::svc

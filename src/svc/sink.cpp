@@ -1,0 +1,69 @@
+#include "svc/sink.hpp"
+
+#include <filesystem>
+#include <utility>
+
+#include "core/certify_wire.hpp"
+#include "util/error.hpp"
+
+namespace bncg::svc {
+
+StreamingSink StreamingSink::durable(ShardJournal journal) {
+  StreamingSink sink;
+  sink.journal_.emplace(std::move(journal));
+  return sink;
+}
+
+StreamingSink StreamingSink::spool(const std::string& dir, const JournalHeader& header) {
+  // A stale spool at the same path is this process's own leftover (the
+  // path embeds the pid); recreating from scratch is always right.
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  StreamingSink sink;
+  sink.journal_.emplace(ShardJournal::create(dir, header));
+  sink.remove_on_destroy_ = true;
+  return sink;
+}
+
+StreamingSink::StreamingSink(StreamingSink&& other) noexcept
+    : journal_(std::move(other.journal_)),
+      remove_on_destroy_(std::exchange(other.remove_on_destroy_, false)) {
+  other.journal_.reset();
+}
+
+StreamingSink& StreamingSink::operator=(StreamingSink&& other) noexcept {
+  if (this != &other) {
+    this->~StreamingSink();
+    journal_ = std::move(other.journal_);
+    remove_on_destroy_ = std::exchange(other.remove_on_destroy_, false);
+    other.journal_.reset();
+  }
+  return *this;
+}
+
+StreamingSink::~StreamingSink() {
+  if (remove_on_destroy_ && journal_.has_value()) {
+    std::error_code ec;
+    std::filesystem::remove_all(journal_->dir(), ec);  // best effort
+  }
+}
+
+void StreamingSink::append(const ShardResult& shard) { journal_->record(shard); }
+
+ShardResult StreamingSink::read(std::uint32_t index) const {
+  BNCG_REQUIRE(journal_->has_record(index), "sink: no record for shard " + std::to_string(index));
+  return read_shard_file(journal_->record_path(index));
+}
+
+ShardedCertificate StreamingSink::compact() const {
+  const std::uint32_t count = journal_->header().shard_count;
+  ShardFold fold;
+  for (std::uint32_t index = 0; index < count; ++index) {
+    BNCG_REQUIRE(journal_->has_record(index),
+                 "sink: compaction with missing shard " + std::to_string(index));
+    fold.add(read_shard_file(journal_->record_path(index)));
+  }
+  return fold.finish();
+}
+
+}  // namespace bncg::svc

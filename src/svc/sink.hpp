@@ -1,0 +1,80 @@
+// Streaming witness sink of the certification service (DESIGN.md §15).
+//
+// The PR6 dispatcher held every completed ShardResult in memory until the
+// final merge — peak memory O(total witnesses) per run, multiplied by the
+// number of concurrent sessions once the service multiplexes. The sink
+// inverts that: each ShardResult is appended to disk crash-safely
+// (tmp + fsync + rename, the journal's discipline) the moment it arrives
+// and the in-memory copy is dropped; the final compaction streams the
+// shard files back in shard-index order through the incremental ShardFold
+// (core/certify_sharded.hpp) — the SAME fold merge_shard_results runs — so
+// the certificate is byte-identical to the buffered merge while peak
+// witness memory stays O(one shard).
+//
+// Two backings, one behavior:
+//  * durable — rides on a caller-owned ShardJournal directory, so the
+//    appended records double as the crash-recovery journal and survive the
+//    sink (this is `serve --journal`);
+//  * spool — creates a throwaway journal under a scratch directory and
+//    removes the whole directory on destruction (plain `serve`, which
+//    promised no persistent files).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/certify_sharded.hpp"
+#include "svc/journal.hpp"
+
+namespace bncg::svc {
+
+class StreamingSink {
+ public:
+  /// Durable sink over an existing journal (created or resumed by the
+  /// caller). Records already in the journal count as appended — resume
+  /// and streaming replay compose for free.
+  [[nodiscard]] static StreamingSink durable(ShardJournal journal);
+
+  /// Spool sink: (re)creates `dir` as a throwaway journal for `header`
+  /// and removes the whole directory on destruction.
+  [[nodiscard]] static StreamingSink spool(const std::string& dir, const JournalHeader& header);
+
+  StreamingSink(StreamingSink&& other) noexcept;
+  StreamingSink& operator=(StreamingSink&& other) noexcept;
+  StreamingSink(const StreamingSink&) = delete;
+  StreamingSink& operator=(const StreamingSink&) = delete;
+  ~StreamingSink();
+
+  /// Appends one shard crash-safely and drops it from memory. No-op for a
+  /// shard index that already has a record (first valid result wins).
+  /// Throws std::invalid_argument when the shard does not belong to this
+  /// sink's session, std::runtime_error on I/O failure.
+  void append(const ShardResult& shard);
+
+  /// Whether shard `index` has been appended (or recovered).
+  [[nodiscard]] bool has(std::uint32_t index) const { return journal_->has_record(index); }
+  /// Number of distinct shards on disk.
+  [[nodiscard]] std::uint32_t appended() const { return journal_->records(); }
+  /// Re-reads one appended shard from disk (decode-validated). Throws when
+  /// the record is absent or damaged.
+  [[nodiscard]] ShardResult read(std::uint32_t index) const;
+  [[nodiscard]] const JournalHeader& header() const { return journal_->header(); }
+  [[nodiscard]] const std::string& dir() const { return journal_->dir(); }
+  /// Damaged records skipped while reopening the backing journal.
+  [[nodiscard]] std::size_t skipped_corrupt() const { return journal_->skipped_corrupt(); }
+
+  /// Streams every shard file back in shard-index order through ShardFold
+  /// and returns the merged certificate — byte-identical to
+  /// merge_shard_results over the same shards, holding one ShardResult at
+  /// a time. Throws std::invalid_argument when the shard set is incomplete
+  /// or inconsistent, std::runtime_error when a record cannot be read.
+  [[nodiscard]] ShardedCertificate compact() const;
+
+ private:
+  StreamingSink() = default;
+
+  std::optional<ShardJournal> journal_;
+  bool remove_on_destroy_ = false;
+};
+
+}  // namespace bncg::svc

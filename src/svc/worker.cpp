@@ -9,7 +9,7 @@
 #include "core/swap_engine.hpp"
 #include "graph/io.hpp"
 #include "svc/net.hpp"
-#include "svc/protocol.hpp"
+#include "util/error.hpp"
 #include "util/rng.hpp"
 
 namespace bncg::svc {
@@ -55,16 +55,27 @@ WorkerReport run_connect_worker(const Graph& g, const ConnectConfig& config, std
   hello.fingerprint = graph_fingerprint(g);
   hello.n = g.num_vertices();
   hello.m = g.num_edges();
+  hello.session_id = config.session_id;
   sock.send_frame(make_hello(hello));
 
+  // The handshake reply is Welcome (work now), Refuse (wrong instance),
+  // Done (nothing left to serve), or JobStatus — parked until a matching
+  // job is submitted, at which point a Welcome follows.
   Frame reply = sock.recv_frame();
+  while (reply.type == FrameType::JobStatus) {
+    if (!report.parked && log != nullptr) {
+      *log << "worker: parked — no queued job matches this instance yet\n";
+    }
+    report.parked = true;
+    reply = sock.recv_frame();
+  }
   if (reply.type == FrameType::Refuse) {
     report.refused = true;
     report.refuse_reason = parse_refuse(reply);
     return report;
   }
   if (reply.type == FrameType::Done) return report;
-  const WelcomeBody run = parse_welcome(reply);
+  (void)parse_welcome(reply);  // validated; run config now arrives per lease
 
   const SwapEngine engine(g, config.width);
   SwapEngine::Scratch scratch;
@@ -85,8 +96,8 @@ WorkerReport run_connect_worker(const Graph& g, const ConnectConfig& config, std
       AgentRange half = lease.range;
       half.hi = lease.range.lo + (lease.range.hi - lease.range.lo) / 2;
       if (half.hi > half.lo) {
-        (void)certify_agent_range(engine, half, run.model, run.include_deletions,
-                                  run.stop_on_violation, &scratch);
+        (void)certify_agent_range(engine, half, lease.model, lease.include_deletions,
+                                  lease.stop_on_violation, &scratch);
       }
       std::_Exit(12);
     }
@@ -97,9 +108,12 @@ WorkerReport run_connect_worker(const Graph& g, const ConnectConfig& config, std
     }
     if (mode == ChaosConfig::Mode::Slow) sleep_ms(config.chaos.delay_ms);
 
-    const ShardResult shard = certify_agent_range(engine, lease.range, run.model,
-                                                  run.include_deletions, run.stop_on_violation,
-                                                  &scratch);
+    // The lease body carries the session's run configuration — under a
+    // multiplexed dispatcher consecutive leases may belong to different
+    // sessions (same graph, different model or flags).
+    const ShardResult shard = certify_agent_range(engine, lease.range, lease.model,
+                                                  lease.include_deletions,
+                                                  lease.stop_on_violation, &scratch);
     std::string shard_bytes = shard_to_binary(shard);
     const bool corrupt_this =
         mode == ChaosConfig::Mode::CorruptAll ||
@@ -125,11 +139,30 @@ WorkerReport run_connect_worker(const Graph& g, const ConnectConfig& config, std
     }
     ++report.leases_completed;
     report.agents_scanned += lease.range.hi - lease.range.lo;
+    report.lease_sessions.push_back(lease.session_id);
     if (log != nullptr) {
-      *log << "worker: range " << lease.range.shard_index << " [" << lease.range.lo << ", "
-           << lease.range.hi << ") sent\n";
+      *log << "worker: session " << lease.session_id << " range " << lease.range.shard_index
+           << " [" << lease.range.lo << ", " << lease.range.hi << ") sent\n";
     }
   }
+}
+
+AcceptedBody submit_job(const ConnectConfig& config, const SubmitBody& job) {
+  Socket sock = connect_with_retry(config, nullptr);
+  sock.send_frame(make_submit(job));
+  const Frame reply = sock.recv_frame();
+  if (reply.type == FrameType::Refuse) {
+    throw std::invalid_argument("submit refused: " + parse_refuse(reply));
+  }
+  return parse_accepted(reply);
+}
+
+JobStatusBody query_jobs(const ConnectConfig& config) {
+  Socket sock = connect_with_retry(config, nullptr);
+  sock.send_frame(make_job_query());
+  JobStatusBody status = parse_job_status(sock.recv_frame());
+  BNCG_REQUIRE(status.report, "status: dispatcher replied with a query, not a report");
+  return status;
 }
 
 }  // namespace bncg::svc

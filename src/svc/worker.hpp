@@ -1,14 +1,18 @@
 // Connected certification worker + deterministic fault injection
-// (DESIGN.md §12).
+// (DESIGN.md §12, §15).
 //
 // run_connect_worker dials a dispatcher (svc/dispatcher.hpp), handshakes
 // with the instance fingerprint it loaded (refused at connect time when it
-// does not match the served instance), then loops: receive a lease,
-// certify the range with the exact same certify_agent_range scan the
-// in-process and file-based pipelines use, stream the wire-encoded
+// matches no queued job and submissions are closed), then loops: receive a
+// lease, certify the range with the exact same certify_agent_range scan
+// the in-process and file-based pipelines use, stream the wire-encoded
 // ShardResult back. Run configuration (model, deletion clause,
-// stop-on-violation) comes from the dispatcher's Welcome — a connected
-// worker can never certify the wrong clause.
+// stop-on-violation) comes from EACH lease — under a session-multiplexed
+// dispatcher one worker process serves sibling sessions over the same
+// graph that differ only in run configuration, and can still never
+// certify the wrong clause. A worker whose instance matches no queued job
+// while submissions are open is PARKED (JobStatus frame) and woken with a
+// Welcome once a matching job is submitted.
 //
 // ChaosConfig turns the same loop into a seeded fault injector (the
 // `bncg_certify chaos-worker` mode): crash mid-range, hang past the
@@ -16,14 +20,19 @@
 // double-send, or just run slow. Every behavior is deterministic given
 // the seed, so the fault-injection harness (scripts/certify_chaos.sh,
 // tests/test_svc_dispatcher.cpp) asserts exact outcomes, not luck.
+//
+// submit_job / query_jobs are the thin client calls behind the CLI's
+// `submit` and `status` modes: one connection, one frame each way.
 #pragma once
 
 #include <cstdint>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "graph/dist_width.hpp"
 #include "graph/graph.hpp"
+#include "svc/protocol.hpp"
 
 namespace bncg::svc {
 
@@ -51,13 +60,20 @@ struct ConnectConfig {
   std::uint32_t connect_retries = 5;
   std::uint64_t connect_backoff_ms = 100;
   ChaosConfig chaos;
+  /// Pin this worker to one session id (0 = serve any session whose
+  /// instance matches the loaded graph).
+  std::uint64_t session_id = 0;
 };
 
 struct WorkerReport {
   bool refused = false;        ///< dispatcher refused the handshake (CLI exit 3)
   std::string refuse_reason;
+  bool parked = false;         ///< dispatcher parked this worker at least once
   std::size_t leases_completed = 0;
   std::uint64_t agents_scanned = 0;
+  /// Session id of each completed lease, in completion order — the fair
+  /// scheduler's observable footprint (tests assert alternation).
+  std::vector<std::uint64_t> lease_sessions;
 };
 
 /// Runs the connected-worker loop until the dispatcher says Done (clean
@@ -67,5 +83,15 @@ struct WorkerReport {
 /// never use it in-process.
 [[nodiscard]] WorkerReport run_connect_worker(const Graph& g, const ConnectConfig& config,
                                               std::ostream* log = nullptr);
+
+/// Submits one job to a dispatcher and returns its Accepted reply
+/// (session id + whether the identical job was already queued). Throws
+/// TransportError on connection failure and std::invalid_argument when
+/// the dispatcher refuses the submission (closed, or a journal guard).
+[[nodiscard]] AcceptedBody submit_job(const ConnectConfig& config, const SubmitBody& job);
+
+/// Queries a dispatcher for its session table. Throws TransportError on
+/// connection failure.
+[[nodiscard]] JobStatusBody query_jobs(const ConnectConfig& config);
 
 }  // namespace bncg::svc

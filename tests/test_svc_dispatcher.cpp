@@ -379,5 +379,200 @@ TEST_F(SvcDispatcherTest, ResumePinsTheJournalShardCount) {
   EXPECT_EQ(resumed.certificate->shards_used, 4u);
 }
 
+// --- session multiplexing (serve_jobs) --------------------------------------
+
+TEST_F(SvcDispatcherTest, RedispatchDelaySaturatesInsteadOfOverflowing) {
+  // The k-th failure backs off by backoff·2^min(k−1, 6): a pinned sequence,
+  // because scripts and operators reason about these exact delays.
+  const std::uint64_t want[] = {50, 100, 200, 400, 800, 1600, 3200, 3200, 3200};
+  for (std::uint32_t k = 1; k <= 9; ++k) {
+    EXPECT_EQ(redispatch_delay_ms(50, k), want[k - 1]) << "failure " << k;
+  }
+  // A huge base with a deep retry budget must saturate at the one-hour
+  // ceiling — never shift into zero or a past deadline.
+  EXPECT_EQ(redispatch_delay_ms(~0ull, 1), kMaxRedispatchDelayMs);
+  EXPECT_EQ(redispatch_delay_ms(~0ull, 200), kMaxRedispatchDelayMs);
+  EXPECT_EQ(redispatch_delay_ms(kMaxRedispatchDelayMs, 7), kMaxRedispatchDelayMs);
+  EXPECT_EQ(redispatch_delay_ms(kMaxRedispatchDelayMs / 2, 2), kMaxRedispatchDelayMs / 2 * 2);
+  EXPECT_EQ(redispatch_delay_ms(1, 100), 64u);  // exponent clamped at 2^6
+  EXPECT_GT(redispatch_delay_ms(1, 1), 0u);
+}
+
+[[nodiscard]] JobSpec job_for(const Graph& g, UsageCost model, std::size_t shards) {
+  JobSpec job;
+  job.fingerprint = graph_fingerprint(g);
+  job.n = g.num_vertices();
+  job.m = g.num_edges();
+  job.model = model;
+  job.shards = shards;
+  return job;
+}
+
+TEST_F(SvcDispatcherTest, SiblingSessionsShareOneWorkerAndBothMatchReference) {
+  // Two sessions over the SAME instance differing only in run config: the
+  // per-lease configuration must keep one worker from ever certifying the
+  // wrong clause, and the fair scheduler must alternate between them.
+  MultiServeConfig config;
+  config.address = socket_address("siblings");
+  const std::vector<JobSpec> jobs = {job_for(g_, UsageCost::Sum, 3),
+                                     job_for(g_, UsageCost::Max, 3)};
+  std::optional<WorkerReport> report;
+  spawn_worker(g_, {.address = config.address}, nullptr, &report);
+  const MultiServeOutcome outcome = serve_jobs(jobs, config, nullptr);
+  join_workers();
+
+  ASSERT_EQ(outcome.sessions.size(), 2u);
+  const SwapEngine engine(g_);
+  for (const SessionOutcome& s : outcome.sessions) {
+    ASSERT_TRUE(s.complete) << "session " << s.session_id;
+    expect_same_certificate(s.certificate->certificate,
+                            engine.certify(s.header.model, false),
+                            "session " + std::to_string(s.session_id));
+  }
+  EXPECT_EQ(outcome.stats.sessions_queued, 2u);
+  EXPECT_EQ(outcome.stats.sessions_completed, 2u);
+  EXPECT_EQ(outcome.stats.sessions_refused, 0u);
+  EXPECT_EQ(outcome.stats.leases_granted, 6u);
+
+  // Deficit fairness with a single worker is fully deterministic: least
+  // granted first, ties to the lowest session id — strict alternation.
+  ASSERT_TRUE(report.has_value());
+  const std::vector<std::uint64_t> want = {1, 2, 1, 2, 1, 2};
+  EXPECT_EQ(report->lease_sessions, want);
+}
+
+TEST_F(SvcDispatcherTest, ParkedWorkerIsAdoptedBySubmittedJob) {
+  MultiServeConfig config;
+  config.address = socket_address("parked");
+  config.accept_submissions = 1;
+
+  // The worker dials an empty dispatcher first (gate-free: submissions are
+  // open, so it parks instead of being refused), THEN a control client
+  // submits the matching job.
+  std::optional<WorkerReport> report;
+  spawn_worker(g_, {.address = config.address}, nullptr, &report);
+  std::optional<AcceptedBody> accepted;
+  threads_.emplace_back([&, this] {
+    ConnectConfig client;
+    client.address = config.address;
+    client.connect_retries = 0;
+    SubmitBody job;
+    job.fingerprint = graph_fingerprint(g_);
+    job.n = g_.num_vertices();
+    job.m = g_.num_edges();
+    job.shard_count = 4;
+    // Give the worker time to connect and park before the job exists.
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    while (!stop_.load()) {
+      try {
+        accepted = submit_job(client, job);
+        return;
+      } catch (const TransportError&) {
+        nap();
+      }
+    }
+  });
+
+  const MultiServeOutcome outcome = serve_jobs({}, config, nullptr);
+  join_workers();
+  ASSERT_TRUE(accepted.has_value());
+  EXPECT_EQ(accepted->session_id, 1u);
+  EXPECT_FALSE(accepted->already_queued);
+  ASSERT_EQ(outcome.sessions.size(), 1u);
+  ASSERT_TRUE(outcome.sessions.front().complete);
+  const SwapEngine engine(g_);
+  expect_same_certificate(outcome.sessions.front().certificate->certificate,
+                          engine.certify(UsageCost::Sum, false), "submitted session");
+  ASSERT_TRUE(report.has_value());
+  EXPECT_TRUE(report->parked);
+  EXPECT_GE(report->leases_completed, 1u);
+  EXPECT_GE(outcome.stats.workers_parked, 1u);
+}
+
+TEST_F(SvcDispatcherTest, QuarantinedSessionNeverPoisonsItsSibling) {
+  Xoshiro256ss rng(0x5EED);
+  const Graph doomed = random_connected_gnm(48, 120, rng);
+  ASSERT_NE(graph_fingerprint(doomed), graph_fingerprint(g_));
+
+  MultiServeConfig config;
+  config.address = socket_address("isolate");
+  config.max_retries = 0;  // first strike quarantines
+  const std::vector<JobSpec> jobs = {job_for(g_, UsageCost::Sum, 3),
+                                     job_for(doomed, UsageCost::Sum, 1)};
+  spawn_worker(g_, {.address = config.address});
+  ConnectConfig corrupting;
+  corrupting.address = config.address;
+  corrupting.chaos.mode = ChaosConfig::Mode::CorruptAll;
+  spawn_worker(doomed, corrupting);
+
+  const MultiServeOutcome outcome = serve_jobs(jobs, config, nullptr);
+  ASSERT_EQ(outcome.sessions.size(), 2u);
+  const SessionOutcome& healthy = outcome.sessions[0];
+  const SessionOutcome& poisoned = outcome.sessions[1];
+  ASSERT_TRUE(healthy.complete) << "sibling session must be untouched";
+  const SwapEngine engine(g_);
+  expect_same_certificate(healthy.certificate->certificate,
+                          engine.certify(UsageCost::Sum, false), "healthy sibling");
+  EXPECT_FALSE(poisoned.complete);
+  EXPECT_FALSE(poisoned.certificate.has_value());
+  ASSERT_EQ(poisoned.quarantined.size(), 1u);
+  EXPECT_EQ(poisoned.agents_uncovered, doomed.num_vertices());
+  EXPECT_EQ(outcome.stats.sessions_completed, 1u);
+  EXPECT_EQ(outcome.stats.sessions_refused, 1u);
+}
+
+TEST_F(SvcDispatcherTest, StaleCorruptFrameCountsExactlyOneStrike) {
+  // A saboteur takes the only lease, outlives it, and then delivers a
+  // corrupt frame: ONE corrupt strike, ZERO disconnects (it no longer
+  // holds the current lease, so neither the corruption nor the resulting
+  // close may fail the range again), and the honest worker's re-dispatched
+  // result still completes the run.
+  ServeConfig config;
+  config.address = socket_address("onestrike");
+  config.shards = 1;
+  config.lease_ms = 300;
+  config.backoff_ms = 10;
+  config.max_retries = 3;
+
+  std::atomic<bool> expired_and_sent{false};
+  threads_.emplace_back([this, &config, &expired_and_sent] {
+    Socket sock;
+    while (!sock.valid() && !stop_.load()) {
+      try {
+        sock = connect_to(config.address);
+      } catch (const TransportError&) {
+        nap();
+      }
+    }
+    if (!sock.valid()) return;
+    try {
+      HelloBody hello;
+      hello.fingerprint = graph_fingerprint(g_);
+      hello.n = g_.num_vertices();
+      hello.m = g_.num_edges();
+      sock.send_frame(make_hello(hello));
+      if (sock.recv_frame().type != FrameType::Welcome) return;
+      if (sock.recv_frame().type != FrameType::Lease) return;
+      // Outlive the 300 ms lease, then send garbage as the "result".
+      std::this_thread::sleep_for(std::chrono::milliseconds(800));
+      sock.send_frame(make_result("definitely not a shard"));
+      expired_and_sent.store(true);
+      // Linger so the dispatcher (not this dtor) decides to drop us.
+      while (!stop_.load()) nap();
+    } catch (const TransportError&) {
+      expired_and_sent.store(true);
+    }
+  });
+  // The honest worker connects only after the saboteur's lease expired —
+  // the single range must go to the saboteur first.
+  spawn_worker(g_, {.address = config.address}, &expired_and_sent);
+
+  const ServeOutcome outcome = serve(config);
+  expect_parity(outcome, UsageCost::Sum, false, "stale corrupt frame");
+  EXPECT_EQ(outcome.stats.expired_leases, 1u);
+  EXPECT_EQ(outcome.stats.corrupt_results, 1u);
+  EXPECT_EQ(outcome.stats.disconnects, 0u);
+}
+
 }  // namespace
 }  // namespace bncg::svc

@@ -29,7 +29,8 @@ namespace {
 
 TEST(SvcNet, FrameRoundTripsEveryTypeAndSize) {
   for (const FrameType type : {FrameType::Hello, FrameType::Welcome, FrameType::Refuse,
-                               FrameType::Lease, FrameType::Result, FrameType::Done}) {
+                               FrameType::Lease, FrameType::Result, FrameType::Done,
+                               FrameType::Submit, FrameType::Accepted, FrameType::JobStatus}) {
     for (const std::size_t len : {std::size_t{0}, std::size_t{1}, std::size_t{9},
                                   std::size_t{256}, std::size_t{4096}}) {
       const Frame sent = sample_frame(type, len);

@@ -21,6 +21,15 @@
 //                  ranges crash-safely, and folds the final certificate
 //                  through the same merge_shard_results as everything
 //                  else. --resume continues a killed run from the journal.
+//                  With repeated --jobs specs (and/or --accept-submissions)
+//                  one dispatcher multiplexes several certification
+//                  sessions concurrently, each with its own journal
+//                  directory under --journal and its own certificate block.
+//   submit       — queue one more job on a running `serve
+//                  --accept-submissions` dispatcher (idempotent: an
+//                  identical job returns the existing session id).
+//   status       — print a running dispatcher's session table, one line
+//                  per session.
 //   merge        — fold shard files back into the full certificate.
 //                  Refuses mismatched instances/run parameters
 //                  (fingerprint guard) and incomplete agent coverage; the
@@ -46,6 +55,7 @@
 #include <atomic>
 #include <cstdint>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -86,6 +96,18 @@ using namespace bncg;
          "  bncg_certify serve --graph FILE --listen ADDR [--shards K] [--model sum|max]\n"
          "               [--include-deletions] [--stop-on-violation] [--lease-ms N]\n"
          "               [--max-retries N] [--backoff-ms N] [--journal DIR] [--resume]\n"
+         "  bncg_certify serve --listen ADDR --jobs SPEC [--jobs SPEC ...]\n"
+         "               [--accept-submissions N] [--certs-dir DIR] [--shards K]\n"
+         "               [--model sum|max] [--include-deletions] [--stop-on-violation]\n"
+         "               [--lease-ms N] [--max-retries N] [--backoff-ms N]\n"
+         "               [--journal DIR] [--resume]\n"
+         "               SPEC = FILE[,model=sum|max][,shards=K][,include-deletions]\n"
+         "                      [,stop-on-violation]\n"
+         "  bncg_certify submit --connect ADDR --graph FILE [--model sum|max]\n"
+         "               [--include-deletions] [--stop-on-violation] [--shards K]\n"
+         "               [--connect-retries N] [--connect-backoff-ms N]\n"
+         "  bncg_certify status --connect ADDR [--connect-retries N]\n"
+         "               [--connect-backoff-ms N]\n"
          "  bncg_certify merge SHARD_FILE...\n"
          "  bncg_certify certify --graph FILE [--model sum|max] [--include-deletions]\n"
          "               [--stop-on-violation] [--width auto|u8|u16] [--shards N]\n"
@@ -123,6 +145,19 @@ class Args {
       }
     }
     return std::nullopt;
+  }
+
+  /// Every occurrence of a repeatable value flag, in argv order.
+  [[nodiscard]] std::vector<std::string> values(const std::string& name) {
+    std::vector<std::string> out;
+    for (std::size_t i = 0; i < argv_.size(); ++i) {
+      if (argv_[i] == name) {
+        if (i + 1 >= argv_.size()) usage("missing value for " + name);
+        consumed_[i] = consumed_[i + 1] = true;
+        out.push_back(argv_[i + 1]);
+      }
+    }
+    return out;
   }
 
   [[nodiscard]] std::string required(const std::string& name) {
@@ -212,29 +247,36 @@ void reject_unknown(const Args& args) {
 /// The byte-stable certificate block `serve`, `merge`, and `certify` all
 /// print; scripts/certify_fanout.sh and scripts/certify_chaos.sh diff
 /// these verbatim.
-void print_certificate(std::uint64_t fingerprint, Vertex n, std::uint64_t m, UsageCost model,
-                       bool include_deletions, bool stop_on_violation,
+void write_certificate(std::ostream& out, std::uint64_t fingerprint, Vertex n, std::uint64_t m,
+                       UsageCost model, bool include_deletions, bool stop_on_violation,
                        const ShardedCertificate& cert) {
   std::ostringstream fp;
   fp << std::hex << fingerprint;
-  std::cout << "instance n=" << n << " m=" << m << " fingerprint=0x" << fp.str() << "\n"
-            << "run model=" << (model == UsageCost::Sum ? "sum" : "max")
-            << " include_deletions=" << (include_deletions ? 1 : 0)
-            << " stop_on_violation=" << (stop_on_violation ? 1 : 0) << "\n"
-            << "verdict=" << (cert.certificate.is_equilibrium ? "EQUILIBRIUM" : "VIOLATED")
-            << " agents_scanned=" << cert.agents_scanned
-            << " moves_checked=" << cert.certificate.moves_checked << "\n";
+  out << "instance n=" << n << " m=" << m << " fingerprint=0x" << fp.str() << "\n"
+      << "run model=" << (model == UsageCost::Sum ? "sum" : "max")
+      << " include_deletions=" << (include_deletions ? 1 : 0)
+      << " stop_on_violation=" << (stop_on_violation ? 1 : 0) << "\n"
+      << "verdict=" << (cert.certificate.is_equilibrium ? "EQUILIBRIUM" : "VIOLATED")
+      << " agents_scanned=" << cert.agents_scanned
+      << " moves_checked=" << cert.certificate.moves_checked << "\n";
   if (cert.certificate.witness) {
     const Deviation& w = *cert.certificate.witness;
-    std::cout << "witness agent=" << w.swap.v << " remove=" << w.swap.remove_w
-              << " add=" << w.swap.add_w << " cost_before=" << w.cost_before
-              << " cost_after=" << w.cost_after << " kind="
-              << (w.kind == Deviation::Kind::ImprovingSwap ? "improving-swap"
-                                                           : "non-critical-delete")
-              << "\n";
+    out << "witness agent=" << w.swap.v << " remove=" << w.swap.remove_w
+        << " add=" << w.swap.add_w << " cost_before=" << w.cost_before
+        << " cost_after=" << w.cost_after << " kind="
+        << (w.kind == Deviation::Kind::ImprovingSwap ? "improving-swap"
+                                                     : "non-critical-delete")
+        << "\n";
   } else {
-    std::cout << "witness none\n";
+    out << "witness none\n";
   }
+}
+
+void print_certificate(std::uint64_t fingerprint, Vertex n, std::uint64_t m, UsageCost model,
+                       bool include_deletions, bool stop_on_violation,
+                       const ShardedCertificate& cert) {
+  write_certificate(std::cout, fingerprint, n, m, model, include_deletions, stop_on_violation,
+                    cert);
 }
 
 int run_gen(Args& args) {
@@ -352,7 +394,120 @@ int run_chaos_worker(Args& args) {
   return run_connected(args, chaos);
 }
 
+/// One `--jobs` spec: FILE[,model=sum|max][,shards=K][,include-deletions]
+/// [,stop-on-violation]. Omitted keys inherit the serve-level defaults.
+[[nodiscard]] svc::JobSpec parse_job_spec(const std::string& text, const svc::JobSpec& defaults) {
+  svc::JobSpec job = defaults;
+  std::size_t comma = text.find(',');
+  const std::string path = text.substr(0, comma);
+  if (path.empty()) usage("bad --jobs spec (empty graph file): " + text);
+  while (comma != std::string::npos) {
+    const std::size_t next = text.find(',', comma + 1);
+    const std::string key = text.substr(comma + 1, next == std::string::npos
+                                                       ? std::string::npos
+                                                       : next - comma - 1);
+    if (key.rfind("model=", 0) == 0) {
+      job.model = parse_model(key.substr(6));
+    } else if (key.rfind("shards=", 0) == 0) {
+      job.shards = static_cast<std::size_t>(parse_u64(key.substr(7), "--jobs shards"));
+    } else if (key == "include-deletions") {
+      job.include_deletions = true;
+    } else if (key == "stop-on-violation") {
+      job.stop_on_violation = true;
+    } else {
+      usage("bad --jobs spec key \"" + key + "\" in: " + text);
+    }
+    comma = next;
+  }
+  const Graph g = load_graph(path);
+  job.fingerprint = graph_fingerprint(g);
+  job.n = g.num_vertices();
+  job.m = g.num_edges();
+  return job;
+}
+
+int run_serve_jobs(Args& args, const std::vector<std::string>& specs) {
+  svc::JobSpec defaults;
+  defaults.model = parse_model(args.value("--model").value_or("sum"));
+  defaults.include_deletions = args.flag("--include-deletions");
+  defaults.stop_on_violation = args.flag("--stop-on-violation");
+  if (args.value("--shards")) {
+    defaults.shards = static_cast<std::size_t>(parse_u64(*args.value("--shards"), "--shards"));
+  }
+
+  svc::MultiServeConfig config;
+  config.address = args.required("--listen");
+  if (args.value("--lease-ms")) {
+    config.lease_ms = parse_u64(*args.value("--lease-ms"), "--lease-ms");
+  }
+  if (args.value("--max-retries")) {
+    config.max_retries = parse_u32(*args.value("--max-retries"), "--max-retries");
+  }
+  if (args.value("--backoff-ms")) {
+    config.backoff_ms = parse_u64(*args.value("--backoff-ms"), "--backoff-ms");
+  }
+  if (config.lease_ms == 0) usage("--lease-ms must be >= 1");
+  if (config.backoff_ms == 0) usage("--backoff-ms must be >= 1");
+  if (args.value("--journal")) config.journal_root = *args.value("--journal");
+  config.resume = args.flag("--resume");
+  if (args.value("--accept-submissions")) {
+    config.accept_submissions = static_cast<std::size_t>(
+        parse_u64(*args.value("--accept-submissions"), "--accept-submissions"));
+  }
+  const std::string certs_dir = args.value("--certs-dir").value_or("");
+  reject_unknown(args);
+  if (specs.empty() && config.accept_submissions == 0) {
+    usage("serve --jobs mode needs at least one --jobs spec or --accept-submissions");
+  }
+
+  std::vector<svc::JobSpec> jobs;
+  jobs.reserve(specs.size());
+  for (const std::string& spec : specs) jobs.push_back(parse_job_spec(spec, defaults));
+
+  if (!certs_dir.empty()) std::filesystem::create_directories(certs_dir);
+  Timer timer;
+  const svc::MultiServeOutcome outcome = svc::serve_jobs(jobs, config, &std::cerr);
+  std::size_t refused = 0;
+  for (const svc::SessionOutcome& s : outcome.sessions) {
+    if (!s.complete) {
+      ++refused;
+      std::cerr << "bncg_certify: serve refused session " << s.session_id << ": "
+                << s.quarantined.size() << " range(s) quarantined, " << s.agents_uncovered
+                << " agents uncovered — certificate withheld"
+                << (config.journal_root.empty()
+                        ? ""
+                        : "; completed ranges are journaled, rerun with --resume")
+                << "\n";
+      continue;
+    }
+    const svc::JournalHeader& h = s.header;
+    // stdout interleaves every session's block behind a session marker;
+    // --certs-dir additionally writes each block alone to session_<id>.cert
+    // so scripts can diff it byte-for-byte against single-process certify.
+    std::cout << "== session " << s.session_id << " ==\n";
+    print_certificate(h.fingerprint, h.n, h.m, h.model, h.include_deletions,
+                      h.stop_on_violation, *s.certificate);
+    if (!certs_dir.empty()) {
+      const std::string path = certs_dir + "/session_" + std::to_string(s.session_id) + ".cert";
+      std::ofstream out(path);
+      if (!out) throw std::runtime_error("cannot open for writing: " + path);
+      write_certificate(out, h.fingerprint, h.n, h.m, h.model, h.include_deletions,
+                        h.stop_on_violation, *s.certificate);
+      out.flush();
+      if (!out) throw std::runtime_error("write failed: " + path);
+    }
+  }
+  std::cerr << "serve: " << (outcome.sessions.size() - refused) << "/" << outcome.sessions.size()
+            << " session(s) certified in " << timer.millis() << " ms\n";
+  return refused == 0 ? 0 : 2;
+}
+
 int run_serve(Args& args) {
+  const std::vector<std::string> specs = args.values("--jobs");
+  if (!specs.empty() || args.value("--accept-submissions") || args.value("--certs-dir")) {
+    return run_serve_jobs(args, specs);
+  }
+
   const std::string graph_path = args.required("--graph");
   svc::ServeConfig config;
   config.address = args.required("--listen");
@@ -371,6 +526,10 @@ int run_serve(Args& args) {
   if (args.value("--backoff-ms")) {
     config.backoff_ms = parse_u64(*args.value("--backoff-ms"), "--backoff-ms");
   }
+  // Zero here would make every lease or re-dispatch deadline degenerate;
+  // reject it as a usage error, not a guard refusal deep in the service.
+  if (config.lease_ms == 0) usage("--lease-ms must be >= 1");
+  if (config.backoff_ms == 0) usage("--backoff-ms must be >= 1");
   if (args.value("--journal")) config.journal_dir = *args.value("--journal");
   config.resume = args.flag("--resume");
   reject_unknown(args);
@@ -389,6 +548,68 @@ int run_serve(Args& args) {
   print_certificate(graph_fingerprint(g), g.num_vertices(), g.num_edges(), config.model,
                     config.include_deletions, config.stop_on_violation, *outcome.certificate);
   std::cerr << "serve: certificate complete in " << timer.millis() << " ms\n";
+  return 0;
+}
+
+/// Shared by `submit` and `status`: the one-frame control-client config.
+[[nodiscard]] svc::ConnectConfig parse_control_config(Args& args) {
+  svc::ConnectConfig config;
+  config.address = args.required("--connect");
+  if (args.value("--connect-retries")) {
+    config.connect_retries = parse_u32(*args.value("--connect-retries"), "--connect-retries");
+  }
+  if (args.value("--connect-backoff-ms")) {
+    config.connect_backoff_ms =
+        parse_u64(*args.value("--connect-backoff-ms"), "--connect-backoff-ms");
+  }
+  return config;
+}
+
+int run_submit(Args& args) {
+  const svc::ConnectConfig config = parse_control_config(args);
+  const std::string graph_path = args.required("--graph");
+  svc::SubmitBody job;
+  job.model = parse_model(args.value("--model").value_or("sum"));
+  job.include_deletions = args.flag("--include-deletions");
+  job.stop_on_violation = args.flag("--stop-on-violation");
+  if (args.value("--shards")) {
+    job.shard_count = parse_u32(*args.value("--shards"), "--shards");
+  }
+  reject_unknown(args);
+
+  const Graph g = load_graph(graph_path);
+  job.fingerprint = graph_fingerprint(g);
+  job.n = g.num_vertices();
+  job.m = g.num_edges();
+  const svc::AcceptedBody accepted = svc::submit_job(config, job);
+  std::ostringstream fp;
+  fp << std::hex << job.fingerprint;
+  std::cout << "submitted session=" << accepted.session_id
+            << " already_queued=" << (accepted.already_queued ? 1 : 0) << " fingerprint=0x"
+            << fp.str() << "\n";
+  return 0;
+}
+
+int run_status(Args& args) {
+  const svc::ConnectConfig config = parse_control_config(args);
+  reject_unknown(args);
+
+  const svc::JobStatusBody status = svc::query_jobs(config);
+  for (const svc::JobSummary& job : status.jobs) {
+    std::ostringstream fp;
+    fp << std::hex << job.fingerprint;
+    const char* state = job.state == svc::JobSummary::State::Complete  ? "complete"
+                        : job.state == svc::JobSummary::State::Refused ? "refused"
+                                                                       : "active";
+    std::cout << "session=" << job.session_id << " state=" << state << " ranges="
+              << job.completed_ranges << "/" << job.shard_count
+              << " quarantined=" << job.quarantined_ranges << " n=" << job.n << " m=" << job.m
+              << " model=" << (job.model == UsageCost::Sum ? "sum" : "max")
+              << " include_deletions=" << (job.include_deletions ? 1 : 0)
+              << " stop_on_violation=" << (job.stop_on_violation ? 1 : 0) << " fingerprint=0x"
+              << fp.str() << "\n";
+  }
+  std::cerr << "status: " << status.jobs.size() << " session(s)\n";
   return 0;
 }
 
@@ -442,6 +663,8 @@ int main(int argc, char** argv) {
     if (mode == "worker") return run_worker(args);
     if (mode == "chaos-worker") return run_chaos_worker(args);
     if (mode == "serve") return run_serve(args);
+    if (mode == "submit") return run_submit(args);
+    if (mode == "status") return run_status(args);
     if (mode == "merge") return run_merge(args);
     if (mode == "certify") return run_certify(args);
     usage("unknown mode: " + mode);
@@ -456,6 +679,11 @@ int main(int argc, char** argv) {
     return 3;
   } catch (const std::exception& e) {
     std::cerr << "bncg_certify: error: " << e.what() << "\n";
+    return 1;
+  } catch (...) {
+    // Nothing may escape main as an uncaught throw: an unknown exception
+    // type is still a diagnosable exit-1 environment error, never a core.
+    std::cerr << "bncg_certify: error: unknown exception\n";
     return 1;
   }
 }
