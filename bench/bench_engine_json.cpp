@@ -31,6 +31,12 @@
 //   * "tree_game" — best tree swaps for every agent of a random tree
 //     (single-rooting O(n) rerooting sweep vs the component-BFS oracle).
 //
+// A "row_cache" section (PR 10) prices the budgeted distance provider:
+// the same instance is certified dense and under a half-slab memory budget
+// (certificates asserted identical), then a single-scratch sweep harvests
+// the cache's hit/miss/eviction/peak-bytes counters — the telemetry DESIGN.md
+// §16 quotes for the residency-vs-recompute trade.
+//
 // A second "kernels" section microbenchmarks the dispatched SIMD kernels
 // (util/simd.hpp) directly: each scan-table / combine / addition kernel is
 // timed at n = 1024 once with the dispatch pinned to scalar and once at the
@@ -50,16 +56,19 @@
 #include "bench_json_meta.hpp"
 #include "core/certify_sharded.hpp"
 #include "core/classic_game.hpp"
+#include "core/dist_provider.hpp"
 #include "core/equilibrium.hpp"
 #include "core/kstability.hpp"
 #include "core/swap_engine.hpp"
 #include "core/tree_game.hpp"
 #include "gen/classic.hpp"
+#include "gen/paper.hpp"
 #include "gen/random.hpp"
 #include "graph/dist_width.hpp"
 #include "graph/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/simd.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -350,6 +359,103 @@ std::vector<TreeRow> measure_tree_game(Vertex max_n) {
 }
 
 // ---------------------------------------------------------------------------
+// Row-cache rows (PR 10): dense vs budgeted certification of the same
+// instance, certificates asserted identical, plus the cache telemetry from
+// a single-scratch sweep.
+
+struct RowCacheRow {
+  std::string instance;
+  Vertex n = 0;
+  std::size_t m = 0;
+  std::string model;
+  std::uint64_t budget_bytes = 0;  ///< per-lane cap handed to the engine
+  std::uint64_t dense_bytes = 0;   ///< what the dense u16 slab would take
+  std::uint64_t moves = 0;
+  double dense_seconds = 0.0;
+  double budgeted_seconds = 0.0;
+  RowCacheStats stats;  ///< from the single-scratch sweep (not the timed runs)
+
+  [[nodiscard]] double slowdown() const { return budgeted_seconds / dense_seconds; }
+  [[nodiscard]] double hit_rate() const {
+    const std::uint64_t total = stats.hits + stats.misses;
+    return total == 0 ? 0.0 : static_cast<double>(stats.hits) / static_cast<double>(total);
+  }
+};
+
+RowCacheRow measure_row_cache(std::string instance, const Graph& g, UsageCost model) {
+  const Vertex n = g.num_vertices();
+  const bool deletions = model == UsageCost::Max;
+
+  RowCacheRow row;
+  row.instance = std::move(instance);
+  row.n = n;
+  row.m = g.num_edges();
+  row.model = model == UsageCost::Sum ? "sum" : "max";
+  row.dense_bytes = 2ull * n * n;  // the u16 slab the budget displaces
+
+  // Half the u16 slab per engine lane: big enough that neighbor rows stay
+  // resident, small enough that far/candidate traffic has to recycle blocks.
+  const std::size_t lanes = ThreadPool::global().size();
+  ResourceConfig budgeted_res;
+  budgeted_res.width = WidthPolicy::ForceU16;
+  budgeted_res.mem_budget = static_cast<std::uint64_t>(lanes) * n * n;
+  row.budget_bytes = static_cast<std::uint64_t>(n) * n;
+
+  const SwapEngine dense_engine(g, WidthPolicy::ForceU16);
+  const SwapEngine budgeted_engine(g, budgeted_res);
+  if (budgeted_engine.budget_policy().storage_for(n, DistWidth::U16) != RowStorage::Budgeted) {
+    std::cerr << "FATAL: row_cache bench budget did not force budgeted storage at n=" << n
+              << "\n";
+    std::exit(1);
+  }
+
+  EquilibriumCertificate dense_cert, budgeted_cert;
+  row.dense_seconds = time_repeated([&] { dense_cert = dense_engine.certify(model, deletions); });
+  row.budgeted_seconds =
+      time_repeated([&] { budgeted_cert = budgeted_engine.certify(model, deletions); });
+  if (dense_cert.is_equilibrium != budgeted_cert.is_equilibrium ||
+      dense_cert.moves_checked != budgeted_cert.moves_checked) {
+    std::cerr << "FATAL: row_cache dense/budgeted certificate mismatch at n=" << n
+              << " model=" << row.model << "\n";
+    std::exit(1);
+  }
+  row.moves = dense_cert.moves_checked;
+
+  // The timed certify() runs keep their counters in per-lane scratches; one
+  // sequential sweep over every agent reproduces the access pattern with a
+  // single observable scratch.
+  SwapEngine::Scratch scratch;
+  for (Vertex v = 0; v < n; ++v) {
+    (void)budgeted_engine.best_deviation(v, model, scratch, /*include_deletions=*/deletions);
+  }
+  row.stats = scratch.row_cache_stats();
+  return row;
+}
+
+std::vector<RowCacheRow> measure_row_cache_all(Vertex max_n) {
+  std::vector<RowCacheRow> rows;
+  if (max_n >= 1024) {
+    Xoshiro256ss rng(0xBE7C ^ Vertex{1024});
+    const Graph g = random_connected_gnm(1024, 2048, rng);
+    rows.push_back(measure_row_cache("gnm", g, UsageCost::Sum));
+    rows.push_back(measure_row_cache("gnm", g, UsageCost::Max));
+  }
+  if (max_n >= 512) {
+    // The paper-family instance the 2^17 budget smoke scales up
+    // (scripts/certify_budget.sh): Theorem 12's rotated torus.
+    rows.push_back(measure_row_cache("torus_k16", rotated_torus(16).graph(), UsageCost::Max));
+  }
+  for (const RowCacheRow& r : rows) {
+    std::cout << "row_cache " << r.instance << " n=" << r.n << " model=" << r.model
+              << " dense=" << r.dense_seconds << "s budgeted=" << r.budgeted_seconds
+              << "s slowdown=" << r.slowdown() << "x hit_rate=" << r.hit_rate()
+              << " evictions=" << r.stats.evictions << " peak_bytes=" << r.stats.peak_bytes
+              << "\n";
+  }
+  return rows;
+}
+
+// ---------------------------------------------------------------------------
 // Kernel microbenchmarks: scalar vs the startup-active dispatch level.
 
 struct KernelRow {
@@ -547,6 +653,7 @@ int main(int argc, char** argv) {
   const std::vector<KStabilityRow> kstability_rows = measure_kstability(max_n);
   const std::vector<AlphaRow> alpha_rows = measure_alpha_game(max_n);
   const std::vector<TreeRow> tree_rows = measure_tree_game(max_n);
+  const std::vector<RowCacheRow> row_cache_rows = measure_row_cache_all(max_n);
 
   const std::vector<KernelRow> kernel_rows = measure_all_kernels();
   for (const KernelRow& k : kernel_rows) {
@@ -608,6 +715,21 @@ int main(int argc, char** argv) {
         << ", \"engine_seconds\": " << r.engine_seconds
         << ", \"naive_seconds\": " << r.naive_seconds << ", \"speedup\": " << r.speedup()
         << "}" << (i + 1 < tree_rows.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"row_cache\": [\n";
+  for (std::size_t i = 0; i < row_cache_rows.size(); ++i) {
+    const RowCacheRow& r = row_cache_rows[i];
+    out << "    {\"instance\": \"" << r.instance << "\", \"n\": " << r.n << ", \"m\": " << r.m
+        << ", \"model\": \"" << r.model << "\""
+        << ", \"budget_bytes\": " << r.budget_bytes << ", \"dense_bytes\": " << r.dense_bytes
+        << ", \"moves_checked\": " << r.moves << ", \"dense_seconds\": " << r.dense_seconds
+        << ", \"budgeted_seconds\": " << r.budgeted_seconds
+        << ", \"slowdown\": " << r.slowdown() << ", \"hits\": " << r.stats.hits
+        << ", \"misses\": " << r.stats.misses << ", \"hit_rate\": " << r.hit_rate()
+        << ", \"evictions\": " << r.stats.evictions << ", \"contexts\": " << r.stats.contexts
+        << ", \"peak_bytes\": " << r.stats.peak_bytes << "}"
+        << (i + 1 < row_cache_rows.size() ? "," : "") << "\n";
   }
   out << "  ],\n";
   out << "  \"kernels\": [\n";

@@ -9,9 +9,9 @@
 #include <iostream>
 #include <vector>
 
-#include "core/certify_sharded.hpp"
 #include "core/certify_wire.hpp"
 #include "core/equilibrium.hpp"
+#include "core/instance.hpp"
 #include "core/swap_engine.hpp"
 #include "gen/cayley.hpp"
 #include "gen/paper.hpp"
@@ -60,11 +60,15 @@ int main(int argc, char** argv) {
               << "max equilibrium:    " << (max_eq ? "CERTIFIED" : "REFUTED") << " ("
               << timer.millis() << " ms total)\n";
 
-    // The same verdict through the large-n sharded driver (the path used
-    // past the engine's auto cap), with its width/shard telemetry.
+    // The same verdict through the Instance facade over the large-n
+    // sharded driver (the path used past the engine's auto cap), with its
+    // width/shard telemetry.
+    const Instance inst{Graph(g)};
+    RunConfig run;
+    run.model = UsageCost::Max;
+    run.include_deletions = true;
     Timer sharded_timer;
-    const ShardedCertificate sharded =
-        certify_sharded(g, UsageCost::Max, /*include_deletions=*/true);
+    const ShardedCertificate sharded = inst.certify(run);
     std::cout << "sharded certify:    "
               << (sharded.certificate.is_equilibrium ? "CERTIFIED" : "REFUTED") << " ("
               << sharded.shards_used << " shards, " << dist_width_name(sharded.width)
@@ -73,6 +77,27 @@ int main(int argc, char** argv) {
     if (sharded.certificate.is_equilibrium != max_eq) {
       std::cerr << "FATAL: sharded certifier disagrees with is_max_equilibrium\n";
       return 1;
+    }
+
+    // Once more under a memory budget of half the dense n×n slab: the
+    // scans run against the blocked row cache instead, and the certificate
+    // must not change by a byte (DESIGN.md §16). Skipped for tiny k, where
+    // half a slab is below the cache's two-block minimum.
+    if (g.num_vertices() >= 32) {
+      RunConfig budgeted = run;
+      budgeted.resources.mem_budget =
+          static_cast<std::uint64_t>(g.num_vertices()) * g.num_vertices() / 2;
+      Timer budget_timer;
+      const ShardedCertificate capped = inst.certify(budgeted);
+      std::cout << "budgeted certify:   "
+                << (capped.certificate.is_equilibrium ? "CERTIFIED" : "REFUTED") << " ("
+                << capped.certificate.moves_checked << " moves under a half-slab budget, "
+                << budget_timer.millis() << " ms)\n";
+      if (capped.certificate.is_equilibrium != sharded.certificate.is_equilibrium ||
+          capped.certificate.moves_checked != sharded.certificate.moves_checked) {
+        std::cerr << "FATAL: budgeted certificate disagrees with the dense path\n";
+        return 1;
+      }
     }
 
     // The same verdict once more through the cross-process pipeline

@@ -1,18 +1,16 @@
-// Quickstart: the basic network creation game in ~60 lines.
+// Quickstart: the basic network creation game in ~50 lines.
 //
 // Builds a random connected graph, runs sum best-response swap dynamics to
 // equilibrium, certifies the result, and prints the key observables — the
-// minimal end-to-end use of the bncg public API.
+// minimal end-to-end use of the bncg::Instance facade (core/instance.hpp).
 //
 //   $ ./quickstart [n] [m] [seed]
 #include <cstdlib>
 #include <iostream>
+#include <utility>
 
-#include "core/dynamics.hpp"
-#include "core/equilibrium.hpp"
+#include "core/instance.hpp"
 #include "core/poa.hpp"
-#include "gen/random.hpp"
-#include "graph/metrics.hpp"
 
 int main(int argc, char** argv) {
   using namespace bncg;
@@ -21,30 +19,31 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = argc > 3 ? static_cast<std::uint64_t>(std::atoll(argv[3])) : 42;
 
   // 1. Generate a connected starting network.
-  Xoshiro256ss rng(seed);
-  const Graph start = random_connected_gnm(n, m, rng);
-  std::cout << "start:       n=" << n << " m=" << m << " diameter=" << diameter(start)
-            << " social_cost=" << social_cost(start, UsageCost::Sum) << "\n";
+  const Instance start = Instance::gnm(n, m, seed);
+  std::cout << "start:       n=" << n << " m=" << m << " diameter=" << start.diameter()
+            << " social_cost=" << start.social_cost(UsageCost::Sum) << "\n";
 
-  // 2. Let selfish agents swap edges until no one can improve.
-  DynamicsConfig config;
-  config.cost = UsageCost::Sum;            // minimize sum of distances
-  config.scheduler = Scheduler::RoundRobin;
-  config.max_moves = 1'000'000;
-  const DynamicsResult result = run_dynamics(start, config);
+  // 2. Let selfish agents swap edges until no one can improve. One
+  //    RunConfig carries the model, move budget, and resource knobs for
+  //    both dynamics and certification.
+  RunConfig run;
+  run.model = UsageCost::Sum;  // minimize sum of distances
+  run.max_moves = 1'000'000;
+  DynamicsResult result = start.equilibrate(run);
   std::cout << "dynamics:    " << result.moves << " swaps over " << result.passes
             << " passes, converged=" << (result.converged ? "yes" : "no") << "\n";
 
   // 3. Certify the equilibrium exhaustively (poly-time — a key point of the
   //    paper, in contrast to NP-complete Nash recognition in the alpha-game).
-  const EquilibriumCertificate cert = certify_sum_equilibrium(result.graph);
-  std::cout << "certificate: " << cert.moves_checked << " candidate swaps checked, "
-            << "equilibrium=" << (cert.is_equilibrium ? "yes" : "no") << "\n";
+  const Instance final_net(std::move(result.graph));
+  const ShardedCertificate cert = final_net.certify(run);
+  std::cout << "certificate: " << cert.certificate.moves_checked << " candidate swaps checked, "
+            << "equilibrium=" << (cert.certificate.is_equilibrium ? "yes" : "no") << "\n";
 
   // 4. Report the paper's observables: equilibrium diameter (the central
   //    question) and the edge-budget social cost ratio (PoA proxy).
-  std::cout << "equilibrium: diameter=" << diameter(result.graph)
-            << " social_cost=" << social_cost(result.graph, UsageCost::Sum)
-            << " cost_ratio=" << social_cost_ratio(result.graph, UsageCost::Sum) << "\n";
-  return cert.is_equilibrium ? 0 : 1;
+  std::cout << "equilibrium: diameter=" << final_net.diameter()
+            << " social_cost=" << final_net.social_cost(UsageCost::Sum)
+            << " cost_ratio=" << social_cost_ratio(final_net.graph(), UsageCost::Sum) << "\n";
+  return cert.certificate.is_equilibrium ? 0 : 1;
 }

@@ -13,7 +13,8 @@
 //   gen/   — classic families, the paper's constructions, Cayley graphs,
 //            projective planes, random families, tree enumeration
 //   core/  — swaps, usage costs, certifiers, dynamics, tree fast path,
-//            k-stability, search, lemmas, the α-game baseline, PoA
+//            k-stability, search, lemmas, the α-game baseline, PoA,
+//            and the Instance/RunConfig facade (start there)
 #pragma once
 
 #include "util/error.hpp"
@@ -26,6 +27,7 @@
 #include "graph/csr.hpp"
 #include "graph/dist_width.hpp"
 #include "graph/bfs_batch.hpp"
+#include "graph/row_cache.hpp"
 #include "graph/apsp.hpp"
 #include "graph/metrics.hpp"
 #include "graph/connectivity.hpp"
@@ -44,8 +46,10 @@
 
 #include "core/swap.hpp"
 #include "core/usage_cost.hpp"
+#include "core/dist_provider.hpp"
 #include "core/equilibrium.hpp"
 #include "core/swap_engine.hpp"
+#include "core/instance.hpp"
 #include "core/certify_sharded.hpp"
 #include "core/certify_wire.hpp"
 #include "core/search_state.hpp"

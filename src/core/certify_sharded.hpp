@@ -65,9 +65,19 @@ struct ShardedCertifyConfig {
   /// shard once any violation is found. Witness/moves become
   /// schedule-dependent; is_equilibrium stays deterministic.
   bool stop_on_violation = false;
-  /// Distance storage width the underlying engine prefers.
+  /// DEPRECATED (one PR): pre-ResourceConfig width knob, honored only while
+  /// resources.width stays Auto. Use resources.width instead.
   WidthPolicy width = WidthPolicy::Auto;
+  /// Width + memory budget of the underlying engine
+  /// (core/dist_provider.hpp). A budget below the dense n×n slab switches
+  /// the per-agent scans to the blocked row cache — same certificate bytes,
+  /// bounded memory; how certification reaches n = 2¹⁷ and beyond.
+  ResourceConfig resources;
 };
+
+/// Effective engine resources of a sharded config: resources, with the
+/// deprecated width field taking over while resources.width is Auto.
+[[nodiscard]] ResourceConfig resolved_resources(const ShardedCertifyConfig& config);
 
 /// Outcome of certify_sharded: the standard certificate plus the sharding
 /// and width telemetry the benches record.
@@ -183,9 +193,11 @@ class ShardFold {
 /// tie-breaks, moves_checked — is bit-identical to SwapEngine::certify and
 /// the bncg::naive certifiers (differential-tested in
 /// tests/test_certify_sharded.cpp). `include_deletions` selects the max
-/// model's deletion clause, exactly as in SwapEngine::certify. Requires
-/// n < 65535; intended for the n ≥ 4096 tier above
-/// kSwapEngineAutoMaxVertices, correct at any size.
+/// model's deletion clause, exactly as in SwapEngine::certify. Intended for
+/// the n ≥ 4096 tier above kSwapEngineAutoMaxVertices, correct at any size;
+/// with a memory budget (config.resources) the scans run against the
+/// blocked row cache, which is what admits n ≥ 65535 instances the dense
+/// O(n²) storage provably cannot fit.
 [[nodiscard]] ShardedCertificate certify_sharded(const Graph& g, UsageCost model,
                                                  bool include_deletions = false,
                                                  const ShardedCertifyConfig& config = {});

@@ -1,0 +1,174 @@
+#include "core/dist_provider.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace bncg {
+
+std::uint64_t parse_mem_bytes(const std::string& text) {
+  if (text.empty()) throw std::invalid_argument("memory budget: empty value");
+  std::size_t i = 0;
+  std::uint64_t value = 0;
+  while (i < text.size() && std::isdigit(static_cast<unsigned char>(text[i])) != 0) {
+    const std::uint64_t digit = static_cast<std::uint64_t>(text[i] - '0');
+    if (value > (std::numeric_limits<std::uint64_t>::max() - digit) / 10) {
+      throw std::invalid_argument("memory budget overflows 64 bits: " + text);
+    }
+    value = value * 10 + digit;
+    ++i;
+  }
+  if (i == 0) throw std::invalid_argument("memory budget must start with digits: " + text);
+  std::uint64_t scale = 1;
+  if (i < text.size()) {
+    switch (std::toupper(static_cast<unsigned char>(text[i]))) {
+      case 'K': scale = std::uint64_t{1} << 10; break;
+      case 'M': scale = std::uint64_t{1} << 20; break;
+      case 'G': scale = std::uint64_t{1} << 30; break;
+      default: throw std::invalid_argument("memory budget suffix must be K/M/G: " + text);
+    }
+    ++i;
+    if (i != text.size()) throw std::invalid_argument("trailing junk in memory budget: " + text);
+    if (value > std::numeric_limits<std::uint64_t>::max() / scale) {
+      throw std::invalid_argument("memory budget overflows 64 bits: " + text);
+    }
+  }
+  return value * scale;
+}
+
+std::uint64_t env_mem_budget() {
+  static const std::uint64_t parsed = [] {
+    const char* raw = std::getenv("BNCG_MEM_BUDGET");
+    if (raw == nullptr || raw[0] == '\0') return std::uint64_t{0};
+    return parse_mem_bytes(raw);
+  }();
+  return parsed;
+}
+
+std::uint64_t resolved_mem_budget(const ResourceConfig& config) {
+  return config.mem_budget != 0 ? config.mem_budget : env_mem_budget();
+}
+
+WidthAndBudgetPolicy::WidthAndBudgetPolicy(const ResourceConfig& config, unsigned lanes)
+    : width_(config.width), total_budget_(resolved_mem_budget(config)) {
+  if (lanes == 0) lanes = ThreadPool::global().size();
+  if (lanes == 0) lanes = 1;
+  // Never let integer division alias a tiny share with "unlimited" (0); a
+  // 1-byte share fails loudly in RowCache::configure instead.
+  lane_budget_ = total_budget_ == 0 ? 0 : std::max<std::uint64_t>(1, total_budget_ / lanes);
+}
+
+bool WidthAndBudgetPolicy::probe_prefers_u8(const CsrGraph& csr, BatchBfsWorkspace& ws) const {
+  if (width_ == WidthPolicy::ForceU8) return true;
+  if (width_ == WidthPolicy::ForceU16) return false;
+  const Vertex n = csr.num_vertices();
+  if (n == 0) return true;
+  // One u16 traversal from vertex 0; works at any n because the capped fill
+  // reports saturation instead of wrapping. A saturating probe means even
+  // the u16 scans cannot encode this instance — let the scan itself fail
+  // with its own diagnostic; here it simply rules out u8.
+  std::vector<std::uint16_t> row(n);
+  const Vertex src[1] = {0};
+  if (!bfs_batch_capped<std::uint16_t>(csr, std::span<const Vertex>(src, 1), MaskedEdge{},
+                                       row.data(), n, ws, kNoVertex, kInfDist16,
+                                       std::uint16_t{kInfDist16 - 1})) {
+    return false;
+  }
+  std::uint32_t ecc = 0;
+  bool spans = true;
+  for (Vertex x = 0; x < n; ++x) {
+    if (row[x] == kInfDist16) {
+      spans = false;
+      break;
+    }
+    ecc = std::max<std::uint32_t>(ecc, row[x]);
+  }
+  // Masked sweeps can exceed the 2·ecc bound — the per-agent u16 fallback
+  // absorbs those exactly, same contract as the old in-engine probe.
+  return spans && 2 * ecc <= kMaxFiniteFor<std::uint8_t>;
+}
+
+bool WidthAndBudgetPolicy::dense_fits(Vertex n, DistWidth w) const noexcept {
+  if (n >= kInfDist16) return false;  // dense scans use 16-bit-id traversals
+  if (lane_budget_ == 0) return true;
+  const std::uint64_t bytes =
+      std::uint64_t{n} * n * (w == DistWidth::U8 ? sizeof(std::uint8_t) : sizeof(std::uint16_t));
+  return bytes <= lane_budget_;
+}
+
+template <typename Dist>
+bool DistanceProvider<Dist>::begin(const CsrGraph& csr, Vertex masked_vertex, Dist inf_value,
+                                   Dist max_finite, RowStorage storage,
+                                   std::uint64_t budget_bytes, AlignedVec<Dist>& dense_slab,
+                                   BatchBfsWorkspace& ws) {
+  storage_ = storage;
+  csr_ = &csr;
+  n_ = csr.num_vertices();
+  if (storage == RowStorage::Dense) {
+    const std::size_t cells = static_cast<std::size_t>(n_) * n_;
+    if (dense_slab.size() < cells) dense_slab.resize(cells);
+    if (!csr_apsp_capped<Dist>(csr, MaskedEdge{}, dense_slab.data(), ws, masked_vertex, inf_value,
+                               max_finite)) {
+      return false;
+    }
+    dense_ = dense_slab.data();
+    return true;
+  }
+  dense_ = nullptr;
+  // Budgeted with an unlimited budget (possible at n ≥ 65535, where the
+  // dense path is unavailable regardless): blocks grow on demand, LRU never
+  // needs to evict.
+  const std::uint64_t effective =
+      budget_bytes != 0 ? budget_bytes : std::numeric_limits<std::uint64_t>::max();
+  if (!cache_configured_ || cache_budget_ != effective || cache_n_ != n_) {
+    cache_.configure(n_, effective);
+    cache_configured_ = true;
+    cache_budget_ = effective;
+    cache_n_ = n_;
+  }
+  cache_.begin_context(csr, masked_vertex, inf_value, max_finite);
+  return true;
+}
+
+template <typename Dist>
+const Dist* DistanceProvider<Dist>::row(Vertex source, BatchBfsWorkspace& ws) {
+  if (storage_ == RowStorage::Dense) {
+    BNCG_REQUIRE(dense_ != nullptr, "distance provider used before begin()");
+    return dense_ + static_cast<std::size_t>(source) * n_;
+  }
+  return cache_.row(source, ws);
+}
+
+template <typename Dist>
+bool DistanceProvider<Dist>::prefetch(std::span<const Vertex> sources, BatchBfsWorkspace& ws) {
+  if (storage_ == RowStorage::Dense) return true;
+  return cache_.prefetch(sources, ws);
+}
+
+template <typename Dist>
+bool DistanceProvider<Dist>::resident(Vertex source) const {
+  if (storage_ == RowStorage::Dense) return source < n_;
+  return cache_.resident(source);
+}
+
+template <typename Dist>
+const RowCache<Dist>& DistanceProvider<Dist>::cache() const {
+  BNCG_REQUIRE(storage_ == RowStorage::Budgeted, "cache() is budgeted-mode introspection");
+  return cache_;
+}
+
+template <typename Dist>
+RowCache<Dist>& DistanceProvider<Dist>::cache() {
+  BNCG_REQUIRE(storage_ == RowStorage::Budgeted, "cache() is budgeted-mode introspection");
+  return cache_;
+}
+
+template class DistanceProvider<std::uint8_t>;
+template class DistanceProvider<std::uint16_t>;
+
+}  // namespace bncg

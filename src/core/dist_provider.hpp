@@ -1,0 +1,183 @@
+// Distance-row provider + the width-and-budget policy — the one interface
+// behind "how do I get distance rows, and under what memory budget".
+//
+// Before this layer, every tier answered that question by convention:
+// SwapEngine allocated a full n×n masked matrix per scan, SearchState its
+// n·deg row slabs, certify_sharded copied the engine's width knob, the svc
+// worker another, and nothing said how much memory a scan was allowed to
+// use. ResourceConfig makes the answer explicit and shared:
+//
+//   width      — the storage-width preference (graph/dist_width.hpp),
+//   mem_budget — a byte budget for distance-row storage (0 = take
+//                BNCG_MEM_BUDGET from the environment; unset = unlimited),
+//   force_naive— route the accelerated tiers to the exact naive oracles
+//                (OR-ed with BNCG_FORCE_NAIVE, the historical env toggle).
+//
+// WidthAndBudgetPolicy turns a ResourceConfig into the two decisions the
+// scan tiers need: which width to prefer (absorbing the diameter probe that
+// lived in SwapEngine::rebuild and the matrix-driven
+// DistanceMatrix::recommended_width()), and whether a dense n×n scan slab
+// fits the per-lane budget share — when it does not, the scan runs in
+// BUDGETED mode against the blocked row cache (graph/row_cache.hpp), where
+// rows materialize on demand by exact BFS and an eccentricity/landmark
+// bound proves most rows can never affect the verdict, so they are never
+// materialized (DESIGN.md §16). Both modes are exact; the differential
+// suite (tests/test_row_cache.cpp) pins byte-parity.
+//
+// DistanceProvider<Dist> is the uniform row source of one agent scan:
+// dense mode materializes the full masked matrix up front (the small-n
+// fast path, bit-identical to the historical scan), budgeted mode opens a
+// row-cache context and serves rows lazily under the budget.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/bfs_batch.hpp"
+#include "graph/csr.hpp"
+#include "graph/dist_width.hpp"
+#include "graph/row_cache.hpp"
+#include "util/simd.hpp"
+
+namespace bncg {
+
+/// The shared resource knobs of every scan tier (engine, search state,
+/// sharded certifier, svc worker, facade). Replaces the per-config
+/// width/naive toggles that AnnealConfig, DynamicsConfig, and the worker
+/// ConnectConfig each grew separately.
+struct ResourceConfig {
+  /// Distance storage width preference; results are width-independent.
+  WidthPolicy width = WidthPolicy::Auto;
+  /// Byte budget for distance-row storage per process. 0 = consult
+  /// BNCG_MEM_BUDGET (bytes, with optional K/M/G binary suffix); when that
+  /// is unset too, storage is unlimited and every tier keeps its dense
+  /// fast path. The budget is shared evenly across scan lanes.
+  std::uint64_t mem_budget = 0;
+  /// Route the public certifier tiers to the exact naive oracles (OR-ed
+  /// with the BNCG_FORCE_NAIVE environment toggle).
+  bool force_naive = false;
+};
+
+/// Parses a byte count with optional binary suffix: "1073741824", "512K",
+/// "256M", "2G". Throws std::invalid_argument on anything else.
+[[nodiscard]] std::uint64_t parse_mem_bytes(const std::string& text);
+
+/// BNCG_MEM_BUDGET parsed once per process; 0 when unset/empty.
+[[nodiscard]] std::uint64_t env_mem_budget();
+
+/// The budget a ResourceConfig resolves to: explicit field, else env, else
+/// 0 (= unlimited).
+[[nodiscard]] std::uint64_t resolved_mem_budget(const ResourceConfig& config);
+
+/// Whether a scan materializes its rows densely or through the budgeted
+/// row cache.
+enum class RowStorage : std::uint8_t { Dense, Budgeted };
+
+/// The resolved resource decisions of one instance: width preference and
+/// dense-vs-budgeted storage per width. One policy object per engine/state
+/// rebuild; cheap value type.
+class WidthAndBudgetPolicy {
+ public:
+  WidthAndBudgetPolicy() = default;
+  /// Resolves the budget and splits it across `lanes` scan lanes (0 =
+  /// the process thread-pool size). Every scan lane owns its own scratch,
+  /// so the per-lane share is what a dense slab must fit into.
+  explicit WidthAndBudgetPolicy(const ResourceConfig& config, unsigned lanes = 0);
+
+  [[nodiscard]] WidthPolicy width_policy() const noexcept { return width_; }
+  [[nodiscard]] std::uint64_t total_budget() const noexcept { return total_budget_; }
+  /// Per-lane budget share (0 = unlimited).
+  [[nodiscard]] std::uint64_t lane_budget() const noexcept { return lane_budget_; }
+
+  /// Exact width for a known maximum finite distance — the policy form of
+  /// the retired DistanceMatrix::recommended_width(): callers already
+  /// holding a matrix (or a diameter) seed Force policies from it instead
+  /// of re-probing (search.cpp / dynamics.cpp / metrics-driven sites).
+  [[nodiscard]] static DistWidth width_for_max_distance(std::uint64_t max_distance) noexcept {
+    return max_distance <= kMaxFiniteFor<std::uint8_t> ? DistWidth::U8 : DistWidth::U16;
+  }
+  /// The matching WidthPolicy seed (ForceU8 only when provably safe under
+  /// the masked-sweep fallback contract; ForceU16 otherwise).
+  [[nodiscard]] static WidthPolicy policy_for_max_distance(std::uint64_t max_distance) noexcept {
+    return width_for_max_distance(max_distance) == DistWidth::U8 ? WidthPolicy::ForceU8
+                                                                 : WidthPolicy::ForceU16;
+  }
+
+  /// The width-preference probe every scan tier used to duplicate: one BFS
+  /// from vertex 0 bounds the diameter by 2·ecc(0); u8 is preferred under
+  /// the configured policy when that bound fits the narrow encoding.
+  /// Masked per-agent sweeps can still exceed the bound — the per-agent
+  /// u16 fallback absorbs those exactly. Works at any n (the traversal is
+  /// saturation-checked, not 16-bit-limited).
+  [[nodiscard]] bool probe_prefers_u8(const CsrGraph& csr, BatchBfsWorkspace& ws) const;
+
+  /// True when a dense n×n scan slab at width `w` fits the per-lane budget
+  /// (and the dense scan's 16-bit encoding limit n < 65535 holds). False
+  /// selects RowStorage::Budgeted for that width.
+  [[nodiscard]] bool dense_fits(Vertex n, DistWidth w) const noexcept;
+  [[nodiscard]] RowStorage storage_for(Vertex n, DistWidth w) const noexcept {
+    return dense_fits(n, w) ? RowStorage::Dense : RowStorage::Budgeted;
+  }
+
+ private:
+  WidthPolicy width_ = WidthPolicy::Auto;
+  std::uint64_t total_budget_ = 0;
+  std::uint64_t lane_budget_ = 0;
+};
+
+/// Uniform row source of one agent scan at storage width `Dist`.
+///
+/// Dense mode: begin() materializes the full masked matrix into the
+/// caller's slab by one capped APSP — the historical scan storage, chosen
+/// by the policy whenever it fits the lane budget. Budgeted mode: begin()
+/// opens a RowCache context; rows materialize on the first touch and live
+/// under the byte budget with block-LRU eviction.
+///
+/// In both modes row() returns exact distances of the masked snapshot
+/// (nullptr on width saturation — the caller redoes the scan wider), and
+/// in both modes a returned pointer stays valid until the next
+/// materializing call (dense pointers live until the next begin()).
+template <typename Dist>
+class DistanceProvider {
+ public:
+  /// Prepares a scan context over `csr` with `masked_vertex` removed.
+  /// Returns false on width saturation (dense mode only — budgeted mode
+  /// saturates lazily, at the failing row() / prefetch()).
+  [[nodiscard]] bool begin(const CsrGraph& csr, Vertex masked_vertex, Dist inf_value,
+                           Dist max_finite, RowStorage storage, std::uint64_t budget_bytes,
+                           AlignedVec<Dist>& dense_slab, BatchBfsWorkspace& ws);
+
+  [[nodiscard]] RowStorage storage() const noexcept { return storage_; }
+
+  /// Row of `source` in the current context; nullptr on width saturation.
+  [[nodiscard]] const Dist* row(Vertex source, BatchBfsWorkspace& ws);
+
+  /// Batch-materializes missing rows (budgeted mode; dense mode is a
+  /// no-op — everything is already resident). False on saturation.
+  [[nodiscard]] bool prefetch(std::span<const Vertex> sources, BatchBfsWorkspace& ws);
+
+  /// Budgeted-mode introspection (dense mode: trivially true / all rows).
+  [[nodiscard]] bool resident(Vertex source) const;
+
+  /// The cache behind budgeted mode (REQUIREs budgeted mode) — stats and
+  /// residency introspection for benches and the differential suite.
+  [[nodiscard]] const RowCache<Dist>& cache() const;
+  [[nodiscard]] RowCache<Dist>& cache();
+  /// Cache counters regardless of mode (all-zero if budgeted mode never ran).
+  [[nodiscard]] const RowCacheStats& cache_stats() const noexcept { return cache_.stats(); }
+
+ private:
+  RowStorage storage_ = RowStorage::Dense;
+  const CsrGraph* csr_ = nullptr;
+  const Dist* dense_ = nullptr;
+  Vertex n_ = 0;
+  RowCache<Dist> cache_;
+  bool cache_configured_ = false;
+  std::uint64_t cache_budget_ = 0;
+  Vertex cache_n_ = 0;
+};
+
+extern template class DistanceProvider<std::uint8_t>;
+extern template class DistanceProvider<std::uint16_t>;
+
+}  // namespace bncg

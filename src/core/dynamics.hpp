@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/dist_provider.hpp"
 #include "core/equilibrium.hpp"
 #include "core/usage_cost.hpp"
 #include "graph/dist_width.hpp"
@@ -64,9 +65,13 @@ struct DynamicsConfig {
   /// best-response cycles are a genuine open possibility — this is the
   /// instrument for probing it. Memory: O(moves · n²/6) bytes.
   bool detect_revisits = false;
-  /// Distance storage width of the SearchState tier (graph/dist_width.hpp).
-  /// Purely a speed/memory knob; moves are width-independent.
+  /// DEPRECATED (one PR): pre-ResourceConfig width knob, honored only while
+  /// resources.width stays Auto. Use resources.width instead.
   WidthPolicy dist_width = WidthPolicy::Auto;
+  /// Shared resource knobs (core/dist_provider.hpp) of the SearchState /
+  /// SwapEngine tiers. Purely speed/memory preferences; moves are
+  /// width-independent.
+  ResourceConfig resources;
 };
 
 /// One point of the recorded trajectory.

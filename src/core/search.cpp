@@ -103,9 +103,19 @@ std::optional<Graph> anneal_equilibrium(Graph start, const AnnealConfig& config,
   // values — so trajectories are identical (differential-tested in
   // tests/test_search_state.cpp and the search bench).
   if (incremental) {
+    // Width seed: the nudge loop above just proved the diameter equals the
+    // target, so under Auto the storage width follows from the unified
+    // policy (ForceU8 exactly when the target diameter fits the narrow
+    // encoding) instead of the state's own ecc(0) screen — one less probe,
+    // identical trajectories (saturation still promotes exactly).
+    WidthPolicy width =
+        config.resources.width != WidthPolicy::Auto ? config.resources.width : config.dist_width;
+    if (width == WidthPolicy::Auto) {
+      width = WidthAndBudgetPolicy::policy_for_max_distance(config.target_diameter);
+    }
     SearchState state(std::move(start), config.cost,
                       /*include_deletions=*/config.cost == UsageCost::Max,
-                      /*parallel=*/true, config.dist_width);
+                      /*parallel=*/true, width);
     std::uint64_t current_unrest = state.unrest();
     double temperature = config.initial_temperature;
     for (std::uint64_t step = 0; step < config.steps && current_unrest > 0; ++step) {

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "core/dist_provider.hpp"
 #include "core/usage_cost.hpp"
 #include "graph/dist_width.hpp"
 #include "graph/graph.hpp"
@@ -60,10 +61,16 @@ struct AnnealConfig {
   std::uint64_t seed = 0x5ea2c4;
   UsageCost cost = UsageCost::Sum;            ///< which unrest is annealed
   UnrestEval evaluation = UnrestEval::Auto;   ///< proposal evaluation path
-  /// Distance storage width of the incremental state (graph/dist_width.hpp).
-  /// Purely a speed/memory knob: trajectories are identical at any width —
-  /// the state promotes u8 → u16 exactly rather than approximate.
+  /// DEPRECATED (one PR): pre-ResourceConfig width knob, honored only while
+  /// resources.width stays Auto. Use resources.width instead.
   WidthPolicy dist_width = WidthPolicy::Auto;
+  /// Shared resource knobs (core/dist_provider.hpp). Width is purely a
+  /// speed/memory preference: trajectories are identical at any width — the
+  /// state promotes u8 → u16 exactly rather than approximate. Under Auto
+  /// the width is seeded from the run's own diameter constraint through
+  /// WidthAndBudgetPolicy (the nudge phase proves the diameter, so the
+  /// state's ecc-screen probe is redundant here).
+  ResourceConfig resources;
 };
 
 /// Counters of one annealing run (filled when a stats sink is passed).

@@ -120,6 +120,18 @@ void build_cover_sets(const Dist* rows, Vertex n, Vertex v, const Vertex* far,
 
 }  // namespace
 
+RowCacheStats SwapEngine::Scratch::row_cache_stats() const {
+  const RowCacheStats& a = rows8_.provider.cache_stats();
+  const RowCacheStats& b = rows16_.provider.cache_stats();
+  RowCacheStats out;
+  out.hits = a.hits + b.hits;
+  out.misses = a.misses + b.misses;
+  out.evictions = a.evictions + b.evictions;
+  out.contexts = a.contexts + b.contexts;
+  out.peak_bytes = a.peak_bytes + b.peak_bytes;
+  return out;
+}
+
 bool force_naive_requested() {
   static const bool forced_naive = [] {
     const char* env = std::getenv("BNCG_FORCE_NAIVE");
@@ -133,34 +145,36 @@ bool swap_engine_enabled(const Graph& g) {
 }
 
 void SwapEngine::rebuild(const Graph& g, WidthPolicy width) {
-  policy_ = width;
+  resources_.width = width;
+  rebuild(g);
+}
+
+void SwapEngine::rebuild(const Graph& g, const ResourceConfig& resources) {
+  resources_ = resources;
   rebuild(g);
 }
 
 void SwapEngine::rebuild(const Graph& g) {
-  BNCG_REQUIRE(g.num_vertices() < kInfDist16, "SwapEngine requires n < 65535");
   csr_.rebuild(g);
   width_fallbacks_.store(0, std::memory_order_relaxed);
   prefer_u8_ = false;
   const Vertex n = csr_.num_vertices();
-  if (policy_ == WidthPolicy::ForceU16 || n == 0) return;
-  if (policy_ == WidthPolicy::ForceU8) {
-    prefer_u8_ = true;
-    return;
-  }
-  // Auto probe: one BFS bounds the diameter by 2·ecc(0). Masked per-agent
-  // sweeps can still exceed the bound (G − v may be much wider than G), but
-  // the per-agent u16 fallback absorbs those exactly — the probe only has
-  // to make the preference pay off on average.
-  scratch_.base_.resize(n);
-  const BfsResult r = csr_bfs(csr_, 0, MaskedEdge{}, scratch_.base_.data(), scratch_.bfs_);
-  prefer_u8_ =
-      r.spans(n) && 2 * static_cast<std::uint64_t>(r.ecc) <= kMaxFiniteFor<std::uint8_t>;
+  // One policy object per snapshot: the width-preference probe (formerly an
+  // in-engine csr_bfs, now budget-aware and n-unbounded) plus the per-width
+  // dense-vs-budgeted storage decision under the per-lane budget share.
+  // Instances at n ≥ 65535 — beyond the dense scan's 16-bit encoding — are
+  // accepted here and always run budgeted.
+  budget_policy_ = WidthAndBudgetPolicy(resources_);
+  if (n == 0) return;
+  prefer_u8_ = budget_policy_.probe_prefers_u8(csr_, scratch_.bfs_);
 }
 
 std::uint64_t SwapEngine::agent_cost(Vertex v, UsageCost model, Scratch& s) const {
   const Vertex n = csr_.num_vertices();
   BNCG_REQUIRE(v < n, "vertex id out of range");
+  BNCG_REQUIRE(n < kInfDist16,
+               "agent_cost is a dense-path query (n < 65535); budgeted scans derive costs "
+               "from the neighbor min-fold instead");
   s.base_.resize(n);
   const BfsResult r = csr_bfs(csr_, v, MaskedEdge{}, s.base_.data(), s.bfs_);
   if (!r.spans(n)) return kInfCost;
@@ -189,12 +203,12 @@ bool SwapEngine::scan_agent_t(Vertex v, UsageCost model, bool stop_at_first,
 
   // The agent's single traversal bill: one batched APSP of G − v answers
   // every (removed edge, candidate) pair via the source-removal identity.
-  // A saturating sweep means this agent does not fit the width — bail so
-  // the dispatcher redoes it at u16.
+  // Materialization goes through the provider's dense mode (the batched
+  // APSP into this scratch's slab); a saturating sweep means this agent
+  // does not fit the width — bail so the dispatcher redoes it at u16.
   auto& rows = s.rows<Dist>();
-  rows.apsp.resize(static_cast<std::size_t>(n) * n);
-  if (!csr_apsp_capped<Dist>(csr_, MaskedEdge{}, rows.apsp.data(), s.bfs_,
-                             /*masked_vertex=*/v, kInf, engine_max_finite<Dist>())) {
+  if (!rows.provider.begin(csr_, /*masked_vertex=*/v, kInf, engine_max_finite<Dist>(),
+                           RowStorage::Dense, /*budget_bytes=*/0, rows.apsp, s.bfs_)) {
     return false;
   }
 
@@ -286,25 +300,220 @@ bool SwapEngine::scan_agent_t(Vertex v, UsageCost model, bool stop_at_first,
   return true;
 }
 
+template <typename Dist>
+bool SwapEngine::scan_agent_budgeted_t(Vertex v, UsageCost model, bool stop_at_first,
+                                       bool include_deletions, std::uint64_t* moves_checked,
+                                       Scratch& s, std::optional<Deviation>& out) const {
+  constexpr Dist kInf = engine_inf<Dist>();
+  const simd::Kernels<Dist>& kern = simd::kernels<Dist>();
+  const Vertex n = csr_.num_vertices();
+  BNCG_REQUIRE(v < n, "vertex id out of range");
+
+  const auto nbrs = csr_.neighbors(v);
+  out.reset();
+  if (nbrs.empty()) return true;
+
+  s.is_nbr_.assign(n, 0);
+  s.is_nbr_[v] = 1;
+  for (const Vertex w : nbrs) s.is_nbr_[w] = 1;
+  // Candidates per removed edge — the bulk move-count term of the max
+  // model, where every candidate is "checked" by the far filter whether or
+  // not its row ever materializes.
+  std::uint64_t candidate_count = 0;
+  for (Vertex x = 0; x < n; ++x) candidate_count += s.is_nbr_[x] == 0 ? 1 : 0;
+
+  auto& rows = s.rows<Dist>();
+  if (!rows.provider.begin(csr_, /*masked_vertex=*/v, kInf, engine_max_finite<Dist>(),
+                           RowStorage::Budgeted, budget_policy_.lane_budget(), rows.apsp,
+                           s.bfs_)) {
+    return false;
+  }
+  auto& provider = rows.provider;
+
+  // Neighbor min-fold, one row at a time: prefetch batches ≤ 64 neighbor
+  // rows per traversal; each row is folded once and may be evicted freely
+  // afterwards. This is the only stage that materializes rows
+  // unconditionally — everything below is filtered or pruned first.
+  rows.min1.assign(n, kInf);
+  rows.min2.assign(n, kInf);
+  s.argmin_.assign(n, kNoVertex);
+  for (std::size_t i = 0; i < nbrs.size(); i += 64) {
+    const std::size_t chunk = std::min<std::size_t>(64, nbrs.size() - i);
+    const std::span<const Vertex> group(nbrs.data() + i, chunk);
+    if (!provider.prefetch(group, s.bfs_)) return false;
+    for (const Vertex z : group) {
+      const Dist* row = provider.row(z, s.bfs_);
+      if (row == nullptr) return false;
+      kern.scan_min_update(rows.min1.data(), rows.min2.data(), s.argmin_.data(), row, z, n);
+    }
+  }
+
+  // The agent's current cost derives from the fold it already paid for:
+  // with min1[v] pinned to 0, 1 + min1 is exactly d_G(v, ·) (source-removal
+  // identity at N' = N(v)), so ecc and Σ fall out of the combine kernels —
+  // no unmasked BFS, which at budgeted scale would be a third traversal
+  // family. Pinning min1[v] itself is safe: argmin_[v] stays kNoVertex (no
+  // masked row reaches v), so select_mrow below copies the pinned 0 into
+  // every M^w exactly where the dense scan pins m[v] after the select.
+  rows.min1[v] = 0;
+  const std::uint64_t old_cost =
+      model == UsageCost::Sum
+          ? kern.combine_sum(rows.min1.data(), rows.min1.data(), n, kInf)
+          : kern.deletion_ecc(rows.min1.data(), n, kInf);
+
+  rows.mrow.resize(n);
+  s.far_.resize(n);
+
+  std::optional<Deviation> best;
+  for (const Vertex w : nbrs) {
+    Dist* m = rows.mrow.data();
+    kern.select_mrow(m, rows.min1.data(), rows.min2.data(), s.argmin_.data(), w, n);
+    m[v] = 0;
+
+    if (model == UsageCost::Max && include_deletions) {
+      if (moves_checked != nullptr) ++*moves_checked;
+      const std::uint64_t del_cost = kern.deletion_ecc(m, n, kInf);
+      if (del_cost <= old_cost) {
+        const Deviation dev{{v, w, w}, old_cost, del_cost, Deviation::Kind::NonCriticalDelete};
+        if (!best || dev.cost_after < best->cost_after) best = dev;
+        if (stop_at_first) {
+          out = best;
+          return true;
+        }
+      }
+    }
+
+    if (model == UsageCost::Sum) {
+      // Σ-prune: for any candidate w₂ with A = M^w_{w₂} finite, the kept
+      // neighbor z* attaining A gives m_u ≤ A + c_u for every u (triangle
+      // through w₂), so min(m_u, c_u) ≥ m_u − A and
+      //   cost'(v) ≥ combine_sum(M^w, M^w) − n·A.
+      // When that bound already meets old_cost the dense scan would have
+      // computed cost' and continued — prune without materializing the row.
+      // A = ∞ (w₂ outside the kept component) can still repair
+      // connectivity, so it always evaluates; Σ M^w = ∞ with A finite means
+      // some u is unreachable from w₂ too, so cost' = ∞ — always prune.
+      const std::uint64_t mm = kern.combine_sum(m, m, n, kInf);
+      for (Vertex w2 = 0; w2 < n; ++w2) {
+        if (s.is_nbr_[w2] != 0) continue;
+        if (moves_checked != nullptr) ++*moves_checked;
+        const std::uint64_t a = m[w2];
+        if (a < kInf) {
+          if (mm == kInfCost) continue;
+          if (old_cost != kInfCost && mm >= old_cost + std::uint64_t{n} * a) continue;
+        }
+        const Dist* c = provider.row(w2, s.bfs_);
+        if (c == nullptr) return false;
+        const std::uint64_t new_cost = kern.combine_sum(m, c, n, kInf);
+        if (new_cost >= old_cost) continue;
+        if (!best || new_cost < best->cost_after) {
+          best = Deviation{{v, w, w2}, old_cost, new_cost, Deviation::Kind::ImprovingSwap};
+          if (stop_at_first) {
+            out = best;
+            return true;
+          }
+        }
+      }
+    } else {
+      // Streamed far filter. The dense scan tests every candidate against
+      // the far set with an early break; by symmetry d(f, w₂) = d(w₂, f)
+      // the same comparisons read COLUMN-wise from far-vertex rows: pass i
+      // filters the survivors of passes 0..i−1 against far row f_i, so a
+      // candidate is eliminated at exactly its dense break index and the
+      // survivor set is identical. Far rows are fetched lazily — passes
+      // stop the moment the survivor list empties, which on equilibrium
+      // instances is after a handful of rows — and survivors are *proven*
+      // improvers (cost' ≤ cap + 1 < old_cost), so only their rows ever
+      // materialize. Pass order over the far set is free (survival is
+      // conjunctive): descending M^w visits the most exclusive far
+      // vertices first, emptying the list sooner.
+      const std::int32_t cap =
+          old_cost == kInfCost ? std::int32_t{kInf} - 1 : static_cast<std::int32_t>(old_cost) - 2;
+      const std::uint32_t far_count = kern.collect_above(m, n, cap, /*skip=*/v, s.far_.data());
+      if (moves_checked != nullptr) *moves_checked += candidate_count;
+      std::sort(s.far_.data(), s.far_.data() + far_count,
+                [&](Vertex a, Vertex b) { return m[a] > m[b] || (m[a] == m[b] && a < b); });
+
+      auto& surv = s.survivors_;
+      auto& next = s.survivors_next_;
+      surv.clear();
+      for (Vertex w2 = 0; w2 < n; ++w2) {
+        if (s.is_nbr_[w2] == 0) surv.push_back(w2);
+      }
+      for (std::uint32_t i = 0; i < far_count && !surv.empty(); ++i) {
+        const Dist* f = provider.row(s.far_[i], s.bfs_);
+        if (f == nullptr) return false;
+        next.clear();
+        for (const Vertex w2 : surv) {
+          if (static_cast<std::int32_t>(f[w2]) <= cap) next.push_back(w2);
+        }
+        surv.swap(next);
+      }
+
+      for (const Vertex w2 : surv) {
+        const Dist* c = provider.row(w2, s.bfs_);
+        if (c == nullptr) return false;
+        const std::uint64_t new_cost = kern.combine_max(m, c, n, kInf);
+        if (!best || new_cost < best->cost_after ||
+            (best->kind == Deviation::Kind::NonCriticalDelete &&
+             new_cost <= best->cost_after)) {
+          best = Deviation{{v, w, w2}, old_cost, new_cost, Deviation::Kind::ImprovingSwap};
+          if (stop_at_first) {
+            // The dense scan stops mid-enumeration, counting only the
+            // candidates up to this w₂ — take back the bulk add for the
+            // ones after it.
+            if (moves_checked != nullptr) {
+              std::uint64_t up_to = 0;
+              for (Vertex x = 0; x <= w2; ++x) up_to += s.is_nbr_[x] == 0 ? 1 : 0;
+              *moves_checked -= candidate_count - up_to;
+            }
+            out = best;
+            return true;
+          }
+        }
+      }
+    }
+  }
+  out = best;
+  return true;
+}
+
 std::optional<Deviation> SwapEngine::scan_agent(Vertex v, UsageCost model, bool stop_at_first,
                                                 bool include_deletions,
                                                 std::uint64_t* moves_checked,
                                                 Scratch& s) const {
+  const Vertex n = csr_.num_vertices();
   std::optional<Deviation> out;
   if (prefer_u8_) {
     // Run the narrow scan against a local move counter so a saturating
     // sweep leaves the caller's count untouched — the u16 redo recounts the
     // identical scan order, keeping move counts width-independent.
     std::uint64_t narrow_moves = 0;
-    if (scan_agent_t<std::uint8_t>(v, model, stop_at_first, include_deletions,
-                                   moves_checked != nullptr ? &narrow_moves : nullptr, s, out)) {
+    std::uint64_t* narrow = moves_checked != nullptr ? &narrow_moves : nullptr;
+    const bool ok =
+        budget_policy_.dense_fits(n, DistWidth::U8)
+            ? scan_agent_t<std::uint8_t>(v, model, stop_at_first, include_deletions, narrow, s,
+                                         out)
+            : scan_agent_budgeted_t<std::uint8_t>(v, model, stop_at_first, include_deletions,
+                                                  narrow, s, out);
+    if (ok) {
       if (moves_checked != nullptr) *moves_checked += narrow_moves;
       return out;
     }
     width_fallbacks_.fetch_add(1, std::memory_order_relaxed);
   }
-  (void)scan_agent_t<std::uint16_t>(v, model, stop_at_first, include_deletions, moves_checked, s,
-                                    out);
+  if (budget_policy_.dense_fits(n, DistWidth::U16)) {
+    // Dense u16 cannot saturate under its n < 65535 gate.
+    (void)scan_agent_t<std::uint16_t>(v, model, stop_at_first, include_deletions, moves_checked,
+                                      s, out);
+  } else {
+    // Budgeted u16 CAN saturate — a masked diameter beyond 65534 — and
+    // there is no wider storage to fall back to.
+    BNCG_REQUIRE(scan_agent_budgeted_t<std::uint16_t>(v, model, stop_at_first, include_deletions,
+                                                      moves_checked, s, out),
+                 "budgeted u16 scan saturated: some masked distance exceeds the 16-bit "
+                 "encoding; this instance is beyond the engine's distance range");
+  }
   return out;
 }
 
@@ -373,6 +582,9 @@ EquilibriumCertificate SwapEngine::certify(UsageCost model, bool include_deletio
 template <typename Dist>
 bool SwapEngine::full_apsp_t(Scratch& s) const {
   const Vertex n = csr_.num_vertices();
+  BNCG_REQUIRE(n < kInfDist16,
+               "the k-move deviation paths are dense-only (n < 65535); the budget applies to "
+               "the basic-game scans");
   auto& rows = s.rows<Dist>();
   rows.apsp.resize(static_cast<std::size_t>(n) * n);
   return csr_apsp_capped<Dist>(csr_, MaskedEdge{}, rows.apsp.data(), s.bfs_,
@@ -494,6 +706,9 @@ KStabilityReport SwapEngine::insertion_sweep_t(const Dist* apsp, Vertex k) const
 KStabilityReport SwapEngine::insertion_stability(Vertex k) const {
   const Vertex n = csr_.num_vertices();
   if (n == 0) return {};
+  BNCG_REQUIRE(n < kInfDist16,
+               "the k-move deviation paths are dense-only (n < 65535); the budget applies to "
+               "the basic-game scans");
   // The whole sweep shares one *unmasked* batched APSP: the insertion cover
   // condition reads full-graph rows only (see build_cover_sets), so no
   // per-agent traversal survives. Connectivity is checked up front on row 0

@@ -48,6 +48,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "core/dist_provider.hpp"
 #include "core/equilibrium.hpp"
 #include "core/kstability.hpp"
 #include "core/usage_cost.hpp"
@@ -104,16 +105,30 @@ class SwapEngine {
    public:
     friend class SwapEngine;
 
+    /// Budgeted-mode row providers of this scratch (dense scans leave them
+    /// idle) — residency/stat introspection for benches and the
+    /// prune-soundness suite.
+    [[nodiscard]] const DistanceProvider<std::uint8_t>& provider8() const noexcept {
+      return rows8_.provider;
+    }
+    [[nodiscard]] const DistanceProvider<std::uint16_t>& provider16() const noexcept {
+      return rows16_.provider;
+    }
+    /// Combined row-cache counters of both widths (all-zero while every
+    /// scan ran dense).
+    [[nodiscard]] RowCacheStats row_cache_stats() const;
+
    private:
     /// Width-typed row buffers of one scan. 64-byte-aligned storage: these
     /// are exactly the arrays the SIMD scan kernels stream over.
     template <typename Dist>
     struct Rows {
-      AlignedVec<Dist> apsp;  // all rows of G − v
+      AlignedVec<Dist> apsp;  // all rows of G − v (dense mode)
       AlignedVec<Dist> min1;  // elementwise min over neighbor rows
       AlignedVec<Dist> min2;  // elementwise second min
       AlignedVec<Dist> mrow;  // M^w: min over N(v)∖{w}
       AlignedVec<Dist> arow;  // pinned add-profile / k-way min-fold target
+      DistanceProvider<Dist> provider;  // dense slab or budgeted row cache
     };
     template <typename Dist>
     [[nodiscard]] Rows<Dist>& rows() noexcept {
@@ -132,16 +147,27 @@ class SwapEngine {
     AlignedVec<Vertex> hits_;           // collect_below output (cover masks)
     std::vector<std::uint64_t> masks_;  // flat per-candidate coverage bitsets
     std::vector<AlphaCandidate> alpha_;  // buffered α-scan candidates
+    std::vector<Vertex> survivors_;      // streamed far-filter survivor list
+    std::vector<Vertex> survivors_next_;
     Rows<std::uint8_t> rows8_;
     Rows<std::uint16_t> rows16_;
   };
 
-  /// Snapshots `g`. Requires n < 65535 (16-bit distances). The width policy
-  /// governs which storage width scans *prefer* (graph/dist_width.hpp);
-  /// results are width-independent.
+  /// Snapshots `g`. The width policy governs which storage width scans
+  /// *prefer* (graph/dist_width.hpp); results are width-independent.
+  /// Unlimited-memory construction: per-scan storage is the dense n×n
+  /// matrix whenever n < 65535 (the historical behavior, requiring that
+  /// bound); larger instances automatically run budgeted scans.
   explicit SwapEngine(const Graph& g, WidthPolicy width = WidthPolicy::Auto) {
     rebuild(g, width);
   }
+
+  /// Budget-aware construction (core/dist_provider.hpp): scan widths follow
+  /// resources.width, and any width whose dense n×n slab would exceed the
+  /// per-lane share of resources.mem_budget runs BUDGETED — distance rows
+  /// materialize on demand in the blocked row cache instead of up front.
+  /// Both modes are exact; the budget changes memory, never results.
+  SwapEngine(const Graph& g, const ResourceConfig& resources) { rebuild(g, resources); }
 
   /// Re-snapshots after an accepted move (storage reused, width preference
   /// re-probed under the current policy).
@@ -149,6 +175,15 @@ class SwapEngine {
 
   /// Re-snapshots and changes the width policy.
   void rebuild(const Graph& g, WidthPolicy width);
+
+  /// Re-snapshots and changes the resource configuration.
+  void rebuild(const Graph& g, const ResourceConfig& resources);
+
+  [[nodiscard]] const ResourceConfig& resources() const noexcept { return resources_; }
+  /// The resolved width/storage decisions scans run under.
+  [[nodiscard]] const WidthAndBudgetPolicy& budget_policy() const noexcept {
+    return budget_policy_;
+  }
 
   [[nodiscard]] const CsrGraph& snapshot() const noexcept { return csr_; }
 
@@ -231,13 +266,30 @@ class SwapEngine {
                                       bool include_deletions, std::uint64_t* moves_checked,
                                       Scratch& scratch) const;
 
-  /// Width-typed scan body. Returns false — with `out` and the move count
-  /// untouched by the caller — when the masked sweep saturates the width
-  /// (only possible for u8); the dispatcher then redoes the agent at u16.
+  /// Width-typed dense scan body. Returns false — with `out` and the move
+  /// count untouched by the caller — when the masked sweep saturates the
+  /// width (only possible for u8); the dispatcher then redoes the agent at
+  /// u16.
   template <typename Dist>
   [[nodiscard]] bool scan_agent_t(Vertex v, UsageCost model, bool stop_at_first,
                                   bool include_deletions, std::uint64_t* moves_checked,
                                   Scratch& scratch, std::optional<Deviation>& out) const;
+
+  /// Width-typed BUDGETED scan body: same enumeration order, acceptance
+  /// rules, move counts, and results as scan_agent_t, but rows stream
+  /// through the DistanceProvider's row cache under the per-lane byte
+  /// budget instead of a dense n×n slab — the agent's current cost derives
+  /// from the neighbor min-fold (source-removal identity at N' = N(v)), the
+  /// max model streams its far filter over far-vertex rows (fetched lazily,
+  /// by symmetry d(f, w₂) = d(w₂, f)) so candidate rows are materialized
+  /// only for proven improvers, and the sum model prunes candidates whose
+  /// triangle-inequality lower bound (Σ M^w − n·M^w_{w₂}) already meets the
+  /// old cost. False on width saturation (u8: dispatcher widens; u16: the
+  /// instance exceeds the 16-bit encoding and the dispatcher fails loudly).
+  template <typename Dist>
+  [[nodiscard]] bool scan_agent_budgeted_t(Vertex v, UsageCost model, bool stop_at_first,
+                                           bool include_deletions, std::uint64_t* moves_checked,
+                                           Scratch& scratch, std::optional<Deviation>& out) const;
 
   /// Unmasked capped APSP of the snapshot into scratch (shared by the
   /// insertion paths, which need full-graph rows). False on u8 saturation.
@@ -264,7 +316,8 @@ class SwapEngine {
                                   Scratch& scratch) const;
 
   CsrGraph csr_;
-  WidthPolicy policy_ = WidthPolicy::Auto;
+  ResourceConfig resources_;
+  WidthAndBudgetPolicy budget_policy_;
   bool prefer_u8_ = false;
   /// Shared across the const certify() path's threads; relaxed is enough
   /// for a monotone counter.

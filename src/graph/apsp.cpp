@@ -35,11 +35,16 @@ std::uint64_t DistanceMatrix::row_sum(Vertex u) const {
   return sum;
 }
 
-DistWidth DistanceMatrix::recommended_width() const noexcept {
+Vertex DistanceMatrix::max_finite_distance() const noexcept {
+  Vertex max_d = 0;
   for (const Vertex d : data_) {
-    if (d != kInfDist && !fits_u8(d)) return DistWidth::U16;
+    if (d != kInfDist && d > max_d) max_d = d;
   }
-  return DistWidth::U8;
+  return max_d;
+}
+
+DistWidth DistanceMatrix::recommended_width() const noexcept {
+  return fits_u8(max_finite_distance()) ? DistWidth::U8 : DistWidth::U16;
 }
 
 }  // namespace bncg

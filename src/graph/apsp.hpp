@@ -50,13 +50,17 @@ class DistanceMatrix {
   /// Σ_v d(u, v); only meaningful when connected().
   [[nodiscard]] std::uint64_t row_sum(Vertex u) const;
 
-  /// Narrowest capped-infinity storage width whose finite range covers
-  /// every distance in this matrix (graph/dist_width.hpp): U8 when the
-  /// largest finite distance fits the 8-bit cap, U16 otherwise. The exact
-  /// oracle behind the engines' cheap BFS-bound width probes — callers
-  /// that already paid for a full matrix can seed SwapEngine/SearchState
-  /// width policies from it, and the width fuzz suite uses it to engineer
-  /// cap-adjacent instances.
+  /// Largest finite distance in the matrix (0 for n ≤ 1). The input to
+  /// WidthAndBudgetPolicy::width_for_max_distance / policy_for_max_distance
+  /// (core/dist_provider.hpp) — callers that already paid for a full matrix
+  /// seed engine/state width policies from this instead of re-probing.
+  [[nodiscard]] Vertex max_finite_distance() const noexcept;
+
+  /// DEPRECATED (one PR): the pre-policy form of the width decision. Equals
+  /// WidthAndBudgetPolicy::width_for_max_distance(max_finite_distance());
+  /// new call sites should go through the policy so the dense-vs-budgeted
+  /// storage decision rides along. Kept for the width fuzz suite, which
+  /// uses it to engineer cap-adjacent instances.
   [[nodiscard]] DistWidth recommended_width() const noexcept;
 
  private:

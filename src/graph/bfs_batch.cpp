@@ -317,6 +317,23 @@ void bfs_batch(const CsrGraph& g, std::span<const Vertex> sources, MaskedEdge ma
                        static_cast<std::uint16_t>(kInfDist16 - 1));
 }
 
+template <typename Dist>
+bool bfs_batch_capped(const CsrGraph& g, std::span<const Vertex> sources, MaskedEdge mask,
+                      Dist* rows, std::size_t stride, BatchBfsWorkspace& ws, Vertex masked_vertex,
+                      Dist inf_value, Dist max_finite) {
+  BNCG_REQUIRE(sources.size() <= 64, "at most 64 sources per batch");
+  BNCG_REQUIRE(max_finite < inf_value, "max_finite must stay below inf_value");
+  return batch_dispatch(g, sources, mask, rows, stride, ws, masked_vertex, inf_value, max_finite);
+}
+
+template bool bfs_batch_capped<std::uint8_t>(const CsrGraph&, std::span<const Vertex>, MaskedEdge,
+                                             std::uint8_t*, std::size_t, BatchBfsWorkspace&,
+                                             Vertex, std::uint8_t, std::uint8_t);
+template bool bfs_batch_capped<std::uint16_t>(const CsrGraph&, std::span<const Vertex>,
+                                              MaskedEdge, std::uint16_t*, std::size_t,
+                                              BatchBfsWorkspace&, Vertex, std::uint16_t,
+                                              std::uint16_t);
+
 void csr_apsp(const CsrGraph& g, MaskedEdge mask, std::uint16_t* rows, BatchBfsWorkspace& ws,
               Vertex masked_vertex) {
   BNCG_REQUIRE(g.num_vertices() < kInfDist16, "16-bit APSP requires n < 65535");

@@ -78,6 +78,24 @@ void bfs_batch(const CsrGraph& g, std::span<const Vertex> sources, MaskedEdge ma
                std::uint16_t* rows, std::size_t stride, BatchBfsWorkspace& ws,
                Vertex masked_vertex = kNoVertex);
 
+/// Width-adaptive positional batch: like `bfs_batch`, but row *i* (the
+/// position within `sources`, NOT the source id) receives the distances,
+/// stored as `Dist` with the same saturation contract as
+/// `csr_apsp_rows_capped` — false (row contents unspecified) the moment a
+/// finite distance would exceed `max_finite`. This is the miss-fill
+/// primitive of graph/row_cache.hpp, whose cache slots hold rows of
+/// arbitrary sources, so the id-indexed entry points cannot serve it.
+/// Deliberately NOT restricted to n < 65535: saturation detection is the
+/// bound — levels are tracked in Vertex width, so a distance the encoding
+/// cannot represent reports failure instead of wrapping, which is what lets
+/// the budgeted row provider run u16 scans on million-node instances whose
+/// masked diameters stay under the cap. ≤ 64 sources per call.
+template <typename Dist>
+[[nodiscard]] bool bfs_batch_capped(const CsrGraph& g, std::span<const Vertex> sources,
+                                    MaskedEdge mask, Dist* rows, std::size_t stride,
+                                    BatchBfsWorkspace& ws, Vertex masked_vertex, Dist inf_value,
+                                    Dist max_finite);
+
 /// All-pairs shortest paths of the (masked) snapshot into an n×n row-major
 /// 16-bit matrix: rows[v·n + x] = d(v, x). Serial; callers parallelize over
 /// higher-level work units (agents, removed edges). Masking a vertex yields

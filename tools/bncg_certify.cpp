@@ -66,7 +66,10 @@
 
 #include "core/certify_sharded.hpp"
 #include "core/certify_wire.hpp"
+#include "core/dist_provider.hpp"
+#include "core/swap.hpp"
 #include "core/swap_engine.hpp"
+#include "gen/paper.hpp"
 #include "gen/random.hpp"
 #include "graph/io.hpp"
 #include "svc/dispatcher.hpp"
@@ -84,11 +87,13 @@ using namespace bncg;
   (exit_code == 0 ? std::cout : std::cerr)
       << "usage:\n"
          "  bncg_certify gen --n N [--m M] [--seed S] --out FILE\n"
+         "  bncg_certify gen --family torus --k K [--perturb] --out FILE\n"
          "  bncg_certify worker --graph FILE --range LO:HI --shard-index I --shard-count K\n"
          "               --out FILE [--model sum|max] [--include-deletions]\n"
-         "               [--stop-on-violation] [--width auto|u8|u16] [--format binary|json]\n"
+         "               [--stop-on-violation] [--width auto|u8|u16] [--mem-budget B]\n"
+         "               [--format binary|json]\n"
          "  bncg_certify worker --graph FILE --connect ADDR [--width auto|u8|u16]\n"
-         "               [--connect-retries N] [--connect-backoff-ms N]\n"
+         "               [--mem-budget B] [--connect-retries N] [--connect-backoff-ms N]\n"
          "  bncg_certify chaos-worker --graph FILE --connect ADDR\n"
          "               --chaos crash|hang|corrupt|corrupt-all|duplicate|slow\n"
          "               [--chaos-seed S] [--chaos-delay-ms N] [--width auto|u8|u16]\n"
@@ -110,8 +115,13 @@ using namespace bncg;
          "               [--connect-backoff-ms N]\n"
          "  bncg_certify merge SHARD_FILE...\n"
          "  bncg_certify certify --graph FILE [--model sum|max] [--include-deletions]\n"
-         "               [--stop-on-violation] [--width auto|u8|u16] [--shards N]\n"
+         "               [--stop-on-violation] [--width auto|u8|u16] [--mem-budget B]\n"
+         "               [--shards N]\n"
          "addresses: unix:/path/to.sock or tcp:HOST:PORT (IPv4 literal)\n"
+         "--mem-budget B caps distance storage per engine lane (bytes, with\n"
+         "  optional K/M/G binary suffix); scans whose dense rows do not fit\n"
+         "  run against the blocked row cache. BNCG_MEM_BUDGET sets the same\n"
+         "  cap process-wide when the flag is absent.\n"
          "exit codes: 0 certificate emitted (either verdict); 1 usage or\n"
          "  environment error; 2 coverage refusal (serve quarantined ranges and\n"
          "  withheld the verdict); 3 wire/merge/handshake guard refusal;\n"
@@ -214,6 +224,18 @@ class Args {
   usage("bad --width: " + text);
 }
 
+/// Consumes an optional --mem-budget flag into a ResourceConfig byte cap.
+/// Parse failures are usage errors (exit 1), mirroring the numeric flags.
+[[nodiscard]] std::uint64_t parse_mem_budget(Args& args) {
+  const std::optional<std::string> text = args.value("--mem-budget");
+  if (!text) return 0;
+  try {
+    return parse_mem_bytes(*text);
+  } catch (const std::invalid_argument& e) {
+    usage(std::string("bad --mem-budget: ") + e.what());
+  }
+}
+
 [[nodiscard]] svc::ChaosConfig::Mode parse_chaos(const std::string& text) {
   if (text == "crash") return svc::ChaosConfig::Mode::Crash;
   if (text == "hang") return svc::ChaosConfig::Mode::Hang;
@@ -280,17 +302,40 @@ void print_certificate(std::uint64_t fingerprint, Vertex n, std::uint64_t m, Usa
 }
 
 int run_gen(Args& args) {
-  const Vertex n = parse_u32(args.required("--n"), "--n");
-  const std::uint64_t m_default = 2ull * n;
-  const std::uint64_t m =
-      args.value("--m") ? parse_u64(*args.value("--m"), "--m") : m_default;
-  const std::uint64_t seed =
-      args.value("--seed") ? parse_u64(*args.value("--seed"), "--seed") : 1;
+  const std::string family = args.value("--family").value_or("gnm");
+  Graph g{0};
+  if (family == "torus") {
+    // The paper's Figure 4 rotated torus (gen/paper.hpp): n = 2k², degree 4,
+    // a max-model swap equilibrium of eccentricity k at every vertex — the
+    // budget smoke's large structured instance (scripts/certify_budget.sh).
+    const Vertex k = parse_u32(args.required("--k"), "--k");
+    if (k < 2) usage("--k must be >= 2");
+    const DiagonalTorus torus = rotated_torus(k);
+    g = torus.graph();
+    if (args.flag("--perturb")) {
+      // Break the equilibrium at a known site: rewire agent 0's first torus
+      // edge to the antipode (k, k). Certifying the perturbed instance with
+      // --stop-on-violation finds a witness near agent 0 instead of running
+      // the full n-agent sweep — the budget smoke's bounded REFUTED leg.
+      const Vertex w = g.neighbors(0).front();
+      const Vertex y = torus.id({k, k});
+      apply_swap(g, EdgeSwap{0, w, y});
+    }
+  } else if (family == "gnm") {
+    const Vertex n = parse_u32(args.required("--n"), "--n");
+    const std::uint64_t m_default = 2ull * n;
+    const std::uint64_t m =
+        args.value("--m") ? parse_u64(*args.value("--m"), "--m") : m_default;
+    const std::uint64_t seed =
+        args.value("--seed") ? parse_u64(*args.value("--seed"), "--seed") : 1;
+    Xoshiro256ss rng(seed);
+    g = random_connected_gnm(n, static_cast<std::size_t>(m), rng);
+  } else {
+    usage("bad --family: " + family);
+  }
   const std::string out_path = args.required("--out");
   reject_unknown(args);
 
-  Xoshiro256ss rng(seed);
-  const Graph g = random_connected_gnm(n, static_cast<std::size_t>(m), rng);
   std::ofstream out(out_path);
   if (!out) throw std::runtime_error("cannot open for writing: " + out_path);
   write_edge_list(out, g);
@@ -309,6 +354,7 @@ int run_connected(Args& args, svc::ChaosConfig chaos) {
   config.address = args.required("--connect");
   const std::string graph_path = args.required("--graph");
   config.width = parse_width(args.value("--width").value_or("auto"));
+  config.resources.mem_budget = parse_mem_budget(args);
   if (args.value("--connect-retries")) {
     config.connect_retries = parse_u32(*args.value("--connect-retries"), "--connect-retries");
   }
@@ -348,7 +394,9 @@ int run_worker(Args& args) {
   const UsageCost model = parse_model(args.value("--model").value_or("sum"));
   const bool include_deletions = args.flag("--include-deletions");
   const bool stop_on_violation = args.flag("--stop-on-violation");
-  const WidthPolicy width = parse_width(args.value("--width").value_or("auto"));
+  ResourceConfig resources;
+  resources.width = parse_width(args.value("--width").value_or("auto"));
+  resources.mem_budget = parse_mem_budget(args);
   const std::string format_text = args.value("--format").value_or("binary");
   ShardWireFormat format;
   if (format_text == "binary") {
@@ -369,7 +417,7 @@ int run_worker(Args& args) {
   }
   if (range.shard_index >= range.shard_count) usage("--shard-index must be < --shard-count");
   Timer timer;
-  const SwapEngine engine(g, width);
+  const SwapEngine engine(g, resources);
   const ShardResult shard =
       certify_agent_range(engine, range, model, include_deletions, stop_on_violation);
   write_shard_file(out_path, shard, format);
@@ -634,7 +682,8 @@ int run_certify(Args& args) {
   const UsageCost model = parse_model(args.value("--model").value_or("sum"));
   ShardedCertifyConfig config;
   config.stop_on_violation = args.flag("--stop-on-violation");
-  config.width = parse_width(args.value("--width").value_or("auto"));
+  config.resources.width = parse_width(args.value("--width").value_or("auto"));
+  config.resources.mem_budget = parse_mem_budget(args);
   if (args.value("--shards")) {
     config.shards = static_cast<std::size_t>(parse_u64(*args.value("--shards"), "--shards"));
   }
